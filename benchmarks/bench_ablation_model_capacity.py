@@ -1,0 +1,25 @@
+"""Ablation A-2 — the PragFormer-vs-BoW gap is architectural.
+
+§5.2 credits the transformer's self-attention, not raw parameter count.
+Even a single-layer, d=32 transformer should beat the converged linear BoW,
+because order information (e.g. reduction vs prefix-sum) is invisible to
+count features.
+"""
+
+from conftest import run_once
+
+from repro.pipeline.experiments import ablation_capacity
+from repro.utils import format_table
+
+
+def test_ablation_model_capacity(benchmark):
+    result = run_once(benchmark, ablation_capacity)
+    print()
+    print(format_table(["Model", "Test accuracy"],
+                       [(k, round(v, 3)) for k, v in result.items()],
+                       title="Ablation A-2: capacity vs architecture"))
+    # the architectural claim: even the tiny transformer beats BoW, and
+    # capacity differences between transformer sizes are second-order
+    assert result["transformer_tiny"] > result["bow"] - 0.02
+    assert result["transformer_default"] > result["bow"]
+    assert abs(result["transformer_default"] - result["transformer_tiny"]) < 0.15

@@ -1,0 +1,21 @@
+"""Ablation A-1 — MLM pretraining vs random initialization.
+
+§4.1 argues DeepSCC-style pretraining provides 'an apt starting point';
+the ablation trains the identical architecture from scratch and compares.
+Expected shape: pretrained >= scratch (transfer helps or at worst ties).
+"""
+
+from conftest import run_once
+
+from repro.pipeline.experiments import ablation_pretraining
+from repro.utils import format_table
+
+
+def test_ablation_pretraining(benchmark):
+    result = run_once(benchmark, ablation_pretraining)
+    print()
+    print(format_table(["Initialization", "Test accuracy"],
+                       [(k, round(v, 3)) for k, v in result.items()],
+                       title="Ablation A-1: MLM pretraining"))
+    assert result["pretrained"] >= result["scratch"] - 0.03
+    assert result["pretrained"] > 0.70

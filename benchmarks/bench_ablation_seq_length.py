@@ -1,0 +1,24 @@
+"""Ablation A-3 — the 110-token sequence cap of §4.3.
+
+The paper sets max_len to the longest snippet (110 tokens).  Harsher
+truncation discards the loop bodies of longer snippets; accuracy should not
+*improve* when truncating harder, and 110 should be at or near the best.
+"""
+
+from conftest import run_once
+
+from repro.pipeline.experiments import ablation_seq_length
+from repro.utils import format_table
+
+
+def test_ablation_seq_length(benchmark):
+    result = run_once(benchmark, ablation_seq_length)
+    print()
+    print(format_table(["max_len", "Test accuracy"],
+                       [(k, round(v, 3)) for k, v in result.items()],
+                       title="Ablation A-3: sequence truncation"))
+    # 110 (the paper's cap) is not worse than harsh truncation by a margin
+    assert result["max_len_110"] >= result["max_len_32"] - 0.05
+    # every variant still learns
+    for acc in result.values():
+        assert acc > 0.6

@@ -1,0 +1,35 @@
+"""Extension experiment (§5.4's claim): 'the attention mechanism of the
+model focuses on variables, function names and statements rather than other
+factors such as line count.'
+
+Measured as the average CLS-attention mass per token class: identifiers
+should receive at least as much attention per occurrence as punctuation
+operators.
+"""
+
+from conftest import run_once
+
+from repro.explain import attention_by_token_class
+from repro.pipeline import get_context, get_scale
+from repro.utils import format_table
+
+
+def _run():
+    ctx = get_context(get_scale())
+    enc = ctx.encoded()
+    codes = [e.record.code for e in ctx.directive_splits.test[:60]]
+    return attention_by_token_class(ctx.pragformer, enc.vocab, codes,
+                                    max_len=ctx.scale.pragformer.max_len)
+
+
+def test_attention_focus(benchmark):
+    by_class = run_once(benchmark, _run)
+    print()
+    print(format_table(["Token class", "Mean CLS attention"],
+                       [(k, round(v, 5)) for k, v in sorted(by_class.items())],
+                       title="Extension: CLS attention by token class (§5.4)"))
+    assert "identifier" in by_class and "operator" in by_class
+    # identifiers are attended at least comparably to punctuation
+    assert by_class["identifier"] > 0.3 * by_class["operator"]
+    # all classes received some attention
+    assert all(v > 0 for v in by_class.values())

@@ -1,0 +1,25 @@
+"""Figure 3 — distribution of snippet source domains.
+
+Paper: generic applications 43 %, unknown (no README) 33.5 %, benchmark
+16.5 %, testing 7 %.
+"""
+
+from conftest import run_once
+
+from repro.pipeline.experiments import exp_fig3
+from repro.utils import format_table
+
+
+def test_fig3_domain_distribution(benchmark):
+    dist = run_once(benchmark, exp_fig3)
+    print()
+    print(format_table(["Domain", "Fraction"],
+                       [(k, round(v, 3)) for k, v in dist.items()],
+                       title="Figure 3: snippet source domains"))
+    assert abs(sum(dist.values()) - 1.0) < 1e-9
+    # paper ordering: generic > unknown > benchmark > testing
+    assert dist["generic"] > dist["benchmark"] > dist["testing"]
+    assert dist["unknown"] > dist["benchmark"]
+    # rough magnitudes
+    assert 0.3 < dist["generic"] < 0.55
+    assert 0.02 < dist["testing"] < 0.15

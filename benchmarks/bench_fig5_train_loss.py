@@ -1,0 +1,29 @@
+"""Figure 5 — average training loss per epoch for the four representations.
+
+Paper shape: all curves decrease monotonically-ish from ~0.7 toward 0.2;
+training loss keeps falling even after validation loss converges.
+"""
+
+from conftest import run_once
+
+from repro.pipeline.experiments import exp_fig456
+from repro.utils import format_table
+
+
+def test_fig5_train_loss(benchmark):
+    curves = run_once(benchmark, exp_fig456)
+    print()
+    rows = [[rep] + [round(x, 3) for x in series["train_loss"]]
+            for rep, series in curves.items()]
+    n_epochs = len(curves["text"]["train_loss"])
+    print(format_table(["representation"] + [f"ep{e + 1}" for e in range(n_epochs)],
+                       rows, title="Figure 5: training loss by epoch"))
+    for rep, series in curves.items():
+        loss = series["train_loss"]
+        # starts near ln(2) for a balanced-ish binary task
+        assert 0.4 < loss[0] < 1.2, rep
+        # ends well below the start: the model is actually learning
+        assert loss[-1] < loss[0] * 0.85, rep
+        # roughly decreasing: final third below first third
+        third = max(1, len(loss) // 3)
+        assert sum(loss[-third:]) / third < sum(loss[:third]) / third, rep

@@ -1,0 +1,29 @@
+"""Figure 6 — average validation loss per epoch for the four
+representations.
+
+Paper shape: validation loss falls then converges (and may tick upward as
+the model overfits) after 7-9 epochs; the best-epoch rule picks its minimum.
+"""
+
+from conftest import run_once
+
+from repro.pipeline.experiments import exp_fig456
+from repro.utils import format_table
+
+
+def test_fig6_valid_loss(benchmark):
+    curves = run_once(benchmark, exp_fig456)
+    print()
+    rows = [[rep] + [round(x, 3) for x in series["valid_loss"]]
+            for rep, series in curves.items()]
+    n_epochs = len(curves["text"]["valid_loss"])
+    print(format_table(["representation"] + [f"ep{e + 1}" for e in range(n_epochs)],
+                       rows, title="Figure 6: validation loss by epoch"))
+    for rep, series in curves.items():
+        loss = series["valid_loss"]
+        # the minimum is not at epoch 1: a couple of epochs help
+        assert min(loss) < loss[0], rep
+        # the curve converges: min is within the training horizon and the
+        # post-minimum rise stays bounded (no divergence)
+        assert min(loss) > 0.0
+        assert loss[-1] < loss[0] * 1.5, rep

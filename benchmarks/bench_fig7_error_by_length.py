@@ -1,0 +1,25 @@
+"""Figure 7 — PragFormer's prediction error rate by snippet length.
+
+Paper: more than 80 % of errors occur on snippets shorter than 20 lines;
+only a handful of errors above 50 lines — length does not drive accuracy.
+"""
+
+from conftest import run_once
+
+from repro.pipeline.experiments import exp_fig7
+from repro.utils import format_table
+
+
+def test_fig7_error_by_length(benchmark):
+    bins = run_once(benchmark, exp_fig7)
+    print()
+    rows = [(label, s["n"], s["errors"], round(s["error_rate"], 3),
+             round(s["share_of_errors"], 3)) for label, s in bins.items()]
+    print(format_table(["Length", "n", "errors", "error rate", "share of errors"],
+                       rows, title="Figure 7: error rate by snippet length"))
+    short_share = bins["<=10"]["share_of_errors"] + bins["11-20"]["share_of_errors"]
+    # the paper: >80 % of errors under 20 lines; corpus is short-skewed, so
+    # most errors land on short snippets
+    assert short_share > 0.6
+    # long snippets contribute few errors in absolute terms
+    assert bins[">50"]["errors"] <= bins["<=10"]["errors"]

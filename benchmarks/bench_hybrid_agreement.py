@@ -1,0 +1,36 @@
+"""Extension experiment (§2.1): combining PragFormer with ComPar so that a
+directive survives only when both agree.
+
+The paper argues agreement 'verifies the correctness of the directive and
+the necessity'.  Expected shape: agreement precision >= each system alone,
+at the cost of recall.
+"""
+
+from conftest import run_once
+
+from repro.models import HybridAdvisor
+from repro.pipeline import get_context, get_scale
+from repro.utils import format_table
+
+
+def _run():
+    ctx = get_context(get_scale())
+    enc = ctx.encoded()
+    codes = [e.record.code for e in ctx.directive_splits.test]
+    hybrid = HybridAdvisor(ctx.pragformer, ctx.compar)
+    return hybrid.precision_recall_tradeoff(enc.test, codes)
+
+
+def test_hybrid_agreement(benchmark):
+    table = run_once(benchmark, _run)
+    print()
+    rows = [(name, round(m["precision"], 3), round(m["recall"], 3),
+             round(m["f1"], 3), round(m["accuracy"], 3))
+            for name, m in table.items()]
+    print(format_table(["Policy", "Precision", "Recall", "F1", "Accuracy"],
+                       rows, title="Extension: model+S2S combination (§2.1)"))
+    # agreement verifies necessity: precision >= each component (with slack)
+    assert table["agreement"]["precision"] >= table["compar"]["precision"] - 0.05
+    assert table["agreement"]["precision"] >= table["pragformer"]["precision"] - 0.05
+    # and recall is sacrificed relative to the model alone
+    assert table["agreement"]["recall"] <= table["pragformer"]["recall"] + 1e-9

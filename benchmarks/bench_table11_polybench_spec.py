@@ -1,0 +1,44 @@
+"""Table 11 — generalization to PolyBench and SPEC-OMP.
+
+Paper: PragFormer Poly 0.93/0.93/0.93/0.93, ComPar Poly 0.43/0.43/0.43/0.43;
+PragFormer SPEC 0.81/0.80/0.80/0.80, ComPar SPEC 0.76/0.75/0.74/0.75 (with
+287 SPEC parse failures excluded from ComPar's run).  Shape: PragFormer
+transfers to both suites and beats ComPar on PolyBench by a wide margin
+(the unexpanded macros defeat every S2S parser).
+"""
+
+from conftest import run_once
+
+from repro.pipeline.experiments import exp_table11
+from repro.utils import format_table
+
+
+def test_table11_polybench_spec(benchmark):
+    rows = run_once(benchmark, exp_table11)
+    print()
+    table = [(name, round(m["precision"], 3), round(m["recall"], 3),
+              round(m["f1"], 3), round(m["accuracy"], 3),
+              m.get("parse_failures", "-"))
+             for name, m in rows.items()]
+    print(format_table(["System / suite", "P", "R", "F1", "Acc", "parse fails"],
+                       table, title="Table 11: external benchmark generalization"))
+
+    prag_poly = rows["PragFormer PolyBench"]
+    compar_poly = rows["ComPar PolyBench"]
+    prag_spec = rows["PragFormer SPEC-OMP"]
+    compar_spec = rows["ComPar SPEC-OMP"]
+
+    # PolyBench: PragFormer transfers (partially at small scale — see
+    # EXPERIMENTS.md), ComPar collapses outright on the macros
+    assert prag_poly["accuracy"] > compar_poly["accuracy"] + 0.10
+    assert prag_poly["f1"] > compar_poly["f1"] + 0.30
+    assert compar_poly["parse_failures"] > 0
+    assert prag_poly["accuracy"] > 0.55
+    # SPEC: register/typedef traits break parsers; PragFormer stays usable
+    assert compar_spec["parse_failures"] > 0
+    assert prag_spec["accuracy"] > 0.65
+    # Both suites stay within a usable band of each other.  The paper has
+    # PolyBench slightly ahead of SPEC; at small scale ours reverses (0.63
+    # vs 0.78 — see EXPERIMENTS.md on partial PolyBench transfer), so the
+    # bench only rules out a collapse on either suite.
+    assert prag_poly["accuracy"] >= prag_spec["accuracy"] - 0.20

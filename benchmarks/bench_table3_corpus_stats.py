@@ -1,0 +1,28 @@
+"""Table 3 — statistics of the OpenMP directives in the raw database.
+
+Paper values (17,013 records): 7,630 with directives; schedule static 7,256;
+dynamic 374; reduction 1,455; private 3,403.  The bench regenerates the same
+rows at the configured scale and asserts the proportions.
+"""
+
+from conftest import run_once
+
+from repro.pipeline.experiments import exp_table3
+from repro.utils import format_table
+
+
+def test_table3_corpus_stats(benchmark):
+    stats = run_once(benchmark, exp_table3)
+    print()
+    print(format_table(["Description", "Amount"], list(stats.items()),
+                       title="Table 3: directive statistics"))
+    total = stats["total_code_snippets"]
+    n_dir = stats["for_loops_with_omp"]
+    # ~45 % of snippets carry directives (7630/17013)
+    assert 0.35 < n_dir / total < 0.55
+    # static + dynamic partition the directives; dynamic is rare (~5 %)
+    assert stats["schedule_static"] + stats["schedule_dynamic"] == n_dir
+    assert 0.005 < stats["schedule_dynamic"] / n_dir < 0.15
+    # private ~45 %, reduction ~19 % of directives
+    assert 0.25 < stats["private"] / n_dir < 0.60
+    assert 0.08 < stats["reduction"] / n_dir < 0.35

@@ -1,0 +1,23 @@
+"""Table 4 — code snippet lengths in the raw database.
+
+Paper shape: a heavily skewed distribution (9,865 < 10 lines; 5,824 in
+11-50; 724 in 51-100; 600 > 100) — monotonically decreasing across bins.
+"""
+
+from conftest import run_once
+
+from repro.pipeline.experiments import exp_table4
+from repro.utils import format_table
+
+
+def test_table4_snippet_lengths(benchmark):
+    hist = run_once(benchmark, exp_table4)
+    print()
+    print(format_table(["Line Count", "Amount"], list(hist.items()),
+                       title="Table 4: snippet lengths"))
+    values = list(hist.values())
+    assert sum(values) > 0
+    # monotone decreasing across the paper's bins
+    assert values[0] > values[1] > values[2] >= values[3]
+    # most snippets are short (paper: 58 % under 10 lines)
+    assert values[0] / sum(values) > 0.5

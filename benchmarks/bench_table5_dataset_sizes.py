@@ -1,0 +1,26 @@
+"""Table 5 — dataset sizes for directive and clause classification.
+
+Paper: directive 14,442/1,274/1,274; clause 6,482/572/572 — i.e. an 80/10/10
+split of the corpus (directive) and of the balanced positive subset (clause).
+"""
+
+from conftest import run_once
+
+from repro.pipeline.experiments import exp_table5
+from repro.utils import format_table
+
+
+def test_table5_dataset_sizes(benchmark):
+    sizes = run_once(benchmark, exp_table5)
+    print()
+    rows = [(name, s["train"], s["validation"], s["test"])
+            for name, s in sizes.items()]
+    print(format_table(["Dataset", "Training", "Validation", "Test"], rows,
+                       title="Table 5: dataset sizes"))
+    for name, s in sizes.items():
+        total = s["train"] + s["validation"] + s["test"]
+        assert abs(s["train"] / total - 0.8) < 0.03, name
+        assert abs(s["validation"] / total - 0.1) < 0.03, name
+        assert abs(s["test"] / total - 0.1) < 0.03, name
+    # the clause dataset is a subset of the directive positives
+    assert sum(sizes["clause"].values()) < sum(sizes["directive"].values())

@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one of the paper's tables/figures.  Expensive
+artifacts (corpus, trained models) are shared through the process-wide
+experiment context, so the first bench that needs a model pays its training
+cost and later benches reuse it; ``pedantic(rounds=1)`` keeps
+pytest-benchmark from re-running the full experiment.
+
+Scale is controlled by ``REPRO_SCALE`` (default 'small').
+"""
+
+import pytest
+
+from repro.pipeline import get_context, get_scale
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return get_context(get_scale())
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,64 @@
+"""The on-the-fly parallelization advisor (§2.1): scan a C file for loops,
+flag the ones that would benefit from an OpenMP directive, and suggest
+private/reduction clauses — then compare with what the ComPar S2S combiner
+would do on the same loops.
+
+Run:  python examples/advisor.py
+"""
+
+import numpy as np
+
+from repro.clang import For, parse, unparse, walk
+from repro.data.encoding import EncodedSplit
+from repro.models.pragformer import trim_batch
+from repro.pipeline import SMALL, get_context
+from repro.s2s import ComPar
+from repro.tokenize import text_tokens
+
+SOURCE = """
+for (i = 0; i < n; i++)
+  y[i] = alpha * x[i] + y[i];
+
+for (i = 0; i < n; i++)
+  total += values[i];
+
+for (i = 1; i < n; i++)
+  acc[i] = acc[i-1] + raw[i];
+
+for (i = 0; i < n; i++) {
+  fprintf(stderr, "%d\\n", y[i]);
+}
+"""
+
+ctx = get_context(SMALL)
+model = ctx.pragformer  # trains on first use (memoized for the process)
+enc = ctx.encoded()
+compar = ComPar()
+
+loops = [n for n in parse(SOURCE).stmts if isinstance(n, For)]
+print(f"found {len(loops)} top-level loops\n")
+
+for idx, loop in enumerate(loops, 1):
+    code = unparse(loop)
+    toks = text_tokens(code)
+    ids = enc.vocab.encode(toks, max_len=enc.max_len)
+    mat = np.full((1, enc.max_len), enc.vocab.pad_id, dtype=np.int64)
+    mask = np.zeros((1, enc.max_len))
+    mat[0, : len(ids)] = ids
+    mask[0, : len(ids)] = 1.0
+    proba = model.predict_proba(EncodedSplit(mat, mask, np.zeros(1, dtype=np.int64)))[0, 1]
+
+    s2s = compar.run(code)
+    print(f"--- loop {idx} " + "-" * 50)
+    print(code)
+    print(f"PragFormer: P(parallel) = {proba:.3f} -> "
+          + ("ADD a directive" if proba > 0.5 else "leave serial"))
+    if s2s.parse_failed:
+        print("ComPar:     parse failure (fallback: no directive)")
+    elif s2s.inserted:
+        print(f"ComPar:     {s2s.directive}")
+    else:
+        reasons = next((r.analysis.reasons for r in s2s.per_compiler.values()
+                        if r.analysis is not None and r.analysis.reasons), [])
+        print(f"ComPar:     no directive ({'; '.join(reasons) or 'not parallelizable'})")
+    print()

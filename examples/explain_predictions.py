@@ -1,0 +1,61 @@
+"""Explainability walk-through (§5.4 / Table 12 / Figure 8): run the paper's
+four representative examples through PragFormer and show, via LIME, which
+tokens drove each prediction — including the fprintf/stderr ablation the
+paper performs on example 2.
+
+Run:  python examples/explain_predictions.py
+"""
+
+import numpy as np
+
+from repro.data.encoding import EncodedSplit
+from repro.explain import LimeExplainer
+from repro.pipeline import SMALL, get_context
+from repro.pipeline.experiments import PAPER_EXAMPLES
+from repro.tokenize import text_tokens
+
+ctx = get_context(SMALL)
+model = ctx.pragformer
+enc = ctx.encoded()
+
+
+def predict_fn(token_lists):
+    n = len(token_lists)
+    ids = np.full((n, enc.max_len), enc.vocab.pad_id, dtype=np.int64)
+    mask = np.zeros((n, enc.max_len))
+    for row, toks in enumerate(token_lists):
+        e = enc.vocab.encode(toks, max_len=enc.max_len)
+        ids[row, : len(e)] = e
+        mask[row, : len(e)] = 1.0
+    return model.predict_proba(
+        EncodedSplit(ids, mask, np.zeros(n, dtype=np.int64)))[:, 1]
+
+
+explainer = LimeExplainer(predict_fn, n_samples=300, rng=7)
+
+for example in PAPER_EXAMPLES:
+    tokens = text_tokens(example["code"])
+    expl = explainer.explain(tokens)
+    pred = "With OpenMP" if expl.base_probability > 0.5 else "Without OpenMP"
+    truth = "With OpenMP" if example["label"] else "Without OpenMP"
+    print("=" * 70)
+    print(example["code"])
+    print(f"\nlabel: {truth}   PragFormer: {pred} (p = {expl.base_probability:.3f})")
+    print("most influential tokens:")
+    for token, weight in expl.top(6):
+        direction = "-> parallel" if weight > 0 else "-> serial"
+        print(f"  {token!r:24s} {weight:+.4f}  {direction}")
+    print()
+
+# The paper's ablation: removing fprintf/stderr from example 2 flips the
+# model toward predicting a directive.
+io_example = PAPER_EXAMPLES[1]
+tokens = text_tokens(io_example["code"])
+without_io = [t for t in tokens if t not in ("fprintf", "stderr")]
+p_before = float(predict_fn([tokens])[0])
+p_after = float(predict_fn([without_io])[0])
+print("=" * 70)
+print("fprintf/stderr removal ablation (paper §5.4, example 2):")
+print(f"  P(parallel) with I/O tokens:    {p_before:.3f}")
+print(f"  P(parallel) without I/O tokens: {p_after:.3f}")
+print(f"  removing the I/O cues moves the model {'toward' if p_after > p_before else 'away from'} a directive")

@@ -1,0 +1,31 @@
+"""Generalization study (§5.4 / Table 11): train PragFormer on the Open-OMP
+corpus, then evaluate on the out-of-distribution PolyBench-like and
+SPEC-OMP-like suites, against ComPar.
+
+Run:  python examples/polybench_generalization.py
+"""
+
+from repro.benchsuites import polybench_suite, specomp_suite
+from repro.eval import binary_metrics
+from repro.pipeline import SMALL, get_context
+from repro.pipeline.experiments import _suite_split
+from repro.utils import format_table
+
+ctx = get_context(SMALL)
+model = ctx.pragformer  # trained on the synthetic Open-OMP corpus
+
+rows = []
+for name, records in (("PolyBench", polybench_suite()), ("SPEC-OMP", specomp_suite())):
+    split = _suite_split(records, ctx)
+    m = binary_metrics(model.predict(split), split.labels)
+    rows.append([f"PragFormer {name}", m.precision, m.recall, m.f1, m.accuracy])
+
+    preds, failures = ctx.compar.predict_directive([r.code for r in records])
+    m2 = binary_metrics(preds, split.labels)
+    rows.append([f"ComPar {name} ({failures} parse failures)",
+                 m2.precision, m2.recall, m2.f1, m2.accuracy])
+
+print(format_table(["system / suite", "precision", "recall", "F1", "accuracy"],
+                   rows, title="Table 11: generalization to external benchmarks"))
+print("\nExpected shape (paper): PragFormer transfers (0.93 Poly / 0.80 SPEC);")
+print("ComPar collapses on PolyBench's macros and SPEC's register/typedefs.")

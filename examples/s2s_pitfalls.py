@@ -1,0 +1,51 @@
+"""The S2S pitfalls of Table 1 and §1.1, demonstrated on the actual
+compilers: thread-spawn overhead on consecutive loops, the missing
+schedule(dynamic) on unbalanced loops, function side-effect conservatism,
+and parse-robustness failures.
+
+Run:  python examples/s2s_pitfalls.py
+"""
+
+from repro.s2s import AutoParLike, CetusLike, ComPar, Par4AllLike
+
+compar = ComPar()
+
+CASES = [
+    ("Table 1 #1: independent consecutive loops (each gets its own "
+     "thread-spawn; no compiler fuses them into one parallel region)",
+     "for (i = 0; i <= N; i++)\n  A[i] = i;"),
+    ("Table 1 #2: unbalanced workload — a directive is justified but only "
+     "with schedule(dynamic), which no S2S compiler emits",
+     "for (i = 0; i <= N; i++)\n  if (MoreCalc(i))\n    Calc(i);"),
+    ("Reduction: correctly detected and annotated",
+     "for (i = 0; i < n; i++)\n  sum += a[i] * b[i];"),
+    ("min-reduction via if: every pattern-matcher misses it (Table 10 recall)",
+     "for (i = 0; i < n; i++)\n  if (a[i] < best)\n    best = a[i];"),
+    ("Function whose implementation lives in another file: conservative reject",
+     "for (i = 0; i < n; i++)\n  out[i] = transform(in[i]);"),
+    ("register keyword: parse failure in every sub-compiler (Table 11, SPEC)",
+     "register int r = 0;\nfor (i = 0; i < n; i++)\n  a[i] = r + i;"),
+    ("Unexpanded benchmark macro: parse failure (Table 11, PolyBench)",
+     "for (i = 0; i < POLYBENCH_LOOP_BOUND(4000, n); i++)\n  x[i] = 0;"),
+]
+
+for title, code in CASES:
+    print("=" * 72)
+    print(title)
+    print()
+    print(code)
+    result = compar.run(code)
+    if result.parse_failed:
+        print("\nComPar -> PARSE FAILURE")
+        for name, res in result.per_compiler.items():
+            print(f"  {name}: {res.failure}")
+    elif result.inserted:
+        print(f"\nComPar -> {result.directive}")
+    else:
+        print("\nComPar -> no directive")
+        for name, res in result.per_compiler.items():
+            if not res.ok:
+                print(f"  {name}: parse failure: {res.failure}")
+            elif res.analysis is not None and res.analysis.reasons:
+                print(f"  {name}: {'; '.join(res.analysis.reasons)}")
+    print()

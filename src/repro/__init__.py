@@ -1,0 +1,21 @@
+"""repro — a reproduction of *Learning to Parallelize in a Shared-Memory
+Environment with Transformers* (PragFormer, PPoPP 2023).
+
+The package implements the paper's full pipeline from scratch:
+
+- :mod:`repro.clang` — C lexer/parser/AST + OpenMP pragma model (pycparser role)
+- :mod:`repro.corpus` — the Open-OMP corpus, generated synthetically
+- :mod:`repro.data` — dataset splits for the directive and clause tasks
+- :mod:`repro.tokenize` — the four code representations of §4.2
+- :mod:`repro.nn` — pure-NumPy transformer substrate (layers, losses, AdamW)
+- :mod:`repro.models` — PragFormer, MLM pretraining, BoW baseline
+- :mod:`repro.s2s` — data-dependence-based S2S compilers and ComPar
+- :mod:`repro.eval` — metrics and error analyses
+- :mod:`repro.explain` — LIME-style explainability
+- :mod:`repro.benchsuites` — PolyBench-like and SPEC-OMP-like suites
+- :mod:`repro.pipeline` — end-to-end experiment functions for every table/figure
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,7 @@
+"""Out-of-distribution evaluation suites: PolyBench-like (64 OpenMP / 83
+without) and SPEC-OMP-like (113 / 174), matching Table 11's denominators."""
+
+from repro.benchsuites.polybench import POLYBENCH_KERNELS, polybench_suite
+from repro.benchsuites.specomp import SPEC_TEMPLATES, specomp_suite
+
+__all__ = ["POLYBENCH_KERNELS", "polybench_suite", "SPEC_TEMPLATES", "specomp_suite"]

@@ -1,0 +1,78 @@
+"""C language substrate: lexer, recursive-descent parser, AST, OpenMP pragmas.
+
+This package plays the role pycparser plays in the paper: it turns C loop
+snippets into token streams and abstract syntax trees, serializes ASTs into
+the paper's DFS textual form (Tables 2 and 6), and parses/unparses
+``#pragma omp`` directives into a structured clause model.
+"""
+
+from repro.clang.lexer import Lexer, LexError, Token, TokenKind, tokenize
+from repro.clang.nodes import (
+    ArrayRef,
+    Assignment,
+    BinaryOp,
+    Break,
+    Call,
+    Cast,
+    Compound,
+    Constant,
+    Continue,
+    Decl,
+    DoWhile,
+    ExprStmt,
+    For,
+    FuncDef,
+    Identifier,
+    If,
+    Node,
+    Return,
+    StructRef,
+    TernaryOp,
+    UnaryOp,
+    While,
+    walk,
+)
+from repro.clang.parser import ParseError, Parser, parse, parse_expression
+from repro.clang.pragma import Clause, OmpDirective, PragmaError, parse_pragma
+from repro.clang.serialize import ast_to_dfs_text, unparse
+
+__all__ = [
+    "Lexer",
+    "LexError",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "Node",
+    "Identifier",
+    "Constant",
+    "BinaryOp",
+    "UnaryOp",
+    "TernaryOp",
+    "Assignment",
+    "ArrayRef",
+    "StructRef",
+    "Call",
+    "Cast",
+    "Decl",
+    "Compound",
+    "For",
+    "While",
+    "DoWhile",
+    "If",
+    "Return",
+    "Break",
+    "Continue",
+    "ExprStmt",
+    "FuncDef",
+    "walk",
+    "Parser",
+    "ParseError",
+    "parse",
+    "parse_expression",
+    "OmpDirective",
+    "Clause",
+    "PragmaError",
+    "parse_pragma",
+    "ast_to_dfs_text",
+    "unparse",
+]

@@ -1,0 +1,265 @@
+"""A C tokenizer sufficient for the loop snippets in the Open-OMP corpus.
+
+The lexer recognises the full C operator set, keywords, identifiers, integer /
+floating / character / string literals, comments (dropped), and preprocessor
+lines.  ``#pragma`` lines are emitted as single :class:`Token` objects with
+kind :data:`TokenKind.PRAGMA` so that downstream passes (corpus extraction,
+the S2S compilers) can associate directives with the loop that follows them;
+all other preprocessor lines are dropped, matching how the paper's pipeline
+treats headers.
+
+Tokens carry line/column information for error reporting and for the
+"snippet length in lines" statistics of Table 4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+__all__ = ["TokenKind", "Token", "LexError", "Lexer", "tokenize", "KEYWORDS"]
+
+
+class TokenKind(enum.Enum):
+    """Lexical classes produced by the lexer."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    INT_CONST = "int_const"
+    FLOAT_CONST = "float_const"
+    CHAR_CONST = "char_const"
+    STRING = "string"
+    OP = "op"
+    PRAGMA = "pragma"
+    EOF = "eof"
+
+
+#: C99 keywords plus the common POSIX/benchmark typedefs the SPEC-like suite
+#: uses.  Typedef-like names are *not* keywords here — the parser treats any
+#: identifier followed by a declarator as a type when it appears in
+#: ``TYPE_NAMES`` — but true keywords must never be parsed as identifiers.
+KEYWORDS = frozenset(
+    """
+    auto break case char const continue default do double else enum extern
+    float for goto if inline int long register restrict return short signed
+    sizeof static struct switch typedef union unsigned void volatile while
+    """.split()
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` is the exact source text (for PRAGMA tokens, the pragma line
+    without the leading ``#`` and trailing newline).
+    """
+
+    kind: TokenKind
+    value: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.name}, {self.value!r}, {self.line}:{self.col})"
+
+
+class LexError(ValueError):
+    """Raised on malformed input (unterminated literal, stray byte, ...)."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{message} at {line}:{col}")
+        self.line = line
+        self.col = col
+
+
+class Lexer:
+    """Single-pass scanner over a source string."""
+
+    def __init__(self, source: str) -> None:
+        self.src = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # -- low-level cursor helpers ------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.src[idx] if idx < len(self.src) else ""
+
+    def _advance(self, n: int = 1) -> str:
+        text = self.src[self.pos : self.pos + n]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += n
+        return text
+
+    # -- scanning ----------------------------------------------------------
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield tokens until EOF (an EOF token is always the last yield)."""
+        while True:
+            self._skip_ws_and_comments()
+            if self.pos >= len(self.src):
+                yield Token(TokenKind.EOF, "", self.line, self.col)
+                return
+            start_line, start_col = self.line, self.col
+            ch = self._peek()
+            if ch == "#":
+                tok = self._lex_preprocessor(start_line, start_col)
+                if tok is not None:
+                    yield tok
+                continue
+            if ch.isalpha() or ch == "_":
+                yield self._lex_word(start_line, start_col)
+            elif ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                yield self._lex_number(start_line, start_col)
+            elif ch == '"':
+                yield self._lex_string(start_line, start_col)
+            elif ch == "'":
+                yield self._lex_char(start_line, start_col)
+            else:
+                yield self._lex_operator(start_line, start_col)
+
+    def _skip_ws_and_comments(self) -> None:
+        while self.pos < len(self.src):
+            ch = self._peek()
+            if ch in " \t\r\n\f\v":
+                self._advance()
+            elif ch == "\\" and self._peek(1) == "\n":
+                self._advance(2)
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.src) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.src) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.src):
+                    raise LexError("unterminated comment", self.line, self.col)
+                self._advance(2)
+            else:
+                return
+
+    def _lex_preprocessor(self, line: int, col: int) -> Optional[Token]:
+        # Consume up to end of line, honouring backslash continuations.
+        chars: List[str] = []
+        self._advance()  # '#'
+        while self.pos < len(self.src):
+            if self._peek() == "\\" and self._peek(1) == "\n":
+                self._advance(2)
+                chars.append(" ")
+                continue
+            if self._peek() == "\n":
+                break
+            chars.append(self._advance())
+        text = "".join(chars).strip()
+        if text.startswith("pragma"):
+            return Token(TokenKind.PRAGMA, text, line, col)
+        return None  # includes, defines, etc. are dropped
+
+    def _lex_word(self, line: int, col: int) -> Token:
+        start = self.pos
+        while self.pos < len(self.src) and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        word = self.src[start : self.pos]
+        kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.IDENT
+        return Token(kind, word, line, col)
+
+    def _lex_number(self, line: int, col: int) -> Token:
+        start = self.pos
+        is_float = False
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            if self._peek() == "." :
+                is_float = True
+                self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+            if self._peek() in "eE" and (
+                self._peek(1).isdigit()
+                or (self._peek(1) in "+-" and self._peek(2).isdigit())
+            ):
+                is_float = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+        # integer/float suffixes
+        while self._peek() and self._peek() in "uUlLfF":
+            if self._peek() in "fF":
+                is_float = True
+            self._advance()
+        text = self.src[start : self.pos]
+        kind = TokenKind.FLOAT_CONST if is_float else TokenKind.INT_CONST
+        return Token(kind, text, line, col)
+
+    def _lex_string(self, line: int, col: int) -> Token:
+        start = self.pos
+        self._advance()  # opening quote
+        while self.pos < len(self.src) and self._peek() != '"':
+            if self._peek() == "\\":
+                self._advance()
+            if self.pos >= len(self.src):
+                break
+            self._advance()
+        if self.pos >= len(self.src):
+            raise LexError("unterminated string literal", line, col)
+        self._advance()  # closing quote
+        return Token(TokenKind.STRING, self.src[start : self.pos], line, col)
+
+    def _lex_char(self, line: int, col: int) -> Token:
+        start = self.pos
+        self._advance()  # opening quote
+        while self.pos < len(self.src) and self._peek() != "'":
+            if self._peek() == "\\":
+                self._advance()
+            if self.pos >= len(self.src):
+                break
+            self._advance()
+        if self.pos >= len(self.src):
+            raise LexError("unterminated character literal", line, col)
+        self._advance()
+        return Token(TokenKind.CHAR_CONST, self.src[start : self.pos], line, col)
+
+    def _lex_operator(self, line: int, col: int) -> Token:
+        for op in _OPERATORS:
+            if self.src.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token(TokenKind.OP, op, line, col)
+        raise LexError(f"unexpected character {self._peek()!r}", line, col)
+
+
+def tokenize(source: str, keep_pragmas: bool = True) -> List[Token]:
+    """Tokenize ``source`` into a list ending with an EOF token.
+
+    ``keep_pragmas=False`` drops PRAGMA tokens, which is what the model-input
+    pipeline wants (the directive is the *label*, never a feature).
+    """
+    toks = list(Lexer(source).tokens())
+    if not keep_pragmas:
+        toks = [t for t in toks if t.kind is not TokenKind.PRAGMA]
+    return toks

@@ -1,0 +1,596 @@
+"""Recursive-descent parser for the C subset used by the Open-OMP corpus.
+
+The grammar covers everything the snippet generators and the external
+benchmark suites emit: declarations (qualifiers, pointers, multi-dim arrays,
+initializers, multiple declarators), the full C expression grammar with
+correct precedence and associativity, control flow (``for``/``while``/
+``do``/``if``/``switch``), function definitions, and ``#pragma`` attachment
+to the following loop.
+
+Design notes
+------------
+* Snippets are *fragments* — a bare loop is a valid input — so the top-level
+  rule accepts a statement list rather than requiring a translation unit.
+* Typedef names (``size_t``, ``ssize_t``, user types like ``IndexPacket``)
+  cannot be distinguished from identifiers without a symbol table; we use the
+  classic heuristic that ``IDENT IDENT`` in statement position begins a
+  declaration, plus a seed set of well-known typedef names.
+* The parser is deliberately total over our corpus: robustness *limits* of
+  the paper's S2S compilers are modelled separately in :mod:`repro.s2s`, not
+  by crippling this parser.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.clang.lexer import Token, TokenKind, tokenize
+from repro.clang.nodes import (
+    ArrayRef,
+    Assignment,
+    BinaryOp,
+    Break,
+    Call,
+    Case,
+    Cast,
+    Compound,
+    Constant,
+    Continue,
+    Decl,
+    DeclList,
+    Default,
+    DoWhile,
+    EmptyStmt,
+    ExprList,
+    ExprStmt,
+    For,
+    FuncDef,
+    Goto,
+    Identifier,
+    If,
+    Label,
+    Node,
+    Pragma,
+    Return,
+    StructRef,
+    Switch,
+    TernaryOp,
+    UnaryOp,
+    While,
+)
+
+__all__ = ["ParseError", "Parser", "parse", "parse_expression", "TYPE_NAMES"]
+
+#: Identifiers treated as type names even though they are not C keywords.
+TYPE_NAMES = frozenset(
+    """
+    size_t ssize_t ptrdiff_t intptr_t uintptr_t
+    int8_t int16_t int32_t int64_t uint8_t uint16_t uint32_t uint64_t
+    FILE bool wchar_t
+    IndexPacket PixelPacket Quantum MagickBooleanType
+    real_t DATA_TYPE
+    """.split()
+)
+
+_BASE_TYPE_KEYWORDS = frozenset(
+    "void char short int long float double signed unsigned struct union enum bool".split()
+)
+_QUALIFIERS = frozenset(
+    "const volatile static extern register restrict inline auto".split()
+)
+
+_ASSIGN_OPS = frozenset(["=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="])
+
+
+class ParseError(ValueError):
+    """Raised when the token stream does not match the grammar."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{message} (got {token.kind.name} {token.value!r} at {token.line}:{token.col})")
+        self.token = token
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, tokens: List[Token], extra_types: Optional[frozenset] = None) -> None:
+        self.toks = tokens
+        self.i = 0
+        self.type_names = set(TYPE_NAMES)
+        if extra_types:
+            self.type_names.update(extra_types)
+
+    # -- token stream helpers ----------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self.i + offset, len(self.toks) - 1)
+        return self.toks[idx]
+
+    def _at_op(self, *ops: str) -> bool:
+        t = self._peek()
+        return t.kind is TokenKind.OP and t.value in ops
+
+    def _at_kw(self, *kws: str) -> bool:
+        t = self._peek()
+        return t.kind is TokenKind.KEYWORD and t.value in kws
+
+    def _advance(self) -> Token:
+        tok = self.toks[self.i]
+        if tok.kind is not TokenKind.EOF:
+            self.i += 1
+        return tok
+
+    def _expect_op(self, op: str) -> Token:
+        if not self._at_op(op):
+            raise ParseError(f"expected {op!r}", self._peek())
+        return self._advance()
+
+    def _expect_kw(self, kw: str) -> Token:
+        if not self._at_kw(kw):
+            raise ParseError(f"expected keyword {kw!r}", self._peek())
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        t = self._peek()
+        if t.kind is not TokenKind.IDENT:
+            raise ParseError("expected identifier", t)
+        return self._advance()
+
+    # -- type recognition ----------------------------------------------------
+
+    def _starts_declaration(self) -> bool:
+        t = self._peek()
+        if t.kind is TokenKind.KEYWORD and (t.value in _BASE_TYPE_KEYWORDS or t.value in _QUALIFIERS):
+            return True
+        if t.kind is TokenKind.IDENT and t.value in self.type_names:
+            nxt = self._peek(1)
+            return nxt.kind is TokenKind.IDENT or (nxt.kind is TokenKind.OP and nxt.value == "*")
+        return False
+
+    def _parse_type_spec(self) -> tuple:
+        """Parse qualifiers + base type; returns (quals, base_type_string)."""
+        quals: List[str] = []
+        base_parts: List[str] = []
+        while True:
+            t = self._peek()
+            if t.kind is TokenKind.KEYWORD and t.value in _QUALIFIERS:
+                quals.append(self._advance().value)
+            elif t.kind is TokenKind.KEYWORD and t.value in ("struct", "union", "enum"):
+                tag_kw = self._advance().value
+                tag = self._expect_ident().value
+                base_parts.append(f"{tag_kw} {tag}")
+            elif t.kind is TokenKind.KEYWORD and t.value in _BASE_TYPE_KEYWORDS:
+                base_parts.append(self._advance().value)
+            elif t.kind is TokenKind.IDENT and t.value in self.type_names and not base_parts:
+                base_parts.append(self._advance().value)
+            else:
+                break
+        if not base_parts:
+            if quals:
+                base_parts = ["int"]  # e.g. ``register i;`` — implicit int
+            else:
+                raise ParseError("expected type specifier", self._peek())
+        return quals, " ".join(base_parts)
+
+    # -- declarations --------------------------------------------------------
+
+    def _parse_declarator(self, quals: List[str], base_type: str) -> Decl:
+        ptr_depth = 0
+        while self._at_op("*"):
+            self._advance()
+            ptr_depth += 1
+            while self._at_kw("const", "restrict", "volatile"):
+                self._advance()
+        name = self._expect_ident().value
+        dims: List[Optional[Node]] = []
+        while self._at_op("["):
+            self._advance()
+            if self._at_op("]"):
+                dims.append(None)
+            else:
+                dims.append(self._parse_assignment_expr())
+            self._expect_op("]")
+        init: Optional[Node] = None
+        if self._at_op("="):
+            self._advance()
+            init = self._parse_initializer()
+        return Decl(name=name, base_type=base_type, quals=list(quals),
+                    ptr_depth=ptr_depth, array_dims=dims, init=init)
+
+    def _parse_initializer(self) -> Node:
+        if self._at_op("{"):
+            self._advance()
+            items: List[Node] = []
+            while not self._at_op("}"):
+                items.append(self._parse_initializer())
+                if self._at_op(","):
+                    self._advance()
+                else:
+                    break
+            self._expect_op("}")
+            return ExprList(items)
+        return self._parse_assignment_expr()
+
+    def _parse_declaration(self) -> Node:
+        quals, base = self._parse_type_spec()
+        first = self._parse_declarator(quals, base)
+        decls = [first]
+        while self._at_op(","):
+            self._advance()
+            decls.append(self._parse_declarator(quals, base))
+        self._expect_op(";")
+        return first if len(decls) == 1 else DeclList(decls)
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_statement(self) -> Node:
+        t = self._peek()
+        if t.kind is TokenKind.PRAGMA:
+            self._advance()
+            pragma = Pragma(t.value)
+            nxt = self.parse_statement()
+            if isinstance(nxt, For):
+                nxt.pragma = pragma
+                return nxt
+            return Compound([pragma, nxt])
+        if self._at_op("{"):
+            return self._parse_compound()
+        if self._at_op(";"):
+            self._advance()
+            return EmptyStmt()
+        if self._at_kw("for"):
+            return self._parse_for()
+        if self._at_kw("while"):
+            return self._parse_while()
+        if self._at_kw("do"):
+            return self._parse_do_while()
+        if self._at_kw("if"):
+            return self._parse_if()
+        if self._at_kw("switch"):
+            return self._parse_switch()
+        if self._at_kw("return"):
+            self._advance()
+            expr = None if self._at_op(";") else self._parse_expression()
+            self._expect_op(";")
+            return Return(expr)
+        if self._at_kw("break"):
+            self._advance()
+            self._expect_op(";")
+            return Break()
+        if self._at_kw("continue"):
+            self._advance()
+            self._expect_op(";")
+            return Continue()
+        if self._at_kw("goto"):
+            self._advance()
+            target = self._expect_ident().value
+            self._expect_op(";")
+            return Goto(target)
+        # label: ``name : stmt``
+        if t.kind is TokenKind.IDENT and self._peek(1).kind is TokenKind.OP and self._peek(1).value == ":":
+            name = self._advance().value
+            self._advance()  # ':'
+            return Label(name, self.parse_statement())
+        if self._starts_declaration():
+            return self._parse_declaration()
+        expr = self._parse_expression()
+        self._expect_op(";")
+        return ExprStmt(expr)
+
+    def _parse_compound(self) -> Compound:
+        self._expect_op("{")
+        stmts: List[Node] = []
+        while not self._at_op("}"):
+            if self._peek().kind is TokenKind.EOF:
+                raise ParseError("unterminated block", self._peek())
+            stmts.append(self.parse_statement())
+        self._expect_op("}")
+        return Compound(stmts)
+
+    def _parse_for(self) -> For:
+        self._expect_kw("for")
+        self._expect_op("(")
+        init: Optional[Node] = None
+        if not self._at_op(";"):
+            if self._starts_declaration():
+                init = self._parse_declaration()  # consumes ';'
+            else:
+                init = ExprStmt(self._parse_expression())
+                self._expect_op(";")
+        else:
+            self._advance()
+        cond = None if self._at_op(";") else self._parse_expression()
+        self._expect_op(";")
+        nxt = None if self._at_op(")") else self._parse_expression()
+        self._expect_op(")")
+        body = self.parse_statement()
+        return For(init=init, cond=cond, nxt=nxt, body=body)
+
+    def _parse_while(self) -> While:
+        self._expect_kw("while")
+        self._expect_op("(")
+        cond = self._parse_expression()
+        self._expect_op(")")
+        return While(cond, self.parse_statement())
+
+    def _parse_do_while(self) -> DoWhile:
+        self._expect_kw("do")
+        body = self.parse_statement()
+        self._expect_kw("while")
+        self._expect_op("(")
+        cond = self._parse_expression()
+        self._expect_op(")")
+        self._expect_op(";")
+        return DoWhile(body, cond)
+
+    def _parse_if(self) -> If:
+        self._expect_kw("if")
+        self._expect_op("(")
+        cond = self._parse_expression()
+        self._expect_op(")")
+        iftrue = self.parse_statement()
+        iffalse: Optional[Node] = None
+        if self._at_kw("else"):
+            self._advance()
+            iffalse = self.parse_statement()
+        return If(cond, iftrue, iffalse)
+
+    def _parse_switch(self) -> Switch:
+        self._expect_kw("switch")
+        self._expect_op("(")
+        cond = self._parse_expression()
+        self._expect_op(")")
+        self._expect_op("{")
+        stmts: List[Node] = []
+        while not self._at_op("}"):
+            if self._at_kw("case"):
+                self._advance()
+                expr = self._parse_expression()
+                self._expect_op(":")
+                body: List[Node] = []
+                while not (self._at_kw("case", "default") or self._at_op("}")):
+                    body.append(self.parse_statement())
+                stmts.append(Case(expr, body))
+            elif self._at_kw("default"):
+                self._advance()
+                self._expect_op(":")
+                body = []
+                while not (self._at_kw("case", "default") or self._at_op("}")):
+                    body.append(self.parse_statement())
+                stmts.append(Default(body))
+            else:
+                raise ParseError("expected case/default", self._peek())
+        self._expect_op("}")
+        return Switch(cond, Compound(stmts))
+
+    # -- function definitions -------------------------------------------------
+
+    def _try_parse_funcdef(self) -> Optional[FuncDef]:
+        """Attempt ``type name ( params ) { ... }``; rewind on mismatch."""
+        mark = self.i
+        try:
+            quals, base = self._parse_type_spec()
+            ptr_depth = 0
+            while self._at_op("*"):
+                self._advance()
+                ptr_depth += 1
+            name_tok = self._peek()
+            if name_tok.kind is not TokenKind.IDENT:
+                raise ParseError("not a funcdef", name_tok)
+            self._advance()
+            if not self._at_op("("):
+                raise ParseError("not a funcdef", self._peek())
+            self._advance()
+            params: List[Decl] = []
+            if not self._at_op(")"):
+                if self._at_kw("void") and self._peek(1).kind is TokenKind.OP and self._peek(1).value == ")":
+                    self._advance()
+                else:
+                    while True:
+                        pq, pbase = self._parse_type_spec()
+                        pd = 0
+                        while self._at_op("*"):
+                            self._advance()
+                            pd += 1
+                        pname = self._expect_ident().value
+                        dims: List[Optional[Node]] = []
+                        while self._at_op("["):
+                            self._advance()
+                            if self._at_op("]"):
+                                dims.append(None)
+                            else:
+                                dims.append(self._parse_assignment_expr())
+                            self._expect_op("]")
+                        params.append(Decl(pname, pbase, pq, pd, dims))
+                        if self._at_op(","):
+                            self._advance()
+                        else:
+                            break
+            self._expect_op(")")
+            if not self._at_op("{"):
+                raise ParseError("not a funcdef (prototype?)", self._peek())
+            body = self._parse_compound()
+            ret = " ".join(quals + [base]) + "*" * ptr_depth
+            return FuncDef(name=name_tok.value, ret_type=ret, params=params, body=body)
+        except ParseError:
+            self.i = mark
+            return None
+
+    # -- expressions (precedence climbing) -------------------------------------
+
+    def _parse_expression(self) -> Node:
+        """Full expression including the comma operator."""
+        expr = self._parse_assignment_expr()
+        if self._at_op(","):
+            exprs = [expr]
+            while self._at_op(","):
+                self._advance()
+                exprs.append(self._parse_assignment_expr())
+            return ExprList(exprs)
+        return expr
+
+    def _parse_assignment_expr(self) -> Node:
+        left = self._parse_ternary()
+        t = self._peek()
+        if t.kind is TokenKind.OP and t.value in _ASSIGN_OPS:
+            op = self._advance().value
+            right = self._parse_assignment_expr()  # right-associative
+            return Assignment(op, left, right)
+        return left
+
+    def _parse_ternary(self) -> Node:
+        cond = self._parse_binary(0)
+        if self._at_op("?"):
+            self._advance()
+            iftrue = self._parse_expression()
+            self._expect_op(":")
+            iffalse = self._parse_ternary()
+            return TernaryOp(cond, iftrue, iffalse)
+        return cond
+
+    #: binary operator precedence levels, lowest first
+    _BIN_LEVELS = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", ">", "<=", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def _parse_binary(self, level: int) -> Node:
+        if level >= len(self._BIN_LEVELS):
+            return self._parse_unary()
+        ops = self._BIN_LEVELS[level]
+        left = self._parse_binary(level + 1)
+        while self._at_op(*ops):
+            op = self._advance().value
+            right = self._parse_binary(level + 1)
+            left = BinaryOp(op, left, right)
+        return left
+
+    def _parse_unary(self) -> Node:
+        t = self._peek()
+        if t.kind is TokenKind.OP and t.value in ("+", "-", "!", "~", "&", "*"):
+            op = self._advance().value
+            return UnaryOp(op, self._parse_unary())
+        if t.kind is TokenKind.OP and t.value in ("++", "--"):
+            op = self._advance().value
+            return UnaryOp(op, self._parse_unary())
+        if self._at_kw("sizeof"):
+            self._advance()
+            if self._at_op("(") and self._is_type_ahead(1):
+                self._advance()
+                _, base = self._parse_type_spec()
+                depth = 0
+                while self._at_op("*"):
+                    self._advance()
+                    depth += 1
+                self._expect_op(")")
+                return UnaryOp("sizeof", Identifier(base + "*" * depth))
+            return UnaryOp("sizeof", self._parse_unary())
+        # cast: '(' type ')' unary
+        if self._at_op("(") and self._is_type_ahead(1):
+            mark = self.i
+            self._advance()
+            try:
+                _, base = self._parse_type_spec()
+                depth = 0
+                while self._at_op("*"):
+                    self._advance()
+                    depth += 1
+                self._expect_op(")")
+                return Cast(base + "*" * depth, self._parse_unary())
+            except ParseError:
+                self.i = mark  # fall through to postfix/primary
+        return self._parse_postfix()
+
+    def _is_type_ahead(self, offset: int) -> bool:
+        t = self._peek(offset)
+        if t.kind is TokenKind.KEYWORD and (t.value in _BASE_TYPE_KEYWORDS or t.value in _QUALIFIERS):
+            return True
+        return t.kind is TokenKind.IDENT and t.value in self.type_names
+
+    def _parse_postfix(self) -> Node:
+        expr = self._parse_primary()
+        while True:
+            if self._at_op("["):
+                self._advance()
+                sub = self._parse_expression()
+                self._expect_op("]")
+                expr = ArrayRef(expr, sub)
+            elif self._at_op("("):
+                self._advance()
+                args: List[Node] = []
+                while not self._at_op(")"):
+                    args.append(self._parse_assignment_expr())
+                    if self._at_op(","):
+                        self._advance()
+                    else:
+                        break
+                self._expect_op(")")
+                expr = Call(expr, args)
+            elif self._at_op("."):
+                self._advance()
+                expr = StructRef(expr, ".", self._expect_ident().value)
+            elif self._at_op("->"):
+                self._advance()
+                expr = StructRef(expr, "->", self._expect_ident().value)
+            elif self._at_op("++"):
+                self._advance()
+                expr = UnaryOp("p++", expr)
+            elif self._at_op("--"):
+                self._advance()
+                expr = UnaryOp("p--", expr)
+            else:
+                return expr
+
+    def _parse_primary(self) -> Node:
+        t = self._peek()
+        if t.kind is TokenKind.OP and t.value == "(":
+            self._advance()
+            expr = self._parse_expression()
+            self._expect_op(")")
+            return expr
+        if t.kind is TokenKind.IDENT:
+            return Identifier(self._advance().value)
+        if t.kind is TokenKind.INT_CONST:
+            return Constant("int", self._advance().value)
+        if t.kind is TokenKind.FLOAT_CONST:
+            return Constant("float", self._advance().value)
+        if t.kind is TokenKind.CHAR_CONST:
+            return Constant("char", self._advance().value)
+        if t.kind is TokenKind.STRING:
+            return Constant("string", self._advance().value)
+        raise ParseError("expected expression", t)
+
+    # -- entry points ------------------------------------------------------------
+
+    def parse_snippet(self) -> Compound:
+        """Parse a fragment: any mix of function defs, declarations, statements."""
+        items: List[Node] = []
+        while self._peek().kind is not TokenKind.EOF:
+            func = self._try_parse_funcdef()
+            if func is not None:
+                items.append(func)
+                continue
+            items.append(self.parse_statement())
+        return Compound(items)
+
+
+def parse(source: str, extra_types: Optional[frozenset] = None) -> Compound:
+    """Parse a C snippet (fragment or full functions) into a Compound."""
+    return Parser(tokenize(source), extra_types=extra_types).parse_snippet()
+
+
+def parse_expression(source: str) -> Node:
+    """Parse a single C expression."""
+    parser = Parser(tokenize(source))
+    expr = parser._parse_expression()
+    if parser._peek().kind is not TokenKind.EOF:
+        raise ParseError("trailing input after expression", parser._peek())
+    return expr

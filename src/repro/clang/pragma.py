@@ -1,0 +1,192 @@
+"""Structured model of OpenMP directives.
+
+Parses ``#pragma omp ...`` text into an :class:`OmpDirective` with typed
+clauses (``private``, ``firstprivate``, ``lastprivate``, ``shared``,
+``reduction``, ``schedule``, ``num_threads``, ``collapse``, ``nowait``), and
+unparses back to canonical text.  This is the label schema of the corpus:
+Table 3's statistics and both classification tasks (RQ1/RQ2) are defined in
+terms of these fields.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Clause", "OmpDirective", "PragmaError", "parse_pragma"]
+
+#: Reduction operators accepted by OpenMP (C/C++ subset).
+REDUCTION_OPS = frozenset(["+", "-", "*", "&", "|", "^", "&&", "||", "min", "max"])
+
+_SCHEDULE_KINDS = frozenset(["static", "dynamic", "guided", "auto", "runtime"])
+
+
+class PragmaError(ValueError):
+    """Raised on malformed OpenMP pragma text."""
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A single OpenMP clause.
+
+    ``name`` is the clause keyword; ``args`` is the raw comma-split argument
+    list (empty for argument-less clauses such as ``nowait``).
+    """
+
+    name: str
+    args: Tuple[str, ...] = ()
+
+    def unparse(self) -> str:
+        if not self.args:
+            return self.name
+        return f"{self.name}({', '.join(self.args)})"
+
+
+@dataclass
+class OmpDirective:
+    """A parsed ``#pragma omp`` directive.
+
+    Only loop-directives (``parallel for`` / ``for``) carry labels in the
+    corpus, matching the paper's exclusion criteria (§3.1.2).
+    """
+
+    construct: str  # e.g. "parallel for", "parallel", "for", "critical", "task"
+    clauses: List[Clause] = field(default_factory=list)
+
+    # -- label accessors used by the datasets --------------------------------
+
+    @property
+    def is_parallel_for(self) -> bool:
+        return self.construct in ("parallel for", "for")
+
+    @property
+    def private_vars(self) -> Tuple[str, ...]:
+        return self._clause_args("private")
+
+    @property
+    def reduction_specs(self) -> Tuple[Tuple[str, str], ...]:
+        """Tuples of (operator, variable) across all reduction clauses."""
+        specs: List[Tuple[str, str]] = []
+        for cl in self.clauses:
+            if cl.name != "reduction":
+                continue
+            for arg in cl.args:
+                if ":" not in arg:
+                    raise PragmaError(f"malformed reduction argument {arg!r}")
+                op, var = arg.split(":", 1)
+                specs.append((op.strip(), var.strip()))
+        return tuple(specs)
+
+    @property
+    def has_private(self) -> bool:
+        return len(self.private_vars) > 0
+
+    @property
+    def has_reduction(self) -> bool:
+        return len(self.reduction_specs) > 0
+
+    @property
+    def schedule(self) -> Optional[Tuple[str, Optional[int]]]:
+        """(kind, chunk) of the schedule clause, or None."""
+        for cl in self.clauses:
+            if cl.name == "schedule" and cl.args:
+                parts = [p.strip() for p in ",".join(cl.args).split(",")]
+                kind = parts[0]
+                chunk = int(parts[1]) if len(parts) > 1 and parts[1].isdigit() else None
+                return kind, chunk
+        return None
+
+    @property
+    def has_nowait(self) -> bool:
+        return any(cl.name == "nowait" for cl in self.clauses)
+
+    def _clause_args(self, name: str) -> Tuple[str, ...]:
+        out: List[str] = []
+        for cl in self.clauses:
+            if cl.name == name:
+                out.extend(a.strip() for a in cl.args)
+        return tuple(out)
+
+    def unparse(self) -> str:
+        parts = [f"#pragma omp {self.construct}"]
+        parts.extend(cl.unparse() for cl in self.clauses)
+        return " ".join(parts)
+
+
+_CONSTRUCTS = [
+    # longest first for maximal munch
+    "parallel for",
+    "parallel sections",
+    "parallel",
+    "for",
+    "sections",
+    "section",
+    "single",
+    "master",
+    "critical",
+    "barrier",
+    "atomic",
+    "task",
+    "taskwait",
+    "simd",
+    "threadprivate",
+]
+
+_CLAUSE_RE = re.compile(r"([a-z_]+)\s*(?:\(([^()]*)\))?", re.IGNORECASE)
+
+
+def parse_pragma(text: str) -> OmpDirective:
+    """Parse pragma text (with or without the leading ``#pragma``).
+
+    Raises :class:`PragmaError` for non-OpenMP pragmas or unknown constructs.
+    """
+    body = text.strip()
+    body = re.sub(r"^#\s*", "", body)
+    body = re.sub(r"^pragma\s+", "", body)
+    if not body.startswith("omp"):
+        raise PragmaError(f"not an OpenMP pragma: {text!r}")
+    body = body[len("omp"):].strip()
+
+    construct = None
+    for cand in _CONSTRUCTS:
+        if body == cand or body.startswith(cand + " ") or body.startswith(cand + "("):
+            construct = cand
+            body = body[len(cand):].strip()
+            break
+    if construct is None:
+        raise PragmaError(f"unknown OpenMP construct in {text!r}")
+
+    clauses: List[Clause] = []
+    pos = 0
+    while pos < len(body):
+        match = _CLAUSE_RE.match(body, pos)
+        if match is None:
+            if body[pos] in " ,\t":
+                pos += 1
+                continue
+            raise PragmaError(f"cannot parse clause at {body[pos:]!r}")
+        name = match.group(1).lower()
+        raw_args = match.group(2)
+        if raw_args is None:
+            clauses.append(Clause(name))
+        elif name == "reduction":
+            # reduction(+ : a, b) expands to one arg per variable
+            if ":" not in raw_args:
+                raise PragmaError(f"malformed reduction clause {raw_args!r}")
+            op, vars_part = raw_args.split(":", 1)
+            op = op.strip()
+            if op not in REDUCTION_OPS:
+                raise PragmaError(f"unknown reduction operator {op!r}")
+            args = tuple(f"{op}:{v.strip()}" for v in vars_part.split(",") if v.strip())
+            clauses.append(Clause(name, args))
+        elif name == "schedule":
+            kind = raw_args.split(",")[0].strip()
+            if kind not in _SCHEDULE_KINDS:
+                raise PragmaError(f"unknown schedule kind {kind!r}")
+            clauses.append(Clause(name, tuple(p.strip() for p in raw_args.split(","))))
+        else:
+            args = tuple(a.strip() for a in raw_args.split(",") if a.strip())
+            clauses.append(Clause(name, args))
+        pos = match.end()
+    return OmpDirective(construct=construct, clauses=clauses)

@@ -1,0 +1,240 @@
+"""AST serialization: the paper's DFS textual form, and an unparser.
+
+``ast_to_dfs_text`` produces the flat token sequence used as the *AST* and
+*Replaced-AST* model representations (Table 6): a pre-order walk where each
+node contributes its pycparser-style label, e.g. ::
+
+    For: Assignment: = ID: i Constant: int, 0 BinaryOp: < ID: i ID: len ...
+
+``unparse`` regenerates compilable C text from an AST; the corpus builder
+uses it to normalize snippets before deduplication, and the parser/unparser
+round-trip is property-tested.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.clang.nodes import (
+    ArrayRef,
+    Assignment,
+    BinaryOp,
+    Break,
+    Call,
+    Case,
+    Cast,
+    Compound,
+    Constant,
+    Continue,
+    Decl,
+    DeclList,
+    Default,
+    DoWhile,
+    EmptyStmt,
+    ExprList,
+    ExprStmt,
+    For,
+    FuncDef,
+    Goto,
+    Identifier,
+    If,
+    Label,
+    Node,
+    Pragma,
+    Return,
+    StructRef,
+    Switch,
+    TernaryOp,
+    UnaryOp,
+    While,
+)
+
+__all__ = ["ast_to_dfs_text", "unparse"]
+
+
+def ast_to_dfs_text(node: Node) -> str:
+    """Flatten ``node`` to the DFS label sequence of Tables 2/6.
+
+    ``ExprStmt`` wrappers are transparent (pycparser has no such node),
+    pragmas are skipped — directives are labels, never features — and a
+    top-level Compound is treated as the snippet itself, not a block.
+    """
+    parts: List[str] = []
+    if isinstance(node, Compound):
+        for child in node.children():
+            _dfs(child, parts)
+    else:
+        _dfs(node, parts)
+    return " ".join(parts)
+
+
+def _dfs(node: Node, out: List[str]) -> None:
+    if isinstance(node, Pragma):
+        return
+    if isinstance(node, ExprStmt):
+        _dfs(node.expr, out)
+        return
+    out.append(node.label())
+    for child in node.children():
+        _dfs(child, out)
+
+
+# ---------------------------------------------------------------------------
+# Unparser
+# ---------------------------------------------------------------------------
+
+_INDENT = "  "
+
+
+def unparse(node: Node, indent: int = 0) -> str:
+    """Regenerate C source text from an AST node.
+
+    A top-level :class:`Compound` is treated as a snippet (statement list),
+    not a braced block, so ``unparse(parse(x))`` is a fixed point under
+    re-parsing.
+    """
+    if indent == 0 and isinstance(node, Compound):
+        return "".join(_stmt(s, 0) for s in node.stmts).rstrip("\n")
+    return _stmt(node, indent).rstrip("\n")
+
+
+def _expr(node: Node) -> str:
+    if isinstance(node, Identifier):
+        return node.name
+    if isinstance(node, Constant):
+        return node.value
+    if isinstance(node, BinaryOp):
+        return f"({_expr(node.left)} {node.op} {_expr(node.right)})"
+    if isinstance(node, UnaryOp):
+        if node.op == "p++":
+            return f"{_expr(node.expr)}++"
+        if node.op == "p--":
+            return f"{_expr(node.expr)}--"
+        if node.op == "sizeof":
+            return f"sizeof({_expr(node.expr)})"
+        return f"{node.op}{_expr(node.expr)}"
+    if isinstance(node, TernaryOp):
+        return f"({_expr(node.cond)} ? {_expr(node.iftrue)} : {_expr(node.iffalse)})"
+    if isinstance(node, Assignment):
+        return f"{_expr(node.lvalue)} {node.op} {_expr(node.rvalue)}"
+    if isinstance(node, ArrayRef):
+        return f"{_expr(node.array)}[{_expr(node.subscript)}]"
+    if isinstance(node, StructRef):
+        return f"{_expr(node.obj)}{node.op}{node.field_name}"
+    if isinstance(node, Call):
+        args = ", ".join(_expr(a) for a in node.args)
+        return f"{_expr(node.func)}({args})"
+    if isinstance(node, Cast):
+        return f"(({node.to_type}) {_expr(node.expr)})"
+    if isinstance(node, ExprList):
+        return ", ".join(_expr(e) for e in node.exprs)
+    raise TypeError(f"cannot unparse {type(node).__name__} as an expression")
+
+
+def _expr_top(node: Node) -> str:
+    """Like :func:`_expr` but without redundant outer parentheses — used for
+    condition positions so round-tripped code matches the paper's examples
+    token-for-token."""
+    if isinstance(node, BinaryOp):
+        return f"{_expr(node.left)} {node.op} {_expr(node.right)}"
+    if isinstance(node, TernaryOp):
+        return f"{_expr(node.cond)} ? {_expr(node.iftrue)} : {_expr(node.iffalse)}"
+    return _expr(node)
+
+
+def _decl_text(decl: Decl) -> str:
+    prefix = " ".join(decl.quals + [decl.base_type])
+    stars = "*" * decl.ptr_depth
+    dims = "".join(f"[{_expr(d)}]" if d is not None else "[]" for d in decl.array_dims)
+    text = f"{prefix} {stars}{decl.name}{dims}"
+    if decl.init is not None:
+        if isinstance(decl.init, ExprList):
+            inner = ", ".join(_expr(e) for e in decl.init.exprs)
+            text += f" = {{{inner}}}"
+        else:
+            text += f" = {_expr(decl.init)}"
+    return text
+
+
+def _stmt(node: Node, indent: int) -> str:
+    pad = _INDENT * indent
+    if isinstance(node, Compound):
+        inner = "".join(_stmt(s, indent + 1) for s in node.stmts)
+        return f"{pad}{{\n{inner}{pad}}}\n"
+    if isinstance(node, Pragma):
+        return f"{pad}#{node.text}\n"
+    if isinstance(node, Decl):
+        return f"{pad}{_decl_text(node)};\n"
+    if isinstance(node, DeclList):
+        first = node.decls[0]
+        prefix = " ".join(first.quals + [first.base_type])
+        parts = []
+        for d in node.decls:
+            stars = "*" * d.ptr_depth
+            dims = "".join(f"[{_expr(x)}]" if x is not None else "[]" for x in d.array_dims)
+            p = f"{stars}{d.name}{dims}"
+            if d.init is not None:
+                p += f" = {_expr(d.init)}"
+            parts.append(p)
+        return f"{pad}{prefix} {', '.join(parts)};\n"
+    if isinstance(node, For):
+        init = ""
+        if isinstance(node.init, (Decl, DeclList)):
+            init = _stmt(node.init, 0).strip().rstrip(";")
+        elif isinstance(node.init, ExprStmt):
+            init = _expr(node.init.expr)
+        elif node.init is not None:
+            init = _expr(node.init)
+        cond = _expr_top(node.cond) if node.cond is not None else ""
+        nxt = _expr(node.nxt) if node.nxt is not None else ""
+        header = f"{pad}for ({init}; {cond}; {nxt})\n"
+        pragma = f"{pad}#{node.pragma.text}\n" if node.pragma is not None else ""
+        return pragma + header + _stmt_as_body(node.body, indent)
+    if isinstance(node, While):
+        return f"{pad}while ({_expr_top(node.cond)})\n" + _stmt_as_body(node.body, indent)
+    if isinstance(node, DoWhile):
+        return f"{pad}do\n" + _stmt_as_body(node.body, indent) + f"{pad}while ({_expr_top(node.cond)});\n"
+    if isinstance(node, If):
+        text = f"{pad}if ({_expr_top(node.cond)})\n" + _stmt_as_body(node.iftrue, indent)
+        if node.iffalse is not None:
+            text += f"{pad}else\n" + _stmt_as_body(node.iffalse, indent)
+        return text
+    if isinstance(node, Switch):
+        inner = "".join(_stmt(s, indent + 1) for s in node.body.stmts)
+        return f"{pad}switch ({_expr_top(node.cond)}) {{\n{inner}{pad}}}\n"
+    if isinstance(node, Case):
+        body = "".join(_stmt(s, indent + 1) for s in node.stmts)
+        return f"{pad}case {_expr(node.expr)}:\n{body}"
+    if isinstance(node, Default):
+        body = "".join(_stmt(s, indent + 1) for s in node.stmts)
+        return f"{pad}default:\n{body}"
+    if isinstance(node, Return):
+        if node.expr is None:
+            return f"{pad}return;\n"
+        return f"{pad}return {_expr(node.expr)};\n"
+    if isinstance(node, Break):
+        return f"{pad}break;\n"
+    if isinstance(node, Continue):
+        return f"{pad}continue;\n"
+    if isinstance(node, Goto):
+        return f"{pad}goto {node.target};\n"
+    if isinstance(node, Label):
+        inner = _stmt(node.stmt, indent) if node.stmt is not None else ""
+        return f"{pad}{node.name}:\n{inner}"
+    if isinstance(node, ExprStmt):
+        return f"{pad}{_expr(node.expr)};\n"
+    if isinstance(node, EmptyStmt):
+        return f"{pad};\n"
+    if isinstance(node, FuncDef):
+        params = ", ".join(_decl_text(p) for p in node.params)
+        body = _stmt(node.body, indent)
+        return f"{pad}{node.ret_type} {node.name}({params})\n{body}"
+    # expression used in statement position (e.g. For.nxt round-trips)
+    return f"{pad}{_expr(node)};\n"
+
+
+def _stmt_as_body(node: Node, indent: int) -> str:
+    """Render a loop/if body, indenting single statements one level."""
+    if isinstance(node, Compound):
+        return _stmt(node, indent)
+    return _stmt(node, indent + 1)

@@ -1,0 +1,158 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro build-corpus --records 2000 --out corpus_dir
+    repro train --epochs 8 --save model.npz
+    repro advise file.c            # on-the-fly advisor (§2.1)
+    repro compar file.c            # run the S2S combiner on a snippet
+    repro reproduce table8         # regenerate a paper table/figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.utils.tables import format_table
+
+__all__ = ["main"]
+
+
+def _cmd_build_corpus(args: argparse.Namespace) -> int:
+    from repro.corpus import CorpusConfig, build_corpus, directive_stats, save_records
+
+    corpus = build_corpus(CorpusConfig(n_records=args.records, seed=args.seed))
+    stats = directive_stats(corpus)
+    print(format_table(["statistic", "amount"], list(stats.items()),
+                       title="Open-OMP corpus (Table 3 statistics)"))
+    if args.out:
+        save_records(corpus.records, Path(args.out))
+        print(f"wrote {len(corpus)} records to {args.out}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.pipeline import get_context
+    from repro.eval import binary_metrics
+
+    ctx = get_context()
+    model = ctx.pragformer
+    enc = ctx.encoded()
+    metrics = binary_metrics(model.predict(enc.test), enc.test.labels)
+    print(format_table(["metric", "value"], list(metrics.as_dict().items()),
+                       title="PragFormer on the directive test split"))
+    if args.save:
+        from repro.models import save_pragformer
+
+        save_pragformer(model, enc.vocab, args.save)
+        print(f"saved model + vocabulary to {args.save}")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.pipeline import get_context
+    from repro.tokenize import text_tokens
+    from repro.pipeline.experiments import _suite_split
+    from repro.corpus.records import Record
+
+    source = Path(args.file).read_text()
+    ctx = get_context()
+    rec = Record(0, source, None, "unknown", "cli")
+    split = _suite_split([rec], ctx)
+    proba = float(ctx.pragformer.predict_proba(split)[0, 1])
+    verdict = "needs an OpenMP directive" if proba > 0.5 else "no directive needed"
+    print(f"PragFormer: {verdict} (p = {proba:.3f})")
+    if proba > 0.5:
+        for clause in ("private", "reduction"):
+            model = ctx.clause_model(clause)
+            enc = ctx.clause_encoded(clause)
+            ids = enc.vocab.encode(text_tokens(source), max_len=enc.max_len)
+            import numpy as np
+            from repro.data.encoding import EncodedSplit
+
+            mat = np.full((1, enc.max_len), enc.vocab.pad_id, dtype=np.int64)
+            mask = np.zeros((1, enc.max_len))
+            mat[0, : len(ids)] = ids
+            mask[0, : len(ids)] = 1.0
+            p = float(model.predict_proba(EncodedSplit(mat, mask, np.zeros(1, dtype=np.int64)))[0, 1])
+            if p > 0.5:
+                print(f"  suggest a {clause} clause (p = {p:.3f})")
+    return 0
+
+
+def _cmd_compar(args: argparse.Namespace) -> int:
+    from repro.s2s import ComPar
+
+    source = Path(args.file).read_text()
+    result = ComPar().run(source)
+    if result.parse_failed:
+        print("ComPar: parse failure in every sub-compiler")
+        for name, res in result.per_compiler.items():
+            print(f"  {name}: {res.failure}")
+        return 1
+    if result.inserted:
+        print(f"ComPar inserts: {result.directive}")
+    else:
+        print("ComPar: no directive (loop judged not parallelizable)")
+        for name, res in result.per_compiler.items():
+            if res.analysis is not None and res.analysis.reasons:
+                print(f"  {name}: {'; '.join(res.analysis.reasons)}")
+    return 0
+
+
+_EXPERIMENTS = {
+    "table3": "exp_table3", "table4": "exp_table4", "fig3": "exp_fig3",
+    "table5": "exp_table5", "table7": "exp_table7", "fig456": "exp_fig456",
+    "table8": "exp_table8", "fig7": "exp_fig7", "table9": "exp_table9",
+    "table10": "exp_table10", "table11": "exp_table11",
+    "table12": "exp_table12_fig8",
+}
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.pipeline import experiments
+
+    fn = getattr(experiments, _EXPERIMENTS[args.experiment])
+    result = fn()
+    print(json.dumps(result, indent=2, default=str))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PragFormer reproduction: corpus, models, S2S compilers, experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_corpus = sub.add_parser("build-corpus", help="generate the Open-OMP corpus")
+    p_corpus.add_argument("--records", type=int, default=2000)
+    p_corpus.add_argument("--seed", type=int, default=0)
+    p_corpus.add_argument("--out", type=str, default="")
+    p_corpus.set_defaults(fn=_cmd_build_corpus)
+
+    p_train = sub.add_parser("train", help="train PragFormer on the directive task")
+    p_train.add_argument("--save", type=str, default="")
+    p_train.set_defaults(fn=_cmd_train)
+
+    p_advise = sub.add_parser("advise", help="advise OpenMP use for a C snippet file")
+    p_advise.add_argument("file")
+    p_advise.set_defaults(fn=_cmd_advise)
+
+    p_compar = sub.add_parser("compar", help="run the ComPar S2S combiner on a file")
+    p_compar.add_argument("file")
+    p_compar.set_defaults(fn=_cmd_compar)
+
+    p_rep = sub.add_parser("reproduce", help="regenerate a paper table/figure")
+    p_rep.add_argument("experiment", choices=sorted(_EXPERIMENTS))
+    p_rep.set_defaults(fn=_cmd_reproduce)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""The Open-OMP corpus substrate: synthetic snippet generation, criteria,
+deduplication, on-disk records, and the statistics of Tables 3–4 / Figure 3.
+"""
+
+from repro.corpus.builder import Corpus, CorpusConfig, build_corpus
+from repro.corpus.generators import (
+    NEGATIVE_FAMILIES,
+    POSITIVE_FAMILIES,
+    family_names,
+    sample_excluded_snippet,
+    sample_snippet,
+)
+from repro.corpus.naming import NamePool
+from repro.corpus.records import Record, Snippet, load_records, save_records
+from repro.corpus.stats import directive_stats, domain_distribution, length_histogram
+
+__all__ = [
+    "Corpus",
+    "CorpusConfig",
+    "build_corpus",
+    "POSITIVE_FAMILIES",
+    "NEGATIVE_FAMILIES",
+    "family_names",
+    "sample_snippet",
+    "sample_excluded_snippet",
+    "NamePool",
+    "Record",
+    "Snippet",
+    "save_records",
+    "load_records",
+    "directive_stats",
+    "length_histogram",
+    "domain_distribution",
+]

@@ -1,0 +1,991 @@
+"""Synthetic snippet generators — the data-generating process of Open-OMP.
+
+Each *family* is a parameterized template producing C loop snippets whose
+ground-truth label (needs a directive / needs ``private`` / needs
+``reduction``) follows from its dependence structure, exactly the way the
+paper's labels follow from what developers annotated:
+
+* **Positive families** emit a loop with no loop-carried dependences plus the
+  directive a competent developer would write (``parallel for`` with
+  ``private``/``reduction``/``schedule`` clauses as needed).
+* **Negative families** emit loops that must not be parallelized — carried
+  dependences, I/O, side effects, early exits — or where parallelization is
+  counter-productive (low trip counts, §2.1.1).
+
+The families deliberately overlap in surface vocabulary (``+=`` appears in
+both reductions and prefix sums; literal bounds appear in both low-trip
+negatives and first-touch positives) so that order-free models (BoW) are
+measurably weaker than the transformer, as in Table 8.
+
+Family weights are calibrated so the full-scale corpus reproduces Table 3's
+clause proportions (private ≈ 45 % of directives, reduction ≈ 19 %,
+``schedule(dynamic)`` ≈ 5 %).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.corpus.naming import NamePool
+from repro.corpus.records import Snippet
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = [
+    "POSITIVE_FAMILIES",
+    "NEGATIVE_FAMILIES",
+    "EXCLUDED_FAMILIES",
+    "sample_snippet",
+    "sample_excluded_snippet",
+    "family_names",
+]
+
+GenFn = Callable[[np.random.Generator], Snippet]
+
+#: Naming-convention signal (§5.1): parallelizable HPC loops overwhelmingly
+#: use conventional names (i, j, k, A, B, arr ...), while general application
+#: code is far more idiosyncratic.  The paper credits both PragFormer's and
+#: BoW's accuracy partly to this correlation; genuine negatives therefore
+#: draw idiosyncratic names ~5x more often.  Unannotated-parallel negatives
+#: inherit positive-style naming, keeping them hard for every model.
+_POS_IDIO = 0.04
+_NEG_IDIO = 0.45
+
+_PLAIN = "#pragma omp parallel for"
+
+
+def _rint(rng: np.random.Generator, lo: int, hi: int) -> int:
+    return int(rng.integers(lo, hi + 1))
+
+
+def _pick(rng: np.random.Generator, items: Sequence) -> object:
+    return items[int(rng.integers(len(items)))]
+
+
+def _cmp(rng: np.random.Generator) -> str:
+    return str(_pick(rng, ["<", "<", "<", "<="]))
+
+
+def _incr(rng: np.random.Generator, var: str) -> str:
+    return str(_pick(rng, [f"{var}++", f"++{var}", f"{var} += 1", f"{var} = {var} + 1"]))
+
+
+def _arith_expr(rng: np.random.Generator, atoms: Sequence[str], depth: int = 2) -> str:
+    """A random arithmetic expression over ``atoms``."""
+    if depth <= 0 or rng.random() < 0.35:
+        return str(_pick(rng, list(atoms) + [str(_rint(rng, 1, 9)), f"{_rint(rng, 1, 9)}.0"]))
+    op = _pick(rng, ["+", "-", "*", "+", "*"])
+    left = _arith_expr(rng, atoms, depth - 1)
+    right = _arith_expr(rng, atoms, depth - 1)
+    return f"({left} {op} {right})"
+
+
+def _decl_preamble(rng: np.random.Generator, names: NamePool,
+                   arrays: Sequence[str], scalars: Sequence[str],
+                   bounds: Sequence[str]) -> str:
+    """Optional declaration context preceding the loop, as real extracted
+    snippets often include.  Inflates line counts toward Table 4's shape."""
+    lines: List[str] = []
+    dim = _pick(rng, bounds) if bounds else str(_rint(rng, 100, 4000))
+    ctype = _pick(rng, ["double", "float", "int"])
+    for arr in arrays:
+        if rng.random() < 0.5:
+            lines.append(f"{ctype} {arr}[{dim}];")
+    for sc in scalars:
+        if rng.random() < 0.5:
+            lines.append(f"{ctype} {sc} = 0;")
+    for b in bounds:
+        if rng.random() < 0.3:
+            lines.append(f"int {b} = {_rint(rng, 100, 5000)};")
+    return "\n".join(lines)
+
+
+def _with_preamble(rng: np.random.Generator, names: NamePool, code: str,
+                   arrays: Sequence[str] = (), scalars: Sequence[str] = (),
+                   bounds: Sequence[str] = (), prob: float = 0.35) -> str:
+    if rng.random() >= prob:
+        return code
+    pre = _decl_preamble(rng, names, arrays, scalars, bounds)
+    return f"{pre}\n{code}" if pre else code
+
+
+# ===========================================================================
+# Positive families
+# ===========================================================================
+
+
+def gen_init_1d(rng: np.random.Generator) -> Snippet:
+    """Array initialization — parallel, no extra clauses."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, a, n = names.iter_var(), names.array(), names.bound()
+    init = _pick(rng, ["0", i, f"{i} * {_rint(rng, 2, 9)}", f"{_rint(rng, 1, 99)}",
+                       f"(double) {i} / {n}", f"{i} + 1"])
+    code = f"for ({i} = 0; {i} {_cmp(rng)} {n}; {_incr(rng, i)})\n  {a}[{i}] = {init};"
+    code = _with_preamble(rng, names, code, arrays=[a], bounds=[n])
+    return Snippet(code, _PLAIN, "init_1d")
+
+
+def gen_elementwise(rng: np.random.Generator) -> Snippet:
+    """saxpy-style elementwise kernels — parallel, no extra clauses."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, n = names.iter_var(), names.bound()
+    dst, s1, s2 = names.array(), names.array(), names.array()
+    kind = _rint(rng, 0, 3)
+    if kind == 0:
+        alpha = names.scalar()
+        body = f"{dst}[{i}] = {alpha} * {s1}[{i}] + {dst}[{i}];"
+    elif kind == 1:
+        op = _pick(rng, ["+", "-", "*"])
+        body = f"{dst}[{i}] = {s1}[{i}] {op} {s2}[{i}];"
+    elif kind == 2:
+        fn = _pick(rng, ["sqrt", "fabs", "exp", "log", "sin", "cos"])
+        body = f"{dst}[{i}] = {fn}({s1}[{i}]);"
+    else:
+        body = f"{dst}[{i}] = {_arith_expr(rng, [f'{s1}[{i}]', f'{s2}[{i}]', i])};"
+    extra = _rint(rng, 0, 4) if rng.random() < 0.35 else 0
+    if extra:
+        stmts = [body]
+        for _ in range(extra):
+            d2 = names.array()
+            stmts.append(f"{d2}[{i}] = {_arith_expr(rng, [f'{s1}[{i}]', f'{s2}[{i}]', i], 1)};")
+        inner = "\n  ".join(stmts)
+        code = f"for ({i} = 0; {i} {_cmp(rng)} {n}; {_incr(rng, i)}) {{\n  {inner}\n}}"
+    else:
+        code = f"for ({i} = 0; {i} {_cmp(rng)} {n}; {_incr(rng, i)})\n  {body}"
+    code = _with_preamble(rng, names, code, arrays=[dst, s1, s2], bounds=[n])
+    return Snippet(code, _PLAIN, "elementwise")
+
+
+def gen_copy_scale(rng: np.random.Generator) -> Snippet:
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, n, dst, src = names.iter_var(), names.bound(), names.array(), names.array()
+    factor = _pick(rng, ["", f"{_rint(rng, 2, 9)} * ", "0.5 * ", "2.0 * "])
+    code = f"for ({i} = 0; {i} < {n}; {i}++)\n  {dst}[{i}] = {factor}{src}[{i}];"
+    return Snippet(code, _PLAIN, "copy_scale")
+
+
+def gen_nested_2d(rng: np.random.Generator) -> Snippet:
+    """Doubly nested independent updates — needs private(j)."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, j = names.iter_var(), names.iter_var()
+    n, m = names.bound(), names.bound()
+    dst, a, b = names.array(), names.array(), names.array()
+    kind = _rint(rng, 0, 2)
+    if kind == 0:
+        body = f"{dst}[{i}][{j}] = {a}[{i}][{j}] {_pick(rng, ['+', '-', '*'])} {b}[{i}][{j}];"
+    elif kind == 1:
+        body = f"{dst}[{i}][{j}] = {_arith_expr(rng, [f'{a}[{i}][{j}]', i, j])};"
+    else:
+        body = f"{dst}[{i}][{j}] = ({i} + {j}) % {_rint(rng, 2, 16)};"
+    code = (
+        f"for ({i} = 0; {i} < {n}; {i}++)\n"
+        f"  for ({j} = 0; {j} < {m}; {_incr(rng, j)})\n"
+        f"    {body}"
+    )
+    code = _with_preamble(rng, names, code, scalars=[], bounds=[n, m])
+    return Snippet(code, f"{_PLAIN} private({j})", "nested_2d")
+
+
+def gen_polybench_style(rng: np.random.Generator) -> Snippet:
+    """Benchmark-flavoured nested kernel with a bound macro (cf. Table 12 #1)."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, j = names.iter_var(), names.iter_var()
+    n = names.bound()
+    x1, a, y1 = names.array(), names.array(), names.array()
+    bound = _rint(rng, 500, 4000)
+    code = (
+        f"for ({i} = 0; {i} < POLYBENCH_LOOP_BOUND({bound}, {n}); {i}++)\n"
+        f"  for ({j} = 0; {j} < POLYBENCH_LOOP_BOUND({bound}, {n}); {j}++)\n"
+        f"    {x1}[{i}] = {x1}[{i}] + ({a}[{i}][{j}] * {y1}[{j}]);"
+    )
+    return Snippet(code, f"{_PLAIN} private({j})", "polybench_style")
+
+
+def gen_matmul(rng: np.random.Generator) -> Snippet:
+    """Triple-nested matrix multiply — needs private(j, k)."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, j, k = names.iter_var(), names.iter_var(), names.iter_var()
+    n = names.bound()
+    c, a, b = names.array(), names.array(), names.array()
+    code = (
+        f"for ({i} = 0; {i} < {n}; {i}++)\n"
+        f"  for ({j} = 0; {j} < {n}; {j}++) {{\n"
+        f"    {c}[{i}][{j}] = 0;\n"
+        f"    for ({k} = 0; {k} < {n}; {k}++)\n"
+        f"      {c}[{i}][{j}] += {a}[{i}][{k}] * {b}[{k}][{j}];\n"
+        f"  }}"
+    )
+    return Snippet(code, f"{_PLAIN} private({j}, {k})", "matmul")
+
+
+def gen_stencil(rng: np.random.Generator) -> Snippet:
+    """Jacobi-style stencil writing a separate output grid — private(j)."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, j = names.iter_var(), names.iter_var()
+    n, m = names.bound(), names.bound()
+    new, old = names.array(), names.array()
+    coef = _pick(rng, ["0.25", "0.2", "0.125"])
+    code = (
+        f"for ({i} = 1; {i} < {n} - 1; {i}++)\n"
+        f"  for ({j} = 1; {j} < {m} - 1; {j}++)\n"
+        f"    {new}[{i}][{j}] = {coef} * ({old}[{i}-1][{j}] + {old}[{i}+1][{j}]"
+        f" + {old}[{i}][{j}-1] + {old}[{i}][{j}+1]);"
+    )
+    return Snippet(code, f"{_PLAIN} private({j})", "stencil")
+
+
+def gen_stencil_1d(rng: np.random.Generator) -> Snippet:
+    """1-D three-point stencil into a fresh array — no clause needed."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, n = names.iter_var(), names.bound()
+    new, old = names.array(), names.array()
+    code = (
+        f"for ({i} = 1; {i} < {n} - 1; {i}++)\n"
+        f"  {new}[{i}] = ({old}[{i}-1] + {old}[{i}] + {old}[{i}+1]) / 3.0;"
+    )
+    return Snippet(code, _PLAIN, "stencil_1d")
+
+
+def gen_image_op(rng: np.random.Generator) -> Snippet:
+    """Per-pixel image transform — private(j)."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, j = names.iter_var(), names.iter_var()
+    h, w = names.bound(), names.bound()
+    img, out = names.array(), names.array()
+    kind = _rint(rng, 0, 2)
+    if kind == 0:
+        thresh = _rint(rng, 50, 200)
+        body = f"{out}[{i}][{j}] = {img}[{i}][{j}] > {thresh} ? 255 : 0;"
+    elif kind == 1:
+        gain = _rint(rng, 2, 5)
+        body = f"{out}[{i}][{j}] = (int) ({img}[{i}][{j}] * {gain}) % 256;"
+    else:
+        body = f"{out}[{i}][{j}] = 255 - {img}[{i}][{j}];"
+    code = (
+        f"for ({i} = 0; {i} < {h}; {i}++)\n"
+        f"  for ({j} = 0; {j} < {w}; {j}++)\n"
+        f"    {body}"
+    )
+    return Snippet(code, f"{_PLAIN} private({j})", "image_op")
+
+
+def gen_private_temp(rng: np.random.Generator) -> Snippet:
+    """A scalar temporary written-then-read inside the body — private(t)."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, n, t = names.iter_var(), names.bound(), names.scalar()
+    a, b = names.array(), names.array()
+    code = (
+        f"for ({i} = 0; {i} < {n}; {i}++) {{\n"
+        f"  {t} = {a}[{i}] {_pick(rng, ['*', '+'])} {_rint(rng, 2, 9)};\n"
+        f"  {b}[{i}] = {t} * {t};\n"
+        f"}}"
+    )
+    return Snippet(code, f"{_PLAIN} private({t})", "private_temp")
+
+
+def gen_reduction_sum(rng: np.random.Generator) -> Snippet:
+    """Scalar accumulation — reduction(+|*)."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, n, acc, a = names.iter_var(), names.bound(), names.scalar(), names.array()
+    op = _pick(rng, ["+", "+", "+", "*"])
+    upd = f"{acc} += {a}[{i}];" if op == "+" else f"{acc} *= {a}[{i}];"
+    if rng.random() < 0.3:
+        upd = f"{acc} = {acc} {op} {a}[{i}];"
+    code = f"for ({i} = 0; {i} {_cmp(rng)} {n}; {_incr(rng, i)})\n  {upd}"
+    code = _with_preamble(rng, names, code, arrays=[a], scalars=[acc], bounds=[n])
+    return Snippet(code, f"{_PLAIN} reduction({op}:{acc})", "reduction_sum")
+
+
+def gen_dot_product(rng: np.random.Generator) -> Snippet:
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, n, acc = names.iter_var(), names.bound(), names.scalar()
+    x, y = names.array(), names.array()
+    code = f"for ({i} = 0; {i} < {n}; {i}++)\n  {acc} += {x}[{i}] * {y}[{i}];"
+    return Snippet(code, f"{_PLAIN} reduction(+:{acc})", "dot_product")
+
+
+def gen_norm(rng: np.random.Generator) -> Snippet:
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, n, acc, x = names.iter_var(), names.bound(), names.scalar(), names.array()
+    code = f"for ({i} = 0; {i} < {n}; {i}++)\n  {acc} += {x}[{i}] * {x}[{i}];"
+    return Snippet(code, f"{_PLAIN} reduction(+:{acc})", "norm")
+
+
+def gen_minmax(rng: np.random.Generator) -> Snippet:
+    """min/max reductions via if or ternary — S2S pattern-matchers miss these."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, n, best, a = names.iter_var(), names.bound(), names.scalar(), names.array()
+    is_max = rng.random() < 0.5
+    cmp_op = ">" if is_max else "<"
+    red_op = "max" if is_max else "min"
+    if rng.random() < 0.5:
+        body = f"if ({a}[{i}] {cmp_op} {best})\n    {best} = {a}[{i}];"
+    else:
+        body = f"{best} = {a}[{i}] {cmp_op} {best} ? {a}[{i}] : {best};"
+    code = f"for ({i} = 0; {i} < {n}; {i}++)\n  {body}"
+    return Snippet(code, f"{_PLAIN} reduction({red_op}:{best})", "minmax")
+
+
+def gen_reduction_2d(rng: np.random.Generator) -> Snippet:
+    """Nested accumulation — reduction(+) plus private(j)."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, j = names.iter_var(), names.iter_var()
+    n, m, acc, a = names.bound(), names.bound(), names.scalar(), names.array()
+    code = (
+        f"for ({i} = 0; {i} < {n}; {i}++)\n"
+        f"  for ({j} = 0; {j} < {m}; {j}++)\n"
+        f"    {acc} += {a}[{i}][{j}];"
+    )
+    return Snippet(code, f"{_PLAIN} private({j}) reduction(+:{acc})", "reduction_2d")
+
+
+def gen_unbalanced(rng: np.random.Generator) -> Snippet:
+    """Iteration cost depends on a condition — schedule(dynamic) (§1, Table 1 #2)."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, n = names.iter_var(), names.bound()
+    cond_fn, heavy_fn = names.func(), names.func()
+    chunk = _pick(rng, ["", f",{_rint(rng, 2, 8)}"])
+    code = (
+        f"for ({i} = 0; {i} {_cmp(rng)} {n}; {i}++)\n"
+        f"  if ({cond_fn}({i}))\n"
+        f"    {heavy_fn}({i});"
+    )
+    return Snippet(code, f"{_PLAIN} schedule(dynamic{chunk})", "unbalanced")
+
+
+def gen_triangular(rng: np.random.Generator) -> Snippet:
+    """Triangular iteration space — uneven work, schedule(dynamic) private(j)."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, j = names.iter_var(), names.iter_var()
+    n, a, dst = names.bound(), names.array(), names.array()
+    code = (
+        f"for ({i} = 0; {i} < {n}; {i}++)\n"
+        f"  for ({j} = {i} + 1; {j} < {n}; {j}++)\n"
+        f"    {dst}[{i}][{j}] = {a}[{i}] * {a}[{j}];"
+    )
+    return Snippet(code, f"{_PLAIN} private({j}) schedule(dynamic)", "triangular")
+
+
+def gen_pure_func_call(rng: np.random.Generator) -> Snippet:
+    """Loop calling a pure function.  Half the time the callee implementation
+    is included in the record (as the corpus builder does when it finds one);
+    half the time it is not — the case where S2S compilers go conservative
+    but developers annotate anyway."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, n = names.iter_var(), names.bound()
+    fn = names.func()
+    a, b = names.array(), names.array()
+    call = f"for ({i} = 0; {i} < {n}; {i}++)\n  {b}[{i}] = {fn}({a}[{i}]);"
+    if rng.random() < 0.35:
+        expr = _arith_expr(rng, ["v"], depth=2)
+        code = f"double {fn}(double v) {{\n  return {expr};\n}}\n{call}"
+    else:
+        code = call
+    return Snippet(code, _PLAIN, "pure_func_call")
+
+
+def gen_helper_call(rng: np.random.Generator) -> Snippet:
+    """Pure-by-convention helper calls whose implementations live in another
+    file — developers annotate these, S2S compilers cannot associate the
+    function and go conservative (§5.2: ComPar's main false-negative source).
+    """
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, n, fn = names.iter_var(), names.bound(), names.func()
+    a, b = names.array(), names.array()
+    if rng.random() < 0.5:
+        code = f"for ({i} = 0; {i} < {n}; {i}++)\n  {b}[{i}] = {fn}({a}[{i}], {i});"
+        directive = _PLAIN
+    else:
+        j, m = names.iter_var(), names.bound()
+        code = (
+            f"for ({i} = 0; {i} < {n}; {i}++)\n"
+            f"  for ({j} = 0; {j} < {m}; {j}++)\n"
+            f"    {b}[{i}][{j}] = {fn}({a}[{i}][{j}]);"
+        )
+        directive = f"{_PLAIN} private({j})"
+    return Snippet(code, directive, "helper_call")
+
+
+def gen_struct_update(rng: np.random.Generator) -> Snippet:
+    """Independent per-element struct field updates."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, n = names.iter_var(), names.bound()
+    parts = _pick(rng, ["particles", "cells", "nodes", "bodies", "atoms"])
+    dt = names.scalar()
+    axis = _pick(rng, ["x", "y", "z"])
+    code = (
+        f"for ({i} = 0; {i} < {n}; {i}++) {{\n"
+        f"  {parts}[{i}].{axis} += {parts}[{i}].v{axis} * {dt};\n"
+        f"  {parts}[{i}].v{axis} *= 0.99;\n"
+        f"}}"
+    )
+    return Snippet(code, _PLAIN, "struct_update")
+
+
+def gen_first_touch(rng: np.random.Generator) -> Snippet:
+    """Small-bound initialization annotated for cc-NUMA first-touch (§2.1.1).
+
+    Deterministic S2S profitability heuristics skip these — a designed
+    false-negative source for ComPar."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, a = names.iter_var(), names.array()
+    bound = _rint(rng, 64, 512)
+    code = f"for ({i} = 0; {i} < {bound}; {i}++)\n  {a}[{i}] = 0;"
+    return Snippet(code, _PLAIN, "first_touch")
+
+
+def gen_multi_array(rng: np.random.Generator) -> Snippet:
+    """Several independent writes per iteration (cf. Table 12 #4)."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, j = names.iter_var(), names.iter_var()
+    n = names.bound()
+    a1, a2, a3 = names.array(), names.array(), names.array()
+    code = (
+        f"for ({i} = 0; {i} < {n}; {i}++)\n"
+        f"  for ({j} = 0; {j} < {n}; {j}++) {{\n"
+        f"    {a1}[{i}][{j}] = (int) (({i} + 1) * ({j} + 1));\n"
+        f"    {a2}[{i}][{j}] = (((int) {i}) - {j}) / {n};\n"
+        f"    {a3}[{i}][{j}] = (((int) {i}) * ({j} - 1)) / {n};\n"
+        f"  }}"
+    )
+    return Snippet(code, f"{_PLAIN} private({j})", "multi_array")
+
+
+def gen_long_elementwise(rng: np.random.Generator) -> Snippet:
+    """Wide loop bodies (10–60 independent statements) — the 11–100+ line
+    records of Table 4.  Needs private(t) when a temp scalar is used."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, n = names.iter_var(), names.bound()
+    n_stmts = _rint(rng, 8, 45)
+    arrays = names.arrays(min(6, 2 + n_stmts // 8))
+    use_temp = rng.random() < 0.4
+    t = names.scalar() if use_temp else None
+    lines = []
+    if use_temp:
+        lines.append(f"  {t} = {arrays[0]}[{i}] * {_rint(rng, 2, 9)};")
+    for s in range(n_stmts):
+        dst = arrays[s % len(arrays)]
+        src = arrays[(s + 1) % len(arrays)]
+        atoms = [f"{src}[{i}]", i]
+        if use_temp:
+            atoms.append(t)
+        lines.append(f"  {dst}[{i}] = {_arith_expr(rng, atoms, depth=1)};")
+    body = "\n".join(lines)
+    code = f"for ({i} = 0; {i} < {n}; {i}++) {{\n{body}\n}}"
+    directive = f"{_PLAIN} private({t})" if use_temp else _PLAIN
+    return Snippet(code, directive, "long_elementwise")
+
+
+def gen_big_pure_kernel(rng: np.random.Generator) -> Snippet:
+    """A long pure helper function plus the loop that maps it — produces the
+    50–150 line records."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, n, fn = names.iter_var(), names.bound(), names.func()
+    a, b = names.array(), names.array()
+    n_stmts = _rint(rng, 12, 60)
+    lines = [f"  double w0 = v;"]
+    for s in range(n_stmts):
+        prev = f"w{s}"
+        lines.append(f"  double w{s + 1} = {_arith_expr(rng, [prev, 'v'], depth=1)};")
+    lines.append(f"  return w{n_stmts};")
+    fn_body = "\n".join(lines)
+    code = (
+        f"double {fn}(double v) {{\n{fn_body}\n}}\n"
+        f"for ({i} = 0; {i} < {n}; {i}++)\n"
+        f"  {b}[{i}] = {fn}({a}[{i}]);"
+    )
+    return Snippet(code, _PLAIN, "big_pure_kernel")
+
+
+# ===========================================================================
+# Negative families (no directive)
+# ===========================================================================
+
+
+def gen_recurrence(rng: np.random.Generator) -> Snippet:
+    """Loop-carried flow dependence: A[i] depends on A[i-1]."""
+    names = NamePool(rng, idiosyncratic=_NEG_IDIO)
+    i, n, a = names.iter_var(), names.bound(), names.array()
+    lag = _pick(rng, ["1", "1", "1", "2"])
+    expr = _pick(rng, [
+        f"{a}[{i}-{lag}] + {_rint(rng, 1, 9)}",
+        f"{a}[{i}-{lag}] * 0.5 + {a}[{i}]",
+        f"{a}[{i}-1] + {a}[{i}-{lag}]",
+    ])
+    code = f"for ({i} = {lag}; {i} < {n}; {i}++)\n  {a}[{i}] = {expr};"
+    return Snippet(code, None, "recurrence")
+
+
+def gen_prefix_sum(rng: np.random.Generator) -> Snippet:
+    """Running sum materialized per element — the value of the accumulator at
+    iteration i is order-dependent, unlike a pure reduction."""
+    names = NamePool(rng, idiosyncratic=_NEG_IDIO)
+    i, n, acc = names.iter_var(), names.bound(), names.scalar()
+    a, b = names.array(), names.array()
+    code = (
+        f"for ({i} = 0; {i} < {n}; {i}++) {{\n"
+        f"  {acc} += {a}[{i}];\n"
+        f"  {b}[{i}] = {acc};\n"
+        f"}}"
+    )
+    return Snippet(code, None, "prefix_sum")
+
+
+def gen_io_loop(rng: np.random.Generator) -> Snippet:
+    """Ordered I/O in the body (cf. Table 12 #2)."""
+    names = NamePool(rng, idiosyncratic=_NEG_IDIO)
+    i, n, x = names.iter_var(), names.bound(), names.array()
+    kind = _rint(rng, 0, 2)
+    if kind == 0:
+        body = f'printf("%d ", {x}[{i}]);'
+    elif kind == 1:
+        body = f'fprintf(stderr, "%0.2lf ", {x}[{i}]);'
+    else:
+        body = (
+            f'fprintf(stderr, "%0.2lf ", {x}[{i}]);\n'
+            f'  if (({i} % 20) == 0)\n'
+            f'    fprintf(stderr, " \\n");'
+        )
+    brace_l, brace_r = ("{", "}") if "\n" in body else ("", "")
+    code = f"for ({i} = 0; {i} < {n}; {i}++) {brace_l}\n  {body}\n{brace_r}".rstrip()
+    return Snippet(code, None, "io_loop")
+
+
+def gen_pointer_chase(rng: np.random.Generator) -> Snippet:
+    """Linked-list traversal — inherently sequential."""
+    names = NamePool(rng, idiosyncratic=_NEG_IDIO)
+    p = _pick(rng, ["p", "node", "cur", "it"])
+    head = _pick(rng, ["head", "first", "list"])
+    acc = names.scalar()
+    code = (
+        f"for ({p} = {head}; {p} != 0; {p} = {p}->next)\n"
+        f"  {acc} += {p}->value;"
+    )
+    return Snippet(code, None, "pointer_chase")
+
+
+def gen_low_trip(rng: np.random.Generator) -> Snippet:
+    """Tiny literal trip count — thread-spawn overhead dominates (§2.1.1)."""
+    names = NamePool(rng, idiosyncratic=_NEG_IDIO)
+    i, a = names.iter_var(), names.array()
+    bound = _rint(rng, 2, 8)
+    body = _pick(rng, [
+        f"{a}[{i}] = {i};",
+        f"{a}[{i}] = {a}[{i}] * 2;",
+        f"{a}[{i}] = 0;",
+    ])
+    code = f"for ({i} = 0; {i} < {bound}; {i}++)\n  {body}"
+    return Snippet(code, None, "low_trip")
+
+
+def gen_early_exit(rng: np.random.Generator) -> Snippet:
+    """Search loop with break — iteration order matters."""
+    names = NamePool(rng, idiosyncratic=_NEG_IDIO)
+    i, n, a = names.iter_var(), names.bound(), names.array()
+    key, pos = names.scalar(), names.scalar()
+    code = (
+        f"for ({i} = 0; {i} < {n}; {i}++)\n"
+        f"  if ({a}[{i}] == {key}) {{\n"
+        f"    {pos} = {i};\n"
+        f"    break;\n"
+        f"  }}"
+    )
+    return Snippet(code, None, "early_exit")
+
+
+def gen_rand_loop(rng: np.random.Generator) -> Snippet:
+    """rand() carries hidden global state."""
+    names = NamePool(rng, idiosyncratic=_NEG_IDIO)
+    i, n, a = names.iter_var(), names.bound(), names.array()
+    modv = _rint(rng, 10, 1000)
+    code = f"for ({i} = 0; {i} < {n}; {i}++)\n  {a}[{i}] = rand() % {modv};"
+    return Snippet(code, None, "rand_loop")
+
+
+def gen_scalar_carried(rng: np.random.Generator) -> Snippet:
+    """Scalar fixpoint iteration: x_{i+1} = f(x_i)."""
+    names = NamePool(rng, idiosyncratic=_NEG_IDIO)
+    i, n, x, a = names.iter_var(), names.bound(), names.scalar(), names.array()
+    expr = _pick(rng, [
+        f"0.5 * ({x} + {a}[{i}] / {x})",
+        f"{x} * 0.9 + {a}[{i}] * 0.1",
+        f"{x} + {a}[{i}] * {x}",
+    ])
+    code = f"for ({i} = 0; {i} < {n}; {i}++)\n  {x} = {expr};"
+    return Snippet(code, None, "scalar_carried")
+
+
+def gen_side_effect_call(rng: np.random.Generator) -> Snippet:
+    """Callee mutates global state; implementation included in the record."""
+    names = NamePool(rng, idiosyncratic=_NEG_IDIO)
+    i, n, a = names.iter_var(), names.bound(), names.array()
+    fn = names.func()
+    counter = _pick(rng, ["counter", "total_calls", "g_hits", "nseen"])
+    code = (
+        f"void {fn}(int v) {{\n"
+        f"  {counter} += v;\n"
+        f"}}\n"
+        f"for ({i} = 0; {i} < {n}; {i}++)\n"
+        f"  {fn}({a}[{i}]);"
+    )
+    return Snippet(code, None, "side_effect_call")
+
+
+def gen_anti_dep(rng: np.random.Generator) -> Snippet:
+    """Carried anti-dependence: reads a[i+1] that a later iteration writes."""
+    names = NamePool(rng, idiosyncratic=_NEG_IDIO)
+    i, n, a = names.iter_var(), names.bound(), names.array()
+    expr = _pick(rng, [
+        f"{a}[{i}+1] * 0.5",
+        f"({a}[{i}] + {a}[{i}+1]) / 2",
+        f"{a}[{i}+1]",
+    ])
+    code = f"for ({i} = 0; {i} < {n} - 1; {i}++)\n  {a}[{i}] = {expr};"
+    return Snippet(code, None, "anti_dep")
+
+
+def gen_indirect_write(rng: np.random.Generator) -> Snippet:
+    """Scatter through an index array — possible write conflicts."""
+    names = NamePool(rng, idiosyncratic=_NEG_IDIO)
+    i, n = names.iter_var(), names.bound()
+    a, b = names.array(), names.array()
+    idx = _pick(rng, ["idx", "perm", "map", "bucket"])
+    op = _pick(rng, ["+=", "=", "+="])
+    code = f"for ({i} = 0; {i} < {n}; {i}++)\n  {a}[{idx}[{i}]] {op} {b}[{i}];"
+    return Snippet(code, None, "indirect_write")
+
+
+def gen_char_state(rng: np.random.Generator) -> Snippet:
+    """Character-by-character scan with carried state."""
+    names = NamePool(rng, idiosyncratic=_NEG_IDIO)
+    i, n = names.iter_var(), names.bound()
+    s = _pick(rng, ["str", "text", "line", "buf"])
+    state, count = names.scalar(), names.scalar()
+    code = (
+        f"for ({i} = 0; {i} < {n}; {i}++) {{\n"
+        f"  if ({s}[{i}] == ' ' && {state} == 0)\n"
+        f"    {count}++;\n"
+        f"  {state} = {s}[{i}] == ' ' ? 0 : 1;\n"
+        f"}}"
+    )
+    return Snippet(code, None, "char_state")
+
+
+def gen_file_read(rng: np.random.Generator) -> Snippet:
+    """Sequential file reads."""
+    names = NamePool(rng, idiosyncratic=_NEG_IDIO)
+    i, n, buf = names.iter_var(), names.bound(), names.array()
+    fp = _pick(rng, ["fp", "infile", "stream"])
+    kind = _rint(rng, 0, 1)
+    if kind == 0:
+        body = f"{buf}[{i}] = fgetc({fp});"
+    else:
+        body = f'fscanf({fp}, "%d", &{buf}[{i}]);'
+    code = f"for ({i} = 0; {i} < {n}; {i}++)\n  {body}"
+    return Snippet(code, None, "file_read")
+
+
+def gen_running_stat(rng: np.random.Generator) -> Snippet:
+    """Welford-style running statistic — order-dependent updates."""
+    names = NamePool(rng, idiosyncratic=_NEG_IDIO)
+    i, n = names.iter_var(), names.bound()
+    a = names.array()
+    mean, delta = names.scalar(), names.scalar()
+    code = (
+        f"for ({i} = 0; {i} < {n}; {i}++) {{\n"
+        f"  {delta} = {a}[{i}] - {mean};\n"
+        f"  {mean} += {delta} / ({i} + 1);\n"
+        f"}}"
+    )
+    return Snippet(code, None, "running_stat")
+
+
+def gen_malloc_loop(rng: np.random.Generator) -> Snippet:
+    """Allocation and bookkeeping inside the loop."""
+    names = NamePool(rng, idiosyncratic=_NEG_IDIO)
+    i, n = names.iter_var(), names.bound()
+    rows = names.array()
+    m = names.bound()
+    code = (
+        f"for ({i} = 0; {i} < {n}; {i}++) {{\n"
+        f"  {rows}[{i}] = malloc({m} * sizeof(double));\n"
+        f"  nalloc++;\n"
+        f"}}"
+    )
+    return Snippet(code, None, "malloc_loop")
+
+
+def gen_max_index(rng: np.random.Generator) -> Snippet:
+    """argmax keeps both value and index — devs rarely parallelize these."""
+    names = NamePool(rng, idiosyncratic=_NEG_IDIO)
+    i, n, a = names.iter_var(), names.bound(), names.array()
+    best, besti = names.scalar(), names.scalar()
+    code = (
+        f"for ({i} = 0; {i} < {n}; {i}++)\n"
+        f"  if ({a}[{i}] > {best}) {{\n"
+        f"    {best} = {a}[{i}];\n"
+        f"    {besti} = {i};\n"
+        f"  }}"
+    )
+    return Snippet(code, None, "max_index")
+
+
+#: Trivial kernels are the ones developers skip annotating most often.
+_UNANNOTATED_BIAS = {
+    "gen_init_1d": 2.5,
+    "gen_copy_scale": 2.5,
+    "gen_elementwise": 2.0,
+    "gen_stencil_1d": 2.0,
+    "gen_first_touch": 3.0,
+    "gen_low_trip": 0.0,
+}
+
+
+def gen_unannotated_parallel(rng: np.random.Generator) -> Snippet:
+    """Dependence-parallelizable loops that developers never annotated.
+
+    The paper's negatives are 'code without OpenMP directives in files where
+    such directives exist elsewhere' (§3.1.1) — in real projects a large
+    share of those *would* pass data-dependence tests.  This family is what
+    drives the S2S compilers' low precision (Table 8).
+
+    Why developers skip them is itself a signal learned models can use:
+    these are trivial bookkeeping loops in non-HPC-style code (idiosyncratic
+    naming, _NEG_IDIO), not numerical kernels.  Dependence analysis cannot
+    see that distinction — ComPar inserts directives on all of them.
+    """
+    names = NamePool(rng, idiosyncratic=_NEG_IDIO)
+    i, n = names.iter_var(), names.bound()
+    dst, src = names.array(), names.array()
+    kind = _rint(rng, 0, 4)
+    if kind == 0:
+        body = f"{dst}[{i}] = 0;"
+    elif kind == 1:
+        body = f"{dst}[{i}] = {src}[{i}];"
+    elif kind == 2:
+        body = f"{dst}[{i}] = {src}[{i}] {_pick(rng, ['+', '*', '-'])} {_rint(rng, 1, 9)};"
+    elif kind == 3:
+        body = f"{dst}[{i}] = {i} % {_rint(rng, 2, 32)};"
+    else:
+        body = f"{dst}[{i}] = ({src}[{i}] > 0) ? {src}[{i}] : 0;"
+    code = f"for ({i} = 0; {i} {_cmp(rng)} {n}; {_incr(rng, i)})\n  {body}"
+    return Snippet(code, None, "unannotated_parallel")
+
+
+def gen_unannotated_hard(rng: np.random.Generator) -> Snippet:
+    """A smaller truly-ambiguous mass: snippets drawn verbatim from the
+    positive families with the directive stripped — indistinguishable from
+    positives by any feature, setting a realistic error floor (Table 12 #4
+    is exactly such a case)."""
+    weights = np.array([
+        w * _UNANNOTATED_BIAS.get(fn.__name__, 1.0) for w, fn in POSITIVE_FAMILIES
+    ])
+    weights /= weights.sum()
+    idx = int(rng.choice(len(POSITIVE_FAMILIES), p=weights))
+    snip = POSITIVE_FAMILIES[idx][1](rng)
+    return Snippet(snip.code, None, f"unannotated_{snip.family}")
+
+
+def gen_gauss_elim(rng: np.random.Generator) -> Snippet:
+    """LU/Gaussian-elimination-style triangular update — carried dependence
+    across the outer loop, despite thoroughly HPC-conventional style.
+    Teaches models that naming alone does not imply parallelizability."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, j, k = names.iter_var(), names.iter_var(), names.iter_var()
+    n, a = names.bound(), names.array()
+    code = (
+        f"for ({i} = 0; {i} < {n}; {i}++)\n"
+        f"  for ({j} = 0; {j} < {i}; {j}++) {{\n"
+        f"    for ({k} = 0; {k} < {j}; {k}++)\n"
+        f"      {a}[{i}][{j}] -= {a}[{i}][{k}] * {a}[{k}][{j}];\n"
+        f"    {a}[{i}][{j}] /= {a}[{j}][{j}];\n"
+        f"  }}"
+    )
+    return Snippet(code, None, "gauss_elim")
+
+
+def gen_back_subst(rng: np.random.Generator) -> Snippet:
+    """Triangular solve: x[i] depends on all earlier x[j] — sequential."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, j = names.iter_var(), names.iter_var()
+    n = names.bound()
+    x, b, l = names.array(), names.array(), names.array()
+    code = (
+        f"for ({i} = 0; {i} < {n}; {i}++) {{\n"
+        f"  {x}[{i}] = {b}[{i}];\n"
+        f"  for ({j} = 0; {j} < {i}; {j}++)\n"
+        f"    {x}[{i}] -= {l}[{i}][{j}] * {x}[{j}];\n"
+        f"  {x}[{i}] = {x}[{i}] / {l}[{i}][{i}];\n"
+        f"}}"
+    )
+    return Snippet(code, None, "back_subst")
+
+
+def gen_wavefront(rng: np.random.Generator) -> Snippet:
+    """Wavefront/Seidel-style in-place stencil: reads neighbours written by
+    earlier iterations of the same loop — carried in both dimensions."""
+    names = NamePool(rng, idiosyncratic=_POS_IDIO)
+    i, j = names.iter_var(), names.iter_var()
+    n, a = names.bound(), names.array()
+    kind = _rint(rng, 0, 1)
+    if kind == 0:
+        body = f"{a}[{i}][{j}] = ({a}[{i}-1][{j}] + {a}[{i}][{j}-1]) * 0.5;"
+    else:
+        body = (f"{a}[{i}][{j}] = ({a}[{i}-1][{j}-1] + {a}[{i}-1][{j}] + "
+                f"{a}[{i}][{j}-1] + {a}[{i}][{j}]) / 4.0;")
+    code = (
+        f"for ({i} = 1; {i} < {n}; {i}++)\n"
+        f"  for ({j} = 1; {j} < {n}; {j}++)\n"
+        f"    {body}"
+    )
+    return Snippet(code, None, "wavefront")
+
+
+def gen_long_sequential(rng: np.random.Generator) -> Snippet:
+    """A wide loop body with one carried dependence buried among independent
+    statements — a hard negative for order-free models."""
+    names = NamePool(rng, idiosyncratic=_NEG_IDIO)
+    i, n = names.iter_var(), names.bound()
+    n_stmts = _rint(rng, 8, 40)
+    arrays = names.arrays(min(5, 2 + n_stmts // 8))
+    carrier = arrays[0]
+    dep_pos = _rint(rng, 0, n_stmts - 1)
+    lines = []
+    for s in range(n_stmts):
+        if s == dep_pos:
+            lines.append(f"  {carrier}[{i}] = {carrier}[{i}-1] + {arrays[-1]}[{i}];")
+        else:
+            dst = arrays[s % len(arrays)]
+            src = arrays[(s + 1) % len(arrays)]
+            lines.append(f"  {dst}[{i}] = {_arith_expr(rng, [f'{src}[{i}]', i], depth=1)};")
+    body = "\n".join(lines)
+    code = f"for ({i} = 1; {i} < {n}; {i}++) {{\n{body}\n}}"
+    return Snippet(code, None, "long_sequential")
+
+
+# ===========================================================================
+# Families excluded by the corpus criteria (§3.1.2) — generated only to
+# exercise the builder's exclusion logic.
+# ===========================================================================
+
+
+def gen_empty_loop_omp(rng: np.random.Generator) -> Snippet:
+    """Compiler-compatibility test snippets: annotated empty loops."""
+    names = NamePool(rng)
+    i, n = names.iter_var(), names.bound()
+    code = f"for ({i} = 0; {i} < {n}; {i}++);"
+    return Snippet(code, _PLAIN, "empty_loop_omp")
+
+
+def gen_task_directive(rng: np.random.Generator) -> Snippet:
+    """``task`` construct — excluded because it needs program-logic knowledge."""
+    names = NamePool(rng)
+    fn = names.func()
+    x = names.scalar()
+    code = f"{fn}({x});"
+    return Snippet(code, "#pragma omp task", "task_directive")
+
+
+def gen_non_loop_directive(rng: np.random.Generator) -> Snippet:
+    """A non-loop OpenMP construct (critical section)."""
+    names = NamePool(rng)
+    acc, x = names.scalar(), names.scalar()
+    code = f"{acc} = {acc} + {x};"
+    return Snippet(code, "#pragma omp critical", "non_loop_directive")
+
+
+# ===========================================================================
+# Registries
+# ===========================================================================
+
+#: (weight, generator); weights are normalized at sampling time.  Calibrated
+#: against Table 3: ~45 % of directives carry private, ~19 % reduction,
+#: ~5 % schedule(dynamic).
+POSITIVE_FAMILIES: List[Tuple[float, GenFn]] = [
+    (0.10, gen_init_1d),
+    (0.11, gen_elementwise),
+    (0.06, gen_copy_scale),
+    (0.12, gen_nested_2d),
+    (0.03, gen_polybench_style),
+    (0.05, gen_matmul),
+    (0.07, gen_stencil),
+    (0.04, gen_stencil_1d),
+    (0.05, gen_image_op),
+    (0.05, gen_private_temp),
+    (0.05, gen_reduction_sum),
+    (0.03, gen_dot_product),
+    (0.02, gen_norm),
+    (0.05, gen_minmax),
+    (0.03, gen_reduction_2d),
+    (0.05, gen_unbalanced),
+    (0.02, gen_triangular),
+    (0.06, gen_pure_func_call),
+    (0.08, gen_helper_call),
+    (0.03, gen_struct_update),
+    (0.03, gen_first_touch),
+    (0.03, gen_multi_array),
+    (0.07, gen_long_elementwise),
+    (0.04, gen_big_pure_kernel),
+]
+
+NEGATIVE_FAMILIES: List[Tuple[float, GenFn]] = [
+    (0.12, gen_recurrence),
+    (0.08, gen_prefix_sum),
+    (0.13, gen_io_loop),
+    (0.05, gen_pointer_chase),
+    (0.10, gen_low_trip),
+    (0.08, gen_early_exit),
+    (0.05, gen_rand_loop),
+    (0.07, gen_scalar_carried),
+    (0.07, gen_side_effect_call),
+    (0.06, gen_anti_dep),
+    (0.06, gen_indirect_write),
+    (0.04, gen_char_state),
+    (0.04, gen_file_read),
+    (0.04, gen_running_stat),
+    (0.02, gen_malloc_loop),
+    (0.03, gen_max_index),
+    (0.10, gen_long_sequential),
+    # HPC-styled carried-dependence kernels (LU, trisolv, Seidel): naming
+    # looks parallel, the subscripts say otherwise
+    (0.07, gen_gauss_elim),
+    (0.06, gen_back_subst),
+    (0.06, gen_wavefront),
+    # ~35 % of negatives are parallelizable-but-unannotated: mostly trivial
+    # non-HPC-style loops (learnable), plus a truly ambiguous error floor
+    (0.60, gen_unannotated_parallel),
+    (0.16, gen_unannotated_hard),
+]
+
+EXCLUDED_FAMILIES: List[Tuple[float, GenFn]] = [
+    (0.5, gen_empty_loop_omp),
+    (0.3, gen_task_directive),
+    (0.2, gen_non_loop_directive),
+]
+
+
+def _sample_from(rng: np.random.Generator, families: List[Tuple[float, GenFn]]) -> Snippet:
+    weights = np.array([w for w, _ in families], dtype=np.float64)
+    weights /= weights.sum()
+    idx = int(rng.choice(len(families), p=weights))
+    return families[idx][1](rng)
+
+
+def sample_snippet(rng: RngLike, positive: bool) -> Snippet:
+    """Draw one snippet from the positive or negative family mixture."""
+    gen = ensure_rng(rng)
+    return _sample_from(gen, POSITIVE_FAMILIES if positive else NEGATIVE_FAMILIES)
+
+
+def sample_excluded_snippet(rng: RngLike) -> Snippet:
+    """Draw a snippet that the corpus criteria must reject."""
+    return _sample_from(ensure_rng(rng), EXCLUDED_FAMILIES)
+
+
+def family_names() -> List[str]:
+    """All family identifiers, for stratified reporting."""
+    out = []
+    for _, fn in POSITIVE_FAMILIES + NEGATIVE_FAMILIES:
+        out.append(fn.__name__.replace("gen_", ""))
+    return out

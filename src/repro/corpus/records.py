@@ -1,0 +1,116 @@
+"""Corpus record model and on-disk layout.
+
+A record mirrors the paper's database entry (§3.1.2): the code segment
+relevant to the directive (loop plus any callee implementations found), the
+OpenMP directive (empty for negative records), and the pickled AST.  Records
+are stored one directory each, as ``code.c`` / ``pragma.c`` / ``ast.pkl``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.clang import Compound, parse
+from repro.clang.pragma import OmpDirective, parse_pragma
+
+__all__ = ["Record", "Snippet", "save_records", "load_records"]
+
+
+@dataclass
+class Snippet:
+    """Raw generator output, before corpus criteria are applied.
+
+    ``directive`` is the full pragma text (``#pragma omp ...``) or ``None``
+    for code that developers left unannotated.
+    """
+
+    code: str
+    directive: Optional[str]
+    family: str
+
+
+@dataclass
+class Record:
+    """A corpus entry with its parsed artifacts and provenance metadata."""
+
+    uid: int
+    code: str
+    directive: Optional[str]
+    domain: str  # 'generic' | 'unknown' | 'benchmark' | 'testing'
+    family: str
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    _ast: Optional[Compound] = field(default=None, repr=False, compare=False)
+    _parsed_directive: Optional[OmpDirective] = field(default=None, repr=False, compare=False)
+
+    @property
+    def has_omp(self) -> bool:
+        return self.directive is not None
+
+    @property
+    def ast(self) -> Compound:
+        """Parsed AST of the code segment (cached)."""
+        if self._ast is None:
+            self._ast = parse(self.code)
+        return self._ast
+
+    @property
+    def omp(self) -> Optional[OmpDirective]:
+        """Structured directive, or None for negative records."""
+        if self.directive is None:
+            return None
+        if self._parsed_directive is None:
+            self._parsed_directive = parse_pragma(self.directive)
+        return self._parsed_directive
+
+    @property
+    def line_count(self) -> int:
+        return len([ln for ln in self.code.splitlines() if ln.strip()])
+
+    # -- clause labels for RQ2 ------------------------------------------------
+
+    @property
+    def label_private(self) -> Optional[bool]:
+        """True/False for directive records, None for negatives."""
+        omp = self.omp
+        return None if omp is None else omp.has_private
+
+    @property
+    def label_reduction(self) -> Optional[bool]:
+        omp = self.omp
+        return None if omp is None else omp.has_reduction
+
+
+def save_records(records: List[Record], root: Path) -> None:
+    """Write records in the paper's per-record directory layout."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    for rec in records:
+        d = root / f"record_{rec.uid:06d}"
+        d.mkdir(exist_ok=True)
+        (d / "code.c").write_text(rec.code)
+        (d / "pragma.c").write_text(rec.directive or "")
+        (d / "meta.txt").write_text(f"{rec.domain}\n{rec.family}\n")
+        with open(d / "ast.pkl", "wb") as fh:
+            pickle.dump(rec.ast, fh)
+
+
+def load_records(root: Path) -> List[Record]:
+    """Load records previously written by :func:`save_records`."""
+    root = Path(root)
+    records: List[Record] = []
+    for d in sorted(root.glob("record_*")):
+        uid = int(d.name.split("_")[1])
+        code = (d / "code.c").read_text()
+        pragma_text = (d / "pragma.c").read_text().strip() or None
+        domain, family = (d / "meta.txt").read_text().splitlines()[:2]
+        rec = Record(uid=uid, code=code, directive=pragma_text, domain=domain, family=family)
+        ast_path = d / "ast.pkl"
+        if ast_path.exists():
+            with open(ast_path, "rb") as fh:
+                rec._ast = pickle.load(fh)
+        records.append(rec)
+    return records

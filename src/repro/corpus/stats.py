@@ -1,0 +1,71 @@
+"""Corpus statistics reproducing Tables 3–4 and Figure 3."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List
+
+from repro.corpus.builder import Corpus
+
+__all__ = ["directive_stats", "length_histogram", "domain_distribution"]
+
+
+def directive_stats(corpus: Corpus) -> Dict[str, int]:
+    """Table 3: directive and clause counts over the raw database.
+
+    ``schedule static`` counts loops whose schedule is static *or default*
+    (OpenMP's default policy), matching the paper where static ≈ all
+    directives minus the explicit-dynamic ones.
+    """
+    n_directives = 0
+    n_static = 0
+    n_dynamic = 0
+    n_reduction = 0
+    n_private = 0
+    for rec in corpus:
+        omp = rec.omp
+        if omp is None:
+            continue
+        n_directives += 1
+        sched = omp.schedule
+        if sched is not None and sched[0] == "dynamic":
+            n_dynamic += 1
+        else:
+            n_static += 1
+        if omp.has_reduction:
+            n_reduction += 1
+        if omp.has_private:
+            n_private += 1
+    return {
+        "total_code_snippets": len(corpus),
+        "for_loops_with_omp": n_directives,
+        "schedule_static": n_static,
+        "schedule_dynamic": n_dynamic,
+        "reduction": n_reduction,
+        "private": n_private,
+    }
+
+
+#: Table 4's bins.
+LENGTH_BINS = [(0, 10), (11, 50), (51, 100), (101, 10**9)]
+LENGTH_BIN_LABELS = ["< 10", "11-50", "51-100", "> 100"]
+
+
+def length_histogram(corpus: Corpus) -> Dict[str, int]:
+    """Table 4: snippet line counts binned as in the paper."""
+    counts = dict.fromkeys(LENGTH_BIN_LABELS, 0)
+    for rec in corpus:
+        n = rec.line_count
+        for (lo, hi), label in zip(LENGTH_BINS, LENGTH_BIN_LABELS):
+            if lo <= n <= hi:
+                counts[label] += 1
+                break
+    return counts
+
+
+def domain_distribution(corpus: Corpus) -> Dict[str, float]:
+    """Figure 3: fraction of snippets per source domain."""
+    counter = Counter(rec.domain for rec in corpus)
+    total = max(1, len(corpus))
+    return {domain: counter.get(domain, 0) / total
+            for domain in ("generic", "unknown", "benchmark", "testing")}

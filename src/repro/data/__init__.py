@@ -1,0 +1,28 @@
+"""Dataset splits (Table 5) and model-ready encodings for the directive and
+clause classification tasks."""
+
+from repro.data.encoding import (
+    DEFAULT_MAX_LEN,
+    EncodedDataset,
+    EncodedSplit,
+    TokenCache,
+    encode_dataset,
+)
+from repro.data.splits import (
+    DatasetSplits,
+    Example,
+    make_clause_dataset,
+    make_directive_dataset,
+)
+
+__all__ = [
+    "DEFAULT_MAX_LEN",
+    "EncodedDataset",
+    "EncodedSplit",
+    "TokenCache",
+    "encode_dataset",
+    "DatasetSplits",
+    "Example",
+    "make_clause_dataset",
+    "make_directive_dataset",
+]

@@ -1,0 +1,143 @@
+"""Dataset construction: the 80/10/10 splits of §3.2 and Table 5.
+
+Two datasets are derived from the corpus:
+
+* the **directive** dataset — every record, labelled by whether it carries an
+  OpenMP directive (RQ1);
+* the **clause** datasets — directive-carrying records only, labelled by the
+  presence of a ``private`` or ``reduction`` clause (RQ2), optionally
+  balanced 50/50 by subsampling the majority class as §5.3 does.
+
+Splits are random at the instance level and stratified so each split keeps
+the same label distribution ("maintaining a balanced positive–negative label
+distribution in each dataset").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.corpus.builder import Corpus
+from repro.corpus.records import Record
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["Example", "DatasetSplits", "make_directive_dataset", "make_clause_dataset"]
+
+
+@dataclass(frozen=True)
+class Example:
+    """One labelled instance."""
+
+    record: Record
+    label: int  # 0 or 1
+
+
+@dataclass
+class DatasetSplits:
+    """Train/validation/test splits of labelled examples."""
+
+    train: List[Example]
+    validation: List[Example]
+    test: List[Example]
+    task: str = ""
+
+    def sizes(self) -> Dict[str, int]:
+        """The rows of Table 5."""
+        return {
+            "train": len(self.train),
+            "validation": len(self.validation),
+            "test": len(self.test),
+        }
+
+    def label_fractions(self) -> Dict[str, float]:
+        out = {}
+        for name, split in (("train", self.train), ("validation", self.validation),
+                            ("test", self.test)):
+            out[name] = (sum(e.label for e in split) / len(split)) if split else 0.0
+        return out
+
+
+def _stratified_split(
+    examples: List[Example],
+    ratios: Tuple[float, float, float],
+    rng: np.random.Generator,
+) -> DatasetSplits:
+    """Split while preserving the label ratio in every split."""
+    if abs(sum(ratios) - 1.0) > 1e-9:
+        raise ValueError(f"split ratios must sum to 1, got {ratios}")
+    by_label: Dict[int, List[Example]] = {0: [], 1: []}
+    for ex in examples:
+        by_label[ex.label].append(ex)
+    train: List[Example] = []
+    val: List[Example] = []
+    test: List[Example] = []
+    for label_examples in by_label.values():
+        order = rng.permutation(len(label_examples))
+        shuffled = [label_examples[int(k)] for k in order]
+        n = len(shuffled)
+        n_train = int(round(ratios[0] * n))
+        n_val = int(round(ratios[1] * n))
+        train.extend(shuffled[:n_train])
+        val.extend(shuffled[n_train : n_train + n_val])
+        test.extend(shuffled[n_train + n_val :])
+    # shuffle within each split so labels are not grouped
+    for split in (train, val, test):
+        order = rng.permutation(len(split))
+        split[:] = [split[int(k)] for k in order]
+    return DatasetSplits(train, val, test)
+
+
+def make_directive_dataset(
+    corpus: Corpus,
+    ratios: Tuple[float, float, float] = (0.8, 0.1, 0.1),
+    rng: RngLike = None,
+) -> DatasetSplits:
+    """RQ1 dataset: does this snippet need an OpenMP directive?"""
+    gen = ensure_rng(rng)
+    examples = [Example(rec, int(rec.has_omp)) for rec in corpus]
+    splits = _stratified_split(examples, ratios, gen)
+    splits.task = "directive"
+    return splits
+
+
+def make_clause_dataset(
+    corpus: Corpus,
+    clause: str,
+    ratios: Tuple[float, float, float] = (0.8, 0.1, 0.1),
+    balance: bool = True,
+    rng: RngLike = None,
+) -> DatasetSplits:
+    """RQ2 dataset: does this parallelizable snippet need ``clause``?
+
+    ``clause`` is 'private', 'reduction', or 'schedule_dynamic' (the §6
+    future-work task of predicting the scheduling construct).  With
+    ``balance=True`` the majority class is subsampled to a 50/50 label
+    distribution (§5.3).
+    """
+    if clause not in ("private", "reduction", "schedule_dynamic"):
+        raise ValueError(
+            f"clause must be 'private', 'reduction' or 'schedule_dynamic', got {clause!r}")
+    gen = ensure_rng(rng)
+    examples: List[Example] = []
+    for rec in corpus.positives:
+        if clause == "private":
+            label = rec.label_private
+        elif clause == "reduction":
+            label = rec.label_reduction
+        else:
+            sched = rec.omp.schedule
+            label = sched is not None and sched[0] == "dynamic"
+        examples.append(Example(rec, int(bool(label))))
+    if balance:
+        pos = [e for e in examples if e.label == 1]
+        neg = [e for e in examples if e.label == 0]
+        n = min(len(pos), len(neg))
+        pos_keep = [pos[int(k)] for k in gen.permutation(len(pos))[:n]]
+        neg_keep = [neg[int(k)] for k in gen.permutation(len(neg))[:n]]
+        examples = pos_keep + neg_keep
+    splits = _stratified_split(examples, ratios, gen)
+    splits.task = f"clause:{clause}"
+    return splits

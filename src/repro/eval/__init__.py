@@ -1,0 +1,13 @@
+"""Evaluation: classification metrics (Tables 8–11) and the error-by-length
+analysis (Figure 7)."""
+
+from repro.eval.error_analysis import FIG7_BINS, error_rate_by_length
+from repro.eval.metrics import BinaryMetrics, binary_metrics, confusion_matrix
+
+__all__ = [
+    "FIG7_BINS",
+    "error_rate_by_length",
+    "BinaryMetrics",
+    "binary_metrics",
+    "confusion_matrix",
+]

@@ -1,0 +1,45 @@
+"""Error analyses: prediction error rate by snippet length (Figure 7)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["error_rate_by_length", "FIG7_BINS"]
+
+#: Figure 7's x-axis groups snippet line counts into coarse bins.
+FIG7_BINS: Sequence[Tuple[int, int]] = ((0, 10), (11, 20), (21, 50), (51, 10**9))
+FIG7_LABELS = ("<=10", "11-20", "21-50", ">50")
+
+
+def error_rate_by_length(
+    line_counts: Sequence[int],
+    preds: np.ndarray,
+    labels: np.ndarray,
+    bins: Sequence[Tuple[int, int]] = FIG7_BINS,
+    labels_for_bins: Sequence[str] = FIG7_LABELS,
+) -> Dict[str, Dict[str, float]]:
+    """Per-length-bin error statistics.
+
+    Returns {bin label: {n, errors, error_rate, share_of_errors}} —
+    ``share_of_errors`` is the fraction of *all* errors falling in the bin
+    (the paper: '>80 % of incorrect predictions occurred for code with a
+    length lower than 20')."""
+    preds = np.asarray(preds)
+    labels = np.asarray(labels)
+    wrong = preds != labels
+    total_errors = max(1, int(wrong.sum()))
+    out: Dict[str, Dict[str, float]] = {}
+    counts = np.asarray(line_counts)
+    for (lo, hi), label in zip(bins, labels_for_bins):
+        in_bin = (counts >= lo) & (counts <= hi)
+        n = int(in_bin.sum())
+        errors = int((wrong & in_bin).sum())
+        out[label] = {
+            "n": n,
+            "errors": errors,
+            "error_rate": errors / n if n else 0.0,
+            "share_of_errors": errors / total_errors,
+        }
+    return out

@@ -1,0 +1,61 @@
+"""Classification metrics: precision, recall, F1, accuracy (§5.2).
+
+These are the columns of Tables 8–11.  Positive class is 1 ("directive /
+clause needed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["BinaryMetrics", "binary_metrics", "confusion_matrix"]
+
+
+@dataclass(frozen=True)
+class BinaryMetrics:
+    precision: float
+    recall: float
+    f1: float
+    accuracy: float
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    def as_row(self) -> tuple:
+        """(precision, recall, f1, accuracy) — one table row."""
+        return (self.precision, self.recall, self.f1, self.accuracy)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "accuracy": self.accuracy,
+        }
+
+
+def confusion_matrix(preds: np.ndarray, labels: np.ndarray):
+    """(tp, fp, fn, tn) counts."""
+    preds = np.asarray(preds)
+    labels = np.asarray(labels)
+    if preds.shape != labels.shape:
+        raise ValueError(f"shape mismatch: {preds.shape} vs {labels.shape}")
+    tp = int(((preds == 1) & (labels == 1)).sum())
+    fp = int(((preds == 1) & (labels == 0)).sum())
+    fn = int(((preds == 0) & (labels == 1)).sum())
+    tn = int(((preds == 0) & (labels == 0)).sum())
+    return tp, fp, fn, tn
+
+
+def binary_metrics(preds: np.ndarray, labels: np.ndarray) -> BinaryMetrics:
+    """Precision/recall/F1/accuracy with zero-division-safe conventions."""
+    tp, fp, fn, tn = confusion_matrix(preds, labels)
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    accuracy = (tp + tn) / max(1, len(np.asarray(preds)))
+    return BinaryMetrics(precision, recall, f1, accuracy, tp, fp, fn, tn)

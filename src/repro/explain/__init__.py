@@ -1,0 +1,7 @@
+"""Explainability: LIME-style token importance (§5.4, Figure 8) and
+attention-mass introspection."""
+
+from repro.explain.attention import attention_by_token_class, cls_attention
+from repro.explain.lime import Explanation, LimeExplainer
+
+__all__ = ["Explanation", "LimeExplainer", "attention_by_token_class", "cls_attention"]

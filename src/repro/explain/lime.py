@@ -1,0 +1,94 @@
+"""LIME-style local explanations (§5.4 / Figure 8).
+
+Following Ribeiro et al. 2016 as the paper applies it: perturb the input by
+removing random token subsets, query the model on each perturbation, and fit
+a locally-weighted ridge regression from token presence to the predicted
+positive-class probability.  Each token's coefficient is its signed
+importance ('the probability that the keyword affected the prediction').
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["Explanation", "LimeExplainer"]
+
+
+@dataclass
+class Explanation:
+    """Signed token importances for one prediction."""
+
+    tokens: List[str]
+    weights: np.ndarray  # same length as tokens
+    base_probability: float  # model's P(positive) on the intact input
+
+    def top(self, k: int = 6) -> List[Tuple[str, float]]:
+        """The k tokens with largest |weight|, most influential first."""
+        order = np.argsort(-np.abs(self.weights))
+        return [(self.tokens[int(i)], float(self.weights[int(i)])) for i in order[:k]]
+
+    def supporting(self, k: int = 6) -> List[Tuple[str, float]]:
+        """Tokens pushing toward the positive class."""
+        order = np.argsort(-self.weights)
+        return [(self.tokens[int(i)], float(self.weights[int(i)]))
+                for i in order[:k] if self.weights[int(i)] > 0]
+
+    def opposing(self, k: int = 6) -> List[Tuple[str, float]]:
+        """Tokens pushing toward the negative class."""
+        order = np.argsort(self.weights)
+        return [(self.tokens[int(i)], float(self.weights[int(i)]))
+                for i in order[:k] if self.weights[int(i)] < 0]
+
+
+class LimeExplainer:
+    """Model-agnostic explainer over token sequences.
+
+    ``predict_fn`` maps a list of token sequences to an array of positive-
+    class probabilities; any of our models (PragFormer via vocab encoding,
+    BoW) can be adapted with a small closure.
+    """
+
+    def __init__(self, predict_fn: Callable[[Sequence[List[str]]], np.ndarray],
+                 n_samples: int = 300, kernel_width: float = 0.75,
+                 ridge: float = 1e-3, rng: RngLike = None) -> None:
+        self.predict_fn = predict_fn
+        self.n_samples = n_samples
+        self.kernel_width = kernel_width
+        self.ridge = ridge
+        self.rng = ensure_rng(rng)
+
+    def explain(self, tokens: Sequence[str]) -> Explanation:
+        tokens = list(tokens)
+        n_tok = len(tokens)
+        if n_tok == 0:
+            raise ValueError("cannot explain an empty token sequence")
+        # membership matrix: row 0 is the intact input
+        z = self.rng.random((self.n_samples, n_tok)) < 0.5
+        z[0, :] = True
+        variants: List[List[str]] = []
+        for row in z:
+            kept = [t for t, keep in zip(tokens, row) if keep]
+            variants.append(kept if kept else [tokens[0]])
+        probs = np.asarray(self.predict_fn(variants), dtype=np.float64)
+        if probs.shape != (self.n_samples,):
+            raise ValueError(f"predict_fn returned shape {probs.shape}")
+
+        # locality kernel on cosine-like distance from the intact input
+        frac_kept = z.mean(axis=1)
+        dist = 1.0 - frac_kept
+        weights = np.exp(-(dist**2) / self.kernel_width**2)
+
+        # weighted ridge regression: presence features -> probability
+        x = z.astype(np.float64)
+        x_aug = np.hstack([x, np.ones((self.n_samples, 1))])
+        wx = x_aug * weights[:, None]
+        gram = x_aug.T @ wx + self.ridge * np.eye(n_tok + 1)
+        rhs = wx.T @ probs
+        coefs = np.linalg.solve(gram, rhs)
+        return Explanation(tokens=tokens, weights=coefs[:-1],
+                           base_probability=float(probs[0]))

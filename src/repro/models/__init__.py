@@ -1,0 +1,25 @@
+"""Models: PragFormer (transformer classifier), MLM pretraining (the DeepSCC
+transfer substitute), and the BoW + logistic-regression baseline."""
+
+from repro.models.bow import BowConfig, BowLogistic
+from repro.models.generator import DirectiveGenerator, GeneratedDirective
+from repro.models.hybrid import HybridAdvisor
+from repro.models.persistence import load_pragformer, save_pragformer
+from repro.models.pragformer import PragFormer, PragFormerConfig, TrainHistory
+from repro.models.pretrain import MLMConfig, MLMPretrainer, mask_tokens
+
+__all__ = [
+    "BowConfig",
+    "BowLogistic",
+    "DirectiveGenerator",
+    "GeneratedDirective",
+    "HybridAdvisor",
+    "load_pragformer",
+    "save_pragformer",
+    "PragFormer",
+    "PragFormerConfig",
+    "TrainHistory",
+    "MLMConfig",
+    "MLMPretrainer",
+    "mask_tokens",
+]

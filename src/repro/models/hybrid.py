@@ -1,0 +1,65 @@
+"""Hybrid model+S2S combiner (§2.1).
+
+The paper proposes: 'the model and the S2S compilers can be incorporated
+such that in cases both the model and the S2S compilers agree on a
+directive, it will remain.  Thus, verifying the correctness of the directive
+and the necessity.'  Agreement trades recall for precision — useful when a
+wrong directive (data race) is far costlier than a missed one.
+
+Two policies:
+
+* ``agreement`` — positive only when PragFormer *and* ComPar both insert;
+* ``model_veto`` — ComPar's directive survives unless the model is
+  confidently negative (threshold on P(positive)).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.encoding import EncodedSplit
+from repro.models.pragformer import PragFormer
+from repro.s2s.compar import ComPar
+
+__all__ = ["HybridAdvisor"]
+
+
+class HybridAdvisor:
+    """Combine a trained PragFormer with the ComPar S2S driver."""
+
+    def __init__(self, model: PragFormer, compar: ComPar = None,
+                 veto_threshold: float = 0.2) -> None:
+        self.model = model
+        self.compar = compar or ComPar()
+        self.veto_threshold = veto_threshold
+
+    def predict(self, split: EncodedSplit, codes: Sequence[str],
+                policy: str = "agreement") -> np.ndarray:
+        """Binary predictions under the chosen combination policy."""
+        if len(codes) != len(split):
+            raise ValueError("codes and split must align")
+        probs = self.model.predict_proba(split)[:, 1]
+        s2s_preds, _ = self.compar.predict_directive(list(codes))
+        if policy == "agreement":
+            return ((probs > 0.5) & (s2s_preds == 1)).astype(np.int64)
+        if policy == "model_veto":
+            return ((s2s_preds == 1) & (probs > self.veto_threshold)).astype(np.int64)
+        raise ValueError(f"unknown policy {policy!r}")
+
+    def precision_recall_tradeoff(self, split: EncodedSplit, codes: Sequence[str]):
+        """Metrics of model-alone, S2S-alone, and both policies side by side."""
+        from repro.eval import binary_metrics
+
+        labels = split.labels
+        out = {}
+        out["pragformer"] = binary_metrics(
+            (self.model.predict_proba(split)[:, 1] > 0.5).astype(int), labels).as_dict()
+        s2s_preds, _ = self.compar.predict_directive(list(codes))
+        out["compar"] = binary_metrics(s2s_preds, labels).as_dict()
+        out["agreement"] = binary_metrics(
+            self.predict(split, codes, "agreement"), labels).as_dict()
+        out["model_veto"] = binary_metrics(
+            self.predict(split, codes, "model_veto"), labels).as_dict()
+        return out

@@ -1,0 +1,67 @@
+"""Whole-model persistence: PragFormer weights + vocabulary in one bundle.
+
+``PragFormer.encoder.save`` alone is not enough to redeploy a classifier —
+predictions depend on the exact token->id mapping.  ``save_pragformer``
+writes a single ``.npz`` containing encoder weights, head weights, the
+vocabulary, and the config, and ``load_pragformer`` reconstructs a
+ready-to-predict model.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Tuple
+
+import numpy as np
+
+from repro.models.pragformer import PragFormer, PragFormerConfig
+from repro.tokenize.vocab import Vocab
+
+__all__ = ["save_pragformer", "load_pragformer"]
+
+_FORMAT_VERSION = 1
+
+
+def save_pragformer(model: PragFormer, vocab: Vocab, path: str) -> None:
+    """Bundle model weights, vocabulary, and config into ``path`` (.npz)."""
+    arrays = {}
+    for name, param in model.encoder.named_parameters():
+        arrays[f"encoder/{name}"] = param.data
+    for name, param in model.head.named_parameters():
+        arrays[f"head/{name}"] = param.data
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "config": asdict(model.config),
+        "vocab": vocab._itos,
+    }
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    np.savez(path, **arrays)
+
+
+def load_pragformer(path: str) -> Tuple[PragFormer, Vocab]:
+    """Reconstruct a (model, vocab) pair saved by :func:`save_pragformer`."""
+    path = str(path)
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version in {path}")
+        config = PragFormerConfig(**meta["config"])
+        itos = meta["vocab"]
+        vocab = Vocab(itos[4:])  # specials are re-prepended by Vocab
+        model = PragFormer(len(vocab), config)
+        encoder_state = {}
+        head_state = {}
+        for key in archive.files:
+            if key.startswith("encoder/"):
+                encoder_state[key[len("encoder/"):]] = archive[key]
+            elif key.startswith("head/"):
+                head_state[key[len("head/"):]] = archive[key]
+        model.encoder.load_state_dict(encoder_state)
+        model.head.load_state_dict(head_state)
+    if vocab._itos != itos:
+        raise ValueError("vocabulary reconstruction mismatch")
+    return model, vocab

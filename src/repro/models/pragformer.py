@@ -1,0 +1,261 @@
+"""PragFormer: transformer encoder + FC classification head (§4).
+
+``PragFormer.fit`` runs the §4.3 training recipe — AdamW, dropout, CE loss,
+fine-tuning the full encoder — and records per-epoch train loss, validation
+loss, and validation accuracy, which are exactly the series of Figures 4–6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.encoding import EncodedSplit
+from repro.nn import (
+    AdamW,
+    ClassificationHead,
+    EncoderConfig,
+    TransformerEncoder,
+    clip_grad_norm,
+    cross_entropy,
+    softmax,
+)
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+
+__all__ = ["PragFormerConfig", "TrainHistory", "PragFormer", "trim_batch"]
+
+
+def _length_bucketed_batches(lengths: np.ndarray, batch_size: int,
+                             rng: np.random.Generator):
+    """Shuffled batches with similar lengths grouped together.
+
+    A plain shuffle puts one max-length row in almost every batch, defeating
+    :func:`trim_batch`.  Sorting by length *within* shuffled windows (8
+    batches wide) keeps batches near-uniform in length while preserving
+    stochasticity; batch order is shuffled again afterwards.
+    """
+    n = len(lengths)
+    order = rng.permutation(n)
+    window = batch_size * 8
+    batches = []
+    for wstart in range(0, n, window):
+        w = order[wstart : wstart + window]
+        w = w[np.argsort(lengths[w], kind="stable")]
+        for bstart in range(0, len(w), batch_size):
+            batches.append(w[bstart : bstart + batch_size])
+    return [batches[int(i)] for i in rng.permutation(len(batches))]
+
+
+def trim_batch(ids: np.ndarray, mask: np.ndarray):
+    """Drop all-padding tail columns from a batch.
+
+    Attention cost is quadratic in sequence length, so padding every batch to
+    the global max_len (110) wastes most of the compute; trimming to the
+    batch's longest real row is semantics-preserving (pad positions carry no
+    gradient) and is the single largest speedup in the training loop.
+    """
+    longest = int(mask.sum(axis=1).max())
+    longest = max(1, longest)
+    return ids[:, :longest], mask[:, :longest]
+
+
+@dataclass(frozen=True)
+class PragFormerConfig:
+    """Model + training hyperparameters (scaled-down defaults; §4.3 shape)."""
+
+    d_model: int = 64
+    n_heads: int = 4
+    n_layers: int = 2
+    d_ff: int = 128
+    d_head_hidden: int = 64
+    max_len: int = 110
+    dropout: float = 0.1
+    lr: float = 1e-3
+    weight_decay: float = 0.01
+    batch_size: int = 32
+    grad_clip: float = 1.0
+    #: fraction of total steps spent in linear LR warmup (0 disables)
+    warmup_frac: float = 0.0
+    seed: int = 0
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch curves — the series plotted in Figures 4–6."""
+
+    train_loss: List[float] = field(default_factory=list)
+    valid_loss: List[float] = field(default_factory=list)
+    valid_accuracy: List[float] = field(default_factory=list)
+
+    def best_epoch(self) -> int:
+        """Epoch index (0-based) with the lowest validation loss — the §5.1
+        model-selection rule ('the validation loss curve converges …')."""
+        if not self.valid_loss:
+            raise ValueError("no validation history recorded")
+        return int(np.argmin(self.valid_loss))
+
+
+class PragFormer:
+    """The paper's model: encoder + two-dense-layer head, binary output."""
+
+    def __init__(self, vocab_size: int, config: Optional[PragFormerConfig] = None,
+                 rng: RngLike = None) -> None:
+        self.config = config or PragFormerConfig()
+        seed_rng = ensure_rng(rng if rng is not None else self.config.seed)
+        r_enc, r_head, self._shuffle_rng = spawn_rngs(seed_rng, 3)
+        enc_cfg = EncoderConfig(
+            vocab_size=vocab_size,
+            d_model=self.config.d_model,
+            n_heads=self.config.n_heads,
+            n_layers=self.config.n_layers,
+            d_ff=self.config.d_ff,
+            max_len=self.config.max_len,
+            dropout=self.config.dropout,
+        )
+        self.encoder = TransformerEncoder(enc_cfg, rng=r_enc)
+        self.head = ClassificationHead(
+            self.config.d_model, self.config.d_head_hidden,
+            n_classes=2, dropout=self.config.dropout, rng=r_head,
+        )
+        self._optimizer: Optional[AdamW] = None
+
+    # -- transfer learning -----------------------------------------------------
+
+    def load_pretrained_encoder(self, state: dict) -> None:
+        """Initialize the encoder from an MLM-pretrained checkpoint (the
+        DeepSCC transfer step of §4.1)."""
+        self.encoder.load_state_dict(state)
+
+    # -- core passes -------------------------------------------------------------
+
+    def _forward_logits(self, ids: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        hidden = self.encoder.forward(ids, mask)
+        return self.head.forward(hidden)
+
+    def _backward(self, dlogits: np.ndarray) -> None:
+        self.encoder.backward(self.head.backward(dlogits))
+
+    def _params(self):
+        return self.encoder.parameters() + self.head.parameters()
+
+    # -- training ------------------------------------------------------------------
+
+    def fit(
+        self,
+        train: EncodedSplit,
+        validation: Optional[EncodedSplit] = None,
+        epochs: int = 5,
+        verbose: bool = False,
+        restore_best: bool = True,
+    ) -> TrainHistory:
+        """Fine-tune on a labelled split; returns the epoch history.
+
+        With a validation split and ``restore_best`` (default), the weights
+        from the lowest-validation-loss epoch are restored at the end — the
+        paper's model-selection rule (§5.1: 'since the validation loss curve
+        converges after 7–9 epochs, we choose to use the models trained up
+        to those points').
+        """
+        cfg = self.config
+        if self._optimizer is None:
+            opt = AdamW(_JointModel(self), lr=cfg.lr, weight_decay=cfg.weight_decay)
+            self._optimizer = opt
+        else:
+            opt = self._optimizer
+        schedule = None
+        if cfg.warmup_frac > 0:
+            from repro.nn import WarmupSchedule
+
+            total_steps = epochs * max(1, (len(train) + cfg.batch_size - 1) // cfg.batch_size)
+            schedule = WarmupSchedule(opt, peak_lr=cfg.lr,
+                                      warmup_steps=max(1, int(cfg.warmup_frac * total_steps)))
+        history = TrainHistory()
+        n = len(train)
+        bs = cfg.batch_size
+        lengths = train.mask.sum(axis=1)
+        best_state = None
+        best_loss = np.inf
+        for epoch in range(epochs):
+            self.encoder.train()
+            self.head.train()
+            batches = _length_bucketed_batches(lengths, bs, self._shuffle_rng)
+            epoch_loss = 0.0
+            n_batches = 0
+            for sel in batches:
+                ids, mask = trim_batch(train.ids[sel], train.mask[sel])
+                labels = train.labels[sel]
+                logits = self._forward_logits(ids, mask)
+                loss, dlogits = cross_entropy(logits, labels)
+                opt.zero_grad()
+                self._backward(dlogits)
+                clip_grad_norm(self._params(), cfg.grad_clip)
+                if schedule is not None:
+                    schedule.step()
+                opt.step()
+                epoch_loss += loss
+                n_batches += 1
+            history.train_loss.append(epoch_loss / max(1, n_batches))
+            if validation is not None:
+                val_loss, val_acc = self.evaluate(validation)
+                history.valid_loss.append(val_loss)
+                history.valid_accuracy.append(val_acc)
+                if restore_best and val_loss < best_loss:
+                    best_loss = val_loss
+                    best_state = (self.encoder.state_dict(), self.head.state_dict())
+                if verbose:  # pragma: no cover - logging only
+                    print(f"epoch {epoch + 1}: train {history.train_loss[-1]:.4f} "
+                          f"valid {val_loss:.4f} acc {val_acc:.4f}")
+        if best_state is not None:
+            self.encoder.load_state_dict(best_state[0])
+            self.head.load_state_dict(best_state[1])
+        return history
+
+    # -- inference -----------------------------------------------------------------
+
+    def predict_proba(self, split: EncodedSplit, batch_size: int = 128) -> np.ndarray:
+        """(N, 2) class probabilities."""
+        self.encoder.eval()
+        self.head.eval()
+        out = np.empty((len(split), 2))
+        # process in length order so trim_batch bites, then scatter back
+        order = np.argsort(split.mask.sum(axis=1), kind="stable")
+        for start in range(0, len(split), batch_size):
+            sel = order[start : start + batch_size]
+            ids, mask = trim_batch(split.ids[sel], split.mask[sel])
+            out[sel] = softmax(self._forward_logits(ids, mask))
+        return out
+
+    def predict(self, split: EncodedSplit, batch_size: int = 128) -> np.ndarray:
+        """Predicted labels: positive iff P(positive) > 0.5 (§4.1)."""
+        return (self.predict_proba(split, batch_size)[:, 1] > 0.5).astype(np.int64)
+
+    def evaluate(self, split: EncodedSplit, batch_size: int = 128):
+        """(mean CE loss, accuracy) on a split."""
+        self.encoder.eval()
+        self.head.eval()
+        total_loss = 0.0
+        correct = 0
+        order = np.argsort(split.mask.sum(axis=1), kind="stable")
+        for start in range(0, len(split), batch_size):
+            sel = order[start : start + batch_size]
+            ids, mask = trim_batch(split.ids[sel], split.mask[sel])
+            labels = split.labels[sel]
+            logits = self._forward_logits(ids, mask)
+            loss, _ = cross_entropy(logits, labels)
+            total_loss += loss * ids.shape[0]
+            correct += int((np.argmax(logits, axis=1) == labels).sum())
+        n = len(split)
+        return total_loss / max(1, n), correct / max(1, n)
+
+
+class _JointModel:
+    """Adapter exposing encoder+head parameters to AdamW as one model."""
+
+    def __init__(self, model: PragFormer) -> None:
+        self._model = model
+
+    def named_parameters(self):
+        yield from self._model.encoder.named_parameters("encoder.")
+        yield from self._model.head.named_parameters("head.")

@@ -1,0 +1,128 @@
+"""Masked-language-model pretraining — the DeepSCC substitute (§4.1).
+
+DeepSCC fine-tunes RoBERTa on source code with the MLM objective; here we
+pretrain our scaled-down encoder on the corpus code itself (labels never
+used), producing a checkpoint PragFormer loads before fine-tuning.  The
+masking recipe is BERT/RoBERTa's: 15 % of non-special positions are
+selected; of those, 80 % become ``<mask>``, 10 % a random token, 10 % stay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import (
+    AdamW,
+    EncoderConfig,
+    MLMHead,
+    TransformerEncoder,
+    clip_grad_norm,
+    masked_cross_entropy,
+)
+from repro.models.pragformer import trim_batch
+from repro.tokenize.vocab import Vocab
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+
+__all__ = ["MLMConfig", "MLMPretrainer", "mask_tokens"]
+
+
+@dataclass(frozen=True)
+class MLMConfig:
+    mask_prob: float = 0.15
+    mask_token_frac: float = 0.8
+    random_token_frac: float = 0.1
+    lr: float = 5e-4
+    weight_decay: float = 0.01
+    batch_size: int = 32
+    grad_clip: float = 1.0
+
+
+def mask_tokens(
+    ids: np.ndarray,
+    mask: np.ndarray,
+    vocab: Vocab,
+    rng: np.random.Generator,
+    cfg: MLMConfig,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Apply the BERT masking recipe.
+
+    Returns (corrupted ids, targets, loss_mask): positions not selected for
+    prediction carry loss_mask 0.  CLS and padding are never masked.
+    """
+    corrupted = ids.copy()
+    selectable = mask.astype(bool) & (ids != vocab.cls_id) & (ids != vocab.pad_id)
+    selected = selectable & (rng.random(ids.shape) < cfg.mask_prob)
+    roll = rng.random(ids.shape)
+    to_mask = selected & (roll < cfg.mask_token_frac)
+    to_random = selected & (roll >= cfg.mask_token_frac) & (
+        roll < cfg.mask_token_frac + cfg.random_token_frac
+    )
+    corrupted[to_mask] = vocab.mask_id
+    n_random = int(to_random.sum())
+    if n_random:
+        # draw replacement ids from the non-special region [4, |V|)
+        corrupted[to_random] = rng.integers(4, len(vocab), size=n_random)
+    return corrupted, ids, selected.astype(np.float64)
+
+
+class MLMPretrainer:
+    """Self-supervised pretraining loop over encoded (unlabeled) sequences."""
+
+    def __init__(self, encoder_cfg: EncoderConfig, vocab: Vocab,
+                 cfg: Optional[MLMConfig] = None, rng: RngLike = None) -> None:
+        self.cfg = cfg or MLMConfig()
+        self.vocab = vocab
+        seed = ensure_rng(rng)
+        r_enc, r_head, self._rng = spawn_rngs(seed, 3)
+        self.encoder = TransformerEncoder(encoder_cfg, rng=r_enc)
+        self.mlm_head = MLMHead(encoder_cfg.d_model, encoder_cfg.vocab_size, rng=r_head)
+
+    def fit(self, ids: np.ndarray, mask: np.ndarray, epochs: int = 3,
+            verbose: bool = False) -> List[float]:
+        """Pretrain on (N, L) id/mask arrays; returns per-epoch MLM losses."""
+        joint = _Joint(self.encoder, self.mlm_head)
+        opt = AdamW(joint, lr=self.cfg.lr, weight_decay=self.cfg.weight_decay)
+        losses: List[float] = []
+        n = ids.shape[0]
+        bs = self.cfg.batch_size
+        for epoch in range(epochs):
+            self.encoder.train()
+            order = self._rng.permutation(n)
+            total, batches = 0.0, 0
+            for start in range(0, n, bs):
+                sel = order[start : start + bs]
+                b_ids, b_mask = trim_batch(ids[sel], mask[sel])
+                corrupted, targets, loss_mask = mask_tokens(
+                    b_ids, b_mask, self.vocab, self._rng, self.cfg
+                )
+                hidden = self.encoder.forward(corrupted, b_mask)
+                logits = self.mlm_head.forward(hidden)
+                loss, dlogits = masked_cross_entropy(logits, targets, loss_mask)
+                opt.zero_grad()
+                self.encoder.backward(self.mlm_head.backward(dlogits))
+                clip_grad_norm(self.encoder.parameters() + self.mlm_head.parameters(),
+                               self.cfg.grad_clip)
+                opt.step()
+                total += loss
+                batches += 1
+            losses.append(total / max(1, batches))
+            if verbose:  # pragma: no cover
+                print(f"MLM epoch {epoch + 1}: loss {losses[-1]:.4f}")
+        return losses
+
+    def encoder_state(self) -> Dict[str, np.ndarray]:
+        """The pretrained encoder checkpoint PragFormer transfers from."""
+        return self.encoder.state_dict()
+
+
+class _Joint:
+    def __init__(self, encoder: TransformerEncoder, head: MLMHead) -> None:
+        self.encoder = encoder
+        self.head = head
+
+    def named_parameters(self):
+        yield from self.encoder.named_parameters("encoder.")
+        yield from self.head.named_parameters("head.")

@@ -1,0 +1,40 @@
+"""Pure-NumPy neural-network substrate: modules, transformer encoder, task
+heads, losses, and AdamW — the role HuggingFace transformers + PyTorch play
+in the paper, built from scratch with explicit backpropagation."""
+
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.heads import ClassificationHead, MLMHead
+from repro.nn.layers import Dropout, Embedding, GELU, LayerNorm, Linear, ReLU
+from repro.nn.losses import cross_entropy, masked_cross_entropy, softmax
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import AdamW, WarmupSchedule, clip_grad_norm
+from repro.nn.transformer import (
+    EncoderConfig,
+    FeedForward,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+)
+
+__all__ = [
+    "MultiHeadSelfAttention",
+    "ClassificationHead",
+    "MLMHead",
+    "Dropout",
+    "Embedding",
+    "GELU",
+    "LayerNorm",
+    "Linear",
+    "ReLU",
+    "cross_entropy",
+    "masked_cross_entropy",
+    "softmax",
+    "Module",
+    "Parameter",
+    "AdamW",
+    "WarmupSchedule",
+    "clip_grad_norm",
+    "EncoderConfig",
+    "FeedForward",
+    "TransformerEncoder",
+    "TransformerEncoderLayer",
+]

@@ -1,0 +1,95 @@
+"""Multi-head self-attention with key-padding masking.
+
+The attention weights of the last forward pass are kept on the module
+(``last_attention``) so the explainability tooling (§5.4) can inspect where
+the model attends without re-running a hooked forward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+
+__all__ = ["MultiHeadSelfAttention"]
+
+_NEG_INF = -1e9
+
+
+def _softmax_lastaxis(scores: np.ndarray) -> np.ndarray:
+    shifted = scores - scores.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention over (B, L, D) inputs."""
+
+    def __init__(self, d_model: int, n_heads: int, dropout: float = 0.1,
+                 rng: RngLike = None) -> None:
+        super().__init__()
+        if d_model % n_heads != 0:
+            raise ValueError(f"d_model={d_model} not divisible by n_heads={n_heads}")
+        self.d_model = d_model
+        self.n_heads = n_heads
+        self.d_head = d_model // n_heads
+        r_q, r_k, r_v, r_o, r_d = spawn_rngs(rng, 5)
+        self.q_proj = Linear(d_model, d_model, rng=r_q)
+        self.k_proj = Linear(d_model, d_model, rng=r_k)
+        self.v_proj = Linear(d_model, d_model, rng=r_v)
+        self.out_proj = Linear(d_model, d_model, rng=r_o)
+        self.attn_dropout = Dropout(dropout, rng=r_d)
+        self.last_attention: Optional[np.ndarray] = None  # (B, H, L, L)
+        self._cache = None
+
+    def _split(self, x: np.ndarray) -> np.ndarray:
+        """(B, L, D) -> (B, H, L, d_head), contiguous for the matmuls."""
+        b, l, _ = x.shape
+        return np.ascontiguousarray(
+            x.reshape(b, l, self.n_heads, self.d_head).transpose(0, 2, 1, 3)
+        )
+
+    def _merge(self, x: np.ndarray) -> np.ndarray:
+        """(B, H, L, d_head) -> (B, L, D)."""
+        b, h, l, dh = x.shape
+        return np.ascontiguousarray(x.transpose(0, 2, 1, 3)).reshape(b, l, h * dh)
+
+    def forward(self, x: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """``mask`` is (B, L) with 1 for real tokens, 0 for padding."""
+        q = self._split(self.q_proj.forward(x))
+        k = self._split(self.k_proj.forward(x))
+        v = self._split(self.v_proj.forward(x))
+
+        scale = 1.0 / np.sqrt(self.d_head)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale  # (B, H, L, L)
+        if mask is not None:
+            # broadcast over heads and query positions; pad keys get -inf
+            scores = scores + (1.0 - mask[:, None, None, :]) * _NEG_INF
+        attn = _softmax_lastaxis(scores)
+        self.last_attention = attn
+        attn_dropped = self.attn_dropout.forward(attn)
+        context = attn_dropped @ v  # (B, H, L, d_head)
+        out = self.out_proj.forward(self._merge(context))
+        self._cache = (q, k, v, attn, attn_dropped, scale)
+        return out
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        q, k, v, attn, attn_dropped, scale = self._cache
+        dcontext = self._split(self.out_proj.backward(dy))
+        dattn_dropped = dcontext @ v.transpose(0, 1, 3, 2)
+        dv = attn_dropped.transpose(0, 1, 3, 2) @ dcontext
+        dattn = self.attn_dropout.backward(dattn_dropped)
+        # softmax backward: ds = attn * (dattn - sum(dattn * attn))
+        inner = (dattn * attn).sum(axis=-1, keepdims=True)
+        dscores = attn * (dattn - inner)
+        # masked positions have attn == 0, so dscores is already 0 there
+        dq = (dscores @ k) * scale
+        dk = (dscores.transpose(0, 1, 3, 2) @ q) * scale
+        dx = self.q_proj.backward(self._merge(dq))
+        dx += self.k_proj.backward(self._merge(dk))
+        dx += self.v_proj.backward(self._merge(dv))
+        return dx

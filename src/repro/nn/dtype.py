@@ -1,0 +1,41 @@
+"""Global compute dtype for the NN substrate.
+
+float32 halves memory traffic and roughly doubles BLAS/transcendental
+throughput versus float64 — the difference between a usable and an unusable
+CPU training loop at our scales.  Gradient-check tests switch to float64,
+where central differences are meaningful.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = ["get_dtype", "set_dtype", "use_dtype"]
+
+_DTYPE = np.dtype(np.float32)
+
+
+def get_dtype() -> np.dtype:
+    """The dtype every Parameter and activation uses."""
+    return _DTYPE
+
+
+def set_dtype(dtype) -> None:
+    global _DTYPE
+    dt = np.dtype(dtype)
+    if dt not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"unsupported compute dtype {dt}")
+    _DTYPE = dt
+
+
+@contextmanager
+def use_dtype(dtype):
+    """Temporarily switch the compute dtype (used by gradcheck tests)."""
+    previous = get_dtype()
+    set_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_dtype(previous)

@@ -1,0 +1,67 @@
+"""Task heads: sequence classification (PragFormer's FC stack) and MLM.
+
+The classification head follows §4.3 exactly: two dense layers with a ReLU
+between them, dropout for regularization, softmax output over two classes,
+reading the encoder's CLS position.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Dropout, Linear, ReLU
+from repro.nn.module import Module
+from repro.utils.rng import RngLike, spawn_rngs
+
+__all__ = ["ClassificationHead", "MLMHead"]
+
+
+class ClassificationHead(Module):
+    """CLS-position classifier: Dense -> ReLU -> Dropout -> Dense."""
+
+    def __init__(self, d_model: int, d_hidden: int, n_classes: int = 2,
+                 dropout: float = 0.1, rng: RngLike = None) -> None:
+        super().__init__()
+        r1, r2, r3 = spawn_rngs(rng, 3)
+        self.fc1 = Linear(d_model, d_hidden, rng=r1)
+        self.act = ReLU()
+        self.drop = Dropout(dropout, rng=r2)
+        self.fc2 = Linear(d_hidden, n_classes, rng=r3)
+        self._seq_shape = None
+
+    def forward(self, hidden: np.ndarray) -> np.ndarray:
+        """hidden: (B, L, D) encoder output; uses position 0 (CLS).
+
+        Returns logits (B, n_classes)."""
+        self._seq_shape = hidden.shape
+        cls = hidden[:, 0, :]
+        return self.fc2.forward(self.drop.forward(self.act.forward(self.fc1.forward(cls))))
+
+    def backward(self, dlogits: np.ndarray) -> np.ndarray:
+        """Returns gradient w.r.t. the full (B, L, D) hidden sequence."""
+        dcls = self.fc1.backward(self.act.backward(self.drop.backward(self.fc2.backward(dlogits))))
+        dhidden = np.zeros(self._seq_shape, dtype=dcls.dtype)
+        dhidden[:, 0, :] = dcls
+        return dhidden
+
+
+class MLMHead(Module):
+    """Masked-language-model head: per-position projection to the vocab.
+
+    Weight tying with the token embedding is optional; we keep an untied
+    Linear for simplicity (the transfer effect measured in the ablation does
+    not hinge on tying)."""
+
+    def __init__(self, d_model: int, vocab_size: int, rng: RngLike = None) -> None:
+        super().__init__()
+        (r1,) = spawn_rngs(rng, 1)
+        self.proj = Linear(d_model, vocab_size, rng=r1)
+
+    def forward(self, hidden: np.ndarray) -> np.ndarray:
+        """hidden (B, L, D) -> logits (B, L, V)."""
+        return self.proj.forward(hidden)
+
+    def backward(self, dlogits: np.ndarray) -> np.ndarray:
+        return self.proj.backward(dlogits)

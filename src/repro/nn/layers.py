@@ -1,0 +1,173 @@
+"""Core layers: Linear, Embedding, LayerNorm, Dropout, activations.
+
+Every layer implements ``forward`` (caching what backward needs) and
+``backward`` (accumulating parameter grads in place, returning the input
+gradient).  All operations are batched matmuls or elementwise NumPy ops —
+no Python loops over tokens.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["Linear", "Embedding", "LayerNorm", "Dropout", "ReLU", "GELU"]
+
+
+class Linear(Module):
+    """Affine map over the last axis: ``y = x @ W + b``."""
+
+    def __init__(self, d_in: int, d_out: int, rng: RngLike = None, bias: bool = True) -> None:
+        super().__init__()
+        gen = ensure_rng(rng)
+        # Glorot/Xavier uniform keeps activations in range for tanh/GELU nets
+        bound = np.sqrt(6.0 / (d_in + d_out))
+        self.W = Parameter(gen.uniform(-bound, bound, size=(d_in, d_out)))
+        self.b = Parameter(np.zeros(d_out)) if bias else None
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        y = x @ self.W.data
+        if self.b is not None:
+            y += self.b.data
+        return y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        x = self._x
+        # collapse all leading axes into one batch axis for the grad matmuls
+        x2 = x.reshape(-1, x.shape[-1])
+        dy2 = dy.reshape(-1, dy.shape[-1])
+        self.W.grad += x2.T @ dy2
+        if self.b is not None:
+            self.b.grad += dy2.sum(axis=0)
+        return (dy2 @ self.W.data.T).reshape(x.shape)
+
+
+class Embedding(Module):
+    """Token-id lookup table: ids (…,) -> vectors (…, d)."""
+
+    def __init__(self, n_embeddings: int, d: int, rng: RngLike = None,
+                 scale: float = 0.02) -> None:
+        super().__init__()
+        gen = ensure_rng(rng)
+        self.W = Parameter(gen.normal(0.0, scale, size=(n_embeddings, d)))
+        self._ids: Optional[np.ndarray] = None
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        self._ids = ids
+        return self.W.data[ids]
+
+    def backward(self, dy: np.ndarray) -> None:
+        flat_ids = self._ids.reshape(-1)
+        flat_dy = dy.reshape(-1, dy.shape[-1])
+        # segmented sum via sort + reduceat: ~10x faster than the unbuffered
+        # scatter np.add.at for thousands of rows
+        order = np.argsort(flat_ids, kind="stable")
+        sorted_ids = flat_ids[order]
+        sorted_dy = flat_dy[order]
+        starts = np.flatnonzero(np.diff(sorted_ids)) + 1
+        starts = np.concatenate(([0], starts))
+        sums = np.add.reduceat(sorted_dy, starts, axis=0)
+        self.W.grad[sorted_ids[starts]] += sums
+        return None  # ids are not differentiable
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis."""
+
+    def __init__(self, d: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.gamma = Parameter(np.ones(d))
+        self.beta = Parameter(np.zeros(d))
+        self.eps = eps
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std)
+        return x_hat * self.gamma.data + self.beta.data
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        x_hat, inv_std = self._cache
+        d = x_hat.shape[-1]
+        axes = tuple(range(dy.ndim - 1))
+        self.gamma.grad += (dy * x_hat).sum(axis=axes)
+        self.beta.grad += dy.sum(axis=axes)
+        dxhat = dy * self.gamma.data
+        # dL/dx = inv_std * (dxhat - mean(dxhat) - x_hat * mean(dxhat * x_hat))
+        m1 = dxhat.mean(axis=-1, keepdims=True)
+        m2 = (dxhat * x_hat).mean(axis=-1, keepdims=True)
+        return inv_std * (dxhat - m1 - x_hat * m2)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode (§4.3 regularization)."""
+
+    def __init__(self, p: float, rng: RngLike = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout p must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = ensure_rng(rng)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = x.dtype.type(1.0 - self.p)
+        uniform = self.rng.random(x.shape, dtype=x.dtype if x.dtype == np.float32 else np.float64)
+        self._mask = (uniform < keep).astype(x.dtype) / keep
+        return x * self._mask
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return dy
+        return dy * self._mask
+
+
+class ReLU(Module):
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        return dy * self._mask
+
+
+class GELU(Module):
+    """tanh-approximated GELU (the transformer FFN activation)."""
+
+    _C = np.sqrt(2.0 / np.pi)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        c = x.dtype.type(self._C)
+        a = x.dtype.type(0.044715)
+        x2 = x * x
+        t = np.tanh(c * (x + a * x2 * x))
+        self._cache = (x, x2, t)
+        return 0.5 * x * (1.0 + t)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        x, x2, t = self._cache
+        c = x.dtype.type(self._C)
+        a3 = x.dtype.type(3 * 0.044715)
+        du = c * (1.0 + a3 * x2)
+        dt = (1.0 - t * t) * du
+        return dy * (0.5 * (1.0 + t) + 0.5 * x * dt)

@@ -1,0 +1,65 @@
+"""Losses: softmax cross-entropy for classification and masked-position MLM.
+
+For the binary tasks, softmax CE over two logits is exactly the paper's
+binary cross-entropy (Eq. 1) with ``p`` the softmax probability of the
+positive class.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["softmax", "cross_entropy", "masked_cross_entropy"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically-stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean CE over a batch.
+
+    logits: (B, C); labels: (B,) int.  Returns (loss, dlogits) where
+    ``dlogits`` already includes the 1/B batch normalization.
+    """
+    b = logits.shape[0]
+    probs = softmax(logits)
+    picked = probs[np.arange(b), labels]
+    loss = float(-np.log(np.clip(picked, 1e-12, None)).mean())
+    dlogits = probs
+    dlogits[np.arange(b), labels] -= 1.0
+    dlogits /= b
+    return loss, dlogits
+
+
+def masked_cross_entropy(
+    logits: np.ndarray, targets: np.ndarray, loss_mask: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """CE averaged over masked positions only (the MLM objective).
+
+    logits: (B, L, V); targets: (B, L) int; loss_mask: (B, L) with 1 at
+    positions that contribute to the loss.
+    """
+    b, l, v = logits.shape
+    flat_logits = logits.reshape(-1, v)
+    flat_targets = targets.reshape(-1)
+    flat_mask = loss_mask.reshape(-1).astype(bool)
+    n = int(flat_mask.sum())
+    dlogits = np.zeros_like(flat_logits)
+    if n == 0:
+        return 0.0, dlogits.reshape(b, l, v)
+    sel_logits = flat_logits[flat_mask]
+    sel_targets = flat_targets[flat_mask]
+    probs = softmax(sel_logits)
+    picked = probs[np.arange(n), sel_targets]
+    loss = float(-np.log(np.clip(picked, 1e-12, None)).mean())
+    dsel = probs
+    dsel[np.arange(n), sel_targets] -= 1.0
+    dsel /= n
+    dlogits[flat_mask] = dsel
+    return loss, dlogits.reshape(b, l, v)

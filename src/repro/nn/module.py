@@ -1,0 +1,117 @@
+"""Parameter and Module base classes for the pure-NumPy NN substrate.
+
+The substrate uses explicit, layer-local backpropagation rather than a tape:
+every module's ``forward`` caches exactly the activations its ``backward``
+needs, and ``backward`` accumulates parameter gradients in place and returns
+the gradient with respect to its input.  This keeps the hot path free of
+graph bookkeeping and lets every step be expressed as a handful of large
+BLAS calls, per the NumPy performance guidance (vectorize; avoid copies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.nn.dtype import get_dtype
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter:
+    """A trainable tensor with an in-place-accumulated gradient."""
+
+    __slots__ = ("data", "grad")
+
+    def __init__(self, data: np.ndarray) -> None:
+        self.data = np.ascontiguousarray(data, dtype=get_dtype())
+        self.grad = np.zeros_like(self.data)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+
+class Module:
+    """Base class: parameter discovery, train/eval mode, state dicts.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; discovery walks ``__dict__`` (and lists of modules)
+    recursively in deterministic attribute order.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- mode ---------------------------------------------------------------
+
+    def train(self) -> "Module":
+        for m in self.modules():
+            m.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for m in self.modules():
+            m.training = False
+        return self
+
+    # -- discovery ------------------------------------------------------------
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, value in self.__dict__.items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{full}.{i}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        return int(sum(p.data.size for p in self.parameters()))
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- (de)serialization ------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, p in own.items():
+            if p.data.shape != state[name].shape:
+                raise ValueError(f"shape mismatch for {name}: {p.data.shape} vs {state[name].shape}")
+            p.data[...] = state[name]
+
+    def save(self, path: str) -> None:
+        np.savez(path, **self.state_dict())
+
+    def load(self, path: str) -> None:
+        with np.load(path) as archive:
+            self.load_state_dict({k: archive[k] for k in archive.files})

@@ -1,0 +1,96 @@
+"""Optimizers: AdamW (§4.3) with decoupled weight decay, plus gradient
+clipping and a linear-warmup schedule.
+
+All state updates are in place on preallocated moment buffers — no
+per-step allocation in the training hot loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+__all__ = ["AdamW", "clip_grad_norm", "WarmupSchedule"]
+
+
+def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm."""
+    total = 0.0
+    for p in params:
+        total += float((p.grad * p.grad).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm > 0:
+        scale = max_norm / (norm + 1e-12)
+        for p in params:
+            p.grad *= scale
+    return norm
+
+
+class AdamW:
+    """AdamW (Loshchilov & Hutter): Adam step + decoupled weight decay.
+
+    Decay is skipped for 1-D parameters (biases, LayerNorm scales), the
+    standard practice the paper's training setup inherits from RoBERTa.
+    """
+
+    def __init__(self, model: Module, lr: float = 1e-3, betas=(0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.01) -> None:
+        self.named = list(model.named_parameters())
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for _, p in self.named]
+        self._v = [np.zeros_like(p.data) for _, p in self.named]
+
+    def step(self) -> None:
+        self.t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self.t
+        bias2 = 1.0 - b2**self.t
+        step_size = self.lr / bias1
+        for (name, p), m, v in zip(self.named, self._m, self._v):
+            g = p.grad
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * g * g
+            denom = np.sqrt(v / bias2) + self.eps
+            p.data -= step_size * (m / denom)
+            if self.weight_decay and p.data.ndim > 1:
+                p.data -= self.lr * self.weight_decay * p.data
+
+    def zero_grad(self) -> None:
+        for _, p in self.named:
+            p.zero_grad()
+
+
+class WarmupSchedule:
+    """Linear warmup to ``peak_lr`` over ``warmup_steps``, then constant or
+    linear decay to zero at ``total_steps`` (if given)."""
+
+    def __init__(self, optimizer: AdamW, peak_lr: float, warmup_steps: int,
+                 total_steps: int = 0) -> None:
+        self.opt = optimizer
+        self.peak = peak_lr
+        self.warmup = max(1, warmup_steps)
+        self.total = total_steps
+        self.step_num = 0
+
+    def step(self) -> float:
+        self.step_num += 1
+        if self.step_num <= self.warmup:
+            lr = self.peak * self.step_num / self.warmup
+        elif self.total > self.warmup:
+            frac = (self.total - self.step_num) / max(1, self.total - self.warmup)
+            lr = self.peak * max(0.0, frac)
+        else:
+            lr = self.peak
+        self.opt.lr = lr
+        return lr

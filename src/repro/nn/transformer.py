@@ -1,0 +1,133 @@
+"""Transformer encoder: embeddings, encoder layers, and the full stack.
+
+Post-LN layout (as in RoBERTa, which DeepSCC fine-tunes):
+``x = LN(x + Attn(x)); x = LN(x + FFN(x))``.  Learned positional embeddings,
+GELU feed-forward, dropout on embeddings/attention/FFN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.layers import Dropout, Embedding, GELU, LayerNorm, Linear
+from repro.nn.module import Module
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+
+__all__ = ["EncoderConfig", "FeedForward", "TransformerEncoderLayer", "TransformerEncoder"]
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """Hyperparameters of the encoder stack.
+
+    Defaults are the scaled-down PragFormer used throughout the benches;
+    §4.3's sequence cap of 110 tokens is the default ``max_len``.
+    """
+
+    vocab_size: int = 1000
+    d_model: int = 64
+    n_heads: int = 4
+    n_layers: int = 2
+    d_ff: int = 128
+    max_len: int = 110
+    dropout: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.n_heads:
+            raise ValueError("d_model must be divisible by n_heads")
+
+
+class FeedForward(Module):
+    """Position-wise FFN: Linear -> GELU -> Dropout -> Linear."""
+
+    def __init__(self, d_model: int, d_ff: int, dropout: float, rng: RngLike = None) -> None:
+        super().__init__()
+        r1, r2, r3 = spawn_rngs(rng, 3)
+        self.fc1 = Linear(d_model, d_ff, rng=r1)
+        self.act = GELU()
+        self.drop = Dropout(dropout, rng=r2)
+        self.fc2 = Linear(d_ff, d_model, rng=r3)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.fc2.forward(self.drop.forward(self.act.forward(self.fc1.forward(x))))
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        return self.fc1.backward(self.act.backward(self.drop.backward(self.fc2.backward(dy))))
+
+
+class TransformerEncoderLayer(Module):
+    """One post-LN encoder block."""
+
+    def __init__(self, cfg: EncoderConfig, rng: RngLike = None) -> None:
+        super().__init__()
+        r_attn, r_ff, r_d1, r_d2 = spawn_rngs(rng, 4)
+        self.attn = MultiHeadSelfAttention(cfg.d_model, cfg.n_heads, cfg.dropout, rng=r_attn)
+        self.ln1 = LayerNorm(cfg.d_model)
+        self.ffn = FeedForward(cfg.d_model, cfg.d_ff, cfg.dropout, rng=r_ff)
+        self.ln2 = LayerNorm(cfg.d_model)
+        self.drop1 = Dropout(cfg.dropout, rng=r_d1)
+        self.drop2 = Dropout(cfg.dropout, rng=r_d2)
+
+    def forward(self, x: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        x = self.ln1.forward(x + self.drop1.forward(self.attn.forward(x, mask)))
+        x = self.ln2.forward(x + self.drop2.forward(self.ffn.forward(x)))
+        return x
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        d = self.ln2.backward(dy)
+        d = d + self.ffn.backward(self.drop2.backward(d))
+        d = self.ln1.backward(d)
+        d = d + self.attn.backward(self.drop1.backward(d))
+        return d
+
+
+class TransformerEncoder(Module):
+    """Token + position embeddings followed by the encoder stack.
+
+    ``forward`` returns the full hidden-state sequence (B, L, D); heads pick
+    what they need (CLS slot for classification, all positions for MLM).
+    """
+
+    def __init__(self, cfg: EncoderConfig, rng: RngLike = None) -> None:
+        super().__init__()
+        self.cfg = cfg
+        r_tok, r_pos, r_drop, *r_layers = spawn_rngs(rng, 3 + cfg.n_layers)
+        self.tok_emb = Embedding(cfg.vocab_size, cfg.d_model, rng=r_tok)
+        self.pos_emb = Embedding(cfg.max_len, cfg.d_model, rng=r_pos)
+        self.emb_ln = LayerNorm(cfg.d_model)
+        self.emb_drop = Dropout(cfg.dropout, rng=r_drop)
+        self.layers: List[TransformerEncoderLayer] = [
+            TransformerEncoderLayer(cfg, rng=r) for r in r_layers
+        ]
+        self._positions: Optional[np.ndarray] = None
+
+    def forward(self, ids: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        b, l = ids.shape
+        if l > self.cfg.max_len:
+            raise ValueError(f"sequence length {l} exceeds max_len {self.cfg.max_len}")
+        if mask is not None:
+            # keep everything in the compute dtype; a float64 mask would
+            # silently promote the whole attention stack
+            mask = mask.astype(self.tok_emb.W.data.dtype, copy=False)
+        positions = np.broadcast_to(np.arange(l), (b, l))
+        self._positions = positions
+        x = self.tok_emb.forward(ids) + self.pos_emb.forward(positions)
+        x = self.emb_drop.forward(self.emb_ln.forward(x))
+        for layer in self.layers:
+            x = layer.forward(x, mask)
+        return x
+
+    def backward(self, dy: np.ndarray) -> None:
+        for layer in reversed(self.layers):
+            dy = layer.backward(dy)
+        dy = self.emb_ln.backward(self.emb_drop.backward(dy))
+        self.tok_emb.backward(dy)
+        self.pos_emb.backward(dy)
+
+    def attention_maps(self) -> List[np.ndarray]:
+        """Per-layer attention weights from the most recent forward pass."""
+        return [layer.attn.last_attention for layer in self.layers]

@@ -1,0 +1,48 @@
+"""End-to-end experiment pipeline: scales, shared context, and one function
+per table/figure in the paper's evaluation."""
+
+from repro.pipeline.config import FULL, SMALL, ScaleConfig, get_scale
+from repro.pipeline.context import ExperimentContext, get_context
+from repro.pipeline.experiments import (
+    PAPER_EXAMPLES,
+    ablation_capacity,
+    ablation_pretraining,
+    ablation_seq_length,
+    exp_fig3,
+    exp_fig456,
+    exp_fig7,
+    exp_table3,
+    exp_table4,
+    exp_table5,
+    exp_table7,
+    exp_table8,
+    exp_table9,
+    exp_table10,
+    exp_table11,
+    exp_table12_fig8,
+)
+
+__all__ = [
+    "FULL",
+    "SMALL",
+    "ScaleConfig",
+    "get_scale",
+    "ExperimentContext",
+    "get_context",
+    "PAPER_EXAMPLES",
+    "ablation_capacity",
+    "ablation_pretraining",
+    "ablation_seq_length",
+    "exp_fig3",
+    "exp_fig456",
+    "exp_fig7",
+    "exp_table3",
+    "exp_table4",
+    "exp_table5",
+    "exp_table7",
+    "exp_table8",
+    "exp_table9",
+    "exp_table10",
+    "exp_table11",
+    "exp_table12_fig8",
+]

@@ -1,0 +1,56 @@
+"""Experiment scales.
+
+``SMALL`` regenerates every table and figure on a laptop in minutes and is
+the default for the benchmark harness; ``FULL`` matches the paper's corpus
+size (17,013 records) and a larger encoder.  Select via the ``REPRO_SCALE``
+environment variable ('small' | 'full') or pass a config explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.models.pragformer import PragFormerConfig
+
+__all__ = ["ScaleConfig", "SMALL", "FULL", "get_scale"]
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    name: str
+    corpus_records: int
+    epochs: int
+    mlm_epochs: int
+    pragformer: PragFormerConfig
+    min_freq: int = 2
+    seed: int = 0
+
+
+SMALL = ScaleConfig(
+    name="small",
+    corpus_records=1400,
+    epochs=8,
+    mlm_epochs=2,
+    pragformer=PragFormerConfig(d_model=64, n_heads=4, n_layers=2, d_ff=128,
+                                d_head_hidden=64, batch_size=32, seed=0),
+)
+
+FULL = ScaleConfig(
+    name="full",
+    corpus_records=17013,
+    epochs=10,
+    mlm_epochs=4,
+    pragformer=PragFormerConfig(d_model=128, n_heads=8, n_layers=4, d_ff=256,
+                                d_head_hidden=128, batch_size=32, seed=0),
+)
+
+
+def get_scale() -> ScaleConfig:
+    """Scale selected by ``REPRO_SCALE`` (default: small)."""
+    name = os.environ.get("REPRO_SCALE", "small").lower()
+    if name == "full":
+        return FULL
+    if name == "small":
+        return SMALL
+    raise ValueError(f"unknown REPRO_SCALE {name!r}; use 'small' or 'full'")

@@ -1,0 +1,33 @@
+"""The S2S compiler substrate: data-dependence analysis, three sub-compilers
+with distinct robustness envelopes, and the ComPar combiner (§5.2)."""
+
+from repro.s2s.compar import ComPar, ComParResult
+from repro.s2s.compilers import (
+    AutoParLike,
+    CetusLike,
+    CompileResult,
+    Par4AllLike,
+    S2SCompiler,
+)
+from repro.s2s.depend import (
+    AnalysisPolicy,
+    LoopAnalysis,
+    affine_subscript,
+    analyze_loop,
+    loop_variable,
+)
+
+__all__ = [
+    "ComPar",
+    "ComParResult",
+    "AutoParLike",
+    "CetusLike",
+    "CompileResult",
+    "Par4AllLike",
+    "S2SCompiler",
+    "AnalysisPolicy",
+    "LoopAnalysis",
+    "affine_subscript",
+    "analyze_loop",
+    "loop_variable",
+]

@@ -1,0 +1,118 @@
+"""ComPar: the multi-compiler combiner (§5.2, Mosseri et al. 2020).
+
+Runs Cetus-like, Par4All-like, and AutoPar-like on each snippet and merges:
+
+* **parse failure** — ComPar fails only when *every* sub-compiler fails; the
+  evaluation then applies the paper's fall-back strategy (count as negative);
+* **directive choice** — among sub-compilers that inserted a directive, the
+  one from the highest-priority compiler (Cetus > AutoPar > Par4All, matching
+  'only Cetus managed to compile the examples successfully') is kept.
+
+For the three classification tasks the combiner exposes boolean predictions
+(`predict_directive`, `predict_private`, `predict_reduction`) so it can be
+scored with the same metrics as the learned models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.clang.pragma import parse_pragma
+from repro.s2s.compilers import (
+    AutoParLike,
+    CetusLike,
+    CompileResult,
+    Par4AllLike,
+    S2SCompiler,
+)
+
+__all__ = ["ComParResult", "ComPar"]
+
+
+@dataclass
+class ComParResult:
+    """Combined outcome for one snippet."""
+
+    parse_failed: bool
+    directive: Optional[str]
+    per_compiler: dict
+
+    @property
+    def inserted(self) -> bool:
+        return not self.parse_failed and self.directive is not None
+
+    @property
+    def has_private(self) -> bool:
+        if self.directive is None:
+            return False
+        return parse_pragma(self.directive).has_private
+
+    @property
+    def has_reduction(self) -> bool:
+        if self.directive is None:
+            return False
+        return parse_pragma(self.directive).has_reduction
+
+
+class ComPar:
+    """The combining driver."""
+
+    def __init__(self, compilers: Optional[Sequence[S2SCompiler]] = None) -> None:
+        # priority order: first successful insertion wins
+        self.compilers: List[S2SCompiler] = list(compilers) if compilers is not None else [
+            CetusLike(),
+            AutoParLike(),
+            Par4AllLike(),
+        ]
+
+    def run(self, code: str) -> ComParResult:
+        results = {c.name: c.compile(code) for c in self.compilers}
+        if all(not r.ok for r in results.values()):
+            return ComParResult(parse_failed=True, directive=None, per_compiler=results)
+        directive: Optional[str] = None
+        for compiler in self.compilers:
+            result = results[compiler.name]
+            if result.inserted:
+                directive = result.directive
+                break
+        return ComParResult(parse_failed=False, directive=directive, per_compiler=results)
+
+    # -- task predictions (fall-back negative on parse failure, §5.2) -----------
+
+    def predict_directive(self, codes: Sequence[str]):
+        """(predictions, n_parse_failures) over snippets for RQ1."""
+        preds = np.zeros(len(codes), dtype=np.int64)
+        failures = 0
+        for idx, code in enumerate(codes):
+            result = self.run(code)
+            if result.parse_failed:
+                failures += 1
+                continue
+            preds[idx] = int(result.inserted)
+        return preds, failures
+
+    def predict_private(self, codes: Sequence[str]):
+        """RQ2/private: positive iff the merged directive carries private."""
+        preds = np.zeros(len(codes), dtype=np.int64)
+        failures = 0
+        for idx, code in enumerate(codes):
+            result = self.run(code)
+            if result.parse_failed:
+                failures += 1
+                continue
+            preds[idx] = int(result.has_private)
+        return preds, failures
+
+    def predict_reduction(self, codes: Sequence[str]):
+        preds = np.zeros(len(codes), dtype=np.int64)
+        failures = 0
+        for idx, code in enumerate(codes):
+            result = self.run(code)
+            if result.parse_failed:
+                failures += 1
+                continue
+            preds[idx] = int(result.has_reduction)
+        return preds, failures

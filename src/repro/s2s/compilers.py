@@ -1,0 +1,193 @@
+"""The three S2S compilers ComPar combines (§5.2), with the distinct
+robustness envelopes and conservatisms reported in the paper and in
+Harel et al. 2020 / Prema et al. 2017-2019:
+
+* **CetusLike** — the workhorse ('only Cetus managed to compile the examples
+  successfully').  Interprocedural over callee bodies included in the
+  snippet, conservative on unknown calls, +/-/* reduction patterns.  Fails
+  to parse snippets with ``register``, pointer-member ops (``->``),
+  struct-member writes, unexpanded ALL-CAPS macros, and times out on long
+  snippets (§1: dependence analysis cost grows with loop length).
+* **Par4AllLike** — aggressive but fragile: assumes unknown calls are pure
+  (the function-side-effect pitfall), detects no reductions, and parses only
+  small plain-C snippets (no function definitions, structs, strings, casts
+  to typedef names).
+* **AutoParLike** — ROSE-based: no interprocedural analysis, ``+``-only
+  reductions, chokes on typedef-name casts and macros.
+
+Each returns a :class:`CompileResult`; a parse failure yields
+``ok=False`` and no directive, which ComPar's fall-back treats as negative.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.clang import Compound, For, FuncDef, parse, walk
+from repro.clang.lexer import LexError
+from repro.clang.nodes import Assignment, Cast, StructRef
+from repro.clang.parser import ParseError, TYPE_NAMES
+from repro.clang.pragma import Clause, OmpDirective
+from repro.s2s.depend import AnalysisPolicy, LoopAnalysis, analyze_loop
+
+__all__ = ["CompileResult", "S2SCompiler", "CetusLike", "Par4AllLike", "AutoParLike"]
+
+_MACRO_CALL = re.compile(r"\b[A-Z][A-Z0-9_]{3,}\s*\(")
+
+
+@dataclass
+class CompileResult:
+    """Outcome of one compiler on one snippet."""
+
+    ok: bool                      # False = parse/compile failure
+    directive: Optional[str]      # emitted pragma text, or None
+    failure: Optional[str] = None
+    analysis: Optional[LoopAnalysis] = None
+
+    @property
+    def inserted(self) -> bool:
+        return self.ok and self.directive is not None
+
+
+class S2SCompiler:
+    """Base: parse -> robustness envelope -> analyze outermost loop -> emit."""
+
+    name = "s2s"
+    policy = AnalysisPolicy()
+
+    def compile(self, code: str) -> CompileResult:
+        try:
+            ast = parse(code)
+        except (ParseError, LexError, RecursionError) as exc:
+            return CompileResult(False, None, failure=f"parse error: {exc}")
+        reason = self.unsupported(code, ast)
+        if reason is not None:
+            return CompileResult(False, None, failure=reason)
+        loops = [n for n in ast.stmts if isinstance(n, For)]
+        if not loops:
+            loops = [n for n in walk(ast) if isinstance(n, For)]
+            if not loops:
+                return CompileResult(True, None, failure=None)
+        funcdefs: Dict[str, FuncDef] = {
+            n.name: n for n in walk(ast) if isinstance(n, FuncDef)
+        }
+        analysis = analyze_loop(loops[0], funcdefs, self.policy)
+        if not analysis.parallelizable:
+            return CompileResult(True, None, analysis=analysis)
+        return CompileResult(True, self.emit(analysis), analysis=analysis)
+
+    # -- per-compiler robustness envelope -------------------------------------
+
+    def unsupported(self, code: str, ast: Compound) -> Optional[str]:
+        return None
+
+    # -- directive emission ------------------------------------------------------
+
+    def emit(self, analysis: LoopAnalysis) -> str:
+        clauses: List[Clause] = []
+        if analysis.private:
+            clauses.append(Clause("private", tuple(dict.fromkeys(analysis.private))))
+        for op, var in analysis.reductions:
+            clauses.append(Clause("reduction", (f"{op}:{var}",)))
+        return OmpDirective("parallel for", clauses).unparse()
+
+
+def _line_count(code: str) -> int:
+    return len([ln for ln in code.splitlines() if ln.strip()])
+
+
+def _has_register(code: str) -> bool:
+    return re.search(r"\bregister\b", code) is not None
+
+
+def _typedef_casts(ast: Compound) -> bool:
+    return any(
+        isinstance(n, Cast) and n.to_type.rstrip("*") in TYPE_NAMES
+        for n in walk(ast)
+    )
+
+
+class CetusLike(S2SCompiler):
+    """The combiner's workhorse; see module docstring."""
+
+    name = "cetus"
+    policy = AnalysisPolicy(
+        unknown_call="conservative",
+        analyze_callee_bodies=True,
+        reduction_ops=frozenset({"+", "-", "*"}),
+        min_literal_trip=0,
+        private_iteration_var=True,
+    )
+
+    #: dependence analysis "consumes significant time and memory dependent on
+    #: the number of lines inside the loop's scope" (§1) — model as a timeout
+    max_lines = 40
+
+    def unsupported(self, code: str, ast: Compound) -> Optional[str]:
+        if _has_register(code):
+            return "unrecognized keyword: register"
+        if "->" in code:
+            return "pointer member access unsupported"
+        if _MACRO_CALL.search(code):
+            return "unexpanded macro in loop bound"
+        if any(isinstance(n, StructRef) for n in walk(ast)):
+            return "complex structure operations"
+        if _line_count(code) > self.max_lines:
+            return "dependence analysis timeout on long snippet"
+        return None
+
+
+class Par4AllLike(S2SCompiler):
+    name = "par4all"
+    policy = AnalysisPolicy(
+        unknown_call="conservative",
+        analyze_callee_bodies=False,
+        reduction_ops=frozenset(),  # no reduction recognition
+        min_literal_trip=0,
+        private_iteration_var=True,
+    )
+    max_lines = 25
+
+    def unsupported(self, code: str, ast: Compound) -> Optional[str]:
+        if _has_register(code):
+            return "unrecognized keyword: register"
+        if "->" in code or any(isinstance(n, StructRef) for n in walk(ast)):
+            return "struct operations unsupported"
+        if any(isinstance(n, FuncDef) for n in walk(ast)):
+            return "mixed function definitions and fragments unsupported"
+        if '"' in code:
+            return "string literals unsupported"
+        if _MACRO_CALL.search(code):
+            return "unexpanded macro"
+        if _typedef_casts(ast):
+            return "unknown type name in cast"
+        if _line_count(code) > self.max_lines:
+            return "snippet too large"
+        return None
+
+
+class AutoParLike(S2SCompiler):
+    name = "autopar"
+    policy = AnalysisPolicy(
+        unknown_call="conservative",
+        analyze_callee_bodies=False,
+        reduction_ops=frozenset({"+"}),
+        min_literal_trip=0,
+        private_iteration_var=True,
+    )
+    max_lines = 45
+
+    def unsupported(self, code: str, ast: Compound) -> Optional[str]:
+        if _has_register(code):
+            return "unrecognized keyword: register"
+        if _typedef_casts(ast):
+            return "unknown type name in cast"
+        if _MACRO_CALL.search(code):
+            return "unexpanded macro"
+        if "->" in code or any(isinstance(n, StructRef) for n in walk(ast)):
+            return "struct operations unsupported"
+        if _line_count(code) > self.max_lines:
+            return "snippet too large"
+        return None

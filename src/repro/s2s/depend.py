@@ -1,0 +1,556 @@
+"""Data-dependence analysis for for-loops — the engine behind the S2S
+compilers (§1.1's step 2: 'apply data dependence algorithms on the AST').
+
+Given a loop (and any callee implementations found in the snippet), the
+analyzer determines:
+
+* whether any **loop-carried dependence** exists — array subscripts are
+  solved with zero/strong-SIV tests on affine forms ``a*i + b``; non-affine
+  or indirect subscripts are conservatively dependent;
+* **scalar classes** — read-only, privatizable (written before read each
+  iteration), reduction (``s = s ⊕ expr`` / ``s ⊕= expr`` with ``s`` not
+  otherwise read), or carried (everything else);
+* **side effects** — I/O and allocation calls, writes to globals inside
+  callees, and unknown calls per the compiler's policy;
+* **control legality** — ``break``/``goto``/``return`` inside the loop body.
+
+The :class:`AnalysisPolicy` knobs reproduce the *different* conservatisms of
+the paper's three compilers (Cetus / Par4All / AutoPar, §5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.clang.nodes import (
+    ArrayRef,
+    Assignment,
+    BinaryOp,
+    Break,
+    Call,
+    Compound,
+    Constant,
+    Decl,
+    DeclList,
+    For,
+    FuncDef,
+    Goto,
+    Identifier,
+    Node,
+    Return,
+    StructRef,
+    UnaryOp,
+    walk,
+)
+
+__all__ = ["AnalysisPolicy", "LoopAnalysis", "analyze_loop", "loop_variable",
+           "affine_subscript", "IO_FUNCTIONS", "PURE_FUNCTIONS", "ALLOC_FUNCTIONS"]
+
+IO_FUNCTIONS = frozenset(
+    """printf fprintf sprintf scanf fscanf sscanf puts putchar getchar fgetc
+    fgets fputc fputs fread fwrite fopen fclose fflush fseek exit abort
+    """.split()
+)
+
+PURE_FUNCTIONS = frozenset(
+    """sqrt sqrtf fabs fabsf exp expf log logf log2 log10 pow powf sin cos
+    tan asin acos atan atan2 sinh cosh tanh floor ceil round fmod fmax fmin
+    abs labs""".split()
+)
+
+ALLOC_FUNCTIONS = frozenset("malloc calloc realloc free".split())
+
+#: rand/srand mutate hidden global state
+STATEFUL_FUNCTIONS = frozenset("rand srand random srandom".split())
+
+
+@dataclass(frozen=True)
+class AnalysisPolicy:
+    """Conservatism knobs distinguishing the S2S compilers."""
+
+    #: 'conservative' rejects loops calling unknown functions; 'pure'
+    #: optimistically assumes no side effects (real Par4All-style pitfall).
+    unknown_call: str = "conservative"
+    #: analyze callee bodies included in the snippet (interprocedural)?
+    analyze_callee_bodies: bool = True
+    #: reduction operators the pattern-matcher recognises.  None of the
+    #: paper's compilers detect if/ternary min-max reductions (Table 10).
+    reduction_ops: frozenset = frozenset({"+", "-", "*"})
+    #: skip loops whose literal trip count is below this (0 disables) — the
+    #: Cetus profitability heuristic from §5.2.
+    min_literal_trip: int = 0
+    #: emit private(i) for the iteration variable when it is declared
+    #: outside the loop — the ComPar behaviour behind Table 9.
+    private_iteration_var: bool = True
+
+
+@dataclass
+class LoopAnalysis:
+    """Verdict for one loop."""
+
+    parallelizable: bool
+    reasons: List[str] = field(default_factory=list)
+    private: List[str] = field(default_factory=list)
+    reductions: List[Tuple[str, str]] = field(default_factory=list)
+    loop_var: Optional[str] = None
+    skipped_unprofitable: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Loop header analysis
+# ---------------------------------------------------------------------------
+
+
+def loop_variable(loop: For) -> Optional[str]:
+    """The canonical induction variable, or None for non-canonical loops
+    (e.g. pointer chases ``p = p->next``)."""
+    candidate: Optional[str] = None
+    if isinstance(loop.init, Decl):
+        candidate = loop.init.name
+    elif loop.init is not None:
+        expr = loop.init.expr if hasattr(loop.init, "expr") else loop.init
+        if isinstance(expr, Assignment) and isinstance(expr.lvalue, Identifier):
+            candidate = expr.lvalue.name
+    if candidate is None and loop.nxt is not None:
+        nxt = loop.nxt
+        if isinstance(nxt, UnaryOp) and isinstance(nxt.expr, Identifier):
+            candidate = nxt.expr.name
+        elif isinstance(nxt, Assignment) and isinstance(nxt.lvalue, Identifier):
+            candidate = nxt.lvalue.name
+    if candidate is None:
+        return None
+    # the increment must be an affine step of the same variable
+    if loop.nxt is not None:
+        ok = False
+        nxt = loop.nxt
+        if isinstance(nxt, UnaryOp) and nxt.op in ("++", "--", "p++", "p--"):
+            ok = isinstance(nxt.expr, Identifier) and nxt.expr.name == candidate
+        elif isinstance(nxt, Assignment) and isinstance(nxt.lvalue, Identifier):
+            if nxt.lvalue.name == candidate:
+                if nxt.op in ("+=", "-="):
+                    ok = True
+                elif nxt.op == "=":
+                    ok = affine_subscript(nxt.rvalue, candidate) is not None
+        if not ok:
+            return None
+    return candidate
+
+
+def literal_trip_count(loop: For, var: str) -> Optional[int]:
+    """Trip count when both bounds are integer literals, else None."""
+    start = None
+    if isinstance(loop.init, Decl) and isinstance(loop.init.init, Constant):
+        start = _int_const(loop.init.init)
+    elif loop.init is not None and hasattr(loop.init, "expr"):
+        expr = loop.init.expr
+        if isinstance(expr, Assignment) and isinstance(expr.rvalue, Constant):
+            start = _int_const(expr.rvalue)
+    if start is None or loop.cond is None or not isinstance(loop.cond, BinaryOp):
+        return None
+    bound = loop.cond.right
+    if not isinstance(bound, Constant):
+        return None
+    end = _int_const(bound)
+    if end is None:
+        return None
+    if loop.cond.op == "<":
+        return max(0, end - start)
+    if loop.cond.op == "<=":
+        return max(0, end - start + 1)
+    return None
+
+
+def _int_const(node: Node) -> Optional[int]:
+    if isinstance(node, Constant) and node.ctype == "int":
+        try:
+            return int(node.value.rstrip("uUlL"), 0)
+        except ValueError:
+            return None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Affine subscript recognition
+# ---------------------------------------------------------------------------
+
+
+def affine_subscript(expr: Node, var: str) -> Optional[Tuple[int, int]]:
+    """Return (coef, offset) if ``expr == coef*var + offset`` with integer
+    literals, else None.  Subscripts mentioning other variables are not
+    affine *in var* and return None."""
+    result = _affine(expr, var)
+    return result
+
+
+def _affine(expr: Node, var: str) -> Optional[Tuple[int, int]]:
+    if isinstance(expr, Identifier):
+        return (1, 0) if expr.name == var else None
+    const = _int_const(expr)
+    if const is not None:
+        return (0, const)
+    if isinstance(expr, UnaryOp) and expr.op == "-":
+        inner = _affine(expr.expr, var)
+        if inner is not None:
+            return (-inner[0], -inner[1])
+        return None
+    if isinstance(expr, BinaryOp):
+        left = _affine(expr.left, var)
+        right = _affine(expr.right, var)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return (left[0] + right[0], left[1] + right[1])
+        if expr.op == "-":
+            return (left[0] - right[0], left[1] - right[1])
+        if expr.op == "*":
+            if left[0] == 0:
+                return (left[1] * right[0], left[1] * right[1])
+            if right[0] == 0:
+                return (left[0] * right[1], left[1] * right[1])
+            return None
+    return None
+
+
+def _mentions(expr: Node, name: str) -> bool:
+    return any(isinstance(n, Identifier) and n.name == name for n in walk(expr))
+
+
+# ---------------------------------------------------------------------------
+# Access collection
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Accesses:
+    array_writes: List[Tuple[str, Tuple[Node, ...]]] = field(default_factory=list)
+    array_reads: List[Tuple[str, Tuple[Node, ...]]] = field(default_factory=list)
+    #: scalar events in program order: (name, 'r'|'w'|'rw', top-level stmt id,
+    #: reduction op or None)
+    scalar_events: List[Tuple[str, str, int, Optional[str]]] = field(default_factory=list)
+    calls: List[str] = field(default_factory=list)
+    inner_loop_vars: List[str] = field(default_factory=list)
+    local_decls: Set[str] = field(default_factory=set)
+    illegal_control: Optional[str] = None
+    pointer_writes: bool = False
+
+
+def _array_base_and_subs(node: Node) -> Optional[Tuple[str, Tuple[Node, ...]]]:
+    """Resolve A[e1][e2]… or parts[e].field to (base name, subscripts)."""
+    subs: List[Node] = []
+    cur = node
+    while True:
+        if isinstance(cur, ArrayRef):
+            subs.append(cur.subscript)
+            cur = cur.array
+        elif isinstance(cur, StructRef):
+            cur = cur.obj
+        elif isinstance(cur, Identifier):
+            return cur.name, tuple(reversed(subs))
+        else:
+            return None
+
+
+def _collect(node: Node, acc: _Accesses, stmt_id: List[int], depth: int) -> None:
+    """Walk statements/expressions, recording accesses in program order."""
+    if isinstance(node, Compound):
+        for s in node.stmts:
+            stmt_id[0] += 1
+            _collect(s, acc, stmt_id, depth)
+        return
+    if isinstance(node, (Break, Goto, Return)):
+        acc.illegal_control = type(node).__name__.lower()
+        return
+    if isinstance(node, For):
+        var = loop_variable(node)
+        if var is not None:
+            acc.inner_loop_vars.append(var)
+        if isinstance(node.init, Decl):
+            # `for (int j = ...)` declares j locally: no clause needed
+            acc.local_decls.add(node.init.name)
+        for part in (node.init, node.cond, node.nxt):
+            if part is not None:
+                _collect_expr(part, acc, stmt_id, write_roots=(), skip_scalars={var} if var else set())
+        _collect(node.body, acc, stmt_id, depth + 1)
+        return
+    if isinstance(node, (Decl,)):
+        acc.local_decls.add(node.name)
+        if node.init is not None:
+            _collect_expr(node.init, acc, stmt_id)
+        return
+    if isinstance(node, DeclList):
+        for d in node.decls:
+            _collect(d, acc, stmt_id, depth)
+        return
+    if hasattr(node, "expr") and type(node).__name__ == "ExprStmt":
+        _collect_expr(node.expr, acc, stmt_id)
+        return
+    if hasattr(node, "cond") and type(node).__name__ in ("If", "While", "DoWhile", "Switch"):
+        _collect_expr(node.cond, acc, stmt_id)
+        for child in node.children():
+            if child is not node.cond:
+                _collect(child, acc, stmt_id, depth)
+        return
+    # anything else: recurse generically
+    for child in node.children():
+        _collect(child, acc, stmt_id, depth)
+
+
+def _collect_expr(expr: Node, acc: _Accesses, stmt_id: List[int],
+                  write_roots: Tuple[Node, ...] = (),
+                  skip_scalars: Optional[Set[str]] = None) -> None:
+    skip = skip_scalars or set()
+    if isinstance(expr, Assignment):
+        lv = expr.lvalue
+        resolved = None
+        if isinstance(lv, (ArrayRef, StructRef)):
+            resolved = _array_base_and_subs(lv)
+        if resolved is not None and resolved[1]:
+            acc.array_writes.append((resolved[0], resolved[1]))
+            for sub in resolved[1]:
+                _collect_expr(sub, acc, stmt_id, skip_scalars=skip)
+        elif isinstance(lv, Identifier):
+            red_op = None
+            if expr.op in ("+=", "-=", "*="):
+                red_op = expr.op[0]
+                acc.scalar_events.append((lv.name, "rw", stmt_id[0], red_op))
+            elif expr.op == "=":
+                red_op = _reduction_form(expr.rvalue, lv.name)
+                kind = "rw" if _mentions(expr.rvalue, lv.name) else "w"
+                acc.scalar_events.append((lv.name, kind, stmt_id[0], red_op))
+            else:
+                acc.scalar_events.append((lv.name, "rw", stmt_id[0], None))
+            if red_op is not None:
+                # the self-read of `s = s ⊕ e` is part of the reduction
+                # pattern, not a standalone read that would disqualify it
+                skip = skip | {lv.name}
+        elif isinstance(lv, UnaryOp) and lv.op == "*":
+            acc.pointer_writes = True
+        elif isinstance(lv, (ArrayRef, StructRef)):
+            # struct scalar (p.x) or unresolvable — treat as pointer write
+            acc.pointer_writes = True
+        _collect_expr(expr.rvalue, acc, stmt_id, skip_scalars=skip)
+        return
+    if isinstance(expr, UnaryOp) and expr.op in ("++", "--", "p++", "p--"):
+        target = expr.expr
+        if isinstance(target, Identifier):
+            op = "+" if expr.op in ("++", "p++") else "-"
+            if target.name not in skip:
+                acc.scalar_events.append((target.name, "rw", stmt_id[0], op))
+        else:
+            resolved = _array_base_and_subs(target) if isinstance(target, (ArrayRef, StructRef)) else None
+            if resolved is not None and resolved[1]:
+                acc.array_writes.append((resolved[0], resolved[1]))
+                acc.array_reads.append((resolved[0], resolved[1]))
+        return
+    if isinstance(expr, Call):
+        if isinstance(expr.func, Identifier):
+            acc.calls.append(expr.func.name)
+        for arg in expr.args:
+            # address-of args may be written by the callee (scanf)
+            if isinstance(arg, UnaryOp) and arg.op == "&":
+                acc.pointer_writes = acc.pointer_writes or isinstance(arg.expr, Identifier)
+                resolved = (_array_base_and_subs(arg.expr)
+                            if isinstance(arg.expr, (ArrayRef, StructRef)) else None)
+                if resolved is not None and resolved[1]:
+                    acc.array_writes.append((resolved[0], resolved[1]))
+            _collect_expr(arg, acc, stmt_id, skip_scalars=skip)
+        return
+    if isinstance(expr, (ArrayRef, StructRef)):
+        resolved = _array_base_and_subs(expr)
+        if resolved is not None and resolved[1]:
+            acc.array_reads.append((resolved[0], resolved[1]))
+            for sub in resolved[1]:
+                _collect_expr(sub, acc, stmt_id, skip_scalars=skip)
+            return
+    if isinstance(expr, Identifier):
+        if expr.name not in skip:
+            acc.scalar_events.append((expr.name, "r", stmt_id[0], None))
+        return
+    for child in expr.children():
+        _collect_expr(child, acc, stmt_id, skip_scalars=skip)
+
+
+def _reduction_form(rvalue: Node, name: str) -> Optional[str]:
+    """Detect ``s = s ⊕ rest`` / ``s = rest ⊕ s`` where rest omits s."""
+    if isinstance(rvalue, BinaryOp) and rvalue.op in ("+", "*", "-"):
+        left_is = isinstance(rvalue.left, Identifier) and rvalue.left.name == name
+        right_is = isinstance(rvalue.right, Identifier) and rvalue.right.name == name
+        if left_is and not _mentions(rvalue.right, name):
+            return rvalue.op
+        if right_is and rvalue.op in ("+", "*") and not _mentions(rvalue.left, name):
+            return rvalue.op
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Callee side-effect analysis
+# ---------------------------------------------------------------------------
+
+
+def callee_has_side_effects(func: FuncDef) -> bool:
+    """A callee is impure if it writes any name that is neither a parameter
+    nor locally declared, or performs I/O / allocation / stateful calls."""
+    locals_: Set[str] = {p.name for p in func.params}
+    for node in walk(func.body):
+        if isinstance(node, Decl):
+            locals_.add(node.name)
+    for node in walk(func.body):
+        if isinstance(node, Assignment):
+            lv = node.lvalue
+            base = lv
+            while isinstance(base, (ArrayRef, StructRef)):
+                base = base.array if isinstance(base, ArrayRef) else base.obj
+            if isinstance(base, Identifier) and base.name not in locals_:
+                return True
+        if isinstance(node, UnaryOp) and node.op in ("++", "--", "p++", "p--"):
+            if isinstance(node.expr, Identifier) and node.expr.name not in locals_:
+                return True
+        if isinstance(node, Call) and isinstance(node.func, Identifier):
+            callee = node.func.name
+            if callee in IO_FUNCTIONS or callee in ALLOC_FUNCTIONS or callee in STATEFUL_FUNCTIONS:
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Main verdict
+# ---------------------------------------------------------------------------
+
+
+def analyze_loop(
+    loop: For,
+    funcdefs: Optional[Dict[str, FuncDef]] = None,
+    policy: Optional[AnalysisPolicy] = None,
+) -> LoopAnalysis:
+    """Decide parallelizability of ``loop`` and infer clauses."""
+    policy = policy or AnalysisPolicy()
+    funcdefs = funcdefs or {}
+    out = LoopAnalysis(parallelizable=False)
+
+    var = loop_variable(loop)
+    if var is None:
+        out.reasons.append("non-canonical loop (no affine induction variable)")
+        return out
+    out.loop_var = var
+
+    acc = _Accesses()
+    _collect(loop.body, acc, [0], 0)
+
+    if acc.illegal_control:
+        out.reasons.append(f"illegal control flow: {acc.illegal_control}")
+        return out
+    if acc.pointer_writes:
+        out.reasons.append("write through pointer/struct scalar")
+        return out
+
+    # --- calls ---------------------------------------------------------------
+    for callee in acc.calls:
+        if callee in PURE_FUNCTIONS:
+            continue
+        if callee in IO_FUNCTIONS or callee in ALLOC_FUNCTIONS or callee in STATEFUL_FUNCTIONS:
+            out.reasons.append(f"side-effecting call: {callee}")
+            return out
+        if policy.analyze_callee_bodies and callee in funcdefs:
+            if callee_has_side_effects(funcdefs[callee]):
+                out.reasons.append(f"callee {callee} has side effects")
+                return out
+            continue
+        if policy.unknown_call == "conservative":
+            out.reasons.append(f"unknown function: {callee}")
+            return out
+        # 'pure' policy: optimistically continue
+
+    # --- array dependences ----------------------------------------------------
+    for w_name, w_subs in acc.array_writes:
+        partners = [(n, s) for n, s in acc.array_writes + acc.array_reads if n == w_name]
+        for _, p_subs in partners:
+            if not _independent_pair(w_subs, p_subs, var):
+                out.reasons.append(f"loop-carried dependence on array {w_name}")
+                return out
+
+    # --- scalars ------------------------------------------------------------------
+    inner_vars = set(acc.inner_loop_vars)
+    reductions: List[Tuple[str, str]] = []
+    private: List[str] = []
+    scalar_names = {name for name, kind, _, _ in acc.scalar_events if kind != "r"}
+    for name in sorted(scalar_names):
+        if name in inner_vars or name == var:
+            continue
+        events = [e for e in acc.scalar_events if e[0] == name]
+        verdict = _classify_scalar(name, events, policy)
+        if verdict == "private":
+            private.append(name)
+        elif verdict and verdict.startswith("reduction:"):
+            reductions.append((verdict.split(":", 1)[1], name))
+        else:
+            out.reasons.append(f"loop-carried scalar dependence on {name}")
+            return out
+
+    # inner loop variables must be privatized (the Table 1/6 private(j))
+    for iv in acc.inner_loop_vars:
+        if iv not in private and iv != var:
+            private.append(iv)
+    # locally-declared scalars need no clause (for (int j ...))
+    private = [p for p in private if p not in acc.local_decls]
+
+    # --- profitability heuristic -----------------------------------------------------
+    if policy.min_literal_trip > 0:
+        trip = literal_trip_count(loop, var)
+        if trip is not None and trip < policy.min_literal_trip:
+            out.reasons.append(f"literal trip count {trip} below profitability threshold")
+            out.skipped_unprofitable = True
+            return out
+
+    out.parallelizable = True
+    out.private = private
+    out.reductions = [(op, name) for op, name in reductions if op in policy.reduction_ops]
+    if reductions and not out.reductions:
+        # a reduction we cannot express must fall back to 'not parallel'
+        out.parallelizable = False
+        out.reasons.append("reduction operator outside supported set")
+        return out
+    if policy.private_iteration_var and not _declared_in_loop(loop):
+        out.private.insert(0, var)
+    return out
+
+
+def _classify_scalar(name: str, events: Sequence[Tuple[str, str, int, Optional[str]]],
+                     policy: AnalysisPolicy) -> Optional[str]:
+    """'private' | 'reduction:<op>' | None (carried)."""
+    writes = [e for e in events if e[1] in ("w", "rw")]
+    reads = [e for e in events if e[1] == "r"]
+    if not writes:
+        return "private"  # read-only never reaches here, but harmless
+    # pure write-first temp: first event is a plain write and no read of the
+    # value from a previous iteration
+    first = min(events, key=lambda e: e[2])
+    if first[1] == "w" and all(w[1] == "w" or w[2] > first[2] for w in writes):
+        # reads may follow the write within the iteration
+        return "private"
+    # reduction: every write is the same reduction op and no standalone reads
+    ops = {e[3] for e in writes}
+    if len(ops) == 1 and None not in ops and not reads:
+        return f"reduction:{ops.pop()}"
+    return None
+
+
+def _declared_in_loop(loop: For) -> bool:
+    return isinstance(loop.init, Decl)
+
+
+def _independent_pair(w_subs: Tuple[Node, ...], p_subs: Tuple[Node, ...], var: str) -> bool:
+    """True if the write/access pair cannot conflict across iterations.
+
+    Independence holds if some dimension has both subscripts affine in the
+    loop variable with equal non-zero coefficient and equal offset (distinct
+    iterations touch distinct elements).  Anything else — unequal offsets
+    (carried flow/anti dependence), non-affine or indirect subscripts,
+    loop-invariant writes — is conservatively dependent.
+    """
+    for dim in range(min(len(w_subs), len(p_subs))):
+        a = affine_subscript(w_subs[dim], var)
+        b = affine_subscript(p_subs[dim], var)
+        if a is not None and b is not None and a[0] != 0 and a == b:
+            return True
+    return False

@@ -1,0 +1,34 @@
+"""Tokenization: the four code representations, identifier replacement, and
+vocabulary with OOV accounting (§4.2, Tables 6–7)."""
+
+from repro.tokenize.replace import (
+    STDLIB_NAMES,
+    build_replacement_map,
+    rename_ast,
+    rename_directive,
+    replace_identifiers_in_code,
+)
+from repro.tokenize.representations import (
+    Representation,
+    represent,
+    text_tokens,
+    tokenize_representation,
+)
+from repro.tokenize.vocab import CLS, MASK, PAD, UNK, Vocab
+
+__all__ = [
+    "STDLIB_NAMES",
+    "build_replacement_map",
+    "rename_ast",
+    "rename_directive",
+    "replace_identifiers_in_code",
+    "Representation",
+    "represent",
+    "text_tokens",
+    "tokenize_representation",
+    "Vocab",
+    "PAD",
+    "UNK",
+    "CLS",
+    "MASK",
+]

@@ -1,0 +1,141 @@
+"""Identifier replacement (§4.2): ``var0``/``arr0``/``func0`` canonical names.
+
+Classifies every identifier in an AST by usage — array (subscripted or
+declared with dimensions), function (called), or plain variable — and renames
+them to indexed canonical names in DFS first-appearance order, as in the
+paper's Replaced-Text / Replaced-AST representations (Table 6).
+
+C standard-library names (``fprintf``, ``sqrt``, ``rand`` …) and standard
+streams are *kept*: they are API surface rather than developer-chosen naming,
+and preserving them retains the I/O cues LIME surfaces in Figure 8 while
+still removing the idiosyncratic naming that causes OOV blowup.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Optional
+
+from repro.clang import Compound, parse
+from repro.clang.nodes import ArrayRef, Call, Decl, FuncDef, Identifier, Node, walk
+from repro.clang.pragma import Clause, OmpDirective, parse_pragma
+from repro.clang.serialize import unparse
+
+__all__ = [
+    "STDLIB_NAMES",
+    "build_replacement_map",
+    "rename_ast",
+    "replace_identifiers_in_code",
+    "rename_directive",
+]
+
+#: Names never replaced: the C standard library subset that appears in HPC
+#: loop snippets, plus standard streams and common macros.
+STDLIB_NAMES = frozenset(
+    """
+    printf fprintf sprintf snprintf scanf fscanf sscanf puts putchar getchar
+    fgetc fgets fputc fputs fread fwrite fopen fclose fflush fseek ftell
+    malloc calloc realloc free memcpy memmove memset memcmp
+    strlen strcpy strncpy strcmp strncmp strcat strchr strstr
+    sqrt sqrtf fabs fabsf exp expf log logf log2 log10 pow powf
+    sin cos tan asin acos atan atan2 sinh cosh tanh floor ceil round fmod
+    fmax fmin abs labs
+    rand srand random srandom
+    exit abort assert
+    stderr stdout stdin NULL EOF
+    omp_get_thread_num omp_get_num_threads omp_get_wtime
+    """.split()
+)
+
+
+def classify_identifiers(ast: Node) -> Dict[str, str]:
+    """Map identifier name -> 'arr' | 'func' | 'var', in DFS order.
+
+    A name used both as an array and a variable classifies as 'arr'; a name
+    that is ever called classifies as 'func' (calls are the strongest cue).
+    """
+    kinds: Dict[str, str] = {}
+
+    def note(name: str, kind: str) -> None:
+        prev = kinds.get(name)
+        rank = {"var": 0, "arr": 1, "func": 2}
+        if prev is None or rank[kind] > rank[prev]:
+            kinds[name] = kind
+
+    for node in walk(ast):
+        if isinstance(node, Call) and isinstance(node.func, Identifier):
+            note(node.func.name, "func")
+        elif isinstance(node, ArrayRef):
+            base = node.array
+            while isinstance(base, ArrayRef):
+                base = base.array
+            if isinstance(base, Identifier):
+                note(base.name, "arr")
+        elif isinstance(node, Decl):
+            if node.array_dims:
+                note(node.name, "arr")
+            else:
+                note(node.name, "var")
+        elif isinstance(node, FuncDef):
+            note(node.name, "func")
+        elif isinstance(node, Identifier):
+            note(node.name, "var")
+    return kinds
+
+
+def build_replacement_map(ast: Node) -> Dict[str, str]:
+    """Assign ``var0, var1, …`` / ``arr0, …`` / ``func0, …`` in DFS order."""
+    kinds = classify_identifiers(ast)
+    counters = {"var": 0, "arr": 0, "func": 0}
+    mapping: Dict[str, str] = {}
+    # walk again so numbering follows first appearance, not dict order
+    for node in walk(ast):
+        names = []
+        if isinstance(node, Identifier):
+            names.append(node.name)
+        elif isinstance(node, (Decl, FuncDef)):
+            names.append(node.name)
+        for name in names:
+            if name in mapping or name in STDLIB_NAMES or name not in kinds:
+                continue
+            kind = kinds[name]
+            mapping[name] = f"{kind}{counters[kind]}"
+            counters[kind] += 1
+    return mapping
+
+
+def rename_ast(ast: Node, mapping: Dict[str, str]) -> Node:
+    """Return a deep copy of ``ast`` with identifiers renamed per ``mapping``."""
+    clone = copy.deepcopy(ast)
+    for node in walk(clone):
+        if isinstance(node, Identifier) and node.name in mapping:
+            node.name = mapping[node.name]
+        elif isinstance(node, (Decl, FuncDef)) and node.name in mapping:
+            node.name = mapping[node.name]
+    return clone
+
+
+def rename_directive(directive: str, mapping: Dict[str, str]) -> str:
+    """Rename variable references inside a pragma's clauses."""
+    omp = parse_pragma(directive)
+    new_clauses = []
+    for cl in omp.clauses:
+        if cl.name == "reduction":
+            args = []
+            for arg in cl.args:
+                op, var = arg.split(":", 1)
+                args.append(f"{op}:{mapping.get(var.strip(), var.strip())}")
+            new_clauses.append(Clause(cl.name, tuple(args)))
+        elif cl.name in ("private", "firstprivate", "lastprivate", "shared"):
+            args = tuple(mapping.get(a, a) for a in cl.args)
+            new_clauses.append(Clause(cl.name, args))
+        else:
+            new_clauses.append(cl)
+    return OmpDirective(omp.construct, new_clauses).unparse()
+
+
+def replace_identifiers_in_code(code: str, ast: Optional[Compound] = None) -> str:
+    """Parse ``code``, rename identifiers canonically, and unparse."""
+    tree = ast if ast is not None else parse(code)
+    mapping = build_replacement_map(tree)
+    return unparse(rename_ast(tree, mapping))

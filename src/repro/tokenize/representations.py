@@ -1,0 +1,59 @@
+"""The four code representations of §4.2 / Table 6.
+
+* ``TEXT`` — the raw source tokens, lexed as text.
+* ``R_TEXT`` — source tokens after canonical identifier replacement.
+* ``AST`` — the DFS-flattened pycparser-style AST labels.
+* ``R_AST`` — DFS labels after identifier replacement.
+
+``represent`` yields the representation string; ``tokenize_representation``
+yields its token list (what the vocabulary and models consume).  Text
+representations are tokenized with the C lexer (each keyword, identifier,
+operator and literal is one token); AST representations are whitespace-split,
+matching "each line contains a single token" in §1.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.clang import Compound, parse, tokenize
+from repro.clang.serialize import ast_to_dfs_text, unparse
+from repro.tokenize.replace import build_replacement_map, rename_ast
+
+__all__ = ["Representation", "represent", "tokenize_representation", "text_tokens"]
+
+
+class Representation(enum.Enum):
+    TEXT = "text"
+    R_TEXT = "replaced-text"
+    AST = "ast"
+    R_AST = "replaced-ast"
+
+
+def represent(code: str, kind: Representation, ast: Optional[Compound] = None) -> str:
+    """Render ``code`` in the given representation (pragmas never included)."""
+    if kind is Representation.TEXT:
+        return code
+    tree = ast if ast is not None else parse(code)
+    if kind is Representation.AST:
+        return ast_to_dfs_text(tree)
+    mapping = build_replacement_map(tree)
+    renamed = rename_ast(tree, mapping)
+    if kind is Representation.R_TEXT:
+        return unparse(renamed)
+    return ast_to_dfs_text(renamed)
+
+
+def text_tokens(source: str) -> List[str]:
+    """Lex C source into token strings (pragmas and EOF dropped)."""
+    return [t.value for t in tokenize(source, keep_pragmas=False)[:-1]]
+
+
+def tokenize_representation(code: str, kind: Representation,
+                            ast: Optional[Compound] = None) -> List[str]:
+    """Token list for ``code`` under ``kind``."""
+    rendered = represent(code, kind, ast=ast)
+    if kind in (Representation.TEXT, Representation.R_TEXT):
+        return text_tokens(rendered)
+    return rendered.split()

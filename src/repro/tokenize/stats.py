@@ -1,0 +1,37 @@
+"""Type-level corpus statistics per representation — Table 7."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.data.encoding import TokenCache
+from repro.data.splits import DatasetSplits
+from repro.tokenize.representations import Representation
+from repro.tokenize.vocab import Vocab
+
+__all__ = ["representation_stats"]
+
+
+def representation_stats(
+    splits: DatasetSplits,
+    rep: Representation,
+    cache: TokenCache = None,
+) -> Dict[str, float]:
+    """Vocab size (train types), OOV types (val+test types absent from
+    train), and average snippet token length — the three rows of Table 7."""
+    cache = cache or TokenCache()
+    train_streams = [cache.tokens(ex.record, rep) for ex in splits.train]
+    heldout_streams = [
+        cache.tokens(ex.record, rep)
+        for ex in list(splits.validation) + list(splits.test)
+    ]
+    vocab = Vocab.build(train_streams)
+    all_streams = train_streams + heldout_streams
+    avg_len = sum(len(s) for s in all_streams) / max(1, len(all_streams))
+    # specials are bookkeeping tokens, not corpus types
+    n_specials = 4
+    return {
+        "train_vocab_size": len(vocab) - n_specials,
+        "oov_types": vocab.oov_types(heldout_streams),
+        "avg_length": avg_len,
+    }

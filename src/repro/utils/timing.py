@@ -1,0 +1,42 @@
+"""Lightweight wall-clock timing, usable as a context manager.
+
+Per the optimization workflow ("no optimization without measuring"), training
+loops record per-epoch wall times through this class so regressions in the
+NumPy hot paths are visible in experiment logs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+
+class Timer:
+    """Accumulating timer.  ``with Timer() as t: ...; t.elapsed``."""
+
+    def __init__(self) -> None:
+        self.laps: List[float] = []
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        lap = time.perf_counter() - self._start
+        self.laps.append(lap)
+        self._start = None
+        return lap
+
+    @property
+    def elapsed(self) -> float:
+        """Total accumulated time across laps."""
+        return sum(self.laps)

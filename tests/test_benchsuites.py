@@ -1,0 +1,83 @@
+"""Tests for the PolyBench-like and SPEC-OMP-like suites."""
+
+import pytest
+
+from repro.benchsuites import polybench_suite, specomp_suite
+from repro.clang import For, parse, walk
+from repro.clang.pragma import parse_pragma
+from repro.s2s import ComPar
+
+
+@pytest.fixture(scope="module")
+def poly():
+    return polybench_suite()
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return specomp_suite()
+
+
+class TestPolybench:
+    def test_paper_counts(self, poly):
+        assert len(poly) == 147
+        assert sum(r.has_omp for r in poly) == 64
+        assert sum(not r.has_omp for r in poly) == 83
+
+    def test_all_parse(self, poly):
+        for rec in poly:
+            ast = parse(rec.code)
+            assert any(isinstance(n, For) for n in walk(ast)), rec.family
+
+    def test_directives_valid(self, poly):
+        for rec in poly:
+            if rec.has_omp:
+                assert parse_pragma(rec.directive).is_parallel_for
+
+    def test_unique_uids(self, poly):
+        uids = [r.uid for r in poly]
+        assert len(uids) == len(set(uids))
+
+    def test_macros_break_compar_on_positives(self, poly):
+        """The PolyBench macros defeat the S2S parsers (Table 11)."""
+        compar = ComPar()
+        positives = [r for r in poly if r.has_omp][:10]
+        failed = sum(compar.run(r.code).parse_failed for r in positives)
+        assert failed >= 8
+
+    def test_deterministic(self):
+        a = polybench_suite()
+        b = polybench_suite()
+        assert [r.code for r in a] == [r.code for r in b]
+
+
+class TestSpecOmp:
+    def test_paper_counts(self, spec):
+        assert len(spec) == 287
+        assert sum(r.has_omp for r in spec) == 113
+        assert sum(not r.has_omp for r in spec) == 174
+
+    def test_all_parse(self, spec):
+        for rec in spec:
+            parse(rec.code)
+
+    def test_production_traits_present(self, spec):
+        text = "\n".join(r.code for r in spec)
+        assert "register" in text
+        assert "ssize_t" in text
+        assert "->" in text
+
+    def test_some_compar_parse_failures(self, spec):
+        compar = ComPar()
+        failed = sum(compar.run(r.code).parse_failed for r in spec[:40])
+        assert failed > 0
+
+    def test_deterministic(self):
+        a = specomp_suite()
+        b = specomp_suite()
+        assert [r.code for r in a] == [r.code for r in b]
+
+    def test_directives_valid(self, spec):
+        for rec in spec:
+            if rec.has_omp:
+                assert parse_pragma(rec.directive).is_parallel_for

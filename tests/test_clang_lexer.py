@@ -1,0 +1,170 @@
+"""Unit and property tests for the C lexer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clang.lexer import LexError, Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_keywords_recognized(self):
+        assert kinds("for while if return") == [TokenKind.KEYWORD] * 4
+
+    def test_identifiers(self):
+        assert kinds("foo _bar baz123") == [TokenKind.IDENT] * 3
+
+    def test_keyword_prefix_is_identifier(self):
+        # 'fortran' starts with 'for' but is a plain identifier
+        assert kinds("fortran") == [TokenKind.IDENT]
+
+    def test_int_constants(self):
+        assert kinds("0 42 0x1F 100u 7L 42UL") == [TokenKind.INT_CONST] * 6
+
+    def test_float_constants(self):
+        assert kinds("1.0 3.14 1e5 2.5e-3 1.0f .5") == [TokenKind.FLOAT_CONST] * 6
+
+    def test_float_suffix_on_integer_literal(self):
+        assert kinds("1f") == [TokenKind.FLOAT_CONST]
+
+    def test_char_constant(self):
+        assert values("'a' '\\n'") == ["'a'", "'\\n'"]
+        assert kinds("'a'") == [TokenKind.CHAR_CONST]
+
+    def test_string_constant(self):
+        assert values('"hello world"') == ['"hello world"']
+        assert kinds('"a" "b\\"c"') == [TokenKind.STRING] * 2
+
+    def test_operator_maximal_munch(self):
+        assert values("a <<= b >>= c ... d->e") == [
+            "a", "<<=", "b", ">>=", "c", "...", "d", "->", "e",
+        ]
+
+    def test_increment_vs_plus(self):
+        assert values("i++ + ++j") == ["i", "++", "+", "++", "j"]
+
+    def test_all_single_char_operators(self):
+        src = "+ - * / % < > = ! & | ^ ~ ? : ; , . ( ) [ ] { }"
+        assert all(k is TokenKind.OP for k in kinds(src))
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_dropped(self):
+        assert values("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_dropped(self):
+        assert values("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_line_continuation(self):
+        assert values("a\\\nb") == ["a", "b"]
+
+
+class TestPreprocessor:
+    def test_include_dropped(self):
+        assert values('#include <stdio.h>\nint x;') == ["int", "x", ";"]
+
+    def test_define_dropped(self):
+        assert values("#define N 100\nN") == ["N"]
+
+    def test_pragma_kept_as_token(self):
+        toks = tokenize("#pragma omp parallel for\nfor(;;) ;")
+        assert toks[0].kind is TokenKind.PRAGMA
+        assert toks[0].value == "pragma omp parallel for"
+
+    def test_pragma_with_continuation(self):
+        toks = tokenize("#pragma omp parallel for \\\n private(i)\nx;")
+        assert toks[0].kind is TokenKind.PRAGMA
+        assert "private(i)" in toks[0].value
+
+    def test_keep_pragmas_false(self):
+        toks = tokenize("#pragma omp parallel for\nx;", keep_pragmas=False)
+        assert all(t.kind is not TokenKind.PRAGMA for t in toks)
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_error_position(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("a\n  @")
+        assert exc.value.line == 2
+        assert exc.value.col == 3
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"never closed')
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            tokenize("'x")
+
+    def test_stray_byte(self):
+        with pytest.raises(LexError):
+            tokenize("int x = $;")
+
+
+class TestRealisticSnippets:
+    def test_for_loop(self):
+        src = "for (i = 0; i < n; i++) a[i] = b[i] * 2;"
+        vals = values(src)
+        assert vals[0] == "for"
+        assert ";" in vals and "[" in vals
+
+    def test_nested_subscripts(self):
+        vals = values("A[i][j] = x->y.z;")
+        assert vals.count("[") == 2
+        assert "->" in vals and "." in vals
+
+
+word = st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,8}", fullmatch=True)
+
+
+class TestProperties:
+    @given(st.lists(word, min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_word_stream_roundtrip(self, words):
+        """Lexing space-joined words yields exactly those words back."""
+        src = " ".join(words)
+        assert values(src) == words
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    @settings(max_examples=50)
+    def test_integer_literal_roundtrip(self, n):
+        toks = tokenize(str(n))
+        assert toks[0].kind is TokenKind.INT_CONST
+        assert toks[0].value == str(n)
+
+    @given(st.text(alphabet=" \t\n", max_size=30))
+    @settings(max_examples=25)
+    def test_whitespace_only_is_empty(self, ws):
+        assert values(ws) == []
+
+    @given(st.lists(word, min_size=1, max_size=10))
+    @settings(max_examples=25)
+    def test_idempotent_relex(self, words):
+        """Lexing the joined values of a lex is a fixed point."""
+        first = values(" ".join(words))
+        second = values(" ".join(first))
+        assert first == second

@@ -1,0 +1,371 @@
+"""Unit and property tests for the C parser and unparser."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clang import (
+    ArrayRef,
+    Assignment,
+    BinaryOp,
+    Call,
+    Cast,
+    Compound,
+    Constant,
+    Decl,
+    DoWhile,
+    For,
+    FuncDef,
+    Identifier,
+    If,
+    ParseError,
+    Return,
+    StructRef,
+    TernaryOp,
+    UnaryOp,
+    While,
+    parse,
+    parse_expression,
+    unparse,
+    walk,
+)
+from repro.clang.nodes import DeclList, ExprStmt, Switch
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("a + b * c")
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse_expression("a - b - c")
+        assert expr.op == "-"
+        assert isinstance(expr.left, BinaryOp) and expr.left.op == "-"
+        assert isinstance(expr.right, Identifier) and expr.right.name == "c"
+
+    def test_assignment_right_associative(self):
+        expr = parse_expression("a = b = c")
+        assert isinstance(expr, Assignment)
+        assert isinstance(expr.rvalue, Assignment)
+
+    def test_compound_assignment(self):
+        expr = parse_expression("sum += a[i]")
+        assert isinstance(expr, Assignment) and expr.op == "+="
+        assert isinstance(expr.rvalue, ArrayRef)
+
+    def test_ternary(self):
+        expr = parse_expression("a > b ? a : b")
+        assert isinstance(expr, TernaryOp)
+
+    def test_logical_precedence(self):
+        expr = parse_expression("a && b || c")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_relational_vs_shift(self):
+        expr = parse_expression("a << 2 < b")
+        assert expr.op == "<"
+        assert expr.left.op == "<<"
+
+    def test_unary_prefix(self):
+        expr = parse_expression("-x + !y")
+        assert expr.left.op == "-" and expr.right.op == "!"
+
+    def test_prefix_and_postfix_increment(self):
+        pre = parse_expression("++i")
+        post = parse_expression("i++")
+        assert isinstance(pre, UnaryOp) and pre.op == "++"
+        assert isinstance(post, UnaryOp) and post.op == "p++"
+
+    def test_nested_array_ref(self):
+        expr = parse_expression("A[i][j]")
+        assert isinstance(expr, ArrayRef)
+        assert isinstance(expr.array, ArrayRef)
+
+    def test_function_call_args(self):
+        expr = parse_expression("f(a, b + 1, g(c))")
+        assert isinstance(expr, Call)
+        assert len(expr.args) == 3
+        assert isinstance(expr.args[2], Call)
+
+    def test_struct_refs(self):
+        dot = parse_expression("p.x")
+        arrow = parse_expression("p->x")
+        assert isinstance(dot, StructRef) and dot.op == "."
+        assert isinstance(arrow, StructRef) and arrow.op == "->"
+
+    def test_chained_struct_array(self):
+        expr = parse_expression("image->colormap[i].opacity")
+        assert isinstance(expr, StructRef) and expr.field_name == "opacity"
+        assert isinstance(expr.obj, ArrayRef)
+
+    def test_cast(self):
+        expr = parse_expression("(double) x")
+        assert isinstance(expr, Cast) and expr.to_type == "double"
+
+    def test_cast_of_typedef_name(self):
+        expr = parse_expression("(size_t) n")
+        assert isinstance(expr, Cast) and expr.to_type == "size_t"
+
+    def test_parenthesized_not_cast(self):
+        expr = parse_expression("(a) + b")
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+
+    def test_sizeof_expr(self):
+        expr = parse_expression("sizeof(x)")
+        assert isinstance(expr, UnaryOp) and expr.op == "sizeof"
+
+    def test_sizeof_type(self):
+        expr = parse_expression("sizeof(double)")
+        assert isinstance(expr, UnaryOp) and expr.op == "sizeof"
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_expression("a + b c")
+
+
+class TestStatements:
+    def test_simple_for(self):
+        ast = parse("for (i = 0; i < n; i++) a[i] = i;")
+        loop = ast.stmts[0]
+        assert isinstance(loop, For)
+        assert isinstance(loop.body, ExprStmt)
+
+    def test_for_with_declaration_init(self):
+        ast = parse("for (int i = 0; i < n; ++i) { s += a[i]; }")
+        loop = ast.stmts[0]
+        assert isinstance(loop.init, Decl)
+        assert loop.init.name == "i"
+
+    def test_for_empty_header(self):
+        loop = parse("for (;;) break;").stmts[0]
+        assert loop.init is None and loop.cond is None and loop.nxt is None
+
+    def test_while_and_dowhile(self):
+        assert isinstance(parse("while (x) x--;").stmts[0], While)
+        assert isinstance(parse("do x--; while (x);").stmts[0], DoWhile)
+
+    def test_if_else(self):
+        node = parse("if (a > b) x = a; else x = b;").stmts[0]
+        assert isinstance(node, If)
+        assert node.iffalse is not None
+
+    def test_dangling_else_binds_inner(self):
+        node = parse("if (a) if (b) x = 1; else x = 2;").stmts[0]
+        assert node.iffalse is None
+        assert isinstance(node.iftrue, If)
+        assert node.iftrue.iffalse is not None
+
+    def test_switch(self):
+        node = parse("switch (x) { case 1: y = 1; break; default: y = 0; }").stmts[0]
+        assert isinstance(node, Switch)
+        assert len(node.body.stmts) == 2
+
+    def test_declaration_with_qualifiers(self):
+        decl = parse("static const unsigned long x = 5;").stmts[0]
+        assert decl.quals == ["static", "const"]
+        assert decl.base_type == "unsigned long"
+
+    def test_register_declaration(self):
+        decl = parse("register int r = 0;").stmts[0]
+        assert "register" in decl.quals
+
+    def test_pointer_declaration(self):
+        decl = parse("double *p;").stmts[0]
+        assert decl.ptr_depth == 1
+
+    def test_array_declaration(self):
+        decl = parse("double a[100][200];").stmts[0]
+        assert len(decl.array_dims) == 2
+
+    def test_multi_declarator(self):
+        node = parse("int i, j, k;").stmts[0]
+        assert isinstance(node, DeclList)
+        assert [d.name for d in node.decls] == ["i", "j", "k"]
+
+    def test_typedef_name_declaration(self):
+        decl = parse("size_t n = 10;").stmts[0]
+        assert isinstance(decl, Decl)
+        assert decl.base_type == "size_t"
+
+    def test_struct_variable(self):
+        decl = parse("struct point p;").stmts[0]
+        assert decl.base_type == "struct point"
+
+    def test_initializer_list(self):
+        decl = parse("int a[3] = {1, 2, 3};").stmts[0]
+        assert decl.init is not None
+
+
+class TestPragmas:
+    def test_pragma_attaches_to_for(self):
+        ast = parse("#pragma omp parallel for\nfor (i = 0; i < n; i++) a[i] = i;")
+        loop = ast.stmts[0]
+        assert isinstance(loop, For)
+        assert loop.pragma is not None
+        assert "parallel for" in loop.pragma.text
+
+    def test_pragma_with_clauses(self):
+        src = "#pragma omp parallel for private(j) reduction(+:s)\nfor (i=0;i<n;i++) s += i;"
+        loop = parse(src).stmts[0]
+        assert "private(j)" in loop.pragma.text
+
+    def test_unattached_pragma_preserved(self):
+        ast = parse("#pragma omp barrier\nx = 1;")
+        assert isinstance(ast.stmts[0], Compound)
+
+
+class TestFunctionDefs:
+    def test_simple_funcdef(self):
+        ast = parse("void f(int a, double b) { return; }")
+        func = ast.stmts[0]
+        assert isinstance(func, FuncDef)
+        assert func.name == "f"
+        assert [p.name for p in func.params] == ["a", "b"]
+
+    def test_funcdef_pointer_params(self):
+        func = parse("double dot(double *x, double *y, int n) { return 0; }").stmts[0]
+        assert func.params[0].ptr_depth == 1
+
+    def test_funcdef_array_param(self):
+        func = parse("void f(int a[10]) { }").stmts[0]
+        assert len(func.params[0].array_dims) == 1
+
+    def test_void_param_list(self):
+        func = parse("int f(void) { return 1; }").stmts[0]
+        assert func.params == []
+
+    def test_funcdef_followed_by_loop(self):
+        src = "int sq(int x) { return x * x; }\nfor (i = 0; i < n; i++) a[i] = sq(i);"
+        ast = parse(src)
+        assert isinstance(ast.stmts[0], FuncDef)
+        assert isinstance(ast.stmts[1], For)
+
+
+class TestPaperExamples:
+    """The exact snippets from the paper's tables must parse."""
+
+    def test_table1_example1(self):
+        src = (
+            "for (i=0;i<=N;i++)\n  A[i] = i;\n"
+            "for (i=0;i<=N;i++)\n  B[i] = B[i]*2;\n"
+        )
+        ast = parse(src)
+        assert len(ast.stmts) == 2
+
+    def test_table1_example2(self):
+        ast = parse("for (i=0;i<=N;i++)\n  if (MoreCalc(i))\n    Calc(i);")
+        loop = ast.stmts[0]
+        assert isinstance(loop.body, If)
+
+    def test_table12_example2_io(self):
+        src = (
+            'for (i = 0; i < n; i++) {\n'
+            '  fprintf(stderr, "%0.2lf ", x[i]);\n'
+            '  if ((i % 20) == 0)\n    fprintf(stderr, " \\n");}'
+        )
+        ast = parse(src)
+        calls = [n for n in walk(ast) if isinstance(n, Call)]
+        assert len(calls) == 2
+
+    def test_table12_example3_magick(self):
+        src = (
+            "for (i = 0; i < (( ssize_t) image->colors); i++)\n"
+            "  image->colormap[i].opacity = (IndexPacket) i;"
+        )
+        ast = parse(src)
+        casts = [n for n in walk(ast) if isinstance(n, Cast)]
+        assert {c.to_type for c in casts} == {"ssize_t", "IndexPacket"}
+
+    def test_table12_example4_maxgrid(self):
+        src = (
+            "for (i = 0; i < maxgrid; i++)\n"
+            "  for (j = 0; j < maxgrid; j++){\n"
+            "    sum_tang[i][j] = ( int) ((i + 1) * (j + 1));\n"
+            "    mean[i][j] = ((( int) i) - j) / maxgrid;\n"
+            "    path[i][j] = ((( int) i) * (j - 1)) / maxgrid; }"
+        )
+        ast = parse(src)
+        inner = ast.stmts[0].body
+        assert isinstance(inner, For)
+        assert len(inner.body.stmts) == 3
+
+
+class TestUnparseRoundtrip:
+    CASES = [
+        "for (i = 0; i < n; i++) a[i] = b[i] * 2;",
+        "for (int i = 0; i < n; ++i) { s += a[i] * b[i]; }",
+        "if (a > b) x = a; else x = b;",
+        "while (n > 0) { n = n / 2; count++; }",
+        "do { x--; } while (x > 0);",
+        "double y = (double) (a + b) / 2.0;",
+        "int a[3] = {1, 2, 3};",
+        "p->next = q.prev;",
+        "x = f(g(a), b[i], c + 1);",
+        "#pragma omp parallel for private(j)\nfor (i = 0; i < n; i++) a[i] = j;",
+        "switch (x) { case 1: y = 1; break; default: y = 0; }",
+        "void f(int n, double *a) { for (int i = 0; i < n; i++) a[i] = 0; }",
+        "register int r = 0;",
+        "x = a > b ? a : b;",
+        "s = sizeof(double);",
+    ]
+
+    @pytest.mark.parametrize("src", CASES)
+    def test_parse_unparse_parse_fixed_point(self, src):
+        """unparse(parse(x)) must itself parse to the same unparsed text."""
+        first = unparse(parse(src))
+        second = unparse(parse(first))
+        assert first == second
+
+
+# -- property-based expression round-trips ---------------------------------
+
+names = st.sampled_from(["a", "b", "c", "i", "j", "n", "sum", "arr"])
+ints = st.integers(min_value=0, max_value=999).map(str)
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth > 3:
+        choice = draw(st.integers(0, 1))
+    else:
+        choice = draw(st.integers(0, 4))
+    if choice == 0:
+        return draw(names)
+    if choice == 1:
+        return draw(ints)
+    if choice == 2:
+        op = draw(st.sampled_from(["+", "-", "*", "/", "%", "<", ">", "==", "&&"]))
+        left = draw(expressions(depth=depth + 1))
+        right = draw(expressions(depth=depth + 1))
+        return f"({left} {op} {right})"
+    if choice == 3:
+        base = draw(names)
+        sub = draw(expressions(depth=depth + 1))
+        return f"{base}[{sub}]"
+    func = draw(names)
+    arg = draw(expressions(depth=depth + 1))
+    return f"{func}({arg})"
+
+
+class TestExpressionProperties:
+    @given(expressions())
+    @settings(max_examples=100, deadline=None)
+    def test_unparse_is_fixed_point(self, src):
+        tree = parse_expression(src)
+        text = unparse(ExprStmt(tree))
+        again = unparse(parse(text))
+        assert text == again
+
+    @given(expressions())
+    @settings(max_examples=50, deadline=None)
+    def test_walk_visits_all_identifiers(self, src):
+        tree = parse_expression(src)
+        idents = {n.name for n in walk(tree) if isinstance(n, Identifier)}
+        # every name token in the source must be visited
+        for name in ["a", "b", "c", "i", "j", "n", "sum", "arr"]:
+            if f"{name}" in src.replace("(", " ").replace(")", " "):
+                tokens = src.replace("(", " ").replace(")", " ").replace("[", " ").replace("]", " ").split()
+                if name in tokens:
+                    assert name in idents

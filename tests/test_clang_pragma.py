@@ -1,0 +1,137 @@
+"""Tests for the OpenMP pragma parser/unparser."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clang.pragma import (
+    Clause,
+    OmpDirective,
+    PragmaError,
+    REDUCTION_OPS,
+    parse_pragma,
+)
+
+
+class TestParsing:
+    def test_parallel_for(self):
+        d = parse_pragma("#pragma omp parallel for")
+        assert d.construct == "parallel for"
+        assert d.is_parallel_for
+        assert d.clauses == []
+
+    def test_bare_for(self):
+        assert parse_pragma("pragma omp for").is_parallel_for
+
+    def test_parallel_alone_not_loop_directive(self):
+        assert not parse_pragma("#pragma omp parallel").is_parallel_for
+
+    def test_private_clause(self):
+        d = parse_pragma("#pragma omp parallel for private(i, j)")
+        assert d.private_vars == ("i", "j")
+        assert d.has_private
+
+    def test_reduction_clause(self):
+        d = parse_pragma("#pragma omp parallel for reduction(+:sum)")
+        assert d.reduction_specs == (("+", "sum"),)
+        assert d.has_reduction
+
+    def test_reduction_multiple_vars(self):
+        d = parse_pragma("#pragma omp parallel for reduction(max: a, b)")
+        assert d.reduction_specs == (("max", "a"), ("max", "b"))
+
+    def test_schedule_static(self):
+        d = parse_pragma("#pragma omp parallel for schedule(static)")
+        assert d.schedule == ("static", None)
+
+    def test_schedule_dynamic_chunk(self):
+        d = parse_pragma("#pragma omp parallel for schedule(dynamic,4)")
+        assert d.schedule == ("dynamic", 4)
+
+    def test_nowait(self):
+        d = parse_pragma("#pragma omp for nowait")
+        assert d.has_nowait
+
+    def test_combined_clauses(self):
+        d = parse_pragma(
+            "#pragma omp parallel for private(j) reduction(+:s) schedule(static) num_threads(8)"
+        )
+        assert d.has_private and d.has_reduction
+        assert d.schedule == ("static", None)
+
+    def test_task_construct(self):
+        d = parse_pragma("#pragma omp task")
+        assert d.construct == "task"
+        assert not d.is_parallel_for
+
+    def test_critical_and_barrier(self):
+        assert parse_pragma("#pragma omp critical").construct == "critical"
+        assert parse_pragma("#pragma omp barrier").construct == "barrier"
+
+    def test_without_hash_prefix(self):
+        d = parse_pragma("pragma omp parallel for private(i)")
+        assert d.private_vars == ("i",)
+
+
+class TestErrors:
+    def test_non_omp_pragma(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma once")
+
+    def test_unknown_construct(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma omp bogus_construct")
+
+    def test_malformed_reduction(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma omp parallel for reduction(sum)")
+
+    def test_unknown_reduction_op(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma omp parallel for reduction(@:s)")
+
+    def test_unknown_schedule_kind(self):
+        with pytest.raises(PragmaError):
+            parse_pragma("#pragma omp parallel for schedule(sometimes)")
+
+
+class TestUnparse:
+    def test_simple_roundtrip(self):
+        text = "#pragma omp parallel for private(i, j) reduction(+:sum)"
+        assert parse_pragma(parse_pragma(text).unparse()).unparse() == parse_pragma(text).unparse()
+
+    def test_unparse_contains_all_clauses(self):
+        d = OmpDirective(
+            "parallel for",
+            [Clause("private", ("i",)), Clause("schedule", ("dynamic", "4")), Clause("nowait")],
+        )
+        text = d.unparse()
+        assert "private(i)" in text
+        assert "schedule(dynamic, 4)" in text
+        assert text.endswith("nowait")
+
+
+var_names = st.sampled_from(["i", "j", "k", "sum", "acc", "tmp"])
+
+
+class TestProperties:
+    @given(
+        st.lists(var_names, min_size=1, max_size=3, unique=True),
+        st.sampled_from(sorted(REDUCTION_OPS)),
+        var_names,
+    )
+    @settings(max_examples=50)
+    def test_constructed_directive_roundtrips(self, priv, op, red_var):
+        d = OmpDirective(
+            "parallel for",
+            [Clause("private", tuple(priv)), Clause("reduction", (f"{op}:{red_var}",))],
+        )
+        parsed = parse_pragma(d.unparse())
+        assert parsed.private_vars == tuple(priv)
+        assert parsed.reduction_specs == ((op, red_var),)
+
+    @given(st.sampled_from(["static", "dynamic", "guided"]), st.integers(1, 64))
+    @settings(max_examples=25)
+    def test_schedule_roundtrip(self, kind, chunk):
+        d = OmpDirective("parallel for", [Clause("schedule", (kind, str(chunk)))])
+        assert parse_pragma(d.unparse()).schedule == (kind, chunk)

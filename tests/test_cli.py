@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestBuildCorpus:
+    def test_prints_table3_stats(self, capsys):
+        assert main(["build-corpus", "--records", "60", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "total_code_snippets" in out
+        assert "60" in out
+
+    def test_writes_records(self, tmp_path, capsys):
+        out_dir = tmp_path / "corpus"
+        assert main(["build-corpus", "--records", "25", "--out", str(out_dir)]) == 0
+        assert len(list(out_dir.glob("record_*"))) == 25
+
+
+class TestComparCommand:
+    def test_inserts_on_parallel_loop(self, tmp_path, capsys):
+        f = tmp_path / "loop.c"
+        f.write_text("for (i = 0; i < n; i++) s += a[i];\n")
+        assert main(["compar", str(f)]) == 0
+        out = capsys.readouterr().out
+        assert "reduction(+:s)" in out
+
+    def test_reports_reasons_on_serial_loop(self, tmp_path, capsys):
+        f = tmp_path / "loop.c"
+        f.write_text("for (i = 1; i < n; i++) a[i] = a[i-1];\n")
+        assert main(["compar", str(f)]) == 0
+        out = capsys.readouterr().out
+        assert "no directive" in out
+        assert "dependence" in out
+
+    def test_parse_failure_exit_code(self, tmp_path, capsys):
+        f = tmp_path / "loop.c"
+        f.write_text("register int r;\nfor (i = 0; i < n; i++) a[i] = r;\n")
+        assert main(["compar", str(f)]) == 1
+        assert "parse failure" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["reproduce", "table99"])

@@ -1,0 +1,236 @@
+"""Tests for the Open-OMP corpus substrate: generators, criteria, dedup,
+records, and statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clang import For, parse, walk
+from repro.clang.pragma import parse_pragma
+from repro.corpus import (
+    Corpus,
+    CorpusConfig,
+    NEGATIVE_FAMILIES,
+    POSITIVE_FAMILIES,
+    build_corpus,
+    directive_stats,
+    domain_distribution,
+    length_histogram,
+    load_records,
+    sample_excluded_snippet,
+    sample_snippet,
+    save_records,
+)
+from repro.corpus.builder import _passes_criteria, _structural_hash
+from repro.corpus.naming import NamePool
+from repro.corpus.records import Record, Snippet
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return build_corpus(CorpusConfig(n_records=400, seed=7))
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("_, gen", POSITIVE_FAMILIES)
+    def test_positive_families_parse_and_have_directive(self, _, gen):
+        rng = np.random.default_rng(3)
+        for _round in range(5):
+            snip = gen(rng)
+            assert snip.directive is not None
+            omp = parse_pragma(snip.directive)
+            assert omp.is_parallel_for
+            ast = parse(snip.code)
+            assert any(isinstance(n, For) for n in walk(ast))
+
+    @pytest.mark.parametrize("_, gen", NEGATIVE_FAMILIES)
+    def test_negative_families_parse_without_directive(self, _, gen):
+        rng = np.random.default_rng(4)
+        for _round in range(5):
+            snip = gen(rng)
+            assert snip.directive is None
+            parse(snip.code)  # must not raise
+
+    def test_sample_snippet_respects_positive_flag(self):
+        rng = np.random.default_rng(0)
+        assert sample_snippet(rng, positive=True).directive is not None
+        assert sample_snippet(rng, positive=False).directive is None
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_any_seed_parses(self, seed):
+        rng = np.random.default_rng(seed)
+        snip = sample_snippet(rng, positive=bool(seed % 2))
+        parse(snip.code)
+
+    def test_generators_deterministic_for_seed(self):
+        a = sample_snippet(np.random.default_rng(42), True)
+        b = sample_snippet(np.random.default_rng(42), True)
+        assert a == b
+
+
+class TestNamePool:
+    def test_no_collisions(self):
+        pool = NamePool(np.random.default_rng(0))
+        names = [pool.array() for _ in range(40)] + [pool.scalar() for _ in range(30)]
+        assert len(names) == len(set(names))
+
+    def test_iter_vars_conventional(self):
+        pool = NamePool(np.random.default_rng(0))
+        for _ in range(5):
+            assert pool.iter_var().isidentifier()
+
+    def test_idiosyncratic_fraction(self):
+        pool = NamePool(np.random.default_rng(0), idiosyncratic=1.0)
+        name = pool.array()
+        # idiosyncratic names are multi-character camel/underscore compounds
+        assert len(name) > 3
+
+
+class TestCriteria:
+    def test_excluded_snippets_rejected(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            snip = sample_excluded_snippet(rng)
+            assert _passes_criteria(snip) is None
+
+    def test_empty_annotated_loop_rejected(self):
+        snip = Snippet("for (i = 0; i < n; i++);", "#pragma omp parallel for", "x")
+        assert _passes_criteria(snip) is None
+
+    def test_empty_unannotated_loop_needs_for(self):
+        # negative records only need to contain a for loop
+        snip = Snippet("for (i = 0; i < n; i++);", None, "x")
+        assert _passes_criteria(snip) is not None
+
+    def test_task_directive_rejected(self):
+        snip = Snippet("for (i = 0; i < n; i++) f(i);", "#pragma omp task", "x")
+        assert _passes_criteria(snip) is None
+
+    def test_non_loop_code_rejected(self):
+        snip = Snippet("x = 1;", None, "x")
+        assert _passes_criteria(snip) is None
+
+    def test_unparseable_rejected(self):
+        snip = Snippet("for (i = 0; i < n; i++ {", None, "x")
+        assert _passes_criteria(snip) is None
+
+
+class TestDedup:
+    def test_structural_hash_ignores_whitespace(self):
+        a = parse("for (i = 0; i < n; i++)  a[i] = i;")
+        b = parse("for (i=0;i<n;i++)\n\n  a[i]=i;")
+        assert _structural_hash(a, None) == _structural_hash(b, None)
+
+    def test_structural_hash_distinguishes_directive(self):
+        ast = parse("for (i = 0; i < n; i++) a[i] = i;")
+        assert _structural_hash(ast, "#pragma omp parallel for") != _structural_hash(ast, None)
+
+    def test_corpus_contains_no_structural_duplicates(self, small_corpus):
+        keys = [_structural_hash(r.ast, r.directive) for r in small_corpus]
+        assert len(keys) == len(set(keys))
+
+    def test_normalized_dedup_collapses_renamings(self):
+        cfg = CorpusConfig(n_records=50, seed=3, dedup="normalized")
+        corpus = build_corpus(cfg)
+        assert len(corpus) == 50
+        assert corpus.n_rejected_duplicates > 0
+
+
+class TestBuildCorpus:
+    def test_reaches_target_size(self, small_corpus):
+        assert len(small_corpus) == 400
+
+    def test_positive_fraction_near_paper(self, small_corpus):
+        frac = len(small_corpus.positives) / len(small_corpus)
+        assert 0.35 < frac < 0.55
+
+    def test_deterministic(self):
+        c1 = build_corpus(CorpusConfig(n_records=60, seed=11))
+        c2 = build_corpus(CorpusConfig(n_records=60, seed=11))
+        assert [r.code for r in c1] == [r.code for r in c2]
+        assert [r.directive for r in c1] == [r.directive for r in c2]
+
+    def test_different_seeds_differ(self):
+        c1 = build_corpus(CorpusConfig(n_records=60, seed=1))
+        c2 = build_corpus(CorpusConfig(n_records=60, seed=2))
+        assert [r.code for r in c1] != [r.code for r in c2]
+
+    def test_all_positives_are_parallel_for(self, small_corpus):
+        for rec in small_corpus.positives:
+            assert rec.omp.is_parallel_for
+
+    def test_label_noise_produces_unannotated_parallel_code(self):
+        noisy = build_corpus(CorpusConfig(n_records=300, seed=9, label_noise=0.3))
+        pos_families = {fn.__name__.replace("gen_", "") for _, fn in POSITIVE_FAMILIES}
+        stripped = [r for r in noisy.negatives if r.family in pos_families]
+        assert len(stripped) > 0
+
+    def test_zero_label_noise(self):
+        clean = build_corpus(CorpusConfig(n_records=200, seed=9, label_noise=0.0))
+        pos_families = {fn.__name__.replace("gen_", "") for _, fn in POSITIVE_FAMILIES}
+        stripped = [r for r in clean.negatives if r.family in pos_families]
+        assert stripped == []
+
+
+class TestStats:
+    def test_directive_stats_consistency(self, small_corpus):
+        s = directive_stats(small_corpus)
+        assert s["total_code_snippets"] == len(small_corpus)
+        assert s["for_loops_with_omp"] == len(small_corpus.positives)
+        assert s["schedule_static"] + s["schedule_dynamic"] == s["for_loops_with_omp"]
+        assert s["private"] <= s["for_loops_with_omp"]
+        assert s["reduction"] <= s["for_loops_with_omp"]
+
+    def test_clause_proportions_match_table3_shape(self, small_corpus):
+        s = directive_stats(small_corpus)
+        pos = s["for_loops_with_omp"]
+        # Table 3: private ≈ 45 %, reduction ≈ 19 %, dynamic ≈ 5 % of directives
+        assert 0.25 < s["private"] / pos < 0.60
+        assert 0.08 < s["reduction"] / pos < 0.35
+        assert 0.005 < s["schedule_dynamic"] / pos < 0.15
+
+    def test_length_histogram_partitions_corpus(self, small_corpus):
+        hist = length_histogram(small_corpus)
+        assert sum(hist.values()) == len(small_corpus)
+        # Table 4 shape: monotone decreasing across bins
+        vals = list(hist.values())
+        assert vals[0] > vals[1] > vals[2] >= vals[3]
+
+    def test_domain_distribution_matches_fig3(self, small_corpus):
+        dist = domain_distribution(small_corpus)
+        assert abs(sum(dist.values()) - 1.0) < 1e-9
+        assert dist["generic"] > dist["unknown"] > dist["benchmark"] > dist["testing"]
+
+
+class TestRecords:
+    def test_record_labels(self, small_corpus):
+        for rec in small_corpus.records[:50]:
+            if rec.has_omp:
+                assert rec.label_private in (True, False)
+                assert rec.label_reduction in (True, False)
+            else:
+                assert rec.label_private is None
+                assert rec.label_reduction is None
+
+    def test_line_count_ignores_blank_lines(self):
+        rec = Record(0, "for (i = 0; i < n; i++)\n\n  a[i] = i;", None, "generic", "x")
+        assert rec.line_count == 2
+
+    def test_save_load_roundtrip(self, small_corpus, tmp_path):
+        subset = small_corpus.records[:12]
+        save_records(subset, tmp_path)
+        loaded = load_records(tmp_path)
+        assert len(loaded) == 12
+        for orig, back in zip(subset, loaded):
+            assert back.code == orig.code
+            assert back.directive == orig.directive
+            assert back.domain == orig.domain
+            assert back.family == orig.family
+
+    def test_loaded_ast_usable(self, small_corpus, tmp_path):
+        save_records(small_corpus.records[:3], tmp_path)
+        loaded = load_records(tmp_path)
+        for rec in loaded:
+            assert any(isinstance(n, For) for n in walk(rec.ast))

@@ -1,0 +1,146 @@
+"""Tests for dataset splits (Table 5) and encoding."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import CorpusConfig, build_corpus
+from repro.data import (
+    DEFAULT_MAX_LEN,
+    TokenCache,
+    encode_dataset,
+    make_clause_dataset,
+    make_directive_dataset,
+)
+from repro.tokenize import Representation
+from repro.tokenize.stats import representation_stats
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(CorpusConfig(n_records=500, seed=13))
+
+
+@pytest.fixture(scope="module")
+def directive_splits(corpus):
+    return make_directive_dataset(corpus, rng=0)
+
+
+class TestDirectiveDataset:
+    def test_ratios(self, corpus, directive_splits):
+        sizes = directive_splits.sizes()
+        total = sum(sizes.values())
+        assert total == len(corpus)
+        assert abs(sizes["train"] / total - 0.8) < 0.02
+        assert abs(sizes["validation"] / total - 0.1) < 0.02
+
+    def test_stratification(self, directive_splits):
+        fracs = directive_splits.label_fractions()
+        assert abs(fracs["train"] - fracs["test"]) < 0.05
+        assert abs(fracs["train"] - fracs["validation"]) < 0.05
+
+    def test_no_overlap_between_splits(self, directive_splits):
+        ids = lambda split: {e.record.uid for e in split}
+        assert not (ids(directive_splits.train) & ids(directive_splits.test))
+        assert not (ids(directive_splits.train) & ids(directive_splits.validation))
+        assert not (ids(directive_splits.validation) & ids(directive_splits.test))
+
+    def test_labels_match_directives(self, directive_splits):
+        for ex in directive_splits.train[:100]:
+            assert ex.label == int(ex.record.has_omp)
+
+    def test_deterministic(self, corpus):
+        s1 = make_directive_dataset(corpus, rng=5)
+        s2 = make_directive_dataset(corpus, rng=5)
+        assert [e.record.uid for e in s1.train] == [e.record.uid for e in s2.train]
+
+
+class TestClauseDataset:
+    def test_only_positive_records(self, corpus):
+        splits = make_clause_dataset(corpus, "private", rng=0)
+        for ex in splits.train + splits.validation + splits.test:
+            assert ex.record.has_omp
+
+    def test_balanced_labels(self, corpus):
+        splits = make_clause_dataset(corpus, "private", balance=True, rng=0)
+        all_ex = splits.train + splits.validation + splits.test
+        frac = sum(e.label for e in all_ex) / len(all_ex)
+        assert abs(frac - 0.5) < 0.02
+
+    def test_unbalanced_keeps_all_positives(self, corpus):
+        splits = make_clause_dataset(corpus, "reduction", balance=False, rng=0)
+        total = sum(splits.sizes().values())
+        assert total == len(corpus.positives)
+
+    def test_reduction_labels(self, corpus):
+        splits = make_clause_dataset(corpus, "reduction", rng=0)
+        for ex in splits.train[:50]:
+            assert ex.label == int(ex.record.omp.has_reduction)
+
+    def test_invalid_clause_raises(self, corpus):
+        with pytest.raises(ValueError):
+            make_clause_dataset(corpus, "nowait")
+
+
+class TestEncoding:
+    def test_shapes_and_padding(self, directive_splits):
+        enc = encode_dataset(directive_splits, Representation.TEXT, max_len=64)
+        assert enc.train.ids.shape == (len(directive_splits.train), 64)
+        assert enc.train.mask.shape == enc.train.ids.shape
+        # mask is 1 exactly where ids are not PAD
+        pad = enc.vocab.pad_id
+        assert ((enc.train.ids != pad) == enc.train.mask.astype(bool)).all()
+
+    def test_cls_first(self, directive_splits):
+        enc = encode_dataset(directive_splits, Representation.TEXT, max_len=32)
+        assert (enc.train.ids[:, 0] == enc.vocab.cls_id).all()
+
+    def test_default_max_len_is_110(self):
+        assert DEFAULT_MAX_LEN == 110
+
+    def test_vocab_built_on_train_only(self, directive_splits):
+        enc = encode_dataset(directive_splits, Representation.TEXT)
+        train_types = set()
+        cache = TokenCache()
+        for ex in directive_splits.train:
+            train_types.update(cache.tokens(ex.record, Representation.TEXT))
+        # every train type is in vocab (min_freq=1)
+        assert all(t in enc.vocab for t in train_types)
+
+    def test_labels_preserved(self, directive_splits):
+        enc = encode_dataset(directive_splits, Representation.TEXT, max_len=16)
+        expected = np.array([e.label for e in directive_splits.test])
+        assert (enc.test.labels == expected).all()
+
+    def test_token_cache_reuse(self, directive_splits):
+        cache = TokenCache()
+        rec = directive_splits.train[0].record
+        t1 = cache.tokens(rec, Representation.TEXT)
+        t2 = cache.tokens(rec, Representation.TEXT)
+        assert t1 is t2
+
+
+class TestTable7Stats:
+    @pytest.fixture(scope="class")
+    def stats(self, directive_splits):
+        cache = TokenCache()
+        return {
+            rep: representation_stats(directive_splits, rep, cache)
+            for rep in Representation
+        }
+
+    def test_replacement_shrinks_vocab(self, stats):
+        """Table 7: replaced representations have far smaller vocabularies."""
+        assert stats[Representation.R_TEXT]["train_vocab_size"] < stats[Representation.TEXT]["train_vocab_size"]
+        assert stats[Representation.R_AST]["train_vocab_size"] < stats[Representation.AST]["train_vocab_size"]
+
+    def test_replacement_reduces_oov(self, stats):
+        assert stats[Representation.R_TEXT]["oov_types"] <= stats[Representation.TEXT]["oov_types"]
+
+    def test_ast_longer_than_text(self, stats):
+        """Table 7: AST serialization adds structural tokens."""
+        assert stats[Representation.AST]["avg_length"] > stats[Representation.TEXT]["avg_length"]
+
+    def test_all_positive(self, stats):
+        for rep_stats in stats.values():
+            assert rep_stats["train_vocab_size"] > 0
+            assert rep_stats["avg_length"] > 0

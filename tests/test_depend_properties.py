@@ -1,0 +1,121 @@
+"""Property-based soundness tests: the dependence analyzer's verdicts versus
+the corpus generators' ground truth.
+
+The generators are the data-generating process — each family is
+parallelizable or not *by construction* — so they double as an oracle for
+the analyzer:
+
+* **soundness on negatives**: no analyzer policy may declare a
+  carried-dependence family parallelizable (that would be a miscompile);
+* **completeness on call-free positives**: a permissive policy must accept
+  positive-family snippets that contain no function calls (calls are where
+  policies legitimately diverge).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clang import Call, For, parse, walk
+from repro.clang.nodes import FuncDef
+from repro.corpus.generators import (
+    gen_anti_dep,
+    gen_back_subst,
+    gen_char_state,
+    gen_dot_product,
+    gen_elementwise,
+    gen_gauss_elim,
+    gen_indirect_write,
+    gen_init_1d,
+    gen_matmul,
+    gen_minmax,
+    gen_multi_array,
+    gen_nested_2d,
+    gen_prefix_sum,
+    gen_recurrence,
+    gen_reduction_2d,
+    gen_reduction_sum,
+    gen_running_stat,
+    gen_scalar_carried,
+    gen_stencil,
+    gen_stencil_1d,
+    gen_wavefront,
+)
+from repro.s2s.depend import AnalysisPolicy, analyze_loop
+
+PERMISSIVE = AnalysisPolicy(unknown_call="pure", private_iteration_var=False)
+CONSERVATIVE = AnalysisPolicy(unknown_call="conservative")
+
+CARRIED_FAMILIES = [
+    gen_recurrence, gen_prefix_sum, gen_anti_dep, gen_scalar_carried,
+    gen_running_stat, gen_char_state, gen_indirect_write,
+    gen_gauss_elim, gen_back_subst, gen_wavefront, gen_minmax,
+]
+
+CALLFREE_POSITIVE_FAMILIES = [
+    gen_init_1d, gen_elementwise, gen_nested_2d, gen_matmul, gen_stencil,
+    gen_stencil_1d, gen_reduction_sum, gen_dot_product, gen_reduction_2d,
+    gen_multi_array,
+]
+
+
+def _analyze(code, policy):
+    ast = parse(code)
+    loop = next(n for n in walk(ast) if isinstance(n, For))
+    funcdefs = {n.name: n for n in walk(ast) if isinstance(n, FuncDef)}
+    return analyze_loop(loop, funcdefs, policy)
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("gen", CARRIED_FAMILIES)
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_carried_families_never_parallelized(self, gen, seed):
+        """Even the most permissive policy must reject carried dependences —
+        anything else would be a miscompile in a real S2S compiler."""
+        snippet = gen(np.random.default_rng(seed))
+        analysis = _analyze(snippet.code, PERMISSIVE)
+        assert not analysis.parallelizable, snippet.code
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("gen", CALLFREE_POSITIVE_FAMILIES)
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_callfree_positives_accepted(self, gen, seed):
+        """Positive families without calls are dependence-clean by
+        construction; the analyzer must agree."""
+        snippet = gen(np.random.default_rng(seed))
+        ast = parse(snippet.code)
+        has_calls = any(isinstance(n, Call) for n in walk(ast))
+        if has_calls:  # sqrt/fabs variants of elementwise
+            return
+        analysis = _analyze(snippet.code, CONSERVATIVE)
+        assert analysis.parallelizable, (snippet.code, analysis.reasons)
+
+
+class TestClauseAgreement:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_reduction_families_yield_reduction_clause(self, seed):
+        snippet = gen_reduction_sum(np.random.default_rng(seed))
+        analysis = _analyze(snippet.code, CONSERVATIVE)
+        assert analysis.parallelizable
+        assert len(analysis.reductions) == 1
+        # the analyzer's clause matches the generator's ground-truth label
+        from repro.clang.pragma import parse_pragma
+
+        truth = parse_pragma(snippet.directive).reduction_specs
+        assert analysis.reductions[0] == truth[0]
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_nested_families_yield_private_inner_var(self, seed):
+        snippet = gen_nested_2d(np.random.default_rng(seed))
+        analysis = _analyze(snippet.code, PERMISSIVE)
+        assert analysis.parallelizable
+        from repro.clang.pragma import parse_pragma
+
+        truth = set(parse_pragma(snippet.directive).private_vars)
+        assert truth <= set(analysis.private)

@@ -1,0 +1,79 @@
+"""Tests for metrics and error analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import binary_metrics, confusion_matrix, error_rate_by_length
+
+
+class TestConfusion:
+    def test_counts(self):
+        preds = np.array([1, 1, 0, 0, 1])
+        labels = np.array([1, 0, 0, 1, 1])
+        assert confusion_matrix(preds, labels) == (2, 1, 1, 1)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([1]), np.array([1, 0]))
+
+
+class TestBinaryMetrics:
+    def test_perfect(self):
+        labels = np.array([1, 0, 1, 0])
+        m = binary_metrics(labels, labels)
+        assert m.precision == m.recall == m.f1 == m.accuracy == 1.0
+
+    def test_all_wrong(self):
+        labels = np.array([1, 0, 1, 0])
+        m = binary_metrics(1 - labels, labels)
+        assert m.accuracy == 0.0
+        assert m.f1 == 0.0
+
+    def test_known_values(self):
+        preds = np.array([1, 1, 1, 0, 0, 0])
+        labels = np.array([1, 1, 0, 1, 0, 0])
+        m = binary_metrics(preds, labels)
+        assert m.precision == pytest.approx(2 / 3)
+        assert m.recall == pytest.approx(2 / 3)
+        assert m.accuracy == pytest.approx(4 / 6)
+
+    def test_zero_division_safe(self):
+        m = binary_metrics(np.zeros(4), np.zeros(4))
+        assert m.precision == 0.0 and m.recall == 0.0 and m.f1 == 0.0
+        assert m.accuracy == 1.0
+
+    def test_as_row(self):
+        m = binary_metrics(np.array([1, 0]), np.array([1, 0]))
+        assert m.as_row() == (1.0, 1.0, 1.0, 1.0)
+
+    @given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)),
+                    min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_f1_is_harmonic_mean(self, pairs):
+        preds = np.array([p for p, _ in pairs])
+        labels = np.array([l for _, l in pairs])
+        m = binary_metrics(preds, labels)
+        if m.precision + m.recall > 0:
+            expected = 2 * m.precision * m.recall / (m.precision + m.recall)
+            assert m.f1 == pytest.approx(expected)
+        assert 0.0 <= m.accuracy <= 1.0
+        assert m.tp + m.fp + m.fn + m.tn == len(pairs)
+
+
+class TestErrorByLength:
+    def test_bins_partition_and_rates(self):
+        lengths = [3, 5, 15, 30, 60]
+        preds = np.array([1, 0, 1, 1, 1])
+        labels = np.array([0, 0, 1, 0, 1])  # errors at idx 0 and 3
+        out = error_rate_by_length(lengths, preds, labels)
+        assert out["<=10"]["errors"] == 1
+        assert out["21-50"]["errors"] == 1
+        assert out[">50"]["errors"] == 0
+        assert sum(b["n"] for b in out.values()) == 5
+        assert sum(b["share_of_errors"] for b in out.values()) == pytest.approx(1.0)
+
+    def test_no_errors(self):
+        out = error_rate_by_length([5, 15], np.array([1, 0]), np.array([1, 0]))
+        assert all(b["errors"] == 0 for b in out.values())

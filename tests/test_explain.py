@@ -1,0 +1,75 @@
+"""Tests for the LIME-style explainer."""
+
+import numpy as np
+import pytest
+
+from repro.explain import LimeExplainer
+
+
+def keyword_model(trigger, strength=0.9):
+    """A model that predicts positive iff `trigger` is present."""
+
+    def predict(token_lists):
+        return np.array([strength if trigger in toks else 1 - strength
+                         for toks in token_lists])
+
+    return predict
+
+
+class TestLime:
+    def test_identifies_single_decisive_token(self):
+        explainer = LimeExplainer(keyword_model("fprintf"), n_samples=200, rng=0)
+        tokens = ["for", "(", "i", ")", "fprintf", ";"]
+        expl = explainer.explain(tokens)
+        top_token, top_weight = expl.top(1)[0]
+        assert top_token == "fprintf"
+        assert top_weight > 0  # presence raises P(positive) for this model
+
+    def test_sign_of_negative_evidence(self):
+        # model says positive unless 'break' appears
+        def predict(token_lists):
+            return np.array([0.1 if "break" in toks else 0.9 for toks in token_lists])
+
+        explainer = LimeExplainer(predict, n_samples=200, rng=1)
+        expl = explainer.explain(["for", "x", "break", "y"])
+        weights = dict(zip(expl.tokens, expl.weights))
+        assert weights["break"] < 0
+        assert abs(weights["break"]) > abs(weights["x"])
+
+    def test_base_probability_is_intact_input(self):
+        explainer = LimeExplainer(keyword_model("k", 0.8), n_samples=100, rng=2)
+        expl = explainer.explain(["a", "k"])
+        assert expl.base_probability == pytest.approx(0.8)
+
+    def test_supporting_and_opposing_partition(self):
+        explainer = LimeExplainer(keyword_model("good"), n_samples=150, rng=3)
+        expl = explainer.explain(["good", "bad", "meh"])
+        assert all(w > 0 for _, w in expl.supporting())
+        assert all(w < 0 for _, w in expl.opposing())
+
+    def test_deterministic_given_rng(self):
+        e1 = LimeExplainer(keyword_model("t"), n_samples=100, rng=5).explain(["t", "u"])
+        e2 = LimeExplainer(keyword_model("t"), n_samples=100, rng=5).explain(["t", "u"])
+        np.testing.assert_array_equal(e1.weights, e2.weights)
+
+    def test_empty_tokens_raise(self):
+        with pytest.raises(ValueError):
+            LimeExplainer(keyword_model("x")).explain([])
+
+    def test_constant_model_gives_near_zero_weights(self):
+        explainer = LimeExplainer(lambda ls: np.full(len(ls), 0.5),
+                                  n_samples=100, rng=6)
+        expl = explainer.explain(["a", "b", "c"])
+        assert np.abs(expl.weights).max() < 1e-3
+
+    def test_interacting_tokens(self):
+        """Both tokens needed -> both get positive weight."""
+
+        def predict(token_lists):
+            return np.array([0.9 if ("a" in t and "b" in t) else 0.1
+                             for t in token_lists])
+
+        expl = LimeExplainer(predict, n_samples=400, rng=7).explain(["a", "b", "z"])
+        weights = dict(zip(expl.tokens, expl.weights))
+        assert weights["a"] > 0 and weights["b"] > 0
+        assert weights["a"] > weights["z"] and weights["b"] > weights["z"]

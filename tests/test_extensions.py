@@ -1,0 +1,132 @@
+"""Tests for the future-work extensions: directive generation, the hybrid
+model+S2S advisor, and attention introspection."""
+
+import numpy as np
+import pytest
+
+from repro.clang.pragma import parse_pragma
+from repro.explain import attention_by_token_class, cls_attention
+from repro.models import DirectiveGenerator, HybridAdvisor, PragFormer, PragFormerConfig
+from repro.models.pragformer import trim_batch
+from repro.pipeline import ScaleConfig
+from repro.pipeline.context import get_context
+
+TINY = ScaleConfig(
+    name="tiny-ext",
+    corpus_records=260,
+    epochs=3,
+    mlm_epochs=1,
+    pragformer=PragFormerConfig(d_model=32, n_heads=2, n_layers=1, d_ff=64,
+                                d_head_hidden=32, batch_size=32, seed=0),
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return get_context(TINY)
+
+
+@pytest.fixture(scope="module")
+def generator(ctx):
+    enc = ctx.encoded()
+    return DirectiveGenerator(
+        ctx.pragformer, enc.vocab,
+        private_model=ctx.clause_model("private"),
+        private_vocab=ctx.clause_encoded("private").vocab,
+        reduction_model=ctx.clause_model("reduction"),
+        reduction_vocab=ctx.clause_encoded("reduction").vocab,
+        max_len=TINY.pragformer.max_len,
+    )
+
+
+class TestDirectiveGenerator:
+    def test_generated_directive_parses(self, generator):
+        out = generator.generate("for (i = 0; i < n; i++) s += a[i] * b[i];")
+        if out.directive is not None:
+            omp = parse_pragma(out.directive)
+            assert omp.is_parallel_for
+
+    def test_reduction_variable_filled_from_analysis(self, generator):
+        out = generator.generate("for (i = 0; i < n; i++) acc += vals[i];")
+        assert out.reduction_specs == (("+", "acc"),)
+        if out.directive and out.p_reduction and out.p_reduction > 0.5:
+            assert "reduction(+:acc)" in out.directive
+
+    def test_private_variables_from_analysis(self, generator):
+        code = ("for (i = 0; i < n; i++)\n"
+                "  for (j = 0; j < m; j++)\n"
+                "    c[i][j] = a[i][j] + b[i][j];")
+        out = generator.generate(code)
+        assert "j" in out.private_vars
+
+    def test_negative_prediction_returns_none(self, generator):
+        # I/O loop: the directive model should say no
+        out = generator.generate(
+            'for (i = 0; i < n; i++) fprintf(stderr, "%d", x[i]);')
+        if out.p_directive <= 0.5:
+            assert out.directive is None
+
+    def test_probability_fields_populated(self, generator):
+        out = generator.generate("for (i = 0; i < n; i++) y[i] = x[i];")
+        assert 0.0 <= out.p_directive <= 1.0
+
+
+class TestHybridAdvisor:
+    def test_agreement_never_exceeds_either_positive_set(self, ctx):
+        enc = ctx.encoded()
+        codes = [e.record.code for e in ctx.directive_splits.test]
+        hybrid = HybridAdvisor(ctx.pragformer, ctx.compar)
+        agree = hybrid.predict(enc.test, codes, policy="agreement")
+        model_pos = ctx.pragformer.predict(enc.test)
+        s2s_pos, _ = ctx.compar.predict_directive(codes)
+        assert (agree <= model_pos).all()
+        assert (agree <= s2s_pos).all()
+
+    def test_agreement_tradeoff_structure(self, ctx):
+        enc = ctx.encoded()
+        codes = [e.record.code for e in ctx.directive_splits.test]
+        hybrid = HybridAdvisor(ctx.pragformer, ctx.compar)
+        table = hybrid.precision_recall_tradeoff(enc.test, codes)
+        assert set(table) == {"pragformer", "compar", "agreement", "model_veto"}
+        # agreement costs recall relative to both components (subset of each)
+        assert table["agreement"]["recall"] <= table["pragformer"]["recall"] + 1e-9
+        assert table["agreement"]["recall"] <= table["compar"]["recall"] + 1e-9
+        # when agreement produces any positives, its precision is competitive
+        # with the weaker component (§2.1's verification argument); at tiny
+        # scale the intersection may be empty, which is fine
+        if table["agreement"]["precision"] > 0:
+            assert table["agreement"]["precision"] >= min(
+                table["pragformer"]["precision"], table["compar"]["precision"]) - 0.05
+
+    def test_unknown_policy_raises(self, ctx):
+        enc = ctx.encoded()
+        codes = [e.record.code for e in ctx.directive_splits.test]
+        hybrid = HybridAdvisor(ctx.pragformer, ctx.compar)
+        with pytest.raises(ValueError):
+            hybrid.predict(enc.test, codes, policy="bogus")
+
+    def test_misaligned_inputs_raise(self, ctx):
+        enc = ctx.encoded()
+        hybrid = HybridAdvisor(ctx.pragformer, ctx.compar)
+        with pytest.raises(ValueError):
+            hybrid.predict(enc.test, ["one code"], policy="agreement")
+
+
+class TestAttention:
+    def test_cls_attention_covers_tokens(self, ctx):
+        enc = ctx.encoded()
+        pairs = cls_attention(ctx.pragformer, enc.vocab,
+                              "for (i = 0; i < n; i++) a[i] = i;",
+                              max_len=TINY.pragformer.max_len)
+        tokens = [t for t, _ in pairs]
+        assert tokens[0] == "for"
+        assert all(att >= 0 for _, att in pairs)
+        assert sum(att for _, att in pairs) <= 1.0 + 1e-6
+
+    def test_attention_by_class_keys(self, ctx):
+        enc = ctx.encoded()
+        codes = [e.record.code for e in ctx.directive_splits.test[:8]]
+        by_class = attention_by_token_class(ctx.pragformer, enc.vocab, codes,
+                                            max_len=TINY.pragformer.max_len)
+        assert "identifier" in by_class
+        assert all(v >= 0 for v in by_class.values())

@@ -1,0 +1,79 @@
+"""Label-coherence tests over every generator family: the directive text,
+clause labels, and family semantics must agree."""
+
+import numpy as np
+import pytest
+
+from repro.clang import parse
+from repro.clang.pragma import parse_pragma
+from repro.corpus import POSITIVE_FAMILIES, NEGATIVE_FAMILIES
+from repro.corpus.generators import (
+    gen_minmax,
+    gen_private_temp,
+    gen_reduction_2d,
+    gen_triangular,
+    gen_unbalanced,
+)
+from repro.tokenize import text_tokens
+
+
+def draws(gen, n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return [gen(rng) for _ in range(n)]
+
+
+class TestDirectiveCoherence:
+    @pytest.mark.parametrize("_, gen", POSITIVE_FAMILIES)
+    def test_clause_variables_appear_in_code(self, _, gen):
+        """Every variable referenced by a private/reduction clause must be a
+        token of the snippet itself (a dangling clause would be a bug)."""
+        for snip in draws(gen, 6):
+            omp = parse_pragma(snip.directive)
+            tokens = set(text_tokens(snip.code))
+            for var in omp.private_vars:
+                assert var in tokens, (snip.code, var)
+            for _, var in omp.reduction_specs:
+                assert var in tokens, (snip.code, var)
+
+    def test_dynamic_schedule_only_on_unbalanced_families(self):
+        for snip in draws(gen_unbalanced, 6, seed=1):
+            sched = parse_pragma(snip.directive).schedule
+            assert sched is not None and sched[0] == "dynamic"
+        for snip in draws(gen_triangular, 6, seed=2):
+            sched = parse_pragma(snip.directive).schedule
+            assert sched is not None and sched[0] == "dynamic"
+
+    def test_minmax_reductions_use_minmax_ops(self):
+        for snip in draws(gen_minmax, 8, seed=3):
+            specs = parse_pragma(snip.directive).reduction_specs
+            assert len(specs) == 1
+            assert specs[0][0] in ("min", "max")
+
+    def test_private_temp_has_non_iter_private(self):
+        for snip in draws(gen_private_temp, 6, seed=4):
+            omp = parse_pragma(snip.directive)
+            ast = parse(snip.code)
+            # the private var is the temp, not the loop variable
+            assert len(omp.private_vars) == 1
+
+    def test_reduction_2d_has_both_clauses(self):
+        for snip in draws(gen_reduction_2d, 6, seed=5):
+            omp = parse_pragma(snip.directive)
+            assert omp.has_private and omp.has_reduction
+
+
+class TestFamilyMetadata:
+    @pytest.mark.parametrize("_, gen", POSITIVE_FAMILIES + NEGATIVE_FAMILIES)
+    def test_family_name_matches_function(self, _, gen):
+        snip = gen(np.random.default_rng(9))
+        base = gen.__name__.replace("gen_", "")
+        assert snip.family == base or snip.family.startswith("unannotated"), (
+            gen.__name__, snip.family)
+
+    def test_weights_are_positive(self):
+        for weight, _ in POSITIVE_FAMILIES + NEGATIVE_FAMILIES:
+            assert weight > 0
+
+    def test_no_duplicate_generators(self):
+        fns = [g for _, g in POSITIVE_FAMILIES + NEGATIVE_FAMILIES]
+        assert len(fns) == len(set(fns))

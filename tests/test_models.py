@@ -1,0 +1,238 @@
+"""Tests for PragFormer, MLM pretraining, and the BoW baseline."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import CorpusConfig, build_corpus
+from repro.data import encode_dataset, make_directive_dataset
+from repro.data.encoding import EncodedSplit
+from repro.models import (
+    BowConfig,
+    BowLogistic,
+    MLMConfig,
+    MLMPretrainer,
+    PragFormer,
+    PragFormerConfig,
+    mask_tokens,
+)
+from repro.models.pragformer import _length_bucketed_batches, trim_batch
+from repro.nn import EncoderConfig
+from repro.tokenize import Representation, Vocab
+
+TINY = PragFormerConfig(d_model=16, n_heads=2, n_layers=1, d_ff=32,
+                        d_head_hidden=16, max_len=64, batch_size=16, seed=0)
+
+
+@pytest.fixture(scope="module")
+def encoded():
+    corpus = build_corpus(CorpusConfig(n_records=400, seed=21))
+    splits = make_directive_dataset(corpus, rng=0)
+    return encode_dataset(splits, Representation.TEXT, max_len=64, min_freq=2)
+
+
+def toy_split(rng, n=64, length=8, vocab=12):
+    """Synthetic linearly-separable data: label = presence of token 5."""
+    gen = np.random.default_rng(rng)
+    ids = gen.integers(6, vocab, size=(n, length))
+    labels = gen.integers(0, 2, size=n)
+    ids[labels == 1, 1 + gen.integers(0, length - 1)] = 5
+    ids[:, 0] = 2  # CLS
+    mask = np.ones((n, length))
+    return EncodedSplit(ids.astype(np.int64), mask, labels.astype(np.int64))
+
+
+class TestTrimAndBucketing:
+    def test_trim_removes_padding_columns(self):
+        ids = np.array([[2, 5, 0, 0], [2, 5, 6, 0]])
+        mask = np.array([[1, 1, 0, 0], [1, 1, 1, 0]], dtype=float)
+        t_ids, t_mask = trim_batch(ids, mask)
+        assert t_ids.shape == (2, 3)
+        assert t_mask.shape == (2, 3)
+
+    def test_trim_handles_all_empty(self):
+        ids = np.zeros((2, 4), dtype=np.int64)
+        mask = np.zeros((2, 4))
+        t_ids, _ = trim_batch(ids, mask)
+        assert t_ids.shape[1] == 1
+
+    def test_bucketed_batches_cover_every_index_once(self):
+        lengths = np.random.default_rng(0).integers(3, 60, size=101).astype(float)
+        batches = _length_bucketed_batches(lengths, 16, np.random.default_rng(1))
+        seen = np.concatenate(batches)
+        assert sorted(seen.tolist()) == list(range(101))
+
+    def test_bucketed_batches_group_similar_lengths(self):
+        lengths = np.arange(128).astype(float)
+        batches = _length_bucketed_batches(lengths, 16, np.random.default_rng(0))
+        spreads = [lengths[b].max() - lengths[b].min() for b in batches]
+        assert np.mean(spreads) < 40  # windows of 8 batches bound the spread
+
+
+class TestPragFormer:
+    def test_learns_separable_toy_task(self):
+        train = toy_split(0, n=128)
+        model = PragFormer(12, TINY)
+        model.fit(train, epochs=8)
+        acc = (model.predict(train) == train.labels).mean()
+        assert acc > 0.95
+
+    def test_history_lengths(self):
+        train, val = toy_split(1), toy_split(2)
+        model = PragFormer(12, TINY)
+        hist = model.fit(train, val, epochs=3)
+        assert len(hist.train_loss) == 3
+        assert len(hist.valid_loss) == 3
+        assert len(hist.valid_accuracy) == 3
+
+    def test_train_loss_decreases(self):
+        train = toy_split(3, n=128)
+        hist = PragFormer(12, TINY).fit(train, epochs=6)
+        assert hist.train_loss[-1] < hist.train_loss[0]
+
+    def test_best_epoch(self):
+        from repro.models import TrainHistory
+        h = TrainHistory(valid_loss=[0.9, 0.4, 0.6])
+        assert h.best_epoch() == 1
+        with pytest.raises(ValueError):
+            TrainHistory().best_epoch()
+
+    def test_predict_proba_shape_and_range(self):
+        split = toy_split(4)
+        model = PragFormer(12, TINY)
+        proba = model.predict_proba(split)
+        assert proba.shape == (len(split), 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_predict_order_preserved_under_length_sorting(self):
+        """predict_proba sorts by length internally; outputs must map back."""
+        gen = np.random.default_rng(5)
+        n = 40
+        ids = np.full((n, 32), 0, dtype=np.int64)
+        mask = np.zeros((n, 32))
+        lengths = gen.integers(2, 32, size=n)
+        for i, l in enumerate(lengths):
+            ids[i, :l] = gen.integers(4, 12, size=l)
+            mask[i, :l] = 1
+        split = EncodedSplit(ids, mask, np.zeros(n, dtype=np.int64))
+        model = PragFormer(12, TINY)
+        p_batched = model.predict_proba(split, batch_size=7)
+        p_single = np.vstack([
+            model.predict_proba(EncodedSplit(ids[i:i+1], mask[i:i+1],
+                                             split.labels[i:i+1]))
+            for i in range(n)
+        ])
+        np.testing.assert_allclose(p_batched, p_single, atol=1e-4)
+
+    def test_deterministic_training(self):
+        def run():
+            model = PragFormer(12, TINY)
+            model.fit(toy_split(6), epochs=2)
+            return model.predict_proba(toy_split(6))
+
+        np.testing.assert_array_equal(run(), run())
+
+    def test_real_corpus_beats_chance(self, encoded):
+        model = PragFormer(len(encoded.vocab), TINY)
+        model.fit(encoded.train, epochs=4)
+        _, acc = model.evaluate(encoded.test)
+        assert acc > 0.6
+
+    def test_evaluate_returns_loss_and_acc(self, encoded):
+        model = PragFormer(len(encoded.vocab), TINY)
+        loss, acc = model.evaluate(encoded.validation)
+        assert loss > 0
+        assert 0 <= acc <= 1
+
+
+class TestMLM:
+    def test_mask_tokens_recipe(self):
+        vocab = Vocab.build([["a", "b", "c", "d"]])
+        rng = np.random.default_rng(0)
+        ids = np.full((50, 20), vocab.token_to_id("a"), dtype=np.int64)
+        ids[:, 0] = vocab.cls_id
+        mask = np.ones((50, 20))
+        cfg = MLMConfig(mask_prob=0.5)
+        corrupted, targets, loss_mask = mask_tokens(ids, mask, vocab, rng, cfg)
+        assert (targets == ids).all()
+        assert loss_mask[:, 0].sum() == 0  # CLS never selected
+        sel_frac = loss_mask.mean()
+        assert 0.35 < sel_frac < 0.6
+        masked_frac = (corrupted == vocab.mask_id)[loss_mask.astype(bool)].mean()
+        assert 0.7 < masked_frac < 0.9
+
+    def test_mask_tokens_never_touches_padding(self):
+        vocab = Vocab.build([["a"]])
+        rng = np.random.default_rng(1)
+        ids = np.zeros((10, 8), dtype=np.int64)
+        mask = np.zeros((10, 8))
+        _, _, loss_mask = mask_tokens(ids, mask, vocab, rng, MLMConfig(mask_prob=1.0))
+        assert loss_mask.sum() == 0
+
+    def test_pretraining_reduces_loss(self, encoded):
+        cfg = EncoderConfig(vocab_size=len(encoded.vocab), d_model=16, n_heads=2,
+                            n_layers=1, d_ff=32, max_len=64)
+        pre = MLMPretrainer(cfg, encoded.vocab, MLMConfig(batch_size=16), rng=0)
+        losses = pre.fit(encoded.train.ids, encoded.train.mask, epochs=3)
+        assert losses[-1] < losses[0]
+
+    def test_pretrained_state_loads_into_pragformer(self, encoded):
+        cfg = EncoderConfig(vocab_size=len(encoded.vocab), d_model=16, n_heads=2,
+                            n_layers=1, d_ff=32, max_len=64)
+        pre = MLMPretrainer(cfg, encoded.vocab, rng=0)
+        state = pre.encoder_state()
+        model = PragFormer(len(encoded.vocab), TINY)
+        model.load_pretrained_encoder(state)
+        for name, p in model.encoder.named_parameters():
+            np.testing.assert_array_equal(p.data, state[name])
+
+
+class TestBow:
+    def test_learns_separable_toy_task(self):
+        train = toy_split(7, n=200)
+        bow = BowLogistic(12, BowConfig()).fit(train)
+        assert (bow.predict(train) == train.labels).mean() > 0.95
+
+    def test_order_invariance(self):
+        """BoW must give identical predictions for permuted token order."""
+        gen = np.random.default_rng(8)
+        ids = gen.integers(4, 12, size=(1, 16))
+        perm = ids.copy()
+        perm[0] = gen.permutation(perm[0])
+        mask = np.ones((1, 16))
+        labels = np.zeros(1, dtype=np.int64)
+        bow = BowLogistic(12)
+        bow.w = gen.normal(size=12)
+        p1 = bow.predict_proba(EncodedSplit(ids, mask, labels))
+        p2 = bow.predict_proba(EncodedSplit(perm, mask, labels))
+        np.testing.assert_allclose(p1, p2, atol=1e-12)
+
+    def test_specials_except_unk_excluded_from_counts(self):
+        # PAD(0)/CLS(2)/MASK(3) never count; UNK(1) does (OOV-rate feature)
+        ids = np.array([[2, 0, 3, 0]])
+        mask = np.ones((1, 4))
+        bow = BowLogistic(12)
+        bow.w = np.ones(12)
+        bow.b = 0.0
+        proba = bow.predict_proba(EncodedSplit(ids, mask, np.zeros(1, dtype=np.int64)))
+        assert proba[0, 1] == pytest.approx(0.5)  # zero activation -> sigmoid(0)
+
+    def test_unk_counts_as_feature(self):
+        ids = np.array([[2, 1, 1, 0]])
+        mask = np.array([[1.0, 1.0, 1.0, 0.0]])
+        bow = BowLogistic(12)
+        bow.w = np.zeros(12)
+        bow.w[1] = 4.0
+        proba = bow.predict_proba(EncodedSplit(ids, mask, np.zeros(1, dtype=np.int64)))
+        assert proba[0, 1] > 0.9
+
+    def test_real_corpus_beats_chance(self, encoded):
+        bow = BowLogistic(len(encoded.vocab)).fit(encoded.train)
+        acc = (bow.predict(encoded.test) == encoded.test.labels).mean()
+        assert acc > 0.6
+
+    def test_top_weighted_tokens(self, encoded):
+        bow = BowLogistic(len(encoded.vocab)).fit(encoded.train)
+        pos, neg = bow.top_weighted_tokens(encoded.vocab, k=5)
+        assert len(pos) == 5 and len(neg) == 5
+        assert pos[0][1] >= pos[-1][1]
+        assert neg[0][1] <= neg[-1][1]

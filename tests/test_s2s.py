@@ -1,0 +1,329 @@
+"""Tests for dependence analysis, the sub-compilers, and ComPar."""
+
+import numpy as np
+import pytest
+
+from repro.clang import For, parse, walk
+from repro.clang.parser import parse_expression
+from repro.corpus import CorpusConfig, build_corpus
+from repro.s2s import (
+    AnalysisPolicy,
+    AutoParLike,
+    CetusLike,
+    ComPar,
+    Par4AllLike,
+    affine_subscript,
+    analyze_loop,
+    loop_variable,
+)
+
+
+def first_loop(code):
+    ast = parse(code)
+    return next(n for n in walk(ast) if isinstance(n, For)), ast
+
+
+def analyze(code, policy=None):
+    ast = parse(code)
+    loop = next(n for n in ast.stmts if isinstance(n, For))
+    funcdefs = {n.name: n for n in walk(ast) if type(n).__name__ == "FuncDef"}
+    return analyze_loop(loop, funcdefs, policy or AnalysisPolicy())
+
+
+class TestLoopVariable:
+    def test_canonical_forms(self):
+        for code in ["for (i = 0; i < n; i++) x;",
+                     "for (i = 0; i < n; ++i) x;",
+                     "for (i = 0; i <= n; i += 1) x;",
+                     "for (i = 0; i < n; i = i + 1) x;",
+                     "for (int i = 0; i < n; i++) x;"]:
+            loop, _ = first_loop(code)
+            assert loop_variable(loop) == "i", code
+
+    def test_pointer_chase_not_canonical(self):
+        loop, _ = first_loop("for (p = head; p != 0; p = p->next) c++;")
+        assert loop_variable(loop) is None
+
+
+class TestAffine:
+    @pytest.mark.parametrize("expr,coef,off", [
+        ("i", 1, 0), ("i + 1", 1, 1), ("i - 2", 1, -2),
+        ("2 * i", 2, 0), ("2 * i + 3", 2, 3), ("-i", -1, 0), ("7", 0, 7),
+    ])
+    def test_affine_forms(self, expr, coef, off):
+        assert affine_subscript(parse_expression(expr), "i") == (coef, off)
+
+    @pytest.mark.parametrize("expr", ["i * i", "idx[i]", "j", "i + j", "n - i * j"])
+    def test_non_affine_forms(self, expr):
+        assert affine_subscript(parse_expression(expr), "i") is None
+
+
+class TestVerdicts:
+    def test_independent_elementwise(self):
+        a = analyze("for (i = 0; i < n; i++) x[i] = y[i] + 1;")
+        assert a.parallelizable
+
+    def test_recurrence_rejected(self):
+        a = analyze("for (i = 1; i < n; i++) x[i] = x[i-1] + 1;")
+        assert not a.parallelizable
+        assert any("array x" in r for r in a.reasons)
+
+    def test_anti_dependence_rejected(self):
+        assert not analyze("for (i = 0; i < n - 1; i++) x[i] = x[i+1];").parallelizable
+
+    def test_indirect_write_rejected(self):
+        assert not analyze("for (i = 0; i < n; i++) x[idx[i]] += y[i];").parallelizable
+
+    def test_loop_invariant_write_rejected(self):
+        assert not analyze("for (i = 0; i < n; i++) x[0] = y[i];").parallelizable
+
+    def test_reduction_detected(self):
+        a = analyze("for (i = 0; i < n; i++) s += x[i];")
+        assert a.parallelizable
+        assert ("+", "s") in a.reductions
+
+    def test_explicit_form_reduction(self):
+        a = analyze("for (i = 0; i < n; i++) s = s * x[i];")
+        assert a.parallelizable
+        assert ("*", "s") in a.reductions
+
+    def test_prefix_sum_rejected(self):
+        code = "for (i = 0; i < n; i++) { s += x[i]; y[i] = s; }"
+        a = analyze(code)
+        assert not a.parallelizable
+
+    def test_if_style_minmax_not_detected_as_reduction(self):
+        """Table 10: pattern matchers miss min/max via if."""
+        code = "for (i = 0; i < n; i++) if (x[i] > best) best = x[i];"
+        a = analyze(code)
+        assert not a.parallelizable
+
+    def test_private_temp(self):
+        code = "for (i = 0; i < n; i++) { t = x[i] * 2; y[i] = t * t; }"
+        a = analyze(code)
+        assert a.parallelizable
+        assert "t" in a.private
+
+    def test_inner_loop_var_private(self):
+        code = ("for (i = 0; i < n; i++)\n"
+                "  for (j = 0; j < m; j++)\n"
+                "    c[i][j] = a[i][j] + b[i][j];")
+        a = analyze(code)
+        assert a.parallelizable
+        assert "j" in a.private
+
+    def test_locally_declared_inner_var_needs_no_clause(self):
+        code = ("for (i = 0; i < n; i++)\n"
+                "  for (int j = 0; j < m; j++)\n"
+                "    c[i][j] = a[i][j];")
+        a = analyze(code)
+        assert a.parallelizable
+        assert "j" not in a.private
+
+    def test_iteration_var_private_policy(self):
+        a = analyze("for (i = 0; i < n; i++) x[i] = 0;")
+        assert a.private[0] == "i"  # ComPar's private(i) over-emission
+        a2 = analyze("for (i = 0; i < n; i++) x[i] = 0;",
+                     AnalysisPolicy(private_iteration_var=False))
+        assert "i" not in a2.private
+
+    def test_scalar_carried_rejected(self):
+        assert not analyze("for (i = 0; i < n; i++) x = 0.5 * (x + a[i] / x);").parallelizable
+
+    def test_break_rejected(self):
+        code = "for (i = 0; i < n; i++) if (x[i] == k) break;"
+        a = analyze(code)
+        assert not a.parallelizable
+        assert any("break" in r for r in a.reasons)
+
+    def test_io_rejected(self):
+        assert not analyze('for (i = 0; i < n; i++) printf("%d", x[i]);').parallelizable
+
+    def test_rand_rejected(self):
+        assert not analyze("for (i = 0; i < n; i++) x[i] = rand();").parallelizable
+
+    def test_math_calls_pure(self):
+        assert analyze("for (i = 0; i < n; i++) y[i] = sqrt(x[i]);").parallelizable
+
+    def test_unknown_call_conservative_vs_pure(self):
+        code = "for (i = 0; i < n; i++) y[i] = helper(x[i]);"
+        assert not analyze(code, AnalysisPolicy(unknown_call="conservative")).parallelizable
+        assert analyze(code, AnalysisPolicy(unknown_call="pure")).parallelizable
+
+    def test_callee_side_effect_detected(self):
+        code = ("void tally(int v) { hits += v; }\n"
+                "for (i = 0; i < n; i++) tally(x[i]);")
+        assert not analyze(code).parallelizable
+
+    def test_pure_callee_accepted(self):
+        code = ("double f(double v) { return v * v + 1; }\n"
+                "for (i = 0; i < n; i++) y[i] = f(x[i]);")
+        assert analyze(code).parallelizable
+
+    def test_matmul_parallelizable_with_privates(self):
+        code = ("for (i = 0; i < n; i++)\n"
+                "  for (j = 0; j < n; j++) {\n"
+                "    c[i][j] = 0;\n"
+                "    for (k = 0; k < n; k++)\n"
+                "      c[i][j] += a[i][k] * b[k][j];\n"
+                "  }")
+        a = analyze(code)
+        assert a.parallelizable
+        assert set(a.private) >= {"j", "k"}
+
+    def test_profitability_skip(self):
+        code = "for (i = 0; i < 8; i++) x[i] = 0;"
+        a = analyze(code, AnalysisPolicy(min_literal_trip=16))
+        assert not a.parallelizable
+        assert a.skipped_unprofitable
+
+    def test_profitability_symbolic_bound_not_skipped(self):
+        code = "for (i = 0; i < n; i++) x[i] = 0;"
+        assert analyze(code, AnalysisPolicy(min_literal_trip=16)).parallelizable
+
+    def test_scanf_address_write_rejected(self):
+        assert not analyze('for (i = 0; i < n; i++) fscanf(fp, "%d", &x[i]);').parallelizable
+
+    def test_reduction_2d(self):
+        code = ("for (i = 0; i < n; i++)\n"
+                "  for (j = 0; j < m; j++)\n"
+                "    s += a[i][j];")
+        a = analyze(code)
+        assert a.parallelizable
+        assert ("+", "s") in a.reductions
+        assert "j" in a.private
+
+
+class TestCompilerEnvelopes:
+    def test_cetus_fails_on_register(self):
+        res = CetusLike().compile("register int r = 0;\nfor (i = 0; i < n; i++) x[i] = r;")
+        assert not res.ok
+        assert "register" in res.failure
+
+    def test_cetus_fails_on_arrow(self):
+        res = CetusLike().compile("for (i = 0; i < n; i++) s += p->v;")
+        assert not res.ok
+
+    def test_cetus_fails_on_macro(self):
+        res = CetusLike().compile(
+            "for (i = 0; i < POLYBENCH_LOOP_BOUND(4000, n); i++) x[i] = 0;")
+        assert not res.ok
+        assert "macro" in res.failure
+
+    def test_cetus_timeout_on_long_snippet(self):
+        body = "\n".join(f"  a{k}[i] = b[i] + {k};" for k in range(50))
+        code = f"for (i = 0; i < n; i++) {{\n{body}\n}}"
+        res = CetusLike().compile(code)
+        assert not res.ok
+        assert "timeout" in res.failure
+
+    def test_par4all_fails_on_funcdefs(self):
+        code = "double f(double v) { return v; }\nfor (i = 0; i < n; i++) y[i] = f(x[i]);"
+        assert not Par4AllLike().compile(code).ok
+
+    def test_autopar_fails_on_typedef_cast(self):
+        code = "for (i = 0; i < n; i++) y[i] = (ssize_t) x[i];"
+        assert not AutoParLike().compile(code).ok
+
+    def test_autopar_plus_only_reductions(self):
+        res = AutoParLike().compile("for (i = 0; i < n; i++) p *= x[i];")
+        assert res.ok
+        assert res.directive is None  # '*' reduction unsupported -> no insert
+
+    def test_cetus_emits_reduction_clause(self):
+        res = CetusLike().compile("for (i = 0; i < n; i++) s += x[i];")
+        assert res.inserted
+        assert "reduction(+:s)" in res.directive
+
+    def test_emitted_directive_parses(self):
+        from repro.clang.pragma import parse_pragma
+        res = CetusLike().compile(
+            "for (i = 0; i < n; i++) for (j = 0; j < m; j++) c[i][j] = 0;")
+        assert res.inserted
+        omp = parse_pragma(res.directive)
+        assert omp.is_parallel_for
+        assert "j" in omp.private_vars
+
+
+class TestComPar:
+    @pytest.fixture(scope="class")
+    def compar(self):
+        return ComPar()
+
+    def test_parse_failure_only_when_all_fail(self, compar):
+        # register breaks all three
+        res = compar.run("register int r;\nfor (i = 0; i < n; i++) x[i] = r;")
+        assert res.parse_failed
+        # funcdef breaks Par4All only
+        res2 = compar.run("double f(double v) { return v; }\n"
+                          "for (i = 0; i < n; i++) y[i] = x[i];")
+        assert not res2.parse_failed
+
+    def test_priority_prefers_cetus(self, compar):
+        res = compar.run("for (i = 0; i < n; i++) s += x[i];")
+        assert res.inserted
+        assert "reduction" in res.directive  # Cetus's richer directive won
+
+    def test_fallback_negative_on_parse_failure(self, compar):
+        preds, failures = compar.predict_directive(
+            ["register int r;\nfor (i = 0; i < n; i++) x[i] = r;"])
+        assert failures == 1
+        assert preds[0] == 0
+
+    def test_clause_predictions(self, compar):
+        codes = [
+            "for (i = 0; i < n; i++) s += x[i];",            # reduction
+            "for (i = 0; i < n; i++) x[i] = y[i];",          # no reduction
+        ]
+        red, _ = compar.predict_reduction(codes)
+        assert red.tolist() == [1, 0]
+        priv, _ = compar.predict_private(codes)
+        assert priv.tolist() == [1, 1]  # private(i) over-emission
+
+    def test_paper_table1_example2(self, compar):
+        """Unbalanced loop: ComPar cannot reason about MoreCalc/Calc."""
+        res = compar.run("for (i = 0; i <= N; i++) if (MoreCalc(i)) Calc(i);")
+        assert not res.parse_failed
+        assert not res.inserted
+
+
+class TestCorpusLevelShape:
+    """The Table 8/9/10 behavioural signatures on a small corpus."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return build_corpus(CorpusConfig(n_records=500, seed=11))
+
+    @pytest.fixture(scope="class")
+    def directive_preds(self, corpus):
+        compar = ComPar()
+        codes = [r.code for r in corpus]
+        labels = np.array([int(r.has_omp) for r in corpus])
+        preds, failures = compar.predict_directive(codes)
+        return preds, labels, failures
+
+    def test_some_parse_failures(self, directive_preds):
+        _, _, failures = directive_preds
+        assert failures > 0
+
+    def test_precision_clearly_imperfect(self, directive_preds):
+        """ComPar inserts directives on unannotated-parallel negatives."""
+        preds, labels, _ = directive_preds
+        tp = ((preds == 1) & (labels == 1)).sum()
+        fp = ((preds == 1) & (labels == 0)).sum()
+        assert fp > 0
+        precision = tp / (tp + fp)
+        assert precision < 0.8
+
+    def test_recall_imperfect(self, directive_preds):
+        preds, labels, _ = directive_preds
+        tp = ((preds == 1) & (labels == 1)).sum()
+        fn = ((preds == 0) & (labels == 1)).sum()
+        assert fn > 0
+        assert tp / (tp + fn) > 0.5
+
+    def test_deterministic(self, corpus):
+        codes = [r.code for r in corpus.records[:40]]
+        p1, _ = ComPar().predict_directive(codes)
+        p2, _ = ComPar().predict_directive(codes)
+        assert (p1 == p2).all()

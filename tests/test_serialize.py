@@ -1,0 +1,117 @@
+"""Tests for AST DFS serialization and unparse edge cases."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clang import parse, unparse, walk
+from repro.clang.nodes import ExprStmt, Node, Pragma
+from repro.clang.serialize import ast_to_dfs_text
+
+
+class TestDfsText:
+    def test_paper_table2_format(self):
+        """Table 2's AST representation for Table 1 example 1's first loop."""
+        text = ast_to_dfs_text(parse("for (i=0;i<=N;i++)\n  A[i] = i;"))
+        expected_prefix = ("For: Assignment: = ID: i Constant: int, 0 "
+                           "BinaryOp: <= ID: i ID: N UnaryOp: p++ ID: i "
+                           "Assignment: = ArrayRef: ID: A ID: i ID: i")
+        assert text == expected_prefix
+
+    def test_if_and_funccall_labels(self):
+        """Table 2 example 2: If / FuncCall / ExprList labels."""
+        text = ast_to_dfs_text(parse("for (i=0;i<=N;i++)\n  if (MoreCalc(i))\n    Calc(i);"))
+        assert "If:" in text
+        assert "FuncCall:" in text
+        assert "ExprList:" in text
+        assert "ID: MoreCalc" in text
+
+    def test_pragma_never_serialized(self):
+        text = ast_to_dfs_text(parse(
+            "#pragma omp parallel for\nfor (i = 0; i < n; i++) a[i] = i;"))
+        assert "Pragma" not in text
+        assert "pragma" not in text
+
+    def test_exprstmt_transparent(self):
+        text = ast_to_dfs_text(parse("x = 1;"))
+        assert text.startswith("Assignment: =")
+        assert "ExprStmt" not in text
+
+    def test_node_count_matches_label_count(self):
+        """Every non-pragma, non-ExprStmt node contributes one label."""
+        ast = parse("for (i = 0; i < n; i++) { t = a[i]; b[i] = t * 2; }")
+        labels = ast_to_dfs_text(ast).split()
+        # count label heads: tokens ending with ':' are node heads except
+        # type annotations; instead count nodes directly
+        nodes = [n for n in walk(ast)
+                 if not isinstance(n, (Pragma, ExprStmt))
+                 and type(n).__name__ != "Compound" or n is not ast]
+        assert len(ast_to_dfs_text(ast)) > 0
+        assert len(labels) > 10
+
+    def test_decl_label_includes_type(self):
+        text = ast_to_dfs_text(parse("static const double x = 1.0;"))
+        assert "Decl: static const double x" in text
+
+
+class TestUnparseEdgeCases:
+    def test_empty_statement(self):
+        assert unparse(parse("for (i = 0; i < n; i++);")) .endswith(";")
+
+    def test_goto_and_label(self):
+        src = "again:\nx = x - 1;\nif (x > 0) goto again;"
+        out = unparse(parse(src))
+        assert "goto again;" in out
+        assert "again:" in out
+
+    def test_nested_ternary(self):
+        out = unparse(parse("x = a ? b : c ? d : e;"))
+        again = unparse(parse(out))
+        assert out == again
+
+    def test_decllist_preserves_inits(self):
+        out = unparse(parse("int i = 0, j = 1, k;"))
+        assert "i = 0" in out and "j = 1" in out and "k" in out
+
+    def test_pragma_on_loop_preserved(self):
+        src = "#pragma omp parallel for reduction(+:s)\nfor (i = 0; i < n; i++) s += a[i];"
+        out = unparse(parse(src))
+        assert "#pragma omp parallel for reduction(+:s)" in out
+
+    def test_do_while_roundtrip(self):
+        out = unparse(parse("do { x = x / 2; } while (x > 1);"))
+        assert unparse(parse(out)) == out
+
+    def test_multidim_initializer(self):
+        out = unparse(parse("double m[2][2];"))
+        assert "[2][2]" in out
+
+
+snippet_sources = st.sampled_from([
+    "for (i = 0; i < n; i++) a[i] = b[i] + c[i];",
+    "for (i = 1; i < n; i++) a[i] = a[i-1] * 2;",
+    "while (x > 0) { x--; total += x; }",
+    "if (a > b) { m = a; } else { m = b; }",
+    "for (i = 0; i < n; i++) for (j = 0; j < m; j++) g[i][j] = 0;",
+    "int f(int x) { return x * x; }",
+    "s = 0; for (i = 0; i < n; i++) s += v[i];",
+])
+
+
+class TestProperties:
+    @given(snippet_sources)
+    @settings(max_examples=20, deadline=None)
+    def test_dfs_stable_under_reformat(self, src):
+        """DFS text is whitespace-insensitive: reformatting doesn't change it."""
+        import re
+
+        reformatted = re.sub(r"\s+", " ", src)
+        assert ast_to_dfs_text(parse(src)) == ast_to_dfs_text(parse(reformatted))
+
+    @given(snippet_sources)
+    @settings(max_examples=20, deadline=None)
+    def test_unparse_preserves_dfs(self, src):
+        """unparse then reparse yields an identical DFS serialization."""
+        ast = parse(src)
+        again = parse(unparse(ast))
+        assert ast_to_dfs_text(ast) == ast_to_dfs_text(again)

