@@ -1,0 +1,159 @@
+"""Serving throughput: batched InferenceEngine vs sequential advise calls.
+
+The ROADMAP north-star is serving heavy snippet traffic "as fast as the
+hardware allows".  This bench replays a 512-request serving trace of
+mixed-length snippets through (a) the legacy path — tokenize, pad to
+max_len, one forward per snippet, exactly what ``repro advise`` used to do
+per file — and (b) the :class:`repro.serve.InferenceEngine`.
+
+The trace is Zipf-distributed over the corpus, as production snippet
+traffic is: a hot set of snippets accounts for most requests.  That shape
+is what the engine is built for — repeated requests hit the token-digest
+LRU and the tokenize-once memo, duplicates inside a batch are coalesced to
+a single forward row, and the remaining unique rows run in length-sorted
+homogeneous buckets.  The engine must clear >= 5x the sequential
+snippets/sec on the trace; an all-distinct cold pass is also recorded
+(there, on a single core, batching is worth ~1.2-1.5x since the work is
+compute-bound either way).  Results go to ``BENCH_serving.json`` as the
+first entry in the perf trajectory.
+
+Predictions are weight-independent in cost, so an untrained PragFormer at
+the default (paper-shaped) size keeps the bench self-contained and fast.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import timed, write_bench_report
+
+from repro.corpus import CorpusConfig, build_corpus
+from repro.data.encoding import encode_batch
+from repro.models import PragFormer
+from repro.serve import EngineConfig, InferenceEngine
+from repro.tokenize import Vocab, text_tokens
+
+pytestmark = pytest.mark.perf
+
+N_REQUESTS = 512
+ZIPF_EXPONENT = 1.35  # ~110 distinct snippets across the 512 requests
+
+
+def _workload():
+    corpus = build_corpus(CorpusConfig(n_records=N_REQUESTS, seed=11))
+    codes = [record.code for record in corpus.records]
+    vocab = Vocab.build([text_tokens(code) for code in codes], min_freq=1)
+    rng = np.random.default_rng(0)
+    ranks = np.minimum(rng.zipf(ZIPF_EXPONENT, size=N_REQUESTS) - 1, len(codes) - 1)
+    trace = [codes[rank] for rank in ranks]
+    return codes, trace, vocab
+
+
+def _sequential_advise(model, vocab, codes, max_len):
+    """The legacy per-snippet path: lex, encode, pad to max_len, one
+    forward — no caching of any kind, as ``repro advise`` behaved."""
+    probs = np.empty(len(codes))
+    latencies = []
+    for i, code in enumerate(codes):
+        start = time.perf_counter()
+        split = encode_batch([text_tokens(code)], vocab, max_len, width=max_len)
+        probs[i] = model.predict_proba(split)[0, 1]
+        latencies.append(time.perf_counter() - start)
+    return probs, latencies
+
+
+def _percentiles(latencies_s):
+    lat = np.asarray(latencies_s) * 1e3
+    return {f"p{q}_ms": round(float(np.percentile(lat, q)), 3) for q in (50, 95, 99)}
+
+
+def test_serving_throughput(benchmark):
+    codes, trace, vocab = _workload()
+    model = PragFormer(len(vocab))
+    max_len = model.config.max_len
+    lengths = [len(text_tokens(code)) for code in codes]
+    # warm the BLAS/allocator paths once before timing anything
+    model.predict_proba(encode_batch([text_tokens(codes[0])], vocab, max_len))
+
+    # -- all-distinct cold pass: batching alone, no cache reuse ------------
+    (seq_probs, _), seq_distinct_elapsed = timed(
+        _sequential_advise, model, vocab, codes, max_len)
+    cold_engine = InferenceEngine(model, vocab, max_len=max_len)
+    batched, cold_elapsed = timed(cold_engine.predict_proba, codes)
+    # batching must not change the answers
+    np.testing.assert_allclose(batched[:, 1], seq_probs, atol=1e-4)
+    distinct_speedup = seq_distinct_elapsed / cold_elapsed
+
+    # -- the serving trace: what the engine is designed for ----------------
+    (_, seq_lat), seq_elapsed = timed(
+        _sequential_advise, model, vocab, trace, max_len)
+    seq_throughput = len(trace) / seq_elapsed
+
+    engine = InferenceEngine(model, vocab, max_len=max_len,
+                             config=EngineConfig(max_batch_size=128))
+    _, trace_elapsed = timed(engine.predict_proba, trace)
+    trace_throughput = len(trace) / trace_elapsed
+    benchmark.pedantic(engine.predict_proba, args=(trace,), rounds=1, iterations=1)
+
+    # fully warm pass: every request hits the prediction LRU
+    _, warm_elapsed = timed(engine.predict_proba, trace)
+
+    # async queue: per-request latency under a full-load burst
+    async_engine = InferenceEngine(model, vocab, max_len=max_len)
+    with async_engine:
+        done_at = [0.0] * len(trace)
+        submitted, futures = [], []
+
+        def _stamp(i):
+            return lambda fut: done_at.__setitem__(i, time.perf_counter())
+
+        burst_start = time.perf_counter()
+        for i, code in enumerate(trace):
+            submitted.append(time.perf_counter())
+            future = async_engine.submit(code)
+            future.add_done_callback(_stamp(i))
+            futures.append(future)
+        for future in futures:
+            future.result(timeout=120)
+        async_elapsed = time.perf_counter() - burst_start
+        async_lat = [done - t0 for done, t0 in zip(done_at, submitted)]
+
+    speedup = trace_throughput / seq_throughput
+    report = {
+        "workload": {
+            "requests": len(trace),
+            "distinct_snippets": len(set(trace)),
+            "zipf_exponent": ZIPF_EXPONENT,
+            "token_len_min": int(min(lengths)),
+            "token_len_mean": round(float(np.mean(lengths)), 1),
+            "token_len_max": int(max(lengths)),
+        },
+        "sequential_trace": {
+            "snippets_per_s": round(seq_throughput, 1),
+            "latency": _percentiles(seq_lat),
+        },
+        "engine_trace": {
+            "snippets_per_s": round(trace_throughput, 1),
+            "speedup_vs_sequential": round(speedup, 2),
+        },
+        "engine_trace_warm": {"snippets_per_s": round(len(trace) / warm_elapsed, 1)},
+        "engine_async_trace": {
+            "snippets_per_s": round(len(trace) / async_elapsed, 1),
+            "latency": _percentiles(async_lat),
+        },
+        "all_distinct_cold": {
+            "sequential_snippets_per_s": round(len(codes) / seq_distinct_elapsed, 1),
+            "engine_snippets_per_s": round(len(codes) / cold_elapsed, 1),
+            "speedup_vs_sequential": round(distinct_speedup, 2),
+        },
+        "stats": engine.stats.as_dict(),
+    }
+    path = write_bench_report("serving", report)
+    print(f"\nengine on trace: {trace_throughput:.0f} snippets/s "
+          f"({speedup:.1f}x sequential; distinct-cold {distinct_speedup:.2f}x); "
+          f"report: {path}")
+
+    assert speedup >= 5.0, f"engine only {speedup:.2f}x sequential on the trace"
+    assert distinct_speedup >= 1.0, "batching must not be slower than sequential"
+    assert engine.stats.cache_hits >= len(trace)  # warm pass served from LRU

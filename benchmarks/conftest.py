@@ -1,4 +1,4 @@
-"""Shared fixtures for the benchmark harness.
+"""Shared fixtures and reporting helpers for the benchmark harness.
 
 Each bench regenerates one of the paper's tables/figures.  Expensive
 artifacts (corpus, trained models) are shared through the process-wide
@@ -6,12 +6,31 @@ experiment context, so the first bench that needs a model pays its training
 cost and later benches reuse it; ``pedantic(rounds=1)`` keeps
 pytest-benchmark from re-running the full experiment.
 
+Perf benches additionally emit machine-readable ``BENCH_<name>.json``
+reports via :func:`write_bench_report` (timed with
+:class:`repro.utils.timing.Timer`), forming the repo's performance
+trajectory.  They carry the ``perf`` marker; tier-1 (``pytest -x -q`` from
+the repo root) never collects ``bench_*.py`` files, and marked benches can
+also be deselected explicitly with ``-m 'not perf'``.
+
 Scale is controlled by ``REPRO_SCALE`` (default 'small').
 """
+
+import json
+import platform
+from pathlib import Path
 
 import pytest
 
 from repro.pipeline import get_context, get_scale
+from repro.utils.timing import Timer
+
+REPORT_DIR = Path(__file__).resolve().parent
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "perf: heavy throughput/latency bench, not part of tier-1")
 
 
 @pytest.fixture(scope="session")
@@ -22,3 +41,27 @@ def ctx():
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark and return its result."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def timed(fn, *args, **kwargs):
+    """``(result, elapsed_seconds)`` of one ``fn(*args, **kwargs)`` call."""
+    with Timer() as timer:
+        result = fn(*args, **kwargs)
+    return result, timer.elapsed
+
+
+def write_bench_report(name: str, payload: dict) -> Path:
+    """Write ``BENCH_<name>.json`` next to the benches and return its path.
+
+    The payload is wrapped with enough machine context (python version,
+    scale) for cross-run comparisons of the perf trajectory."""
+    report = {
+        "bench": name,
+        "scale": get_scale().name,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        **payload,
+    }
+    path = REPORT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

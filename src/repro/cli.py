@@ -5,8 +5,19 @@ Subcommands::
     repro build-corpus --records 2000 --out corpus_dir
     repro train --epochs 8 --save model.npz
     repro advise file.c            # on-the-fly advisor (§2.1)
+    repro advise --batch *.c       # batched advisor over many snippets
+    repro serve < requests.jsonl   # JSON-lines serving loop on stdin
     repro compar file.c            # run the S2S combiner on a snippet
     repro reproduce table8         # regenerate a paper table/figure
+
+Serving (``serve`` and ``advise --batch``) goes through
+:class:`repro.serve.InferenceEngine`: snippets are tokenized once, packed
+into length-sorted micro-batches (``--batch-size``, default 128) so padding
+work is bounded by each bucket's longest row, and predictions are memoized
+in a bounded LRU keyed by the token-id digest (``--cache-size``, default
+4096; 0 disables).  ``serve`` reads one JSON object per stdin line —
+``{"id": ..., "code": "..."}``, or a bare path to a C file — and writes one
+JSON verdict per line; ``--stats`` dumps engine counters to stderr at EOF.
 """
 
 from __future__ import annotations
@@ -52,34 +63,102 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_advise(args: argparse.Namespace) -> int:
+def _make_engine(args: argparse.Namespace):
     from repro.pipeline import get_context
-    from repro.tokenize import text_tokens
-    from repro.pipeline.experiments import _suite_split
-    from repro.corpus.records import Record
+    from repro.serve import EngineConfig, InferenceEngine
 
-    source = Path(args.file).read_text()
     ctx = get_context()
-    rec = Record(0, source, None, "unknown", "cli")
-    split = _suite_split([rec], ctx)
-    proba = float(ctx.pragformer.predict_proba(split)[0, 1])
-    verdict = "needs an OpenMP directive" if proba > 0.5 else "no directive needed"
-    print(f"PragFormer: {verdict} (p = {proba:.3f})")
-    if proba > 0.5:
-        for clause in ("private", "reduction"):
-            model = ctx.clause_model(clause)
-            enc = ctx.clause_encoded(clause)
-            ids = enc.vocab.encode(text_tokens(source), max_len=enc.max_len)
-            import numpy as np
-            from repro.data.encoding import EncodedSplit
+    enc = ctx.encoded()
+    config = EngineConfig(max_batch_size=getattr(args, "batch_size", 128),
+                          cache_capacity=getattr(args, "cache_size", 4096))
+    engine = InferenceEngine(ctx.pragformer, enc.vocab,
+                             max_len=ctx.scale.pragformer.max_len, config=config)
+    return ctx, engine
 
-            mat = np.full((1, enc.max_len), enc.vocab.pad_id, dtype=np.int64)
-            mask = np.zeros((1, enc.max_len))
-            mat[0, : len(ids)] = ids
-            mask[0, : len(ids)] = 1.0
-            p = float(model.predict_proba(EncodedSplit(mat, mask, np.zeros(1, dtype=np.int64)))[0, 1])
+
+def _clause_suggestions(ctx, sources):
+    """Per-source list of (clause, probability) suggestions, batched per
+    clause model."""
+    from repro.data.encoding import encode_batch
+    from repro.tokenize import text_tokens
+
+    suggestions = [[] for _ in sources]
+    if not sources:
+        return suggestions
+    for clause in ("private", "reduction"):
+        model = ctx.clause_model(clause)
+        enc = ctx.clause_encoded(clause)
+        split = encode_batch([text_tokens(s) for s in sources], enc.vocab, enc.max_len)
+        probs = model.predict_proba(split)[:, 1]
+        for i, p in enumerate(probs):
             if p > 0.5:
-                print(f"  suggest a {clause} clause (p = {p:.3f})")
+                suggestions[i].append((clause, float(p)))
+    return suggestions
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    paths = [Path(f) for f in args.files]
+    sources = [p.read_text() for p in paths]
+    ctx, engine = _make_engine(args)
+    advice = engine.advise_many(sources)
+    positive = [i for i, a in enumerate(advice) if a.needs_directive]
+    per_source = _clause_suggestions(ctx, [sources[i] for i in positive])
+    clause_rows = dict(zip(positive, per_source))
+    prefix_paths = args.batch or len(paths) > 1
+    for i, (path, a) in enumerate(zip(paths, advice)):
+        verdict = "needs an OpenMP directive" if a.needs_directive else "no directive needed"
+        lead = f"{path}: " if prefix_paths else "PragFormer: "
+        print(f"{lead}{verdict} (p = {a.probability:.3f})")
+        for clause, p in clause_rows.get(i, []):
+            print(f"  suggest a {clause} clause (p = {p:.3f})")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    ctx, engine = _make_engine(args)
+
+    def requests():
+        # one bad request must not kill the serving loop: parse errors are
+        # reported as JSON error lines and the stream continues
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            req = None
+            try:
+                if line.startswith("{"):
+                    req = json.loads(line)
+                    if not isinstance(req.get("code"), str):
+                        raise ValueError("request needs a string 'code' field")
+                else:
+                    req = {"id": line, "code": Path(line).read_text()}
+            except (OSError, ValueError) as exc:
+                rid = req.get("id") if isinstance(req, dict) else line[:80]
+                print(json.dumps({"id": rid, "error": str(exc)}))
+                continue
+            yield req
+
+    batch = []
+
+    def flush():
+        if not batch:
+            return
+        for req, advice in zip(batch, engine.advise_many([r["code"] for r in batch])):
+            print(json.dumps({
+                "id": req.get("id"),
+                "needs_directive": advice.needs_directive,
+                "p_directive": round(advice.probability, 6),
+            }))
+        sys.stdout.flush()
+        batch.clear()
+
+    for req in requests():
+        batch.append(req)
+        if len(batch) >= args.batch_size:
+            flush()
+    flush()
+    if args.stats:
+        print(json.dumps(engine.stats.as_dict()), file=sys.stderr)
     return 0
 
 
@@ -138,9 +217,23 @@ def main(argv=None) -> int:
     p_train.add_argument("--save", type=str, default="")
     p_train.set_defaults(fn=_cmd_train)
 
-    p_advise = sub.add_parser("advise", help="advise OpenMP use for a C snippet file")
-    p_advise.add_argument("file")
+    p_advise = sub.add_parser("advise", help="advise OpenMP use for C snippet file(s)")
+    p_advise.add_argument("files", nargs="+")
+    p_advise.add_argument("--batch", action="store_true",
+                          help="batched output (implied by multiple files)")
+    p_advise.add_argument("--batch-size", type=int, default=128)
+    p_advise.add_argument("--cache-size", type=int, default=4096)
     p_advise.set_defaults(fn=_cmd_advise)
+
+    p_serve = sub.add_parser(
+        "serve", help="JSON-lines advisor loop on stdin (see module docstring)")
+    p_serve.add_argument("--batch-size", type=int, default=128,
+                         help="micro-batch size for the inference engine")
+    p_serve.add_argument("--cache-size", type=int, default=4096,
+                         help="LRU prediction-cache capacity (0 disables)")
+    p_serve.add_argument("--stats", action="store_true",
+                         help="dump engine counters to stderr at EOF")
+    p_serve.set_defaults(fn=_cmd_serve)
 
     p_compar = sub.add_parser("compar", help="run the ComPar S2S combiner on a file")
     p_compar.add_argument("file")

@@ -6,7 +6,9 @@ from repro.data.encoding import (
     EncodedDataset,
     EncodedSplit,
     TokenCache,
+    encode_batch,
     encode_dataset,
+    pad_encoded,
 )
 from repro.data.splits import (
     DatasetSplits,
@@ -20,7 +22,9 @@ __all__ = [
     "EncodedDataset",
     "EncodedSplit",
     "TokenCache",
+    "encode_batch",
     "encode_dataset",
+    "pad_encoded",
     "DatasetSplits",
     "Example",
     "make_clause_dataset",

@@ -8,7 +8,7 @@ representation) — records are immutable once built.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -16,7 +16,12 @@ from repro.corpus.records import Record
 from repro.data.splits import DatasetSplits, Example
 from repro.tokenize import Representation, Vocab, tokenize_representation
 
-__all__ = ["TokenCache", "EncodedSplit", "EncodedDataset", "encode_dataset"]
+__all__ = ["TokenCache", "EncodedSplit", "EncodedDataset", "encode_dataset",
+           "encode_batch", "pad_encoded"]
+
+#: Padding masks are kept in the compute dtype; float64 masks would both
+#: double their memory traffic and silently upcast attention scores.
+MASK_DTYPE = np.float32
 
 #: §4.3 — the longest snippet in the paper's corpus had 110 tokens.
 DEFAULT_MAX_LEN = 110
@@ -42,11 +47,57 @@ class EncodedSplit:
     """Padded token ids, attention mask, and labels for one split."""
 
     ids: np.ndarray    # (N, L) int64, PAD-padded
-    mask: np.ndarray   # (N, L) float64, 1 where real token
+    mask: np.ndarray   # (N, L) float32, 1 where real token
     labels: np.ndarray  # (N,) int64
 
     def __len__(self) -> int:
         return int(self.ids.shape[0])
+
+
+def pad_encoded(
+    encoded: Sequence[np.ndarray],
+    pad_id: int,
+    width: Optional[int] = None,
+    labels: Optional[Sequence[int]] = None,
+) -> EncodedSplit:
+    """Pack already-encoded id rows into a padded :class:`EncodedSplit`.
+
+    ``width=None`` pads to the longest row only — downstream batched
+    inference trims to the longest real row anyway, so padding to a global
+    ``max_len`` just wastes allocation.  Pass an explicit ``width`` when a
+    fixed matrix shape is required (e.g. dataset splits indexed together).
+    """
+    n = len(encoded)
+    if width is None:
+        width = max((len(row) for row in encoded), default=1)
+    ids = np.full((n, width), pad_id, dtype=np.int64)
+    mask = np.zeros((n, width), dtype=MASK_DTYPE)
+    for row, enc in enumerate(encoded):
+        ids[row, : len(enc)] = enc
+        mask[row, : len(enc)] = 1.0
+    if labels is None:
+        labels_arr = np.zeros(n, dtype=np.int64)
+    else:
+        labels_arr = np.asarray(labels, dtype=np.int64)
+    return EncodedSplit(ids, mask, labels_arr)
+
+
+def encode_batch(
+    token_lists: Sequence[Sequence[str]],
+    vocab: Vocab,
+    max_len: int,
+    labels: Optional[Sequence[int]] = None,
+    width: Optional[int] = None,
+) -> EncodedSplit:
+    """Encode pre-tokenized snippets into one padded, model-ready split.
+
+    The single entry point for ad-hoc inference batches (CLI advisor, LIME
+    perturbations, benchmark suites, the serving engine): CLS-prepends,
+    truncates to ``max_len``, and pads (see :func:`pad_encoded`)."""
+    return pad_encoded(
+        [vocab.encode(toks, max_len=max_len) for toks in token_lists],
+        vocab.pad_id, width=width, labels=labels,
+    )
 
 
 @dataclass
@@ -68,16 +119,10 @@ def _encode_split(
     max_len: int,
     cache: TokenCache,
 ) -> EncodedSplit:
-    n = len(examples)
-    ids = np.full((n, max_len), vocab.pad_id, dtype=np.int64)
-    mask = np.zeros((n, max_len), dtype=np.float64)
-    labels = np.empty(n, dtype=np.int64)
-    for row, ex in enumerate(examples):
-        enc = vocab.encode(cache.tokens(ex.record, rep), max_len=max_len)
-        ids[row, : len(enc)] = enc
-        mask[row, : len(enc)] = 1.0
-        labels[row] = ex.label
-    return EncodedSplit(ids, mask, labels)
+    return encode_batch(
+        [cache.tokens(ex.record, rep) for ex in examples], vocab, max_len,
+        labels=[ex.label for ex in examples], width=max_len,
+    )
 
 
 def encode_dataset(

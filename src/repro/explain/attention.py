@@ -11,10 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
-
 from repro.clang.lexer import KEYWORDS
-from repro.data.encoding import EncodedSplit
+from repro.data.encoding import encode_batch
 from repro.models.pragformer import PragFormer
 from repro.tokenize import Vocab, text_tokens
 
@@ -27,12 +25,9 @@ def cls_attention(model: PragFormer, vocab: Vocab, code: str,
                   max_len: int = 110) -> List[Tuple[str, float]]:
     """(token, attention mass) pairs for the CLS query in the last layer."""
     tokens = text_tokens(code)
-    ids = vocab.encode(tokens, max_len=max_len)
-    mat = np.full((1, max_len), vocab.pad_id, dtype=np.int64)
-    mask = np.zeros((1, max_len))
-    mat[0, : len(ids)] = ids
-    mask[0, : len(ids)] = 1.0
-    model.predict_proba(EncodedSplit(mat, mask, np.zeros(1, dtype=np.int64)))
+    split = encode_batch([tokens], vocab, max_len)
+    # inference mode drops attention maps by default; explicitly retain them
+    model.predict_proba(split, retain_attention=True)
     # prediction ran in length-sorted batches of one row: safe to read maps
     maps = model.encoder.attention_maps()
     last = maps[-1]  # (1, H, L, L) for the trimmed length

@@ -19,12 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-import numpy as np
-
 from repro.clang import For, parse, walk
 from repro.clang.nodes import FuncDef
 from repro.clang.pragma import Clause, OmpDirective
-from repro.data.encoding import EncodedSplit
+from repro.data.encoding import encode_batch
 from repro.models.pragformer import PragFormer
 from repro.s2s.depend import AnalysisPolicy, analyze_loop
 from repro.tokenize import Vocab, text_tokens
@@ -68,12 +66,7 @@ class DirectiveGenerator:
                                       private_iteration_var=False)
 
     def _proba(self, model: PragFormer, vocab: Vocab, code: str) -> float:
-        ids = vocab.encode(text_tokens(code), max_len=self.max_len)
-        mat = np.full((1, self.max_len), vocab.pad_id, dtype=np.int64)
-        mask = np.zeros((1, self.max_len))
-        mat[0, : len(ids)] = ids
-        mask[0, : len(ids)] = 1.0
-        split = EncodedSplit(mat, mask, np.zeros(1, dtype=np.int64))
+        split = encode_batch([text_tokens(code)], vocab, self.max_len)
         return float(model.predict_proba(split)[0, 1])
 
     def generate(self, code: str) -> GeneratedDirective:

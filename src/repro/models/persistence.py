@@ -5,6 +5,11 @@ predictions depend on the exact token->id mapping.  ``save_pragformer``
 writes a single ``.npz`` containing encoder weights, head weights, the
 vocabulary, and the config, and ``load_pragformer`` reconstructs a
 ready-to-predict model.
+
+Checkpoints written before the fused-QKV attention refactor store separate
+``q_proj``/``k_proj``/``v_proj`` projection matrices; ``load_state_dict``
+fuses them on load (see ``MultiHeadSelfAttention._upgrade_state``), so both
+layouts remain loadable under format version 1.
 """
 
 from __future__ import annotations

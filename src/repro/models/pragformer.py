@@ -214,18 +214,31 @@ class PragFormer:
 
     # -- inference -----------------------------------------------------------------
 
-    def predict_proba(self, split: EncodedSplit, batch_size: int = 128) -> np.ndarray:
-        """(N, 2) class probabilities."""
-        self.encoder.eval()
-        self.head.eval()
-        out = np.empty((len(split), 2))
-        # process in length order so trim_batch bites, then scatter back
-        order = np.argsort(split.mask.sum(axis=1), kind="stable")
-        for start in range(0, len(split), batch_size):
-            sel = order[start : start + batch_size]
-            ids, mask = trim_batch(split.ids[sel], split.mask[sel])
-            out[sel] = softmax(self._forward_logits(ids, mask))
-        return out
+    def predict_proba(self, split: EncodedSplit, batch_size: int = 128,
+                      retain_attention: bool = False) -> np.ndarray:
+        """(N, 2) class probabilities.
+
+        Runs in ``inference_mode`` (no activation caching).  Attention maps
+        are dropped unless ``retain_attention`` is set; explain tooling that
+        reads ``encoder.attention_maps()`` afterwards must request them.
+        """
+        self.encoder.inference_mode()
+        self.head.inference_mode()
+        attns = [layer.attn for layer in self.encoder.layers]
+        for attn in attns:
+            attn.retain_attention = retain_attention
+        try:
+            out = np.empty((len(split), 2))
+            # process in length order so trim_batch bites, then scatter back
+            order = np.argsort(split.mask.sum(axis=1), kind="stable")
+            for start in range(0, len(split), batch_size):
+                sel = order[start : start + batch_size]
+                ids, mask = trim_batch(split.ids[sel], split.mask[sel])
+                out[sel] = softmax(self._forward_logits(ids, mask))
+            return out
+        finally:
+            for attn in attns:
+                attn.retain_attention = False
 
     def predict(self, split: EncodedSplit, batch_size: int = 128) -> np.ndarray:
         """Predicted labels: positive iff P(positive) > 0.5 (§4.1)."""
@@ -233,8 +246,8 @@ class PragFormer:
 
     def evaluate(self, split: EncodedSplit, batch_size: int = 128):
         """(mean CE loss, accuracy) on a split."""
-        self.encoder.eval()
-        self.head.eval()
+        self.encoder.inference_mode()
+        self.head.inference_mode()
         total_loss = 0.0
         correct = 0
         order = np.argsort(split.mask.sum(axis=1), kind="stable")

@@ -1,13 +1,22 @@
 """Multi-head self-attention with key-padding masking.
 
-The attention weights of the last forward pass are kept on the module
+The Q/K/V projections are fused into a single ``(D, 3D)`` matmul: one BLAS
+call replaces three, which matters on the serving hot path where batches are
+small and per-call overhead dominates.  Checkpoints written before the
+fusion (separate ``q_proj``/``k_proj``/``v_proj`` entries) still load — see
+:meth:`MultiHeadSelfAttention._upgrade_state`.
+
+The attention weights of the last forward pass can be kept on the module
 (``last_attention``) so the explainability tooling (§5.4) can inspect where
-the model attends without re-running a hooked forward pass.
+the model attends without re-running a hooked forward pass.  In
+``inference_mode`` retention is opt-in via ``retain_attention``; training
+and plain ``eval`` forwards always retain (the backward pass needs the
+weights anyway).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -22,8 +31,14 @@ _NEG_INF = -1e9
 
 def _softmax_lastaxis(scores: np.ndarray) -> np.ndarray:
     shifted = scores - scores.max(axis=-1, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / exp.sum(axis=-1, keepdims=True)
+    # clamp before exp: masked keys sit at ~-1e9, and exp() of such extreme
+    # arguments can fall off the vectorized path into scalar libm calls
+    # (observed ~100x slower on padded buckets).  exp(-60) ~ 9e-27 is an
+    # exact zero weight after renormalization, far below any tolerance.
+    np.maximum(shifted, -60.0, out=shifted)
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=-1, keepdims=True)
+    return shifted
 
 
 class MultiHeadSelfAttention(Module):
@@ -38,43 +53,71 @@ class MultiHeadSelfAttention(Module):
         self.n_heads = n_heads
         self.d_head = d_model // n_heads
         r_q, r_k, r_v, r_o, r_d = spawn_rngs(rng, 5)
-        self.q_proj = Linear(d_model, d_model, rng=r_q)
-        self.k_proj = Linear(d_model, d_model, rng=r_k)
-        self.v_proj = Linear(d_model, d_model, rng=r_v)
+        self.qkv_proj = Linear(d_model, 3 * d_model, rng=0)
+        # overwrite the fused init (drawn from a throwaway rng above) with
+        # three per-projection Glorot draws so fresh models are
+        # weight-identical to the historical separate q/k/v Linears
+        # (same untouched rngs, same square-matrix bound)
+        bound = np.sqrt(6.0 / (2 * d_model))
+        self.qkv_proj.W.data[...] = np.concatenate(
+            [ensure_rng(r).uniform(-bound, bound, size=(d_model, d_model))
+             for r in (r_q, r_k, r_v)], axis=1)
         self.out_proj = Linear(d_model, d_model, rng=r_o)
         self.attn_dropout = Dropout(dropout, rng=r_d)
+        self.retain_attention = False
         self.last_attention: Optional[np.ndarray] = None  # (B, H, L, L)
         self._cache = None
 
+    def _upgrade_state(self, state: Dict[str, np.ndarray], prefix: str = "") -> None:
+        """Fuse legacy per-projection checkpoint entries into ``qkv_proj``."""
+        legacy_w = [f"{prefix}{n}_proj.W" for n in "qkv"]
+        if all(k in state for k in legacy_w) and f"{prefix}qkv_proj.W" not in state:
+            state[f"{prefix}qkv_proj.W"] = np.concatenate(
+                [state.pop(k) for k in legacy_w], axis=1)
+            legacy_b = [f"{prefix}{n}_proj.b" for n in "qkv"]
+            if all(k in state for k in legacy_b):
+                state[f"{prefix}qkv_proj.b"] = np.concatenate(
+                    [state.pop(k) for k in legacy_b], axis=0)
+        super()._upgrade_state(state, prefix)
+
     def _split(self, x: np.ndarray) -> np.ndarray:
-        """(B, L, D) -> (B, H, L, d_head), contiguous for the matmuls."""
+        """(B, L, D) -> (B, H, L, d_head) view; matmul handles the strides."""
         b, l, _ = x.shape
-        return np.ascontiguousarray(
-            x.reshape(b, l, self.n_heads, self.d_head).transpose(0, 2, 1, 3)
-        )
+        return x.reshape(b, l, self.n_heads, self.d_head).transpose(0, 2, 1, 3)
 
     def _merge(self, x: np.ndarray) -> np.ndarray:
         """(B, H, L, d_head) -> (B, L, D)."""
         b, h, l, dh = x.shape
-        return np.ascontiguousarray(x.transpose(0, 2, 1, 3)).reshape(b, l, h * dh)
+        return x.transpose(0, 2, 1, 3).reshape(b, l, h * dh)
 
     def forward(self, x: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
-        """``mask`` is (B, L) with 1 for real tokens, 0 for padding."""
-        q = self._split(self.q_proj.forward(x))
-        k = self._split(self.k_proj.forward(x))
-        v = self._split(self.v_proj.forward(x))
+        """``mask`` is either (B, L) with 1 for real tokens and 0 for padding,
+        or a precomputed additive bias broadcastable to (B, H, L, L) — the
+        encoder stack passes the latter so the bias is built once per forward
+        instead of once per layer."""
+        b, l, _ = x.shape
+        qkv = self.qkv_proj.forward(x)  # (B, L, 3D)
+        qkv = qkv.reshape(b, l, 3, self.n_heads, self.d_head).transpose(2, 0, 3, 1, 4)
+        q, k, v = qkv[0], qkv[1], qkv[2]  # (B, H, L, d_head) views
 
-        scale = 1.0 / np.sqrt(self.d_head)
+        # python float, not np.float64: a strong float64 scalar would upcast
+        # the entire score/softmax/context chain out of the compute dtype
+        scale = 1.0 / float(np.sqrt(self.d_head))
         scores = (q @ k.transpose(0, 1, 3, 2)) * scale  # (B, H, L, L)
         if mask is not None:
-            # broadcast over heads and query positions; pad keys get -inf
-            scores = scores + (1.0 - mask[:, None, None, :]) * _NEG_INF
+            if mask.ndim == 2:
+                # broadcast over heads and query positions; pad keys get -inf
+                mask = (1.0 - mask[:, None, None, :]) * _NEG_INF
+            scores += mask
         attn = _softmax_lastaxis(scores)
-        self.last_attention = attn
+        if self.retain_attention or not self.inference:
+            self.last_attention = attn
+        else:
+            self.last_attention = None
         attn_dropped = self.attn_dropout.forward(attn)
         context = attn_dropped @ v  # (B, H, L, d_head)
         out = self.out_proj.forward(self._merge(context))
-        self._cache = (q, k, v, attn, attn_dropped, scale)
+        self._cache = None if self.inference else (q, k, v, attn, attn_dropped, scale)
         return out
 
     def backward(self, dy: np.ndarray) -> np.ndarray:
@@ -89,7 +132,6 @@ class MultiHeadSelfAttention(Module):
         # masked positions have attn == 0, so dscores is already 0 there
         dq = (dscores @ k) * scale
         dk = (dscores.transpose(0, 1, 3, 2) @ q) * scale
-        dx = self.q_proj.backward(self._merge(dq))
-        dx += self.k_proj.backward(self._merge(dk))
-        dx += self.v_proj.backward(self._merge(dv))
-        return dx
+        dqkv = np.concatenate(
+            [self._merge(dq), self._merge(dk), self._merge(dv)], axis=-1)
+        return self.qkv_proj.backward(dqkv)

@@ -35,7 +35,7 @@ class ClassificationHead(Module):
         """hidden: (B, L, D) encoder output; uses position 0 (CLS).
 
         Returns logits (B, n_classes)."""
-        self._seq_shape = hidden.shape
+        self._seq_shape = None if self.inference else hidden.shape
         cls = hidden[:, 0, :]
         return self.fc2.forward(self.drop.forward(self.act.forward(self.fc1.forward(cls))))
 

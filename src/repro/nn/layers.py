@@ -31,8 +31,14 @@ class Linear(Module):
         self._x: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._x = x
-        y = x @ self.W.data
+        self._x = None if self.inference else x
+        W = self.W.data
+        if x.ndim > 2:
+            # collapse leading axes: one large GEMM instead of a stacked
+            # batch of (L, d_in) @ W matmuls — BLAS tiles far better
+            y = (x.reshape(-1, x.shape[-1]) @ W).reshape(*x.shape[:-1], W.shape[1])
+        else:
+            y = x @ W
         if self.b is not None:
             y += self.b.data
         return y
@@ -59,7 +65,7 @@ class Embedding(Module):
         self._ids: Optional[np.ndarray] = None
 
     def forward(self, ids: np.ndarray) -> np.ndarray:
-        self._ids = ids
+        self._ids = None if self.inference else ids
         return self.W.data[ids]
 
     def backward(self, dy: np.ndarray) -> None:
@@ -92,7 +98,7 @@ class LayerNorm(Module):
         var = x.var(axis=-1, keepdims=True)
         inv_std = 1.0 / np.sqrt(var + self.eps)
         x_hat = (x - mean) * inv_std
-        self._cache = (x_hat, inv_std)
+        self._cache = None if self.inference else (x_hat, inv_std)
         return x_hat * self.gamma.data + self.beta.data
 
     def backward(self, dy: np.ndarray) -> np.ndarray:
@@ -140,6 +146,9 @@ class ReLU(Module):
         self._mask = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.inference:
+            self._mask = None
+            return np.maximum(x, 0.0)
         self._mask = x > 0
         return x * self._mask
 
@@ -161,7 +170,7 @@ class GELU(Module):
         a = x.dtype.type(0.044715)
         x2 = x * x
         t = np.tanh(c * (x + a * x2 * x))
-        self._cache = (x, x2, t)
+        self._cache = None if self.inference else (x, x2, t)
         return 0.5 * x * (1.0 + t)
 
     def backward(self, dy: np.ndarray) -> np.ndarray:

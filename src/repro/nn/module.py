@@ -37,26 +37,45 @@ class Parameter:
 
 
 class Module:
-    """Base class: parameter discovery, train/eval mode, state dicts.
+    """Base class: parameter discovery, train/eval/inference mode, state dicts.
 
     Subclasses assign :class:`Parameter` and :class:`Module` instances as
     attributes; discovery walks ``__dict__`` (and lists of modules)
     recursively in deterministic attribute order.
+
+    Three compute modes:
+
+    * ``train()`` — stochastic layers active, forwards cache for backward;
+    * ``eval()`` — deterministic forwards that still cache, so gradients can
+      be checked against a dropout-free pass;
+    * ``inference_mode()`` — deterministic forwards that cache *nothing*
+      (no activations, no attention maps, no dropout masks).  ``backward``
+      after an inference forward is an error; this is the serving fast path.
     """
 
     def __init__(self) -> None:
         self.training = True
+        self.inference = False
 
     # -- mode ---------------------------------------------------------------
 
     def train(self) -> "Module":
         for m in self.modules():
             m.training = True
+            m.inference = False
         return self
 
     def eval(self) -> "Module":
         for m in self.modules():
             m.training = False
+            m.inference = False
+        return self
+
+    def inference_mode(self, enabled: bool = True) -> "Module":
+        """Eval mode plus cache-free forwards (see class docstring)."""
+        for m in self.modules():
+            m.training = False
+            m.inference = enabled
         return self
 
     # -- discovery ------------------------------------------------------------
@@ -98,7 +117,25 @@ class Module:
     def state_dict(self) -> Dict[str, np.ndarray]:
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
+    def _upgrade_state(self, state: Dict[str, np.ndarray], prefix: str = "") -> None:
+        """Rewrite legacy checkpoint keys in ``state`` in place.
+
+        The base implementation only recurses into submodules with the same
+        prefixing scheme as :meth:`named_parameters`; modules whose parameter
+        layout changed (e.g. the fused QKV projection) override this to
+        translate their old keys, then call ``super()``.
+        """
+        for name, value in self.__dict__.items():
+            if isinstance(value, Module):
+                value._upgrade_state(state, f"{prefix}{name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        item._upgrade_state(state, f"{prefix}{name}.{i}.")
+
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        state = dict(state)
+        self._upgrade_state(state)
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)

@@ -12,7 +12,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.attention import _NEG_INF, MultiHeadSelfAttention
 from repro.nn.layers import Dropout, Embedding, GELU, LayerNorm, Linear
 from repro.nn.module import Module
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
@@ -103,7 +103,6 @@ class TransformerEncoder(Module):
         self.layers: List[TransformerEncoderLayer] = [
             TransformerEncoderLayer(cfg, rng=r) for r in r_layers
         ]
-        self._positions: Optional[np.ndarray] = None
 
     def forward(self, ids: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
         b, l = ids.shape
@@ -111,10 +110,11 @@ class TransformerEncoder(Module):
             raise ValueError(f"sequence length {l} exceeds max_len {self.cfg.max_len}")
         if mask is not None:
             # keep everything in the compute dtype; a float64 mask would
-            # silently promote the whole attention stack
+            # silently promote the whole attention stack.  The additive key
+            # bias is built once here rather than once per layer.
             mask = mask.astype(self.tok_emb.W.data.dtype, copy=False)
+            mask = (1.0 - mask[:, None, None, :]) * _NEG_INF
         positions = np.broadcast_to(np.arange(l), (b, l))
-        self._positions = positions
         x = self.tok_emb.forward(ids) + self.pos_emb.forward(positions)
         x = self.emb_drop.forward(self.emb_ln.forward(x))
         for layer in self.layers:
@@ -129,5 +129,9 @@ class TransformerEncoder(Module):
         self.pos_emb.backward(dy)
 
     def attention_maps(self) -> List[np.ndarray]:
-        """Per-layer attention weights from the most recent forward pass."""
+        """Per-layer attention weights from the most recent forward pass.
+
+        Under ``inference_mode`` the maps are dropped unless each layer's
+        ``attn.retain_attention`` is set (see
+        :meth:`PragFormer.predict_proba`'s ``retain_attention`` flag)."""
         return [layer.attn.last_attention for layer in self.layers]

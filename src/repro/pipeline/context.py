@@ -8,6 +8,7 @@ scale's seed.
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -152,8 +153,10 @@ class ExperimentContext:
     def clause_model(self, clause: str) -> PragFormer:
         if clause not in self._clause_models:
             enc = self.clause_encoded(clause)
+            # zlib.crc32 is a stable digest; hash() is salted per process
+            # (PYTHONHASHSEED) and made clause models irreproducible
             model = PragFormer(len(enc.vocab), self.scale.pragformer,
-                               rng=self.scale.seed + hash(clause) % 1000)
+                               rng=self.scale.seed + zlib.crc32(clause.encode("utf-8")) % 1000)
             model.fit(enc.train, enc.validation, epochs=self.scale.epochs)
             self._clause_models[clause] = model
         return self._clause_models[clause]

@@ -14,7 +14,7 @@ import numpy as np
 from repro.benchsuites import polybench_suite, specomp_suite
 from repro.corpus import directive_stats, domain_distribution, length_histogram
 from repro.corpus.records import Record
-from repro.data.encoding import EncodedSplit
+from repro.data.encoding import EncodedSplit, encode_batch
 from repro.eval import binary_metrics, error_rate_by_length
 from repro.explain import LimeExplainer
 from repro.models import BowLogistic, PragFormer
@@ -162,19 +162,11 @@ def exp_table10(scale: Optional[ScaleConfig] = None) -> Dict[str, Dict[str, floa
 
 def _suite_split(records: List[Record], ctx: ExperimentContext) -> EncodedSplit:
     enc = ctx.encoded()
-    vocab = enc.vocab
-    max_len = ctx.scale.pragformer.max_len
-    n = len(records)
-    ids = np.full((n, max_len), vocab.pad_id, dtype=np.int64)
-    mask = np.zeros((n, max_len))
-    labels = np.empty(n, dtype=np.int64)
-    for row, rec in enumerate(records):
-        toks = text_tokens(rec.code)
-        encoded = vocab.encode(toks, max_len=max_len)
-        ids[row, : len(encoded)] = encoded
-        mask[row, : len(encoded)] = 1.0
-        labels[row] = int(rec.has_omp)
-    return EncodedSplit(ids, mask, labels)
+    return encode_batch(
+        [text_tokens(rec.code) for rec in records], enc.vocab,
+        ctx.scale.pragformer.max_len,
+        labels=[int(rec.has_omp) for rec in records],
+    )
 
 
 def exp_table11(scale: Optional[ScaleConfig] = None) -> Dict[str, Dict[str, float]]:
@@ -243,14 +235,7 @@ def exp_table12_fig8(scale: Optional[ScaleConfig] = None,
     max_len = ctx.scale.pragformer.max_len
 
     def predict_fn(token_lists):
-        n = len(token_lists)
-        ids = np.full((n, max_len), vocab.pad_id, dtype=np.int64)
-        mask = np.zeros((n, max_len))
-        for row, toks in enumerate(token_lists):
-            encoded = vocab.encode(toks, max_len=max_len)
-            ids[row, : len(encoded)] = encoded
-            mask[row, : len(encoded)] = 1.0
-        split = EncodedSplit(ids, mask, np.zeros(n, dtype=np.int64))
+        split = encode_batch(token_lists, vocab, max_len)
         return model.predict_proba(split)[:, 1]
 
     explainer = LimeExplainer(predict_fn, n_samples=n_lime_samples, rng=7)

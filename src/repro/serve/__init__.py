@@ -1,0 +1,15 @@
+"""Serving layer: batched, cached, sync + async inference for the advisor.
+
+See :mod:`repro.serve.engine` for the architecture; the CLI front-ends are
+``repro serve`` (JSON-lines loop) and ``repro advise --batch``.
+"""
+
+from repro.serve.engine import (
+    Advice,
+    EngineConfig,
+    EngineStats,
+    InferenceEngine,
+    LRUCache,
+)
+
+__all__ = ["Advice", "EngineConfig", "EngineStats", "InferenceEngine", "LRUCache"]

@@ -1,0 +1,353 @@
+"""High-throughput batched inference engine for the PragFormer advisor.
+
+The paper's end goal (§2.1) is an advisor that classifies arbitrary incoming
+code snippets; this module turns the one-snippet-at-a-time ``advise`` path
+into serving infrastructure:
+
+* **Tokenize once** — snippets go through :func:`repro.tokenize.text_tokens`
+  (or a :class:`~repro.data.encoding.TokenCache` for corpus records) and
+  :class:`~repro.tokenize.Vocab` exactly as in training, with results
+  memoized by source digest so repeated traffic never re-lexes.
+* **Micro-batching** — pending snippets are sorted by encoded length and
+  packed greedily into length-homogeneous buckets (at most
+  ``max_batch_size`` rows, padding waste bounded by ``bucket_waste``), each
+  padded only to its own longest row, so ``trim_batch``'s
+  quadratic-attention savings actually bite on mixed-length traffic.
+* **Result caching** — predictions are memoized in a bounded LRU keyed by a
+  digest of the token ids; identical snippets (the common case under heavy
+  traffic) skip the model entirely, and duplicates *within* one batch are
+  coalesced into a single forward row.
+* **Sync and async APIs** — :meth:`InferenceEngine.predict_proba` /
+  :meth:`~InferenceEngine.advise_many` for bulk calls;
+  :meth:`~InferenceEngine.submit` enqueues a request and returns a
+  :class:`concurrent.futures.Future`, with a background worker that flushes
+  a batch when it is full or ``flush_interval`` elapses.
+
+Knobs live on :class:`EngineConfig`; counters on :class:`EngineStats`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import queue
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.encoding import TokenCache, pad_encoded
+from repro.models.pragformer import PragFormer
+from repro.tokenize import Representation, Vocab, text_tokens
+
+__all__ = ["EngineConfig", "EngineStats", "LRUCache", "Advice", "InferenceEngine"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Serving knobs.
+
+    ``max_batch_size`` bounds one forward pass; ``cache_capacity`` bounds
+    both the prediction LRU and the tokenize/encode memo (0 disables them);
+    ``flush_interval`` is how long the async worker waits for a batch to
+    fill before running a partial one.  ``bucket_waste`` bounds how ragged a
+    length bucket may be: a bucket is closed early once padding it to the
+    next row's length would exceed ``bucket_waste`` x the real token cells,
+    keeping buckets length-homogeneous so short snippets never pay a long
+    snippet's quadratic attention cost.
+    """
+
+    max_batch_size: int = 128
+    cache_capacity: int = 4096
+    flush_interval: float = 0.005
+    bucket_waste: float = 1.35
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.cache_capacity < 0:
+            raise ValueError("cache_capacity must be >= 0")
+        if self.flush_interval < 0:
+            raise ValueError("flush_interval must be >= 0")
+        if self.bucket_waste < 1.0:
+            raise ValueError("bucket_waste must be >= 1.0")
+
+
+@dataclass
+class EngineStats:
+    """Monotonic counters for observability of one engine instance."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    coalesced: int = 0
+    batches: int = 0
+    model_rows: int = 0
+    tokenized: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class LRUCache:
+    """Bounded least-recently-used mapping (capacity 0 = disabled)."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._data: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+
+    def get(self, key: bytes) -> Optional[np.ndarray]:
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key: bytes, value: np.ndarray) -> None:
+        if self.capacity <= 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._data
+
+
+@dataclass(frozen=True)
+class Advice:
+    """One advisor verdict: directive probability plus the §4.1 decision."""
+
+    probability: float
+    needs_directive: bool
+
+
+_SHUTDOWN = object()
+
+
+class InferenceEngine:
+    """Batched, cached serving front-end for a trained :class:`PragFormer`.
+
+    Thread-safe: the prediction cache is lock-protected and model forwards
+    are serialized (the NumPy modules keep per-forward state), so the sync
+    bulk API and the async queue can be used concurrently.
+    """
+
+    def __init__(
+        self,
+        model: PragFormer,
+        vocab: Vocab,
+        max_len: Optional[int] = None,
+        config: Optional[EngineConfig] = None,
+        tokenizer: Optional[Callable[[str], List[str]]] = None,
+    ) -> None:
+        self.model = model
+        self.vocab = vocab
+        self.max_len = max_len or model.config.max_len
+        self.config = config or EngineConfig()
+        self.tokenizer = tokenizer or text_tokens
+        self.cache = LRUCache(self.config.cache_capacity)
+        self._encode_memo = LRUCache(self.config.cache_capacity)
+        self.stats = EngineStats()
+        self._cache_lock = threading.Lock()
+        self._model_lock = threading.Lock()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._worker: Optional[threading.Thread] = None
+        self._worker_lock = threading.Lock()
+        self._closed = False
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode(self, code: str) -> np.ndarray:
+        """Snippet text -> CLS-prefixed, truncated token-id row.
+
+        Tokenize-once: results are memoized by source digest (pure-Python
+        lexing costs about as much as a small-model forward pass, so
+        repeated traffic must not re-lex)."""
+        key = hashlib.blake2b(code.encode("utf-8"), digest_size=16).digest()
+        with self._cache_lock:
+            hit = self._encode_memo.get(key)
+        if hit is not None:
+            return hit
+        ids = self.vocab.encode(self.tokenizer(code), max_len=self.max_len)
+        with self._cache_lock:
+            self.stats.tokenized += 1
+            self._encode_memo.put(key, ids)
+        return ids
+
+    @staticmethod
+    def _digest(ids: np.ndarray) -> bytes:
+        return hashlib.blake2b(ids.tobytes(), digest_size=16).digest()
+
+    # -- sync bulk API -----------------------------------------------------
+
+    def predict_proba(self, codes: Sequence[str]) -> np.ndarray:
+        """(N, 2) class probabilities for ``codes``, batched and cached."""
+        return self._predict_encoded([self.encode(code) for code in codes])
+
+    def advise(self, code: str) -> Advice:
+        return self.advise_many([code])[0]
+
+    def advise_many(self, codes: Sequence[str]) -> List[Advice]:
+        probs = self.predict_proba(codes)[:, 1]
+        return [Advice(float(p), bool(p > 0.5)) for p in probs]
+
+    def predict_records(self, records: Sequence, cache: TokenCache,
+                        rep: Representation = Representation.TEXT) -> np.ndarray:
+        """Bulk probabilities for corpus :class:`Record` objects, with
+        tokenization memoized through the shared :class:`TokenCache`."""
+        encoded = [self.vocab.encode(cache.tokens(rec, rep), max_len=self.max_len)
+                   for rec in records]
+        return self._predict_encoded(encoded)
+
+    # -- core batching path ------------------------------------------------
+
+    def _predict_encoded(self, encoded: List[np.ndarray]) -> np.ndarray:
+        n = len(encoded)
+        out = np.empty((n, 2))
+        if n == 0:
+            return out
+        keys = [self._digest(ids) for ids in encoded]
+
+        # resolve cache hits and coalesce duplicate misses per digest
+        pending: "OrderedDict[bytes, List[int]]" = OrderedDict()
+        hits = 0
+        with self._cache_lock:
+            self.stats.requests += n
+            for i, key in enumerate(keys):
+                value = self.cache.get(key)
+                if value is not None:
+                    out[i] = value
+                    hits += 1
+                else:
+                    pending.setdefault(key, []).append(i)
+            self.stats.cache_hits += hits
+            self.stats.cache_misses += n - hits
+            self.stats.coalesced += (n - hits) - len(pending)
+
+        if not pending:
+            return out
+
+        # length-sorted bucketing: each bucket pads only to its own longest
+        # row, so short-snippet buckets run quadratic attention on short L
+        unique = sorted(pending.items(), key=lambda kv: len(encoded[kv[1][0]]))
+        for bucket in self._buckets(unique, [len(encoded[rows[0]]) for _, rows in unique]):
+            split = pad_encoded([encoded[rows[0]] for _, rows in bucket],
+                                self.vocab.pad_id)
+            with self._model_lock:
+                probs = self.model.predict_proba(split, batch_size=len(bucket))
+            with self._cache_lock:
+                self.stats.batches += 1
+                self.stats.model_rows += len(bucket)
+                for (key, rows), p in zip(bucket, probs):
+                    self.cache.put(key, p)
+                    for i in rows:
+                        out[i] = p
+        return out
+
+    def _buckets(self, unique: List, lengths: List[int]):
+        """Greedy length-homogeneous buckets over ascending-length rows.
+
+        A bucket closes when it is full or when admitting the next (longer)
+        row would pad the bucket beyond ``bucket_waste`` x its real cells."""
+        max_rows = self.config.max_batch_size
+        waste = self.config.bucket_waste
+        bucket: List = []
+        real_cells = 0
+        for item, length in zip(unique, lengths):
+            if bucket and (
+                len(bucket) == max_rows
+                or (len(bucket) + 1) * length > waste * (real_cells + length)
+            ):
+                yield bucket
+                bucket, real_cells = [], 0
+            bucket.append(item)
+            real_cells += length
+        if bucket:
+            yield bucket
+
+    # -- async queue API ---------------------------------------------------
+
+    def submit(self, code: str) -> Future:
+        """Enqueue one snippet; the returned future resolves to its (2,)
+        probability vector once a micro-batch containing it has run."""
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        self._ensure_worker()
+        future: Future = Future()
+        self._queue.put((self.encode(code), future))
+        return future
+
+    def _ensure_worker(self) -> None:
+        with self._worker_lock:
+            if self._worker is None or not self._worker.is_alive():
+                self._worker = threading.Thread(
+                    target=self._worker_loop, name="inference-engine", daemon=True)
+                self._worker.start()
+
+    def _worker_loop(self) -> None:
+        cfg = self.config
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            batch = [item]
+            deadline = time.monotonic() + cfg.flush_interval
+            while len(batch) < cfg.max_batch_size:
+                timeout = deadline - time.monotonic()
+                if timeout <= 0:
+                    break
+                try:
+                    nxt = self._queue.get(timeout=timeout)
+                except queue.Empty:
+                    break
+                if nxt is _SHUTDOWN:
+                    self._flush(batch)
+                    return
+                batch.append(nxt)
+            self._flush(batch)
+
+    def _flush(self, batch: List) -> None:
+        try:
+            probs = self._predict_encoded([ids for ids, _ in batch])
+        except BaseException as exc:  # surface engine errors to every waiter
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future), p in zip(batch, probs):
+            if not future.done():
+                future.set_result(p)
+
+    def close(self) -> None:
+        """Stop the async worker (idempotent); sync APIs keep working."""
+        self._closed = True
+        with self._worker_lock:
+            worker = self._worker
+            self._worker = None
+        if worker is not None and worker.is_alive():
+            self._queue.put(_SHUTDOWN)
+            worker.join(timeout=5.0)
+        # a submit() racing close() may have enqueued behind the shutdown
+        # sentinel; fail those futures instead of leaving waiters hanging
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SHUTDOWN:
+                _, future = item
+                if not future.done():
+                    future.set_exception(RuntimeError("engine is closed"))
+
+    def __enter__(self) -> "InferenceEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

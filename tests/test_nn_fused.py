@@ -1,0 +1,210 @@
+"""Fused-QKV attention and inference-mode fast path.
+
+The fused ``(D, 3D)`` projection must be a pure refactor: numerically
+identical to the historical separate q/k/v Linears in forward and backward,
+loadable from legacy checkpoints, and invisible to training dynamics.
+Inference mode must skip every backward cache and drop attention maps
+unless retention is requested.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    ClassificationHead,
+    EncoderConfig,
+    MultiHeadSelfAttention,
+    TransformerEncoder,
+)
+from repro.nn.dtype import use_dtype
+
+RNG = np.random.default_rng(3)
+
+
+@pytest.fixture(autouse=True)
+def _float64():
+    """Equivalence checks want float64 so tolerances can be tight."""
+    with use_dtype(np.float64):
+        yield
+
+
+def _unfused_slices(attn):
+    d = attn.d_model
+    W = attn.qkv_proj.W.data
+    b = attn.qkv_proj.b.data
+    return [(W[:, i * d:(i + 1) * d], b[i * d:(i + 1) * d]) for i in range(3)]
+
+
+def _unfused_forward(attn, x, mask=None):
+    """The pre-fusion algorithm: three separate projections, same math."""
+    (Wq, bq), (Wk, bk), (Wv, bv) = _unfused_slices(attn)
+    b, l, _ = x.shape
+
+    def split(y):
+        return y.reshape(b, l, attn.n_heads, attn.d_head).transpose(0, 2, 1, 3)
+
+    q, k, v = split(x @ Wq + bq), split(x @ Wk + bk), split(x @ Wv + bv)
+    scores = (q @ k.transpose(0, 1, 3, 2)) / np.sqrt(attn.d_head)
+    if mask is not None:
+        scores = scores + (1.0 - mask[:, None, None, :]) * -1e9
+    shifted = scores - scores.max(axis=-1, keepdims=True)
+    weights = np.exp(shifted)
+    weights /= weights.sum(axis=-1, keepdims=True)
+    context = (weights @ v).transpose(0, 2, 1, 3).reshape(b, l, attn.d_model)
+    return context @ attn.out_proj.W.data + attn.out_proj.b.data
+
+
+class TestFusedEquivalence:
+    def test_forward_matches_unfused(self):
+        attn = MultiHeadSelfAttention(8, 2, dropout=0.0, rng=5).eval()
+        x = RNG.normal(size=(3, 6, 8))
+        np.testing.assert_allclose(attn.forward(x), _unfused_forward(attn, x),
+                                   atol=1e-12)
+
+    def test_forward_matches_unfused_masked(self):
+        attn = MultiHeadSelfAttention(8, 4, dropout=0.0, rng=6).eval()
+        x = RNG.normal(size=(2, 5, 8))
+        mask = np.array([[1, 1, 1, 0, 0], [1, 1, 1, 1, 0]], dtype=np.float64)
+        np.testing.assert_allclose(attn.forward(x, mask),
+                                   _unfused_forward(attn, x, mask), atol=1e-12)
+
+    def test_backward_matches_unfused_numerically(self):
+        """Fused analytic input/parameter grads vs central differences of the
+        *unfused* forward — ties the fused backward to the legacy math."""
+        attn = MultiHeadSelfAttention(4, 2, dropout=0.0, rng=7).eval()
+        x = RNG.normal(size=(1, 3, 4))
+
+        out = attn.forward(x)
+        attn.zero_grad()
+        dx = attn.backward(np.ones_like(out))
+
+        def numeric(arr):
+            grad = np.zeros_like(arr)
+            it = np.nditer(arr, flags=["multi_index"])
+            while not it.finished:
+                idx = it.multi_index
+                orig = arr[idx]
+                arr[idx] = orig + 1e-6
+                f_plus = _unfused_forward(attn, x).sum()
+                arr[idx] = orig - 1e-6
+                f_minus = _unfused_forward(attn, x).sum()
+                arr[idx] = orig
+                grad[idx] = (f_plus - f_minus) / 2e-6
+                it.iternext()
+            return grad
+
+        np.testing.assert_allclose(dx, numeric(x), rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(attn.qkv_proj.W.grad,
+                                   numeric(attn.qkv_proj.W.data),
+                                   rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(attn.qkv_proj.b.grad,
+                                   numeric(attn.qkv_proj.b.data),
+                                   rtol=1e-4, atol=1e-6)
+
+    def test_legacy_state_dict_loads(self):
+        """Checkpoints with separate q/k/v projections load into the fused
+        layout and reproduce the source model's outputs."""
+        src = MultiHeadSelfAttention(8, 2, dropout=0.0, rng=8).eval()
+        d = src.d_model
+        state = src.state_dict()
+        legacy = {"out_proj.W": state["out_proj.W"], "out_proj.b": state["out_proj.b"]}
+        for i, name in enumerate(["q_proj", "k_proj", "v_proj"]):
+            legacy[f"{name}.W"] = state["qkv_proj.W"][:, i * d:(i + 1) * d]
+            legacy[f"{name}.b"] = state["qkv_proj.b"][i * d:(i + 1) * d]
+
+        dst = MultiHeadSelfAttention(8, 2, dropout=0.0, rng=99).eval()
+        dst.load_state_dict(legacy)
+        x = RNG.normal(size=(2, 4, 8))
+        np.testing.assert_allclose(dst.forward(x), src.forward(x), atol=1e-12)
+
+    def test_legacy_encoder_state_loads(self):
+        """Legacy per-projection keys migrate through the full encoder stack
+        (the load_pretrained_encoder / persistence path)."""
+        cfg = EncoderConfig(vocab_size=11, d_model=8, n_heads=2, n_layers=2,
+                            d_ff=12, max_len=6, dropout=0.0)
+        enc = TransformerEncoder(cfg, rng=0)
+        legacy = {}
+        for key, value in enc.state_dict().items():
+            if key.endswith("attn.qkv_proj.W"):
+                stem = key[: -len("qkv_proj.W")]
+                for i, name in enumerate(["q_proj", "k_proj", "v_proj"]):
+                    legacy[f"{stem}{name}.W"] = value[:, i * 8:(i + 1) * 8]
+            elif key.endswith("attn.qkv_proj.b"):
+                stem = key[: -len("qkv_proj.b")]
+                for i, name in enumerate(["q_proj", "k_proj", "v_proj"]):
+                    legacy[f"{stem}{name}.b"] = value[i * 8:(i + 1) * 8]
+            else:
+                legacy[key] = value
+
+        other = TransformerEncoder(cfg, rng=1).eval()
+        other.load_state_dict(legacy)
+        enc.eval()
+        ids = np.array([[1, 5, 2, 0], [3, 4, 0, 0]])
+        mask = np.array([[1, 1, 1, 0], [1, 1, 0, 0]], dtype=np.float64)
+        np.testing.assert_allclose(other.forward(ids, mask),
+                                   enc.forward(ids, mask), atol=1e-12)
+
+
+class TestInferenceMode:
+    def _model(self):
+        cfg = EncoderConfig(vocab_size=11, d_model=8, n_heads=2, n_layers=1,
+                            d_ff=12, max_len=6, dropout=0.1)
+        return TransformerEncoder(cfg, rng=0), ClassificationHead(8, 4, rng=1)
+
+    def test_outputs_match_eval(self):
+        enc, head = self._model()
+        ids = np.array([[1, 5, 2, 0]])
+        mask = np.array([[1, 1, 1, 0]], dtype=np.float64)
+        enc.eval(); head.eval()
+        ref = head.forward(enc.forward(ids, mask))
+        enc.inference_mode(); head.inference_mode()
+        np.testing.assert_allclose(head.forward(enc.forward(ids, mask)), ref,
+                                   atol=1e-12)
+
+    def test_inference_forward_caches_nothing(self):
+        enc, head = self._model()
+        enc.inference_mode(); head.inference_mode()
+        ids = np.array([[1, 5, 2, 0]])
+        mask = np.array([[1, 1, 1, 0]], dtype=np.float64)
+        head.forward(enc.forward(ids, mask))
+        layer = enc.layers[0]
+        assert layer.attn._cache is None
+        assert layer.attn.qkv_proj._x is None
+        assert layer.attn.out_proj._x is None
+        assert layer.ffn.fc1._x is None
+        assert layer.ffn.act._cache is None
+        assert layer.ln1._cache is None
+        assert enc.tok_emb._ids is None
+        assert head.fc1._x is None
+        assert head._seq_shape is None
+
+    def test_last_attention_opt_in(self):
+        enc, _ = self._model()
+        ids = np.array([[1, 5, 2, 0]])
+        mask = np.array([[1, 1, 1, 0]], dtype=np.float64)
+
+        enc.inference_mode()
+        enc.forward(ids, mask)
+        assert all(m is None for m in enc.attention_maps())
+
+        for layer in enc.layers:
+            layer.attn.retain_attention = True
+        enc.forward(ids, mask)
+        maps = enc.attention_maps()
+        assert all(m is not None for m in maps)
+        np.testing.assert_allclose(maps[0].sum(axis=-1), 1.0, atol=1e-10)
+
+        # plain eval still retains (gradcheck and training introspection)
+        enc.eval()
+        for layer in enc.layers:
+            layer.attn.retain_attention = False
+        enc.forward(ids, mask)
+        assert all(m is not None for m in enc.attention_maps())
+
+    def test_train_resets_inference_flag(self):
+        enc, _ = self._model()
+        enc.inference_mode()
+        assert enc.layers[0].attn.inference
+        enc.train()
+        assert not enc.layers[0].attn.inference
+        assert enc.layers[0].attn.training

@@ -1,0 +1,158 @@
+"""Tests for the batched inference engine (repro.serve)."""
+
+import numpy as np
+import pytest
+
+from repro.data.encoding import encode_batch
+from repro.models import PragFormer
+from repro.models.pragformer import PragFormerConfig
+from repro.serve import Advice, EngineConfig, InferenceEngine, LRUCache
+from repro.tokenize import Vocab, text_tokens
+
+TINY = PragFormerConfig(d_model=16, n_heads=2, n_layers=1, d_ff=32,
+                        d_head_hidden=16, max_len=24, batch_size=8, seed=0)
+
+SNIPPETS = [
+    "for (i = 0; i < n; i++) a[i] = b[i] + c[i];",
+    "for (i = 0; i < n; i++) s += a[i];",
+    "for (i = 1; i < n; i++) a[i] = a[i-1];",
+    'for (i = 0; i < n; i++) printf("%d", a[i]);',
+    "for (i = 0; i < n; i++) for (j = 0; j < m; j++) x[i][j] = i * j;",
+    "while (k < n) { total += buf[k]; k++; }",
+    "for (p = head; p; p = p->next) count++;",
+    "for (i = 0; i < rows; i++) out[i] = dot(m[i], v, cols);",
+]
+
+
+@pytest.fixture(scope="module")
+def model_and_vocab():
+    vocab = Vocab.build([text_tokens(code) for code in SNIPPETS], min_freq=1)
+    return PragFormer(len(vocab), TINY), vocab
+
+
+@pytest.fixture()
+def engine(model_and_vocab):
+    model, vocab = model_and_vocab
+    return InferenceEngine(model, vocab, max_len=TINY.max_len)
+
+
+class TestLRUCache:
+    def test_get_put_and_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put(b"a", 1)
+        cache.put(b"b", 2)
+        assert cache.get(b"a") == 1  # refresh 'a'
+        cache.put(b"c", 3)           # evicts 'b', the least recently used
+        assert b"b" not in cache
+        assert cache.get(b"a") == 1
+        assert cache.get(b"c") == 3
+        assert len(cache) == 2
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put(b"a", 1)
+        assert cache.get(b"a") is None
+        assert len(cache) == 0
+
+
+class TestBatchedEqualsSequential:
+    def test_matches_per_snippet_predict(self, engine, model_and_vocab):
+        model, vocab = model_and_vocab
+        batched = engine.predict_proba(SNIPPETS)
+        for i, code in enumerate(SNIPPETS):
+            split = encode_batch([text_tokens(code)], vocab, TINY.max_len,
+                                 width=TINY.max_len)
+            single = model.predict_proba(split)[0]
+            np.testing.assert_allclose(batched[i], single, atol=1e-5)
+
+    def test_small_buckets_same_answers(self, model_and_vocab):
+        model, vocab = model_and_vocab
+        big = InferenceEngine(model, vocab, max_len=TINY.max_len)
+        tiny = InferenceEngine(model, vocab, max_len=TINY.max_len,
+                               config=EngineConfig(max_batch_size=2))
+        np.testing.assert_allclose(tiny.predict_proba(SNIPPETS),
+                                   big.predict_proba(SNIPPETS), atol=1e-5)
+        assert tiny.stats.batches >= 4
+
+    def test_advise_many(self, engine):
+        advice = engine.advise_many(SNIPPETS[:3])
+        assert all(isinstance(a, Advice) for a in advice)
+        for a in advice:
+            assert a.needs_directive == (a.probability > 0.5)
+        assert engine.advise(SNIPPETS[0]) == advice[0]
+
+    def test_empty_batch(self, engine):
+        assert engine.predict_proba([]).shape == (0, 2)
+
+
+class TestPredictionCache:
+    def test_cache_hit_returns_identical_predictions(self, engine):
+        first = engine.predict_proba(SNIPPETS)
+        assert engine.stats.cache_hits == 0
+        second = engine.predict_proba(SNIPPETS)
+        np.testing.assert_array_equal(first, second)
+        assert engine.stats.cache_hits == len(SNIPPETS)
+        # the warm pass ran no model batches
+        assert engine.stats.model_rows == len(SNIPPETS)
+
+    def test_capacity_bound_respected(self, model_and_vocab):
+        model, vocab = model_and_vocab
+        engine = InferenceEngine(model, vocab, max_len=TINY.max_len,
+                                 config=EngineConfig(cache_capacity=3))
+        engine.predict_proba(SNIPPETS)
+        assert len(engine.cache) == 3
+
+    def test_duplicates_coalesced_within_batch(self, engine):
+        codes = [SNIPPETS[0]] * 5 + [SNIPPETS[1]]
+        probs = engine.predict_proba(codes)
+        np.testing.assert_array_equal(probs[0], probs[4])
+        assert engine.stats.coalesced == 4
+        assert engine.stats.model_rows == 2
+
+    def test_tokenize_once_per_distinct_snippet(self, model_and_vocab):
+        model, vocab = model_and_vocab
+        calls = []
+
+        def counting_tokenizer(code):
+            calls.append(code)
+            return text_tokens(code)
+
+        engine = InferenceEngine(model, vocab, max_len=TINY.max_len,
+                                 tokenizer=counting_tokenizer)
+        engine.predict_proba(SNIPPETS * 3)
+        engine.predict_proba(SNIPPETS)
+        assert len(calls) == len(SNIPPETS)
+        assert engine.stats.tokenized == len(SNIPPETS)
+
+
+class TestAsyncQueue:
+    def test_submit_matches_sync(self, model_and_vocab):
+        model, vocab = model_and_vocab
+        sync = InferenceEngine(model, vocab, max_len=TINY.max_len)
+        expected = sync.predict_proba(SNIPPETS)
+        with InferenceEngine(model, vocab, max_len=TINY.max_len) as engine:
+            futures = [engine.submit(code) for code in SNIPPETS]
+            results = np.vstack([f.result(timeout=30) for f in futures])
+        np.testing.assert_allclose(results, expected, atol=1e-5)
+
+    def test_submit_after_close_raises(self, model_and_vocab):
+        model, vocab = model_and_vocab
+        engine = InferenceEngine(model, vocab, max_len=TINY.max_len)
+        engine.close()
+        with pytest.raises(RuntimeError):
+            engine.submit(SNIPPETS[0])
+
+    def test_close_idempotent(self, engine):
+        engine.submit(SNIPPETS[0]).result(timeout=30)
+        engine.close()
+        engine.close()
+
+
+class TestEngineConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            EngineConfig(max_batch_size=0)
+        with pytest.raises(ValueError):
+            EngineConfig(cache_capacity=-1)
+        with pytest.raises(ValueError):
+            EngineConfig(flush_interval=-0.1)
