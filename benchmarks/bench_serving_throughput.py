@@ -17,10 +17,19 @@ snippets/sec on the trace; an all-distinct cold pass is also recorded
 compute-bound either way).  Results go to ``BENCH_serving.json`` as the
 first entry in the perf trajectory.
 
+Two further sections exercise the serving stack's newer layers: a
+**shard-count sweep** replays the trace through
+:class:`repro.serve.ShardedEngine` at {1, 2, 4} worker processes
+(digest-hash routing keeps each shard's LRU hot; 1 shard is the in-process
+fallback), and an **eviction-pressure** pass runs the trace against a
+deliberately undersized prediction cache to record the eviction counters
+and batch-size histogram end to end.
+
 Predictions are weight-independent in cost, so an untrained PragFormer at
 the default (paper-shaped) size keeps the bench self-contained and fast.
 """
 
+import functools
 import time
 
 import numpy as np
@@ -31,13 +40,15 @@ from conftest import timed, write_bench_report
 from repro.corpus import CorpusConfig, build_corpus
 from repro.data.encoding import encode_batch
 from repro.models import PragFormer
-from repro.serve import EngineConfig, InferenceEngine
+from repro.serve import EngineConfig, InferenceEngine, ShardedEngine
 from repro.tokenize import Vocab, text_tokens
 
 pytestmark = pytest.mark.perf
 
 N_REQUESTS = 512
 ZIPF_EXPONENT = 1.35  # ~110 distinct snippets across the 512 requests
+SHARD_COUNTS = (1, 2, 4)
+PRESSURE_CACHE = 48  # smaller than the trace's distinct set -> forced evictions
 
 
 def _workload():
@@ -61,6 +72,13 @@ def _sequential_advise(model, vocab, codes, max_len):
         probs[i] = model.predict_proba(split)[0, 1]
         latencies.append(time.perf_counter() - start)
     return probs, latencies
+
+
+def _shard_worker_engine(model, vocab, max_len):
+    """Worker-side engine builder for the shard sweep (module-level so it
+    pickles under the 'spawn' start method)."""
+    return InferenceEngine(model, vocab, max_len=max_len,
+                           config=EngineConfig(max_batch_size=128))
 
 
 def _percentiles(latencies_s):
@@ -119,6 +137,46 @@ def test_serving_throughput(benchmark):
         async_elapsed = time.perf_counter() - burst_start
         async_lat = [done - t0 for done, t0 in zip(done_at, submitted)]
 
+    # -- shard-count sweep: the trace through 1/2/4 worker processes -------
+    # functools.partial of a module-level builder stays picklable under the
+    # 'spawn' start method (a local closure would not)
+    engine_factory = functools.partial(_shard_worker_engine, model, vocab,
+                                       max_len)
+    shard_sweep = {}
+    for n_shards in SHARD_COUNTS:
+        with ShardedEngine(engine_factory, n_shards=n_shards) as sharded:
+            _, cold = timed(sharded.predict_proba, trace)
+            _, warm = timed(sharded.predict_proba, trace)
+            stats = sharded.stats()
+        combined = stats["combined"]
+        shard_sweep[str(n_shards)] = {
+            "snippets_per_s": round(len(trace) / cold, 1),
+            "warm_snippets_per_s": round(len(trace) / warm, 1),
+            "routed": stats["routed"],
+            "cache_hits": combined.get("cache_hits", 0),
+            "cache_misses": combined.get("cache_misses", 0),
+            "evictions": combined.get("evictions", 0),
+            "batches": combined.get("batches", 0),
+            "batch_size_hist": combined.get("batch_size_hist", {}),
+        }
+
+    # -- eviction pressure: undersized LRU on the same trace ---------------
+    pressured = InferenceEngine(
+        model, vocab, max_len=max_len,
+        config=EngineConfig(max_batch_size=128, cache_capacity=PRESSURE_CACHE))
+    _, pressure_elapsed = timed(pressured.predict_proba, trace)
+    pressured.predict_proba(trace)  # second pass: hits compete with evictions
+    pstats = pressured.stats.as_dict()
+    eviction_pressure = {
+        "cache_capacity": PRESSURE_CACHE,
+        "snippets_per_s": round(len(trace) / pressure_elapsed, 1),
+        "cache_hits": pstats["cache_hits"],
+        "cache_misses": pstats["cache_misses"],
+        "evictions": pstats["evictions"],
+        "encode_evictions": pstats["encode_evictions"],
+        "batch_size_hist": pstats["batch_size_hist"],
+    }
+
     speedup = trace_throughput / seq_throughput
     report = {
         "workload": {
@@ -147,13 +205,19 @@ def test_serving_throughput(benchmark):
             "engine_snippets_per_s": round(len(codes) / cold_elapsed, 1),
             "speedup_vs_sequential": round(distinct_speedup, 2),
         },
+        "shard_sweep": shard_sweep,
+        "eviction_pressure": eviction_pressure,
         "stats": engine.stats.as_dict(),
     }
     path = write_bench_report("serving", report)
+    sweep_txt = ", ".join(f"{n}sh {shard_sweep[str(n)]['snippets_per_s']:.0f}/s"
+                          for n in SHARD_COUNTS)
     print(f"\nengine on trace: {trace_throughput:.0f} snippets/s "
           f"({speedup:.1f}x sequential; distinct-cold {distinct_speedup:.2f}x); "
-          f"report: {path}")
+          f"shard sweep: {sweep_txt}; report: {path}")
 
     assert speedup >= 5.0, f"engine only {speedup:.2f}x sequential on the trace"
     assert distinct_speedup >= 1.0, "batching must not be slower than sequential"
     assert engine.stats.cache_hits >= len(trace)  # warm pass served from LRU
+    assert set(shard_sweep) == {str(n) for n in SHARD_COUNTS}
+    assert eviction_pressure["evictions"] > 0, "pressure pass must evict"

@@ -7,17 +7,29 @@ Subcommands::
     repro advise file.c            # on-the-fly advisor (§2.1)
     repro advise --batch *.c       # batched advisor over many snippets
     repro serve < requests.jsonl   # JSON-lines serving loop on stdin
+    repro serve --http 8080        # multi-model advisor over HTTP
     repro compar file.c            # run the S2S combiner on a snippet
     repro reproduce table8         # regenerate a paper table/figure
 
-Serving (``serve`` and ``advise --batch``) goes through
-:class:`repro.serve.InferenceEngine`: snippets are tokenized once, packed
-into length-sorted micro-batches (``--batch-size``, default 128) so padding
-work is bounded by each bucket's longest row, and predictions are memoized
-in a bounded LRU keyed by the token-id digest (``--cache-size``, default
-4096; 0 disables).  ``serve`` reads one JSON object per stdin line —
-``{"id": ..., "code": "..."}``, or a bare path to a C file — and writes one
-JSON verdict per line; ``--stats`` dumps engine counters to stderr at EOF.
+Serving (``serve`` and ``advise``) goes through the :mod:`repro.serve`
+stack: snippets are tokenized once, packed into length-sorted micro-batches
+(``--batch-size``, default 128) so padding work is bounded by each bucket's
+longest row, and predictions are memoized in a bounded LRU keyed by the
+token-id digest (``--cache-size``, default 4096; 0 disables).
+
+``serve`` has two front-ends.  The default reads one JSON object per stdin
+line — ``{"id": ..., "code": "..."}``, or a bare path to a C file — and
+writes one JSON directive verdict per line; ``--stats`` dumps engine
+counters to stderr at EOF.  ``--http PORT`` instead loads the directive
+*and* ``private``/``reduction`` clause models behind one
+:class:`repro.serve.MultiModelEngine` and serves ``POST /advise``,
+``POST /advise/batch``, ``GET /healthz``, and ``GET /stats`` (schemas in
+``docs/serving.md``).  In either mode ``--shards N`` partitions traffic
+across N worker processes with digest-hash routing
+(:class:`repro.serve.ShardedEngine`).
+
+``advise`` fans each positive snippet out to the clause models through the
+same multi-model engine and prints the suggested clauses.
 """
 
 from __future__ import annotations
@@ -63,59 +75,115 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_config(args: argparse.Namespace):
+    from repro.serve import EngineConfig
+
+    return EngineConfig(max_batch_size=getattr(args, "batch_size", 128),
+                        cache_capacity=getattr(args, "cache_size", 4096))
+
+
 def _make_engine(args: argparse.Namespace):
+    """Directive-only engine (the stdin serving loop's workhorse)."""
     from repro.pipeline import get_context
-    from repro.serve import EngineConfig, InferenceEngine
+    from repro.serve import InferenceEngine
 
     ctx = get_context()
     enc = ctx.encoded()
-    config = EngineConfig(max_batch_size=getattr(args, "batch_size", 128),
-                          cache_capacity=getattr(args, "cache_size", 4096))
     engine = InferenceEngine(ctx.pragformer, enc.vocab,
-                             max_len=ctx.scale.pragformer.max_len, config=config)
+                             max_len=ctx.scale.pragformer.max_len,
+                             config=_engine_config(args))
     return ctx, engine
 
 
-def _clause_suggestions(ctx, sources):
-    """Per-source list of (clause, probability) suggestions, batched per
-    clause model."""
-    from repro.data.encoding import encode_batch
-    from repro.tokenize import text_tokens
+def _build_multi_engine(registry, config):
+    """Worker-side builder for sharded serving (module-level so it stays
+    picklable under the ``spawn`` start method; under ``fork`` the trained
+    weights are shared copy-on-write)."""
+    from repro.serve import MultiModelEngine
 
-    suggestions = [[] for _ in sources]
-    if not sources:
-        return suggestions
-    for clause in ("private", "reduction"):
-        model = ctx.clause_model(clause)
-        enc = ctx.clause_encoded(clause)
-        split = encode_batch([text_tokens(s) for s in sources], enc.vocab, enc.max_len)
-        probs = model.predict_proba(split)[:, 1]
-        for i, p in enumerate(probs):
-            if p > 0.5:
-                suggestions[i].append((clause, float(p)))
-    return suggestions
+    return MultiModelEngine(registry, config=config)
+
+
+def _build_directive_engine(model, vocab, max_len, config):
+    """Worker-side builder for the directive-only sharded stdin loop."""
+    from repro.serve import InferenceEngine
+
+    return InferenceEngine(model, vocab, max_len=max_len, config=config)
+
+
+def _make_full_advisor(args: argparse.Namespace):
+    """Multi-model advisor (directive + clause heads), optionally sharded.
+
+    With ``--shards N > 1`` each worker process builds its own
+    :class:`MultiModelEngine` from the already-trained registry."""
+    import functools
+
+    from repro.pipeline import get_context
+    from repro.serve import ModelRegistry, ShardedEngine
+
+    config = _engine_config(args)
+    registry = ModelRegistry.from_context(get_context())
+    shards = getattr(args, "shards", 1)
+    factory = functools.partial(_build_multi_engine, registry, config)
+    if shards > 1:
+        return ShardedEngine(factory, n_shards=shards)
+    return factory()
 
 
 def _cmd_advise(args: argparse.Namespace) -> int:
     paths = [Path(f) for f in args.files]
     sources = [p.read_text() for p in paths]
+    # directive verdicts first: the clause models only need training when a
+    # snippet is directive-positive, so the common all-negative invocation
+    # never pays for them
     ctx, engine = _make_engine(args)
     advice = engine.advise_many(sources)
     positive = [i for i, a in enumerate(advice) if a.needs_directive]
-    per_source = _clause_suggestions(ctx, [sources[i] for i in positive])
-    clause_rows = dict(zip(positive, per_source))
+    full_rows = {}
+    if positive:
+        from repro.serve import ModelRegistry, MultiModelEngine
+
+        registry = ModelRegistry.from_context(ctx)
+        with MultiModelEngine(registry, config=_engine_config(args)) as advisor:
+            # directive verdicts are already in hand; only clause heads run
+            full = advisor.advise_full_many(
+                [sources[i] for i in positive],
+                directive=[advice[i] for i in positive])
+        full_rows = dict(zip(positive, full))
     prefix_paths = args.batch or len(paths) > 1
     for i, (path, a) in enumerate(zip(paths, advice)):
         verdict = "needs an OpenMP directive" if a.needs_directive else "no directive needed"
         lead = f"{path}: " if prefix_paths else "PragFormer: "
         print(f"{lead}{verdict} (p = {a.probability:.3f})")
-        for clause, p in clause_rows.get(i, []):
-            print(f"  suggest a {clause} clause (p = {p:.3f})")
+        full = full_rows.get(i)
+        if full is not None:
+            for clause in full.recommended_clauses():
+                print(f"  suggest a {clause} clause "
+                      f"(p = {full.clauses[clause].probability:.3f})")
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    ctx, engine = _make_engine(args)
+    if args.http is not None:
+        from repro.serve import serve_forever
+
+        serve_forever(_make_full_advisor(args), args.host, args.http)
+        return 0
+    if args.shards > 1:
+        import functools
+
+        from repro.pipeline import get_context
+        from repro.serve import ShardedEngine
+
+        ctx = get_context()
+        enc = ctx.encoded()
+        engine = ShardedEngine(
+            functools.partial(_build_directive_engine, ctx.pragformer,
+                              enc.vocab, ctx.scale.pragformer.max_len,
+                              _engine_config(args)),
+            n_shards=args.shards)
+    else:
+        _, engine = _make_engine(args)
 
     def requests():
         # one bad request must not kill the serving loop: parse errors are
@@ -158,7 +226,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             flush()
     flush()
     if args.stats:
-        print(json.dumps(engine.stats.as_dict()), file=sys.stderr)
+        from repro.serve import snapshot_stats
+
+        print(json.dumps(snapshot_stats(engine)), file=sys.stderr)
+    close = getattr(engine, "close", None)
+    if close is not None:
+        close()
     return 0
 
 
@@ -226,13 +299,22 @@ def main(argv=None) -> int:
     p_advise.set_defaults(fn=_cmd_advise)
 
     p_serve = sub.add_parser(
-        "serve", help="JSON-lines advisor loop on stdin (see module docstring)")
+        "serve", help="advisor service: JSON-lines on stdin, or --http PORT")
     p_serve.add_argument("--batch-size", type=int, default=128,
                          help="micro-batch size for the inference engine")
     p_serve.add_argument("--cache-size", type=int, default=4096,
                          help="LRU prediction-cache capacity (0 disables)")
     p_serve.add_argument("--stats", action="store_true",
-                         help="dump engine counters to stderr at EOF")
+                         help="dump engine counters to stderr at EOF (stdin mode)")
+    p_serve.add_argument("--http", type=int, default=None, metavar="PORT",
+                         help="serve the multi-model advisor over HTTP on PORT "
+                              "(directive + clause heads; /advise, /advise/batch, "
+                              "/healthz, /stats)")
+    p_serve.add_argument("--host", type=str, default="127.0.0.1",
+                         help="bind address for --http (default 127.0.0.1)")
+    p_serve.add_argument("--shards", type=int, default=1, metavar="N",
+                         help="partition traffic across N worker processes "
+                              "(digest-hash routing; 1 = in-process)")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_compar = sub.add_parser("compar", help="run the ComPar S2S combiner on a file")

@@ -4,7 +4,12 @@ transfer substitute), and the BoW + logistic-regression baseline."""
 from repro.models.bow import BowConfig, BowLogistic
 from repro.models.generator import DirectiveGenerator, GeneratedDirective
 from repro.models.hybrid import HybridAdvisor
-from repro.models.persistence import load_pragformer, save_pragformer
+from repro.models.persistence import (
+    load_advisor,
+    load_pragformer,
+    save_advisor,
+    save_pragformer,
+)
 from repro.models.pragformer import PragFormer, PragFormerConfig, TrainHistory
 from repro.models.pretrain import MLMConfig, MLMPretrainer, mask_tokens
 
@@ -14,7 +19,9 @@ __all__ = [
     "DirectiveGenerator",
     "GeneratedDirective",
     "HybridAdvisor",
+    "load_advisor",
     "load_pragformer",
+    "save_advisor",
     "save_pragformer",
     "PragFormer",
     "PragFormerConfig",

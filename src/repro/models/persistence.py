@@ -10,6 +10,12 @@ Checkpoints written before the fused-QKV attention refactor store separate
 ``q_proj``/``k_proj``/``v_proj`` projection matrices; ``load_state_dict``
 fuses them on load (see ``MultiHeadSelfAttention._upgrade_state``), so both
 layouts remain loadable under format version 1.
+
+The serving stack deploys *several* models at once (the directive head plus
+the ``private``/``reduction`` clause heads — see
+:mod:`repro.serve.registry`); :func:`save_advisor` / :func:`load_advisor`
+bundle any named set of (model, vocab) pairs into one checkpoint directory
+with an ``advisor.json`` manifest, one ``.npz`` per head.
 """
 
 from __future__ import annotations
@@ -17,16 +23,32 @@ from __future__ import annotations
 import json
 from dataclasses import asdict
 from pathlib import Path
-from typing import Tuple
+from typing import Dict, Mapping, Tuple
 
 import numpy as np
 
 from repro.models.pragformer import PragFormer, PragFormerConfig
 from repro.tokenize.vocab import Vocab
 
-__all__ = ["save_pragformer", "load_pragformer"]
+__all__ = ["save_pragformer", "load_pragformer", "save_advisor",
+           "load_advisor", "validate_head_name"]
 
 _FORMAT_VERSION = 1
+_ADVISOR_MANIFEST = "advisor.json"
+_ADVISOR_FORMAT_VERSION = 1
+
+
+def validate_head_name(name: str) -> str:
+    """Reject advisor head names that are not filesystem-safe.
+
+    The single rule shared by :func:`save_advisor` (which turns names into
+    ``<name>.npz`` files) and ``ModelRegistry.register`` (so any serving
+    registry can always be checkpointed).  Returns ``name`` unchanged.
+    """
+    if (not name or name != name.strip()
+            or any(seq in name for seq in ("/", "\\", ".."))):
+        raise ValueError(f"head name {name!r} is not filesystem-safe")
+    return name
 
 
 def save_pragformer(model: PragFormer, vocab: Vocab, path: str) -> None:
@@ -70,3 +92,47 @@ def load_pragformer(path: str) -> Tuple[PragFormer, Vocab]:
     if vocab._itos != itos:
         raise ValueError("vocabulary reconstruction mismatch")
     return model, vocab
+
+
+def save_advisor(heads: Mapping[str, tuple], dirpath) -> Path:
+    """Bundle named heads into an advisor checkpoint directory.
+
+    ``heads`` maps head name to ``(model, vocab)`` or
+    ``(model, vocab, max_len)`` — the serving ``max_len`` may differ from
+    the model's own ``config.max_len`` and must survive the round trip.
+    Writes one ``<name>.npz`` per head (via :func:`save_pragformer`) and an
+    ``advisor.json`` manifest recording the head -> (file, max_len)
+    mapping; returns the directory path.  Head names must be
+    filesystem-safe (no separators).
+    """
+    directory = Path(dirpath)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest: Dict[str, object] = {
+        "format_version": _ADVISOR_FORMAT_VERSION, "heads": {}}
+    for name, head in heads.items():
+        validate_head_name(name)
+        model, vocab = head[0], head[1]
+        max_len = head[2] if len(head) > 2 else model.config.max_len
+        filename = f"{name}.npz"
+        save_pragformer(model, vocab, str(directory / filename))
+        manifest["heads"][name] = {"file": filename, "max_len": int(max_len)}
+    (directory / _ADVISOR_MANIFEST).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return directory
+
+
+def load_advisor(dirpath) -> Dict[str, Tuple[PragFormer, Vocab, int]]:
+    """Reload every head of an advisor checkpoint written by
+    :func:`save_advisor`, as ``{name: (model, vocab, max_len)}``."""
+    directory = Path(dirpath)
+    manifest_path = directory / _ADVISOR_MANIFEST
+    if not manifest_path.is_file():
+        raise FileNotFoundError(f"no {_ADVISOR_MANIFEST} in {directory}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format_version") != _ADVISOR_FORMAT_VERSION:
+        raise ValueError(f"unsupported advisor checkpoint version in {directory}")
+    heads: Dict[str, Tuple[PragFormer, Vocab, int]] = {}
+    for name, entry in manifest["heads"].items():
+        model, vocab = load_pragformer(str(directory / entry["file"]))
+        heads[name] = (model, vocab, int(entry["max_len"]))
+    return heads

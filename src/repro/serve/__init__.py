@@ -1,7 +1,23 @@
-"""Serving layer: batched, cached, sync + async inference for the advisor.
+"""Serving layer: the advisor as a multi-model, sharded, observable service.
 
-See :mod:`repro.serve.engine` for the architecture; the CLI front-ends are
-``repro serve`` (JSON-lines loop) and ``repro advise --batch``.
+Four modules build on each other:
+
+* :mod:`repro.serve.engine` — :class:`InferenceEngine`: length-bucketed
+  micro-batching, token-digest prediction LRU, tokenize-once memo, sync
+  bulk + async queue APIs for one model.
+* :mod:`repro.serve.registry` — :class:`ModelRegistry` /
+  :class:`MultiModelEngine`: the directive model plus the ``private`` /
+  ``reduction`` clause models behind one engine, with the combined
+  :meth:`~MultiModelEngine.advise_full` fan-out.
+* :mod:`repro.serve.sharding` — :class:`ShardedEngine`: bulk traffic
+  partitioned across worker processes by source digest, per-shard caches
+  kept hot.
+* :mod:`repro.serve.http_api` — stdlib HTTP front-end (``/advise``,
+  ``/advise/batch``, ``/healthz``, ``/stats``).
+
+Counters live in :mod:`repro.serve.metrics`.  CLI front-ends: ``repro
+serve`` (JSON-lines on stdin, or ``--http PORT``), ``repro advise``.
+The full walk-through is in ``docs/serving.md``.
 """
 
 from repro.serve.engine import (
@@ -11,5 +27,34 @@ from repro.serve.engine import (
     InferenceEngine,
     LRUCache,
 )
+from repro.serve.http_api import AdvisorHTTPServer, make_server, serve_forever
+from repro.serve.metrics import batch_hist_bucket, merge_stat_dicts
+from repro.serve.registry import (
+    ClauseAdvice,
+    FullAdvice,
+    ModelHead,
+    ModelRegistry,
+    MultiModelEngine,
+)
+from repro.serve.sharding import ShardedEngine, shard_of, snapshot_stats
 
-__all__ = ["Advice", "EngineConfig", "EngineStats", "InferenceEngine", "LRUCache"]
+__all__ = [
+    "Advice",
+    "AdvisorHTTPServer",
+    "ClauseAdvice",
+    "EngineConfig",
+    "EngineStats",
+    "FullAdvice",
+    "InferenceEngine",
+    "LRUCache",
+    "ModelHead",
+    "ModelRegistry",
+    "MultiModelEngine",
+    "ShardedEngine",
+    "batch_hist_bucket",
+    "make_server",
+    "merge_stat_dicts",
+    "serve_forever",
+    "shard_of",
+    "snapshot_stats",
+]

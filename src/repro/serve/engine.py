@@ -23,7 +23,13 @@ into serving infrastructure:
   :class:`concurrent.futures.Future`, with a background worker that flushes
   a batch when it is full or ``flush_interval`` elapses.
 
-Knobs live on :class:`EngineConfig`; counters on :class:`EngineStats`.
+Knobs live on :class:`EngineConfig`; counters on
+:class:`~repro.serve.metrics.EngineStats`.  The engine is the bottom layer
+of the serving stack: :mod:`repro.serve.registry` hosts several model heads
+(directive + clause models) each behind one of these engines,
+:mod:`repro.serve.sharding` partitions traffic across worker processes that
+each run a private engine, and :mod:`repro.serve.http_api` exposes the whole
+stack over HTTP.  ``docs/serving.md`` walks the architecture end to end.
 """
 
 from __future__ import annotations
@@ -35,15 +41,28 @@ import time
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.data.encoding import TokenCache, pad_encoded
 from repro.models.pragformer import PragFormer
+from repro.serve.metrics import EngineStats
 from repro.tokenize import Representation, Vocab, text_tokens
 
-__all__ = ["EngineConfig", "EngineStats", "LRUCache", "Advice", "InferenceEngine"]
+__all__ = ["EngineConfig", "EngineStats", "LRUCache", "Advice",
+           "InferenceEngine", "source_digest"]
+
+
+def source_digest(code: str, size: int = 16) -> bytes:
+    """Digest of snippet source text — the serving stack's shared key.
+
+    One definition on purpose: the tokenize-once memo (here), the
+    cross-head lex memo (:mod:`repro.serve.registry`), and shard routing
+    (:mod:`repro.serve.sharding`) must all key on the same bytes, or a
+    future normalization tweak would silently split them apart.
+    """
+    return hashlib.blake2b(code.encode("utf-8"), digest_size=size).digest()
 
 
 @dataclass(frozen=True)
@@ -76,42 +95,39 @@ class EngineConfig:
             raise ValueError("bucket_waste must be >= 1.0")
 
 
-@dataclass
-class EngineStats:
-    """Monotonic counters for observability of one engine instance."""
-
-    requests: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    coalesced: int = 0
-    batches: int = 0
-    model_rows: int = 0
-    tokenized: int = 0
-
-    def as_dict(self) -> Dict[str, int]:
-        return dict(self.__dict__)
-
-
 class LRUCache:
-    """Bounded least-recently-used mapping (capacity 0 = disabled)."""
+    """Bounded least-recently-used mapping (capacity 0 = disabled).
+
+    ``evictions`` counts entries dropped to respect ``capacity`` over the
+    cache's lifetime; :meth:`put` additionally returns how many entries the
+    one call evicted so callers can feed per-engine counters
+    (:attr:`EngineStats.evictions`) without re-reading the total.
+    """
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
+        self.evictions = 0
         self._data: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
 
     def get(self, key: bytes) -> Optional[np.ndarray]:
+        """Return the cached value (refreshing recency) or ``None``."""
         value = self._data.get(key)
         if value is not None:
             self._data.move_to_end(key)
         return value
 
-    def put(self, key: bytes, value: np.ndarray) -> None:
+    def put(self, key: bytes, value: np.ndarray) -> int:
+        """Insert ``key``; return the number of entries evicted (0 or 1)."""
         if self.capacity <= 0:
-            return
+            return 0
         self._data[key] = value
         self._data.move_to_end(key)
+        evicted = 0
         while len(self._data) > self.capacity:
             self._data.popitem(last=False)
+            evicted += 1
+        self.evictions += evicted
+        return evicted
 
     def __len__(self) -> int:
         return len(self._data)
@@ -170,7 +186,7 @@ class InferenceEngine:
         Tokenize-once: results are memoized by source digest (pure-Python
         lexing costs about as much as a small-model forward pass, so
         repeated traffic must not re-lex)."""
-        key = hashlib.blake2b(code.encode("utf-8"), digest_size=16).digest()
+        key = source_digest(code)
         with self._cache_lock:
             hit = self._encode_memo.get(key)
         if hit is not None:
@@ -178,7 +194,7 @@ class InferenceEngine:
         ids = self.vocab.encode(self.tokenizer(code), max_len=self.max_len)
         with self._cache_lock:
             self.stats.tokenized += 1
-            self._encode_memo.put(key, ids)
+            self.stats.encode_evictions += self._encode_memo.put(key, ids)
         return ids
 
     @staticmethod
@@ -192,9 +208,11 @@ class InferenceEngine:
         return self._predict_encoded([self.encode(code) for code in codes])
 
     def advise(self, code: str) -> Advice:
+        """One snippet -> :class:`Advice` (batched path, cache included)."""
         return self.advise_many([code])[0]
 
     def advise_many(self, codes: Sequence[str]) -> List[Advice]:
+        """Bulk :class:`Advice` for ``codes``; positive iff P(+) > 0.5."""
         probs = self.predict_proba(codes)[:, 1]
         return [Advice(float(p), bool(p > 0.5)) for p in probs]
 
@@ -243,10 +261,9 @@ class InferenceEngine:
             with self._model_lock:
                 probs = self.model.predict_proba(split, batch_size=len(bucket))
             with self._cache_lock:
-                self.stats.batches += 1
-                self.stats.model_rows += len(bucket)
+                self.stats.record_batch(len(bucket))
                 for (key, rows), p in zip(bucket, probs):
-                    self.cache.put(key, p)
+                    self.stats.evictions += self.cache.put(key, p)
                     for i in rows:
                         out[i] = p
         return out

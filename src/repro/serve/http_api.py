@@ -1,0 +1,251 @@
+"""Dependency-free HTTP front-end for the advisor service.
+
+Built on stdlib :mod:`http.server` (``ThreadingHTTPServer``) so the repo
+stays free of web-framework dependencies.  The server fronts any *advisor*
+object exposing ``advise_full_many(codes)`` and ``stats()`` — in practice a
+:class:`~repro.serve.registry.MultiModelEngine` or a
+:class:`~repro.serve.sharding.ShardedEngine` wrapping one per worker.
+
+Endpoints (all JSON; schemas and ``curl`` examples in ``docs/serving.md``):
+
+* ``POST /advise`` — body ``{"code": "..."}``; replies with the combined
+  directive + clause verdict (:meth:`FullAdvice.as_dict`).
+* ``POST /advise/batch`` — body ``{"codes": [...]}`` or
+  ``{"requests": [{"id": ..., "code": "..."}]}``; replies
+  ``{"results": [...]}`` in request order, echoing ids when given.
+* ``GET /healthz`` — liveness probe: ``{"status": "ok", "heads": [...]}``;
+  answers ``503 {"status": "unhealthy"}`` when the advisor cannot list its
+  heads (for a sharded advisor this round-trips a worker process).
+* ``GET /stats`` — the advisor's live metrics snapshot plus HTTP-level
+  request counters.
+
+Malformed requests get ``400`` with ``{"error": ...}``; unknown paths
+``404``; the serving loop never dies on a bad request.  Start it from the
+CLI with ``repro serve --http PORT`` or programmatically via
+:func:`make_server` / :func:`serve_forever`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["AdvisorHTTPServer", "make_server", "serve_forever"]
+
+#: Largest accepted request body (bytes) — snippets are loop nests, not
+#: whole programs; an oversized body gets a 413 instead of an allocation.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class AdvisorHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server owning the advisor and request counters."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], advisor) -> None:
+        super().__init__(address, _AdvisorHandler)
+        self.advisor = advisor
+        self._counter_lock = threading.Lock()
+        self.http_requests: Dict[str, int] = {
+            "advise": 0, "advise_batch": 0, "healthz": 0, "stats": 0,
+            "errors": 0,
+        }
+
+    def bump(self, key: str) -> None:
+        """Increment one request counter (handler threads run concurrently,
+        and ``dict[k] += 1`` is a lost-update race without the lock)."""
+        with self._counter_lock:
+            self.http_requests[key] += 1
+
+    def counters(self) -> Dict[str, int]:
+        """Consistent snapshot of the request counters."""
+        with self._counter_lock:
+            return dict(self.http_requests)
+
+
+class _AdvisorHandler(BaseHTTPRequestHandler):
+    """Request handler: routes the four endpoints, JSON in/out."""
+
+    server_version = "repro-advisor/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence per-request stderr chatter; /stats is the observability
+        surface."""
+
+    def _send_json(self, status: int, payload: Dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self.server.bump("errors")
+        # error paths may leave an unread request body on the keep-alive
+        # socket; closing the connection stops it being parsed as the next
+        # request line
+        self.close_connection = True
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> Optional[Dict]:
+        """Parse the JSON request body; replies with the right 4xx and
+        returns ``None`` on any malformation."""
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self._error(400, "invalid Content-Length")
+            return None
+        if length <= 0:
+            self._error(400, "request body required")
+            return None
+        if length > MAX_BODY_BYTES:
+            self._error(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+            return None
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._error(400, f"invalid JSON body: {exc}")
+            return None
+        if not isinstance(payload, dict):
+            self._error(400, "JSON body must be an object")
+            return None
+        return payload
+
+    # -- GET ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        """Route ``/healthz`` and ``/stats``."""
+        if self.path == "/healthz":
+            self.server.bump("healthz")
+            heads = []
+            names = getattr(self.server.advisor, "head_names", None)
+            if callable(names):
+                try:  # works for MultiModelEngine and ShardedEngine alike;
+                    # for a sharded advisor this round-trips a worker, so a
+                    # dead fleet fails the probe instead of looking healthy
+                    heads = list(names())
+                except Exception as exc:  # noqa: BLE001 — report unhealthy
+                    self._send_json(503, {"status": "unhealthy",
+                                          "error": str(exc)})
+                    return
+            self._send_json(200, {"status": "ok", "heads": heads})
+        elif self.path == "/stats":
+            self.server.bump("stats")
+            try:
+                stats = self.server.advisor.stats()
+            except Exception as exc:  # noqa: BLE001 — report, don't die
+                self._error(500, f"stats failed: {exc}")
+                return
+            self._send_json(200, {"http": self.server.counters(),
+                                  "engine": stats})
+        else:
+            self._error(404, f"unknown path {self.path!r}")
+
+    # -- POST --------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        """Route ``/advise`` and ``/advise/batch``."""
+        if self.path == "/advise":
+            self._handle_advise()
+        elif self.path == "/advise/batch":
+            self._handle_advise_batch()
+        else:
+            self._error(404, f"unknown path {self.path!r}")
+
+    def _handle_advise(self) -> None:
+        payload = self._read_body()
+        if payload is None:
+            return
+        code = payload.get("code")
+        if not isinstance(code, str) or not code.strip():
+            self._error(400, "request needs a non-empty string 'code' field")
+            return
+        self.server.bump("advise")
+        try:
+            advice = self.server.advisor.advise_full_many([code])[0]
+        except Exception as exc:  # noqa: BLE001 — report, don't die
+            self._error(500, f"inference failed: {exc}")
+            return
+        self._send_json(200, advice.as_dict())
+
+    def _handle_advise_batch(self) -> None:
+        payload = self._read_body()
+        if payload is None:
+            return
+        ids, codes = self._parse_batch(payload)
+        if codes is None:
+            return
+        self.server.bump("advise_batch")
+        try:
+            advices = self.server.advisor.advise_full_many(codes)
+        except Exception as exc:  # noqa: BLE001 — report, don't die
+            self._error(500, f"inference failed: {exc}")
+            return
+        results = []
+        for rid, advice in zip(ids, advices):
+            body = advice.as_dict()
+            body["id"] = rid
+            results.append(body)
+        self._send_json(200, {"results": results})
+
+    def _parse_batch(self, payload: Dict):
+        """``{"codes": [...]}`` or ``{"requests": [{"id","code"}]}`` ->
+        (ids, codes); replies 400 and returns (None, None) when invalid."""
+        if "codes" in payload:
+            codes = payload["codes"]
+            if (not isinstance(codes, list)
+                    or not all(isinstance(c, str) and c.strip()
+                               for c in codes)):
+                self._error(400, "'codes' must be a list of non-empty strings")
+                return None, None
+            return list(range(len(codes))), codes
+        requests = payload.get("requests")
+        if not isinstance(requests, list):
+            self._error(400, "body needs a 'codes' or 'requests' list")
+            return None, None
+        ids: List = []
+        codes: List[str] = []
+        for i, req in enumerate(requests):
+            code = req.get("code") if isinstance(req, dict) else None
+            if not isinstance(code, str) or not code.strip():
+                self._error(
+                    400, f"requests[{i}] needs a non-empty string 'code' field")
+                return None, None
+            ids.append(req.get("id", i))
+            codes.append(req["code"])
+        return ids, codes
+
+
+def make_server(advisor, host: str = "127.0.0.1", port: int = 0
+                ) -> AdvisorHTTPServer:
+    """Bind an :class:`AdvisorHTTPServer` (``port=0`` = ephemeral) without
+    starting it — callers drive ``serve_forever``/``shutdown`` themselves
+    (tests run it on a thread)."""
+    return AdvisorHTTPServer((host, port), advisor)
+
+
+def serve_forever(advisor, host: str, port: int, banner: bool = True) -> None:
+    """Blocking convenience loop for the CLI: bind, announce, serve until
+    interrupted, then close the advisor."""
+    server = make_server(advisor, host, port)
+    bound_host, bound_port = server.server_address[:2]
+    if banner:
+        print(f"advisor listening on http://{bound_host}:{bound_port} "
+              f"(POST /advise, POST /advise/batch, GET /healthz, GET /stats)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover — interactive exit
+        pass
+    finally:
+        server.server_close()
+        close = getattr(advisor, "close", None)
+        if close is not None:
+            close()

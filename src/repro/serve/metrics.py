@@ -1,0 +1,106 @@
+"""First-class serving metrics: engine counters, batch histograms, merging.
+
+Every layer of the serving stack reports through the types here:
+
+* :class:`EngineStats` — monotonic counters kept by one
+  :class:`~repro.serve.engine.InferenceEngine` (requests, cache hits and
+  misses, LRU evictions, coalesced duplicates, model rows, and a
+  power-of-two batch-size histogram).
+* :func:`merge_stat_dicts` — fold the per-head or per-shard ``as_dict()``
+  snapshots of many engines into one aggregate, used by
+  :class:`~repro.serve.registry.MultiModelEngine` (one engine per model
+  head) and :class:`~repro.serve.sharding.ShardedEngine` (one engine per
+  worker process).
+* :func:`batch_hist_bucket` — the shared histogram bucketing rule, exposed
+  so the bench reporter and tests label buckets identically.
+
+Snapshots are plain ``dict``s with string keys throughout so they can go
+straight into ``json.dumps`` for the ``/stats`` HTTP endpoint and the
+``BENCH_serving.json`` perf reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+__all__ = ["EngineStats", "batch_hist_bucket", "merge_engine_stats",
+           "merge_stat_dicts"]
+
+
+def batch_hist_bucket(rows: int) -> str:
+    """Histogram label for a batch of ``rows`` forward rows.
+
+    Buckets are powers of two — ``"1"``, ``"2"``, ``"3-4"``, ``"5-8"``,
+    ``"9-16"``, … — so the histogram stays a handful of keys no matter how
+    ``max_batch_size`` is tuned.
+    """
+    if rows <= 1:
+        return "1"
+    if rows == 2:
+        return "2"
+    hi = 4
+    while rows > hi:
+        hi *= 2
+    return f"{hi // 2 + 1}-{hi}"
+
+
+@dataclass
+class EngineStats:
+    """Monotonic counters for observability of one engine instance.
+
+    ``cache_hits``/``cache_misses``/``evictions`` describe the prediction
+    LRU; ``tokenized``/``encode_evictions`` the tokenize-once memo;
+    ``coalesced`` counts duplicate rows inside one bulk call that were
+    folded into a single forward row; ``batch_size_hist`` counts executed
+    model batches by :func:`batch_hist_bucket` label.
+    """
+
+    requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    coalesced: int = 0
+    batches: int = 0
+    model_rows: int = 0
+    tokenized: int = 0
+    evictions: int = 0
+    encode_evictions: int = 0
+    batch_size_hist: Dict[str, int] = field(default_factory=dict)
+
+    def record_batch(self, rows: int) -> None:
+        """Account one executed model batch of ``rows`` forward rows."""
+        self.batches += 1
+        self.model_rows += rows
+        label = batch_hist_bucket(rows)
+        self.batch_size_hist[label] = self.batch_size_hist.get(label, 0) + 1
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot (the histogram is copied, not aliased)."""
+        out: Dict[str, object] = dict(self.__dict__)
+        out["batch_size_hist"] = dict(self.batch_size_hist)
+        return out
+
+
+def merge_stat_dicts(snapshots: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Sum many ``EngineStats.as_dict()`` snapshots into one aggregate.
+
+    Integer counters add; ``batch_size_hist`` sub-dicts add per bucket.
+    Unknown non-numeric keys are dropped rather than guessed at, so the
+    merge stays safe across engine versions.
+    """
+    totals: Dict[str, object] = {}
+    hist: Dict[str, int] = {}
+    for snap in snapshots:
+        for key, value in snap.items():
+            if key == "batch_size_hist" and isinstance(value, dict):
+                for bucket, count in value.items():
+                    hist[bucket] = hist.get(bucket, 0) + int(count)
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                totals[key] = totals.get(key, 0) + value
+    totals["batch_size_hist"] = hist
+    return totals
+
+
+def merge_engine_stats(stats: Iterable["EngineStats"]) -> Dict[str, object]:
+    """Convenience: :func:`merge_stat_dicts` over live stats objects."""
+    return merge_stat_dicts(s.as_dict() for s in stats)

@@ -1,0 +1,350 @@
+"""Multi-model registry: every advisor head behind one serving engine.
+
+The paper's advisor is really three classifiers asked in sequence — the
+directive model ("should this loop get a ``#pragma omp parallel for``?",
+§4.1) and the ``private`` / ``reduction`` clause models ("with which
+clauses?", §5.2).  After PR 1 only the directive model sat behind
+:class:`~repro.serve.engine.InferenceEngine`; this module hosts all of them
+behind a single front door:
+
+* :class:`ModelHead` / :class:`ModelRegistry` — named (model, vocab,
+  max_len) triples.  ``ModelRegistry.from_context`` pulls the trained
+  directive + clause models out of an experiment context;
+  ``ModelRegistry.from_checkpoint`` reloads a directory written by
+  :func:`repro.models.save_advisor`.
+* :class:`MultiModelEngine` — one :class:`InferenceEngine` per head, all
+  sharing a single lexing memo so a snippet is tokenized **once** no matter
+  how many heads look at it.  Because every head truncates to the same
+  ``max_len``, the encoded row *lengths* — and therefore the
+  length-homogeneous bucket structure — are identical across heads, so the
+  fan-out re-buckets nothing.
+* :class:`FullAdvice` — the combined verdict: the directive
+  :class:`~repro.serve.engine.Advice` plus one :class:`ClauseAdvice` per
+  clause head, JSON-ready via :meth:`FullAdvice.as_dict`.
+
+``repro serve --http`` and ``repro advise`` are the CLI front-ends; see
+``docs/serving.md`` for the architecture walk-through.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.models.pragformer import PragFormer
+from repro.serve.engine import (
+    Advice,
+    EngineConfig,
+    InferenceEngine,
+    LRUCache,
+    source_digest,
+)
+from repro.serve.metrics import merge_engine_stats
+from repro.tokenize import Vocab, text_tokens
+
+__all__ = [
+    "DEFAULT_CLAUSES",
+    "DIRECTIVE",
+    "ClauseAdvice",
+    "FullAdvice",
+    "ModelHead",
+    "ModelRegistry",
+    "MultiModelEngine",
+]
+
+#: Registry name of the mandatory directive head; all other heads are
+#: treated as clause models.
+DIRECTIVE = "directive"
+
+#: The clause heads the paper trains (§5.2) — what ``from_context`` loads.
+DEFAULT_CLAUSES = ("private", "reduction")
+
+
+@dataclass(frozen=True)
+class ModelHead:
+    """One named classifier: model + the vocabulary it was trained with."""
+
+    name: str
+    model: PragFormer
+    vocab: Vocab
+    max_len: int
+
+
+@dataclass(frozen=True)
+class ClauseAdvice:
+    """One clause head's verdict: probability plus the >0.5 suggestion."""
+
+    probability: float
+    suggested: bool
+
+
+@dataclass(frozen=True)
+class FullAdvice:
+    """Combined advisor verdict: directive decision + per-clause verdicts.
+
+    ``clauses`` maps clause-head name (``"private"``, ``"reduction"``) to
+    :class:`ClauseAdvice`; a clause is only *recommended* when the snippet
+    also needs a directive — a ``private`` clause on a serial loop is
+    meaningless — which is what :meth:`recommended_clauses` encodes.
+    """
+
+    directive: Advice
+    clauses: Dict[str, ClauseAdvice]
+
+    def recommended_clauses(self) -> List[str]:
+        """Clause names worth suggesting: directive-positive and p > 0.5."""
+        if not self.directive.needs_directive:
+            return []
+        return [name for name, c in self.clauses.items() if c.suggested]
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready dict — the ``/advise`` HTTP response body."""
+        return {
+            "needs_directive": self.directive.needs_directive,
+            "p_directive": round(self.directive.probability, 6),
+            "clauses": {
+                name: {"probability": round(c.probability, 6),
+                       "suggested": c.suggested}
+                for name, c in self.clauses.items()
+            },
+            "recommended_clauses": self.recommended_clauses(),
+        }
+
+
+class ModelRegistry:
+    """Ordered mapping of head name -> :class:`ModelHead`.
+
+    The ``directive`` head is mandatory for serving (the advisor's primary
+    question); clause heads are optional and fan out alongside it.
+    """
+
+    def __init__(self) -> None:
+        self._heads: "OrderedDict[str, ModelHead]" = OrderedDict()
+
+    def register(self, name: str, model: PragFormer, vocab: Vocab,
+                 max_len: Optional[int] = None) -> ModelHead:
+        """Add (or replace) a head; ``max_len`` defaults to the model's.
+
+        Names must be filesystem-safe (``validate_head_name``, the same
+        rule ``save_advisor`` enforces), so a serving registry can always
+        be checkpointed."""
+        from repro.models.persistence import validate_head_name
+
+        validate_head_name(name)
+        head = ModelHead(name, model, vocab, max_len or model.config.max_len)
+        self._heads[name] = head
+        return head
+
+    def get(self, name: str) -> ModelHead:
+        """Look up a head by name (KeyError with the known names if absent)."""
+        try:
+            return self._heads[name]
+        except KeyError:
+            raise KeyError(
+                f"no head {name!r}; registered: {sorted(self._heads)}") from None
+
+    def names(self) -> List[str]:
+        """Head names in registration order."""
+        return list(self._heads)
+
+    def clause_names(self) -> List[str]:
+        """All non-directive head names, in registration order."""
+        return [n for n in self._heads if n != DIRECTIVE]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._heads
+
+    def __len__(self) -> int:
+        return len(self._heads)
+
+    def __iter__(self) -> Iterator[ModelHead]:
+        return iter(self._heads.values())
+
+    # -- construction / persistence ---------------------------------------
+
+    @classmethod
+    def from_context(cls, ctx, clauses: Sequence[str] = DEFAULT_CLAUSES
+                     ) -> "ModelRegistry":
+        """Registry over an experiment context's trained advisor models.
+
+        Pulls the TEXT-representation directive classifier plus one clause
+        model per name in ``clauses`` (training each on first use, memoized
+        by the context).
+        """
+        registry = cls()
+        enc = ctx.encoded()
+        registry.register(DIRECTIVE, ctx.pragformer, enc.vocab,
+                          max_len=ctx.scale.pragformer.max_len)
+        for clause in clauses:
+            cenc = ctx.clause_encoded(clause)
+            registry.register(clause, ctx.clause_model(clause), cenc.vocab,
+                              max_len=cenc.max_len)
+        return registry
+
+    @classmethod
+    def from_checkpoint(cls, path) -> "ModelRegistry":
+        """Reload a registry saved by :meth:`save` / ``save_advisor``,
+        including each head's serving ``max_len``."""
+        from repro.models.persistence import load_advisor
+
+        registry = cls()
+        for name, (model, vocab, max_len) in load_advisor(path).items():
+            registry.register(name, model, vocab, max_len=max_len)
+        return registry
+
+    def save(self, path) -> None:
+        """Write every head to ``path`` via :func:`repro.models.save_advisor`."""
+        from repro.models.persistence import save_advisor
+
+        save_advisor({h.name: (h.model, h.vocab, h.max_len) for h in self},
+                     path)
+
+
+class _SharedLexMemo:
+    """Thread-safe bounded memo of ``code -> token list``, shared by every
+    head's engine so one snippet is lexed once for the whole fan-out.
+    Storage is a lock-wrapped :class:`~repro.serve.engine.LRUCache`, the
+    same eviction implementation the engines use."""
+
+    def __init__(self, tokenize: Callable[[str], List[str]], capacity: int) -> None:
+        self._tokenize = tokenize
+        self._lock = threading.Lock()
+        self._memo = LRUCache(capacity)
+        self.lexed = 0  # distinct snippets actually lexed
+
+    def __call__(self, code: str) -> List[str]:
+        key = source_digest(code)
+        with self._lock:
+            hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        tokens = self._tokenize(code)
+        with self._lock:
+            self.lexed += 1
+            self._memo.put(key, tokens)
+        return tokens
+
+
+class MultiModelEngine:
+    """All registry heads served through one batched, cached front door.
+
+    One :class:`InferenceEngine` (own prediction LRU, own counters) per
+    head; a shared :class:`_SharedLexMemo` so the expensive pure-Python lex
+    runs once per distinct snippet regardless of head count.  The combined
+    :meth:`advise_full` path fans a snippet out to the directive head and
+    every clause head and folds the verdicts into one :class:`FullAdvice`.
+
+    Thread-safe to the same degree as :class:`InferenceEngine`.  Use as a
+    context manager (or call :meth:`close`) to stop the per-head async
+    workers.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: Optional[EngineConfig] = None,
+        tokenizer: Optional[Callable[[str], List[str]]] = None,
+    ) -> None:
+        if DIRECTIVE not in registry:
+            raise ValueError(f"registry must contain a {DIRECTIVE!r} head")
+        self.registry = registry
+        self.config = config or EngineConfig()
+        self.lex_memo = _SharedLexMemo(tokenizer or text_tokens,
+                                       self.config.cache_capacity)
+        self.engines: Dict[str, InferenceEngine] = {
+            head.name: InferenceEngine(head.model, head.vocab,
+                                       max_len=head.max_len,
+                                       config=self.config,
+                                       tokenizer=self.lex_memo)
+            for head in registry
+        }
+
+    # -- directive-only paths (InferenceEngine-compatible surface) ---------
+
+    @property
+    def directive_engine(self) -> InferenceEngine:
+        """The engine behind the mandatory ``directive`` head."""
+        return self.engines[DIRECTIVE]
+
+    def predict_proba(self, codes: Sequence[str]):
+        """(N, 2) directive-head probabilities (clause heads untouched)."""
+        return self.directive_engine.predict_proba(codes)
+
+    def advise(self, code: str) -> Advice:
+        """Directive-only advice for one snippet."""
+        return self.directive_engine.advise(code)
+
+    def advise_many(self, codes: Sequence[str]) -> List[Advice]:
+        """Directive-only advice for many snippets."""
+        return self.directive_engine.advise_many(codes)
+
+    # -- combined fan-out path ---------------------------------------------
+
+    def advise_full(self, code: str) -> FullAdvice:
+        """One snippet through all heads -> one :class:`FullAdvice`."""
+        return self.advise_full_many([code])[0]
+
+    def advise_full_many(self, codes: Sequence[str],
+                         directive: Optional[Sequence[Advice]] = None
+                         ) -> List[FullAdvice]:
+        """Bulk combined advice: every head sees every snippet.
+
+        Tokenization is shared (one lex per distinct snippet), and since
+        all heads truncate to the same ``max_len`` the per-head engines
+        form identical length buckets — the fan-out costs one forward pass
+        per head, nothing more.  Callers that already hold directive
+        verdicts for ``codes`` (e.g. the CLI, which gates clause inference
+        on them) can pass them via ``directive`` to skip re-scoring.
+        """
+        if directive is None:
+            directive = self.directive_engine.advise_many(codes)
+        elif len(directive) != len(codes):
+            raise ValueError("directive advice must match codes 1:1")
+        clause_probs = {
+            name: self.engines[name].predict_proba(codes)[:, 1]
+            for name in self.registry.clause_names()
+        }
+        full = []
+        for i, adv in enumerate(directive):
+            clauses = {
+                name: ClauseAdvice(float(probs[i]), bool(probs[i] > 0.5))
+                for name, probs in clause_probs.items()
+            }
+            full.append(FullAdvice(adv, clauses))
+        return full
+
+    # -- observability ------------------------------------------------------
+
+    def head_names(self) -> List[str]:
+        """Hosted head names, in registration order (``/healthz`` surface)."""
+        return self.registry.names()
+
+    def stats(self) -> Dict[str, object]:
+        """Nested per-head counters plus a combined roll-up.
+
+        Shape: ``{"heads": {name: EngineStats.as_dict()}, "combined":
+        merged counters, "snippets_lexed": distinct snippets lexed by the
+        shared memo}`` — JSON-ready for the ``/stats`` endpoint.
+        """
+        per_head = {name: eng.stats.as_dict() for name, eng in self.engines.items()}
+        return {
+            "heads": per_head,
+            "combined": merge_engine_stats(
+                eng.stats for eng in self.engines.values()),
+            "snippets_lexed": self.lex_memo.lexed,
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every per-head engine (idempotent)."""
+        for engine in self.engines.values():
+            engine.close()
+
+    def __enter__(self) -> "MultiModelEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

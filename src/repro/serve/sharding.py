@@ -1,0 +1,373 @@
+"""Multi-worker sharding: partition bulk advisor traffic across processes.
+
+The NumPy engine is single-process compute-bound, so past one core the only
+way to scale throughput is more processes.  :class:`ShardedEngine` runs N
+worker processes (stdlib :mod:`multiprocessing`, no extra deps), each
+hosting its own engine built by a caller-supplied zero-argument factory:
+
+* **Digest-hash routing** — a snippet is routed by
+  ``blake2b(code) % n_shards``, so the *same* snippet always lands on the
+  *same* worker and that worker's prediction LRU and tokenize memo stay hot
+  (random routing would cut every cache's effective hit rate by 1/N).
+* **Bulk fan-out** — one :meth:`predict_proba` / :meth:`advise_full_many`
+  call splits its codes by shard, sends each worker one sub-batch, and the
+  workers run concurrently; results are scattered back into request order.
+* **Concurrent callers** — replies are tagged with request ids, so multiple
+  threads (e.g. HTTP handler threads) can have calls in flight at once;
+  calls touching disjoint shards proceed fully in parallel.
+* **Graceful fallback** — ``n_shards=1`` builds the engine in-process and
+  skips multiprocessing entirely (same API, zero IPC overhead), so callers
+  can treat the shard count as a pure tuning knob.
+* **Observability** — :meth:`stats` aggregates every worker's engine
+  counters and reports per-shard routed-request counts and live queue
+  depths (requests sent but not yet answered).
+
+Workers are started with the ``fork`` start method when the platform
+offers it (the factory may close over live models — fork shares their
+memory copy-on-write); otherwise ``spawn`` is used and the factory must be
+picklable (a module-level function or :func:`functools.partial` of one).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import queue as queue_mod
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.engine import Advice, source_digest
+from repro.serve.metrics import merge_stat_dicts
+
+__all__ = ["ShardedEngine", "shard_of", "snapshot_stats"]
+
+_STOP = "stop"
+
+
+def shard_of(code: str, n_shards: int) -> int:
+    """Deterministic shard index for a snippet.
+
+    Keyed on a blake2b digest of the source text — stable across processes
+    and runs (unlike ``hash()``, which is salted per process), so a given
+    snippet always hits the same shard's warm caches.
+    """
+    return int.from_bytes(source_digest(code, size=8), "big") % n_shards
+
+
+def snapshot_stats(engine) -> Dict[str, object]:
+    """Engine-agnostic stats snapshot: supports the single-head
+    ``engine.stats`` (an ``EngineStats``), ``MultiModelEngine.stats()``,
+    and ``ShardedEngine.stats()`` alike.  The one helper shared by the
+    worker loop and the CLI's ``--stats`` dump."""
+    stats = getattr(engine, "stats", None)
+    if callable(stats):
+        return stats()
+    if stats is not None:
+        return stats.as_dict()
+    return {}
+
+
+def _head_names(engine) -> List[str]:
+    """Engine-agnostic model-head listing (empty for single-model engines)."""
+    names = getattr(engine, "head_names", None)
+    if callable(names):
+        return list(names())
+    return []
+
+
+def _worker_main(factory, requests, responses) -> None:
+    """Worker loop: build the engine once, then serve method calls.
+
+    Messages are ``(rid, method, payload)`` tuples; replies are
+    ``(rid, "ok", result)`` or ``(rid, "error", repr)`` — the echoed
+    request id lets concurrent parent threads pair replies with their own
+    requests, and a worker-side exception surfaces in the caller instead
+    of hanging the shard.
+    """
+    engine = factory()
+    try:
+        while True:
+            msg = requests.get()
+            if msg == _STOP:
+                return
+            rid, method, payload = msg
+            try:
+                if method == "stats":
+                    result = snapshot_stats(engine)
+                elif method == "heads":
+                    result = _head_names(engine)
+                else:
+                    result = getattr(engine, method)(payload)
+                responses.put((rid, "ok", result))
+            except Exception as exc:  # noqa: BLE001 — relayed to the caller
+                responses.put((rid, "error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
+
+
+class ShardedEngine:
+    """Bulk advisor traffic partitioned across N single-engine workers.
+
+    ``factory`` builds one engine per worker (an
+    :class:`~repro.serve.engine.InferenceEngine`, a
+    :class:`~repro.serve.registry.MultiModelEngine`, or anything exposing
+    the same bulk methods).  All bulk calls (:meth:`predict_proba`,
+    :meth:`advise_many`, :meth:`advise_full_many`) route per snippet by
+    :func:`shard_of` and preserve request order in the returned results.
+
+    Thread-safe: replies carry request ids, so concurrent bulk calls (e.g.
+    HTTP handler threads) run in parallel — per shard, whichever caller is
+    reading stores any reply that is not its own for the thread it belongs
+    to; calls on disjoint shards never contend.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], object],
+        n_shards: int = 1,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.n_shards = n_shards
+        self.routed = [0] * n_shards      # requests routed per shard, ever
+        self._depth = [0] * n_shards      # sub-batches in flight per shard
+        self._meta_lock = threading.Lock()   # routed/_depth/request ids
+        self._rids = itertools.count()
+        self._local = None
+        self._workers: List[mp.Process] = []
+        self._requests: List[mp.queues.Queue] = []
+        self._responses: List[mp.queues.Queue] = []
+        self._closed = False
+        if n_shards == 1:
+            # in-process fallback: same API, no IPC, no extra processes
+            self._local = factory()
+            return
+        # reply plumbing: one reader at a time per shard; replies that
+        # belong to another thread's request are parked in _pending
+        self._recv_locks = [threading.Lock() for _ in range(n_shards)]
+        self._pending_locks = [threading.Lock() for _ in range(n_shards)]
+        self._pending: List[Dict[int, Tuple[str, object]]] = [
+            {} for _ in range(n_shards)]
+        if mp_context is None:
+            mp_context = ("fork" if "fork" in mp.get_all_start_methods()
+                          else "spawn")
+        ctx = mp.get_context(mp_context)
+        for shard in range(n_shards):
+            req: "mp.queues.Queue" = ctx.Queue()
+            resp: "mp.queues.Queue" = ctx.Queue()
+            proc = ctx.Process(target=_worker_main, args=(factory, req, resp),
+                               name=f"advisor-shard-{shard}", daemon=True)
+            proc.start()
+            self._workers.append(proc)
+            self._requests.append(req)
+            self._responses.append(resp)
+
+    # -- routing -----------------------------------------------------------
+
+    def shard_of(self, code: str) -> int:
+        """Shard index this engine routes ``code`` to."""
+        return shard_of(code, self.n_shards)
+
+    # -- worker IPC --------------------------------------------------------
+
+    def _send(self, shard: int, method: str, payload) -> int:
+        """Enqueue one request on ``shard``; returns its request id."""
+        if self._closed:
+            raise RuntimeError("sharded engine is closed")
+        with self._meta_lock:
+            rid = next(self._rids)
+            self._depth[shard] += 1
+        self._requests[shard].put((rid, method, payload))
+        return rid
+
+    def _collect(self, shard: int, rid: int) -> Tuple[str, object]:
+        """Wait for the reply to ``rid``, parking other threads' replies.
+
+        Raises ``RuntimeError`` if the worker dies before answering."""
+        try:
+            while True:
+                with self._pending_locks[shard]:
+                    if rid in self._pending[shard]:
+                        return self._pending[shard].pop(rid)
+                with self._recv_locks[shard]:
+                    # ours may have been parked while we waited for the lock
+                    with self._pending_locks[shard]:
+                        if rid in self._pending[shard]:
+                            return self._pending[shard].pop(rid)
+                    got_rid, status, result = self._reply(shard)
+                    if got_rid == rid:
+                        return status, result
+                    with self._pending_locks[shard]:
+                        self._pending[shard][got_rid] = (status, result)
+        finally:
+            with self._meta_lock:
+                self._depth[shard] -= 1
+
+    def _reply(self, shard: int):
+        """Next raw reply from ``shard``, without hanging on a dead worker.
+
+        Polls with a short timeout and, between polls, checks the worker is
+        still alive — a factory that crashes at startup or a worker killed
+        mid-request must surface as an error, not wedge callers forever."""
+        while True:
+            try:
+                return self._responses[shard].get(timeout=1.0)
+            except queue_mod.Empty:
+                if not self._workers[shard].is_alive():
+                    try:  # a final reply may still be in the queue's pipe
+                        return self._responses[shard].get(timeout=1.0)
+                    except queue_mod.Empty:
+                        raise RuntimeError(
+                            f"shard {shard} worker died (exitcode "
+                            f"{self._workers[shard].exitcode})") from None
+
+    def _scatter_call(self, method: str, codes: Sequence[str]) -> List:
+        """Fan ``codes`` out by shard, run ``method`` on each worker's
+        sub-batch concurrently, and gather results back in request order."""
+        if self._closed:
+            raise RuntimeError("sharded engine is closed")
+        if self._local is not None:
+            with self._meta_lock:  # routed[] is read-modify-write
+                self.routed[0] += len(codes)
+            return list(getattr(self._local, method)(list(codes)))
+        by_shard: Dict[int, List[int]] = {}
+        for i, code in enumerate(codes):
+            by_shard.setdefault(self.shard_of(code), []).append(i)
+        # send every sub-batch before collecting any reply: workers overlap
+        rids: Dict[int, int] = {}
+        for shard, rows in by_shard.items():
+            with self._meta_lock:
+                self.routed[shard] += len(rows)
+            rids[shard] = self._send(shard, method, [codes[i] for i in rows])
+        out: List = [None] * len(codes)
+        failures: List[str] = []
+        for shard, rows in by_shard.items():
+            try:
+                status, result = self._collect(shard, rids[shard])
+            except RuntimeError as exc:
+                failures.append(str(exc))
+                continue
+            if status != "ok":
+                failures.append(f"shard {shard} failed: {result}")
+                continue
+            for i, value in zip(rows, result):
+                out[i] = value
+        if failures:
+            raise RuntimeError("; ".join(failures))
+        return out
+
+    # -- bulk APIs ---------------------------------------------------------
+
+    def predict_proba(self, codes: Sequence[str]) -> np.ndarray:
+        """(N, 2) directive probabilities, sharded and order-preserving."""
+        rows = self._scatter_call("predict_proba", codes)
+        if not rows:
+            return np.empty((0, 2))
+        return np.stack([np.asarray(row) for row in rows])
+
+    def advise_many(self, codes: Sequence[str]) -> List[Advice]:
+        """Bulk directive advice across shards."""
+        return self._scatter_call("advise_many", codes)
+
+    def advise(self, code: str) -> Advice:
+        """Single-snippet directive advice (routed like any other)."""
+        return self.advise_many([code])[0]
+
+    def advise_full_many(self, codes: Sequence[str]) -> List:
+        """Bulk combined directive+clause advice (workers must host a
+        :class:`~repro.serve.registry.MultiModelEngine`)."""
+        return self._scatter_call("advise_full_many", codes)
+
+    def advise_full(self, code: str):
+        """Single-snippet combined advice."""
+        return self.advise_full_many([code])[0]
+
+    # -- observability -----------------------------------------------------
+
+    def head_names(self) -> List[str]:
+        """Model heads hosted by the workers (asked of shard 0 — every
+        worker is built by the same factory); empty for single-model
+        engines."""
+        if self._local is not None:
+            return _head_names(self._local)
+        status, result = self._collect(0, self._send(0, "heads", None))
+        if status != "ok":
+            raise RuntimeError(f"shard 0 failed: {result}")
+        return result
+
+    def queue_depth(self) -> List[int]:
+        """Per-shard count of requests sent but not yet answered."""
+        with self._meta_lock:
+            return list(self._depth)
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate + per-shard serving metrics.
+
+        Shape: ``{"n_shards", "routed": [per-shard request counts],
+        "queue_depth": [in-flight requests], "shards": [per-worker
+        engine snapshots], "combined": merged counters}`` — JSON-ready.
+        """
+        if self._local is not None:
+            shards = [snapshot_stats(self._local)]
+        else:
+            shards = self._scatter_stats()
+        flat = [s.get("combined", s) if isinstance(s, dict) else s
+                for s in shards]
+        with self._meta_lock:
+            routed = list(self.routed)
+        return {
+            "n_shards": self.n_shards,
+            "routed": routed,
+            "queue_depth": self.queue_depth(),
+            "shards": shards,
+            "combined": merge_stat_dicts(
+                f for f in flat if isinstance(f, dict)),
+        }
+
+    def _scatter_stats(self) -> List[Dict[str, object]]:
+        rids = [self._send(shard, "stats", None)
+                for shard in range(self.n_shards)]
+        replies = []
+        for shard, rid in enumerate(rids):
+            try:  # collect every live shard even if one died
+                replies.append(self._collect(shard, rid))
+            except RuntimeError as exc:
+                replies.append(("error", str(exc)))
+        snapshots = []
+        for shard, (status, result) in enumerate(replies):
+            if status != "ok":
+                raise RuntimeError(f"shard {shard} failed: {result}")
+            snapshots.append(result)
+        return snapshots
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop all workers (idempotent); the engine is unusable after."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._local is not None:
+            close = getattr(self._local, "close", None)
+            if close is not None:
+                close()
+            return
+        for req in self._requests:
+            req.put(_STOP)
+        for proc in self._workers:
+            proc.join(timeout=timeout)
+            if proc.is_alive():  # pragma: no cover — stuck worker
+                proc.terminate()
+        for q in (*self._requests, *self._responses):
+            q.close()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -51,3 +51,38 @@ class TestParser:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["reproduce", "table99"])
+
+
+class TestServeParser:
+    """Flag plumbing for the serving subcommand (no models trained here)."""
+
+    def _parse(self, argv):
+        from unittest import mock
+
+        from repro import cli
+
+        captured = {}
+
+        def fake_fn(args):
+            captured.update(vars(args))
+            return 0
+
+        # patch the handler; main() resolves it from module globals when it
+        # builds the parser, so flags flow exactly as shipped
+        with mock.patch.object(cli, "_cmd_serve", fake_fn):
+            assert cli.main(argv) == 0
+        return captured
+
+    def test_http_and_shard_flags(self):
+        args = self._parse(["serve", "--http", "8080", "--shards", "4",
+                            "--host", "0.0.0.0"])
+        assert args["http"] == 8080
+        assert args["shards"] == 4
+        assert args["host"] == "0.0.0.0"
+
+    def test_defaults_are_stdin_mode(self):
+        args = self._parse(["serve"])
+        assert args["http"] is None
+        assert args["shards"] == 1
+        assert args["batch_size"] == 128
+        assert args["cache_size"] == 4096

@@ -102,6 +102,30 @@ class TestPredictionCache:
         engine.predict_proba(SNIPPETS)
         assert len(engine.cache) == 3
 
+    def test_eviction_counters(self, model_and_vocab):
+        model, vocab = model_and_vocab
+        engine = InferenceEngine(model, vocab, max_len=TINY.max_len,
+                                 config=EngineConfig(cache_capacity=3))
+        engine.predict_proba(SNIPPETS)
+        # 8 distinct predictions into a 3-slot LRU: 5 must have been evicted
+        assert engine.stats.evictions == len(SNIPPETS) - 3
+        assert engine.cache.evictions == engine.stats.evictions
+        # the tokenize/encode memo shares the capacity and evicts likewise
+        assert engine.stats.encode_evictions == len(SNIPPETS) - 3
+        assert engine.stats.as_dict()["evictions"] == engine.stats.evictions
+
+    def test_lru_put_reports_evictions(self):
+        cache = LRUCache(2)
+        assert cache.put(b"a", 1) == 0
+        assert cache.put(b"b", 2) == 0
+        assert cache.put(b"c", 3) == 1
+        assert cache.evictions == 1
+
+    def test_unbounded_run_never_evicts(self, engine):
+        engine.predict_proba(SNIPPETS)
+        assert engine.stats.evictions == 0
+        assert engine.stats.encode_evictions == 0
+
     def test_duplicates_coalesced_within_batch(self, engine):
         codes = [SNIPPETS[0]] * 5 + [SNIPPETS[1]]
         probs = engine.predict_proba(codes)
@@ -123,6 +147,41 @@ class TestPredictionCache:
         engine.predict_proba(SNIPPETS)
         assert len(calls) == len(SNIPPETS)
         assert engine.stats.tokenized == len(SNIPPETS)
+
+
+class TestBatchHistogram:
+    def test_histogram_counts_every_batch(self, model_and_vocab):
+        model, vocab = model_and_vocab
+        engine = InferenceEngine(model, vocab, max_len=TINY.max_len,
+                                 config=EngineConfig(max_batch_size=2))
+        engine.predict_proba(SNIPPETS)
+        hist = engine.stats.batch_size_hist
+        assert sum(hist.values()) == engine.stats.batches
+        # max_batch_size=2 means every bucket label is "1" or "2"
+        assert set(hist) <= {"1", "2"}
+
+    def test_bucket_labels_are_power_of_two_ranges(self):
+        from repro.serve import batch_hist_bucket
+
+        assert batch_hist_bucket(1) == "1"
+        assert batch_hist_bucket(2) == "2"
+        assert batch_hist_bucket(3) == "3-4"
+        assert batch_hist_bucket(4) == "3-4"
+        assert batch_hist_bucket(5) == "5-8"
+        assert batch_hist_bucket(128) == "65-128"
+
+    def test_merge_stat_dicts_sums_counters_and_hist(self, model_and_vocab):
+        from repro.serve import merge_stat_dicts
+
+        model, vocab = model_and_vocab
+        a = InferenceEngine(model, vocab, max_len=TINY.max_len)
+        b = InferenceEngine(model, vocab, max_len=TINY.max_len)
+        a.predict_proba(SNIPPETS[:4])
+        b.predict_proba(SNIPPETS)
+        merged = merge_stat_dicts([a.stats.as_dict(), b.stats.as_dict()])
+        assert merged["requests"] == a.stats.requests + b.stats.requests
+        assert merged["batches"] == a.stats.batches + b.stats.batches
+        assert sum(merged["batch_size_hist"].values()) == merged["batches"]
 
 
 class TestAsyncQueue:

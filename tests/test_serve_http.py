@@ -1,0 +1,197 @@
+"""Round-trip tests for the stdlib HTTP advisor front-end."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.models import PragFormer
+from repro.models.pragformer import PragFormerConfig
+from repro.serve import ModelRegistry, MultiModelEngine, make_server
+from repro.tokenize import Vocab, text_tokens
+
+TINY = PragFormerConfig(d_model=16, n_heads=2, n_layers=1, d_ff=32,
+                        d_head_hidden=16, max_len=24, batch_size=8, seed=0)
+
+SNIPPETS = [
+    "for (i = 0; i < n; i++) a[i] = b[i] + c[i];",
+    "for (i = 0; i < n; i++) s += a[i];",
+    "for (i = 1; i < n; i++) a[i] = a[i-1];",
+]
+
+
+@pytest.fixture(scope="module")
+def server_url():
+    vocab = Vocab.build([text_tokens(code) for code in SNIPPETS], min_freq=1)
+    registry = ModelRegistry()
+    for name in ("directive", "private", "reduction"):
+        registry.register(name, PragFormer(len(vocab), TINY), vocab,
+                          max_len=TINY.max_len)
+    advisor = MultiModelEngine(registry)
+    server = make_server(advisor, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    advisor.close()
+    thread.join(timeout=5)
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, json.loads(resp.read().decode("utf-8"))
+
+
+def _post(url, payload):
+    body = json.dumps(payload).encode("utf-8")
+    req = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        return resp.status, json.loads(resp.read().decode("utf-8"))
+
+
+class TestEndpoints:
+    def test_healthz_lists_heads(self, server_url):
+        status, body = _get(server_url + "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["heads"] == ["directive", "private", "reduction"]
+
+    def test_advise_single(self, server_url):
+        status, body = _post(server_url + "/advise", {"code": SNIPPETS[0]})
+        assert status == 200
+        assert isinstance(body["needs_directive"], bool)
+        assert 0.0 <= body["p_directive"] <= 1.0
+        assert set(body["clauses"]) == {"private", "reduction"}
+        for clause in body["clauses"].values():
+            assert 0.0 <= clause["probability"] <= 1.0
+            assert isinstance(clause["suggested"], bool)
+
+    def test_advise_batch_codes_form(self, server_url):
+        status, body = _post(server_url + "/advise/batch",
+                             {"codes": SNIPPETS})
+        assert status == 200
+        assert [r["id"] for r in body["results"]] == [0, 1, 2]
+        single = _post(server_url + "/advise", {"code": SNIPPETS[1]})[1]
+        assert body["results"][1]["p_directive"] == single["p_directive"]
+
+    def test_advise_batch_requests_form(self, server_url):
+        status, body = _post(server_url + "/advise/batch", {"requests": [
+            {"id": "loop-a", "code": SNIPPETS[0]},
+            {"id": "loop-b", "code": SNIPPETS[2]},
+        ]})
+        assert status == 200
+        assert [r["id"] for r in body["results"]] == ["loop-a", "loop-b"]
+
+    def test_stats_reports_cache_and_batch_metrics(self, server_url):
+        # repeat a snippet so the prediction LRU provably hits
+        _post(server_url + "/advise", {"code": SNIPPETS[0]})
+        _post(server_url + "/advise", {"code": SNIPPETS[0]})
+        status, body = _get(server_url + "/stats")
+        assert status == 200
+        assert body["http"]["advise"] >= 2
+        combined = body["engine"]["combined"]
+        assert combined["requests"] > 0
+        assert combined["cache_hits"] > 0
+        assert combined["batches"] > 0
+        assert sum(combined["batch_size_hist"].values()) == combined["batches"]
+
+
+class TestErrorHandling:
+    def _post_error(self, url, data):
+        req = urllib.request.Request(
+            url, data=data, headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10)
+        return err.value.code, json.loads(err.value.read().decode("utf-8"))
+
+    def test_unknown_path_404(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(server_url + "/nope", timeout=10)
+        assert err.value.code == 404
+
+    def test_invalid_json_400(self, server_url):
+        code, body = self._post_error(server_url + "/advise", b"not json")
+        assert code == 400
+        assert "invalid JSON" in body["error"]
+
+    def test_missing_code_field_400(self, server_url):
+        code, body = self._post_error(server_url + "/advise",
+                                      json.dumps({"snippet": "x"}).encode())
+        assert code == 400
+        assert "code" in body["error"]
+
+    def test_bad_batch_payload_400(self, server_url):
+        code, body = self._post_error(server_url + "/advise/batch",
+                                      json.dumps({"codes": [1, 2]}).encode())
+        assert code == 400
+
+    def test_empty_code_rejected_on_both_endpoints(self, server_url):
+        """Empty snippets fail identically on /advise and /advise/batch."""
+        code, _ = self._post_error(server_url + "/advise",
+                                   json.dumps({"code": "  "}).encode())
+        assert code == 400
+        code, _ = self._post_error(server_url + "/advise/batch",
+                                   json.dumps({"codes": [""]}).encode())
+        assert code == 400
+        code, _ = self._post_error(
+            server_url + "/advise/batch",
+            json.dumps({"requests": [{"id": 1, "code": " "}]}).encode())
+        assert code == 400
+
+    def test_oversized_body_413_closes_connection(self, server_url):
+        """The 413 path answers from the Content-Length header alone and
+        must tell the client the connection is done (the unread body would
+        otherwise be parsed as the next request)."""
+        import http.client
+
+        from repro.serve.http_api import MAX_BODY_BYTES
+
+        host, port = server_url.removeprefix("http://").split(":")
+        conn = http.client.HTTPConnection(host, int(port), timeout=10)
+        try:
+            conn.putrequest("POST", "/advise")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+            conn.endheaders()
+            resp = conn.getresponse()
+            assert resp.status == 413
+            body = json.loads(resp.read().decode("utf-8"))
+            assert "exceeds" in body["error"]
+            assert resp.getheader("Connection") == "close"
+        finally:
+            conn.close()
+
+    def test_healthz_unhealthy_when_workers_dead(self):
+        """A sharded advisor whose workers all crashed must fail the
+        liveness probe, not answer 200 with an empty head list."""
+        from repro.serve import ShardedEngine
+
+        def crashing_factory():
+            raise RuntimeError("no model for you")
+
+        advisor = ShardedEngine(crashing_factory, n_shards=2)
+        server = make_server(advisor, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"http://{host}:{port}/healthz",
+                                       timeout=30)
+            assert err.value.code == 503
+            body = json.loads(err.value.read().decode("utf-8"))
+            assert body["status"] == "unhealthy"
+        finally:
+            server.shutdown()
+            server.server_close()
+            advisor.close()
+            thread.join(timeout=5)
+
+    def test_server_survives_errors(self, server_url):
+        status, _ = _post(server_url + "/advise", {"code": SNIPPETS[0]})
+        assert status == 200

@@ -1,0 +1,238 @@
+"""Tests for the multi-process sharded serving engine."""
+
+import numpy as np
+import pytest
+
+from repro.models import PragFormer
+from repro.models.pragformer import PragFormerConfig
+from repro.serve import (
+    Advice,
+    EngineConfig,
+    InferenceEngine,
+    ShardedEngine,
+    shard_of,
+)
+from repro.tokenize import Vocab, text_tokens
+
+TINY = PragFormerConfig(d_model=16, n_heads=2, n_layers=1, d_ff=32,
+                        d_head_hidden=16, max_len=24, batch_size=8, seed=0)
+
+SNIPPETS = [
+    "for (i = 0; i < n; i++) a[i] = b[i] + c[i];",
+    "for (i = 0; i < n; i++) s += a[i];",
+    "for (i = 1; i < n; i++) a[i] = a[i-1];",
+    'for (i = 0; i < n; i++) printf("%d", a[i]);',
+    "for (i = 0; i < n; i++) for (j = 0; j < m; j++) x[i][j] = i * j;",
+    "while (k < n) { total += buf[k]; k++; }",
+    "for (p = head; p; p = p->next) count++;",
+    "for (i = 0; i < rows; i++) out[i] = dot(m[i], v, cols);",
+]
+
+
+@pytest.fixture(scope="module")
+def model_and_vocab():
+    vocab = Vocab.build([text_tokens(code) for code in SNIPPETS], min_freq=1)
+    return PragFormer(len(vocab), TINY), vocab
+
+
+@pytest.fixture(scope="module")
+def factory(model_and_vocab):
+    model, vocab = model_and_vocab
+
+    def build():
+        return InferenceEngine(model, vocab, max_len=TINY.max_len,
+                               config=EngineConfig(max_batch_size=8))
+
+    return build
+
+
+class TestRouting:
+    def test_deterministic_across_calls_and_instances(self):
+        for n in (1, 2, 4, 7):
+            first = [shard_of(code, n) for code in SNIPPETS]
+            second = [shard_of(code, n) for code in SNIPPETS]
+            assert first == second
+            assert all(0 <= s < n for s in first)
+
+    def test_single_shard_routes_everything_to_zero(self):
+        assert {shard_of(code, 1) for code in SNIPPETS} == {0}
+
+    def test_engine_shard_of_matches_module_fn(self, factory):
+        with ShardedEngine(factory, n_shards=4) as sharded:
+            for code in SNIPPETS:
+                assert sharded.shard_of(code) == shard_of(code, 4)
+
+    def test_duplicates_land_on_one_shard(self, factory):
+        code = SNIPPETS[0]
+        with ShardedEngine(factory, n_shards=4) as sharded:
+            sharded.predict_proba([code] * 6)
+            routed = sharded.routed
+        target = shard_of(code, 4)
+        assert routed[target] == 6
+        assert sum(routed) == 6
+
+
+class TestFallbackSingleShard:
+    def test_no_worker_processes(self, factory):
+        sharded = ShardedEngine(factory, n_shards=1)
+        try:
+            assert sharded._workers == []
+            assert sharded._local is not None
+        finally:
+            sharded.close()
+
+    def test_matches_unsharded_engine(self, factory):
+        expected = factory().predict_proba(SNIPPETS)
+        with ShardedEngine(factory, n_shards=1) as sharded:
+            np.testing.assert_allclose(sharded.predict_proba(SNIPPETS),
+                                       expected, atol=1e-5)
+
+    def test_rejects_nonpositive_shards(self, factory):
+        with pytest.raises(ValueError):
+            ShardedEngine(factory, n_shards=0)
+
+
+class TestMultiProcess:
+    @pytest.mark.parametrize("n_shards", [2, 3])
+    def test_predictions_match_unsharded(self, factory, n_shards):
+        expected = factory().predict_proba(SNIPPETS)
+        with ShardedEngine(factory, n_shards=n_shards) as sharded:
+            got = sharded.predict_proba(SNIPPETS)
+        np.testing.assert_allclose(got, expected, atol=1e-5)
+
+    def test_advise_many_order_preserved(self, factory):
+        expected = factory().advise_many(SNIPPETS)
+        with ShardedEngine(factory, n_shards=2) as sharded:
+            got = sharded.advise_many(SNIPPETS)
+        assert all(isinstance(a, Advice) for a in got)
+        for a, b in zip(got, expected):
+            np.testing.assert_allclose(a.probability, b.probability, atol=1e-5)
+            assert a.needs_directive == b.needs_directive
+
+    def test_empty_batch(self, factory):
+        with ShardedEngine(factory, n_shards=2) as sharded:
+            assert sharded.predict_proba([]).shape == (0, 2)
+
+    def test_stats_aggregation(self, factory):
+        with ShardedEngine(factory, n_shards=2) as sharded:
+            sharded.predict_proba(SNIPPETS)
+            sharded.predict_proba(SNIPPETS)  # warm pass: all LRU hits
+            stats = sharded.stats()
+        assert stats["n_shards"] == 2
+        assert sum(stats["routed"]) == 2 * len(SNIPPETS)
+        assert stats["queue_depth"] == [0, 0]
+        combined = stats["combined"]
+        assert combined["requests"] == 2 * len(SNIPPETS)
+        assert combined["cache_hits"] == len(SNIPPETS)
+        assert len(stats["shards"]) == 2
+
+    def test_worker_error_is_surfaced(self, model_and_vocab):
+        model, vocab = model_and_vocab
+
+        def broken_factory():
+            engine = InferenceEngine(model, vocab, max_len=TINY.max_len)
+            engine.predict_proba = None  # not callable -> worker-side error
+            return engine
+
+        with ShardedEngine(broken_factory, n_shards=2) as sharded:
+            with pytest.raises(RuntimeError, match="shard"):
+                sharded.predict_proba(SNIPPETS)
+
+    def test_no_stale_responses_after_one_shard_fails(self, model_and_vocab,
+                                                      factory):
+        """A failed shard must not leave other shards' replies queued —
+        the next call would silently collect the previous call's results."""
+        model, vocab = model_and_vocab
+        # healthy snippets live on one shard; pick a BOOM marker that
+        # provably hashes to the other one
+        other = [c for c in SNIPPETS if shard_of(c, 2) == shard_of(SNIPPETS[0], 2)]
+        assert len(other) >= 2, "need snippets on the non-failing shard"
+        boom = next(f"BOOM {i}" for i in range(64)
+                    if shard_of(f"BOOM {i}", 2) != shard_of(other[0], 2))
+
+        def selective_factory():
+            engine = InferenceEngine(model, vocab, max_len=TINY.max_len)
+            real = engine.advise_many
+
+            def advise_many(codes):
+                if any("BOOM" in c for c in codes):
+                    raise ValueError("boom")
+                return real(codes)
+
+            engine.advise_many = advise_many
+            return engine
+
+        expected = factory().advise_many(other)
+        lookup = dict(zip(other, expected))
+        with ShardedEngine(selective_factory, n_shards=2) as sharded:
+            with pytest.raises(RuntimeError, match="shard"):
+                sharded.advise_many([boom, other[0]])
+            # the healthy shard's reply for other[0] must have been drained:
+            # a fresh call must return advice for its own snippet
+            got = sharded.advise_many([other[1]])[0]
+            np.testing.assert_allclose(got.probability,
+                                       lookup[other[1]].probability, atol=1e-5)
+
+    def test_concurrent_bulk_calls_do_not_cross_talk(self, factory):
+        import threading
+
+        expected = factory().predict_proba(SNIPPETS)
+        errors = []
+        with ShardedEngine(factory, n_shards=2) as sharded:
+            def hammer():
+                try:
+                    for _ in range(5):
+                        got = sharded.predict_proba(SNIPPETS)
+                        np.testing.assert_allclose(got, expected, atol=1e-5)
+                except Exception as exc:  # noqa: BLE001 — collected for assert
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        assert not errors, errors
+
+    def test_dead_worker_raises_instead_of_hanging(self):
+        """A factory that crashes at worker startup must surface as an
+        error on the first call, not wedge the caller forever."""
+
+        def crashing_factory():
+            raise RuntimeError("no model for you")
+
+        with ShardedEngine(crashing_factory, n_shards=2) as sharded:
+            with pytest.raises(RuntimeError, match="worker died"):
+                sharded.predict_proba(SNIPPETS)
+
+    def test_head_names_through_workers(self, model_and_vocab):
+        from repro.serve import ModelRegistry, MultiModelEngine
+
+        model, vocab = model_and_vocab
+
+        def multi_factory():
+            registry = ModelRegistry()
+            for name in ("directive", "private"):
+                registry.register(name, model, vocab, max_len=TINY.max_len)
+            return MultiModelEngine(registry)
+
+        with ShardedEngine(multi_factory, n_shards=2) as sharded:
+            assert sharded.head_names() == ["directive", "private"]
+        with ShardedEngine(multi_factory, n_shards=1) as local:
+            assert local.head_names() == ["directive", "private"]
+
+    def test_single_model_head_names_empty(self, factory):
+        with ShardedEngine(factory, n_shards=1) as sharded:
+            assert sharded.head_names() == []
+
+    def test_close_idempotent_and_rejects_use(self, factory):
+        sharded = ShardedEngine(factory, n_shards=2)
+        sharded.predict_proba(SNIPPETS[:2])
+        sharded.close()
+        sharded.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            sharded.predict_proba(SNIPPETS[:2])
+        with pytest.raises(RuntimeError, match="closed"):
+            sharded.stats()
+        with pytest.raises(RuntimeError, match="closed"):
+            sharded.head_names()
