@@ -1,0 +1,518 @@
+"""Training throughput: the fused hot path vs the pre-overhaul loop.
+
+Training wall-time — not inference — is the binding constraint on iterating
+over parallelization advisors: every model behind the serving stack comes
+out of the §4.1 MLM pretraining + §4.3 fine-tuning recipe.  This bench
+replays both loops twice:
+
+* **legacy** — a faithful inline reconstruction of the pre-overhaul hot
+  path (the same technique ``bench_serving_throughput`` uses for its
+  sequential baseline): per-parameter AdamW with per-parameter clipping,
+  post-LN blocks built from separate residual adds + ``LayerNorm``,
+  attention whose scores/softmax/dropout each allocate fresh full-size
+  temporaries, allocation-per-call dropout masks and GELU, a dense MLM
+  head that projects *every* position into vocab-sized logits
+  (``masked_cross_entropy`` over (B, L, V)), float64 loss masks, int64
+  ids;
+* **fused** — the shipped path: flat-parameter arena
+  (:class:`repro.nn.FusedAdamW` stepping the whole model in ~10 vectorized
+  calls, clip as one dot product), fused residual+LayerNorm, pooled
+  scratch buffers keyed per slot, in-place softmax/GELU/dropout, int32
+  ids, and the masked-position gather in ``MLMPretrainer.fit`` that runs
+  the vocab-sized head GEMM on the ~15 % of positions that carry loss.
+
+Both paths start from identical weights and consume identical rng streams,
+so their losses agree to float round-off (asserted in the smoke test);
+only the execution strategy differs.  Reported per section: steps/sec,
+epoch wall-time, and real tokens/sec, plus an optimizer-only microbench.
+
+The **pretraining** section is the 2x gate.  Its workload uses a
+paper-scale vocabulary (DeepSCC inherits RoBERTa's tokenizer; the paper's
+corpus lexes to thousands of types, where the V-sized head projection
+dominates the step) — the generated bench corpus only lexes to a few
+hundred types, which would understate the dense head's cost.  The
+fine-tune sections use the real corpus pipeline end to end and report
+their (more modest, dispatch-bound) speedups alongside.
+
+Results go to ``BENCH_training.json``.
+"""
+
+import time
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from conftest import timed, write_bench_report
+
+from repro.corpus import CorpusConfig, build_corpus
+from repro.data.encoding import EncodedSplit, encode_batch
+from repro.models.pragformer import (
+    PragFormer,
+    PragFormerConfig,
+    _JointModel,
+    _length_bucketed_batches,
+    trim_batch,
+)
+from repro.models.pretrain import MLMConfig, MLMPretrainer, _Joint, mask_tokens
+from repro.nn import (
+    AdamW,
+    EncoderConfig,
+    FusedAdamW,
+    LayerNorm,
+    clip_grad_norm,
+    masked_cross_entropy,
+)
+from repro.nn.attention import _NEG_INF
+from repro.nn.module import Module
+from repro.tokenize import Vocab, text_tokens
+
+pytestmark = pytest.mark.perf
+
+#: (name, examples, epochs, model config) per fine-tune bench scale.
+SCALES = (
+    ("small",
+     256, 4,
+     PragFormerConfig(d_model=32, n_heads=2, n_layers=2, d_ff=64,
+                      d_head_hidden=32, max_len=64, batch_size=16, seed=0)),
+    ("medium",
+     512, 2,
+     PragFormerConfig(d_model=64, n_heads=4, n_layers=2, d_ff=128,
+                      d_head_hidden=64, max_len=110, batch_size=32, seed=0)),
+)
+
+#: MLM pretraining workload (the 2x gate): paper-scale vocabulary, §4.3
+#: sequence cap, scaled-down encoder.
+MLM_VOCAB = 6000
+MLM_EXAMPLES = 256
+MLM_EPOCHS = 2
+MLM_ENCODER = dict(d_model=64, n_heads=4, n_layers=2, d_ff=128, max_len=110)
+
+SPEEDUP_FLOOR = 2.0  # fused must clear this on the pretraining section
+
+
+# -- the pre-overhaul hot path, reconstructed faithfully --------------------
+# (what src/repro/nn looked like before the training hot-path overhaul:
+# every temporary freshly allocated, residual adds separate from LayerNorm,
+# softmax out of place, per-parameter optimizer)
+
+
+def _legacy_softmax(scores):
+    shifted = scores - scores.max(axis=-1, keepdims=True)
+    np.maximum(shifted, -60.0, out=shifted)
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=-1, keepdims=True)
+    return shifted
+
+
+class _LegacyDropout(Module):
+    """Pre-overhaul inverted dropout: four fresh allocations per call.
+
+    Consumes the same rng stream as the pooled Dropout, so legacy and
+    fused trainings see identical masks."""
+
+    def __init__(self, p, rng):
+        super().__init__()
+        self.p = p
+        self.rng = rng
+        self._mask = None
+
+    def forward(self, x):
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = x.dtype.type(1.0 - self.p)
+        uniform = self.rng.random(
+            x.shape, dtype=x.dtype if x.dtype == np.float32 else np.float64)
+        self._mask = (uniform < keep).astype(x.dtype) / keep
+        return x * self._mask
+
+    def backward(self, dy):
+        if self._mask is None:
+            return dy
+        return dy * self._mask
+
+
+class _LegacyGELU(Module):
+    """Pre-overhaul tanh GELU: all temporaries freshly allocated."""
+
+    _C = np.sqrt(2.0 / np.pi)
+
+    def __init__(self):
+        super().__init__()
+        self._cache = None
+
+    def forward(self, x):
+        c = x.dtype.type(self._C)
+        a = x.dtype.type(0.044715)
+        x2 = x * x
+        t = np.tanh(c * (x + a * x2 * x))
+        self._cache = (x, x2, t)
+        return 0.5 * x * (1.0 + t)
+
+    def backward(self, dy):
+        x, x2, t = self._cache
+        c = x.dtype.type(self._C)
+        a3 = x.dtype.type(3 * 0.044715)
+        du = c * (1.0 + a3 * x2)
+        dt = (1.0 - t * t) * du
+        return dy * (0.5 * (1.0 + t) + 0.5 * x * dt)
+
+
+class _LegacyAttention(Module):
+    """Pre-overhaul multi-head attention: fresh scores/attn/context arrays
+    and a concatenate-of-merges backward.  Reuses the fused module's
+    projection weights so both paths train the same parameters."""
+
+    def __init__(self, attn):
+        super().__init__()
+        self.d_model = attn.d_model
+        self.n_heads = attn.n_heads
+        self.d_head = attn.d_head
+        self.qkv_proj = attn.qkv_proj
+        self.out_proj = attn.out_proj
+        self.attn_dropout = _LegacyDropout(attn.attn_dropout.p,
+                                           attn.attn_dropout.rng)
+        self._cache = None
+
+    def _split(self, x):
+        b, l, _ = x.shape
+        return x.reshape(b, l, self.n_heads, self.d_head).transpose(0, 2, 1, 3)
+
+    def _merge(self, x):
+        b, h, l, dh = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, l, h * dh)
+
+    def forward(self, x, mask=None):
+        b, l, _ = x.shape
+        qkv = self.qkv_proj.forward(x)
+        qkv = qkv.reshape(b, l, 3, self.n_heads, self.d_head).transpose(2, 0, 3, 1, 4)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+        scale = 1.0 / float(np.sqrt(self.d_head))
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale
+        if mask is not None:
+            if mask.ndim == 2:
+                mask = (1.0 - mask[:, None, None, :]) * _NEG_INF
+            scores += mask
+        attn = _legacy_softmax(scores)
+        attn_dropped = self.attn_dropout.forward(attn)
+        context = attn_dropped @ v
+        out = self.out_proj.forward(self._merge(context))
+        self._cache = (q, k, v, attn, attn_dropped, scale)
+        return out
+
+    def backward(self, dy):
+        q, k, v, attn, attn_dropped, scale = self._cache
+        dcontext = self._split(self.out_proj.backward(dy))
+        dattn_dropped = dcontext @ v.transpose(0, 1, 3, 2)
+        dv = attn_dropped.transpose(0, 1, 3, 2) @ dcontext
+        dattn = self.attn_dropout.backward(dattn_dropped)
+        inner = (dattn * attn).sum(axis=-1, keepdims=True)
+        dscores = attn * (dattn - inner)
+        dq = (dscores @ k) * scale
+        dk = (dscores.transpose(0, 1, 3, 2) @ q) * scale
+        dqkv = np.concatenate(
+            [self._merge(dq), self._merge(dk), self._merge(dv)], axis=-1)
+        return self.qkv_proj.backward(dqkv)
+
+
+class _LegacyEncoderLayer(Module):
+    """Pre-overhaul post-LN block: ``x = LN(x + sublayer(x))`` with the
+    residual sum materialized separately from an unfused LayerNorm."""
+
+    def __init__(self, layer):
+        super().__init__()
+        self.attn = _LegacyAttention(layer.attn)
+        self.ln1 = self._layernorm_from(layer.ln1)
+        self.ffn = layer.ffn
+        self.ffn.act = _LegacyGELU()
+        self.ffn.drop = _LegacyDropout(layer.ffn.drop.p, layer.ffn.drop.rng)
+        self.ln2 = self._layernorm_from(layer.ln2)
+        self.drop1 = _LegacyDropout(layer.drop1.p, layer.drop1.rng)
+        self.drop2 = _LegacyDropout(layer.drop2.p, layer.drop2.rng)
+
+    @staticmethod
+    def _layernorm_from(rln):
+        ln = LayerNorm(rln.gamma.data.size, eps=rln.eps)
+        ln.gamma = rln.gamma
+        ln.beta = rln.beta
+        return ln
+
+    def forward(self, x, mask=None):
+        x = self.ln1.forward(x + self.drop1.forward(self.attn.forward(x, mask)))
+        x = self.ln2.forward(x + self.drop2.forward(self.ffn.forward(x)))
+        return x
+
+    def backward(self, dy):
+        d = self.ln2.backward(dy)
+        d = d + self.ffn.backward(self.drop2.backward(d))
+        d = self.ln1.backward(d)
+        d = d + self.attn.backward(self.drop1.backward(d))
+        return d
+
+
+def _legacyfy_encoder(enc) -> None:
+    """Swap an encoder's hot-path modules for the pre-overhaul
+    implementations in place (weights and rng streams are shared, so the
+    legacy model is the *same* model, executed the old way)."""
+    enc.emb_drop = _LegacyDropout(enc.emb_drop.p, enc.emb_drop.rng)
+    enc.layers = [_LegacyEncoderLayer(layer) for layer in enc.layers]
+
+
+def _legacyfy(model: PragFormer) -> PragFormer:
+    """Legacy-execute a fresh PragFormer (see :func:`_legacyfy_encoder`)."""
+    _legacyfy_encoder(model.encoder)
+    model.head.drop = _LegacyDropout(model.head.drop.p, model.head.drop.rng)
+    return model
+
+
+# -- workload + measurement -------------------------------------------------
+
+
+def _workload(n_examples: int, max_len: int, seed: int = 7):
+    """Ragged-length labelled split + vocab from real corpus snippets."""
+    corpus = build_corpus(CorpusConfig(n_records=n_examples, seed=seed))
+    token_lists = [text_tokens(rec.code) for rec in corpus.records]
+    vocab = Vocab.build(token_lists, min_freq=1)
+    labels = [int(rec.has_omp) for rec in corpus.records]
+    return encode_batch(token_lists, vocab, max_len, labels=labels,
+                        width=max_len), vocab
+
+
+def _steps_per_epoch(n: int, batch_size: int) -> int:
+    """Batch count produced by ``_length_bucketed_batches`` (shape-only)."""
+    lengths = np.ones(n)
+    return len(_length_bucketed_batches(lengths, batch_size,
+                                        np.random.default_rng(0)))
+
+
+def _legacy_split(split: EncodedSplit) -> EncodedSplit:
+    """The pre-overhaul data layout: int64 ids."""
+    return EncodedSplit(split.ids.astype(np.int64), split.mask, split.labels)
+
+
+def _make_model(config, vocab_size, legacy: bool) -> PragFormer:
+    model = PragFormer(vocab_size, config)
+    return _legacyfy(model) if legacy else model
+
+
+def _run_fit(config: PragFormerConfig, vocab_size: int, split: EncodedSplit,
+             epochs: int, legacy: bool):
+    """(steps/sec, epoch wall-time, tokens/sec) for one full fit()."""
+    warm = _make_model(config, vocab_size, legacy)
+    warm.fit(split, epochs=1)  # warm BLAS, allocator, and caches
+    # best of two timed runs: the bench host is a shared single core, and
+    # a single fit() is short enough for scheduler noise to swing it
+    elapsed = np.inf
+    for _ in range(2):
+        model = _make_model(config, vocab_size, legacy)
+        _, run = timed(model.fit, split, epochs=epochs)
+        elapsed = min(elapsed, run)
+    steps = epochs * _steps_per_epoch(len(split), config.batch_size)
+    real_tokens = epochs * float(split.mask.sum())
+    return {
+        "steps_per_s": round(steps / elapsed, 2),
+        "epoch_wall_s": round(elapsed / epochs, 4),
+        "tokens_per_s": round(real_tokens / elapsed, 1),
+        "steps": steps,
+        "elapsed_s": round(elapsed, 4),
+    }
+
+
+def _mlm_workload(seed: int = 3):
+    """Synthetic pretraining corpus at paper-scale vocabulary: Zipf-drawn
+    token streams over ``MLM_VOCAB`` types, ragged lengths."""
+    rng = np.random.default_rng(seed)
+    types = [f"tok{i}" for i in range(MLM_VOCAB - 4)]  # specials add 4
+    vocab = Vocab(types)
+    max_len = MLM_ENCODER["max_len"]
+    token_lists = []
+    for _ in range(MLM_EXAMPLES):
+        length = int(rng.integers(max_len // 3, max_len))
+        ranks = np.minimum(rng.zipf(1.3, size=length) - 1, len(types) - 1)
+        token_lists.append([types[r] for r in ranks])
+    return encode_batch(token_lists, vocab, max_len, width=max_len), vocab
+
+
+def _legacy_mlm_fit(pre: MLMPretrainer, ids, mask, epochs: int):
+    """Pre-overhaul ``MLMPretrainer.fit``: dense vocab-sized head over every
+    position + ``masked_cross_entropy`` on (B, L, V), float64 loss mask,
+    per-parameter AdamW and clipping."""
+    cfg = pre.cfg
+    opt = AdamW(_Joint(pre.encoder, pre.mlm_head), lr=cfg.lr,
+                weight_decay=cfg.weight_decay)
+    params = pre.encoder.parameters() + pre.mlm_head.parameters()
+    n = ids.shape[0]
+    bs = cfg.batch_size
+    losses = []
+    for _ in range(epochs):
+        pre.encoder.train()
+        order = pre._rng.permutation(n)
+        total, batches = 0.0, 0
+        for start in range(0, n, bs):
+            sel = order[start : start + bs]
+            b_ids, b_mask = trim_batch(ids[sel], mask[sel])
+            corrupted, targets, loss_mask = mask_tokens(
+                b_ids, b_mask, pre.vocab, pre._rng, cfg)
+            loss_mask = loss_mask.astype(np.float64)  # the pre-overhaul dtype
+            hidden = pre.encoder.forward(corrupted, b_mask)
+            logits = pre.mlm_head.forward(hidden)
+            loss, dlogits = masked_cross_entropy(logits, targets, loss_mask)
+            opt.zero_grad()
+            pre.encoder.backward(pre.mlm_head.backward(dlogits))
+            clip_grad_norm(params, cfg.grad_clip)
+            opt.step()
+            total += loss
+            batches += 1
+        losses.append(total / max(1, batches))
+    return losses
+
+
+def _make_pretrainer(vocab, legacy: bool) -> MLMPretrainer:
+    enc_cfg = EncoderConfig(vocab_size=len(vocab), **MLM_ENCODER)
+    pre = MLMPretrainer(enc_cfg, vocab, MLMConfig(), rng=0)
+    if legacy:
+        _legacyfy_encoder(pre.encoder)
+    return pre
+
+
+def _run_pretrain(split: EncodedSplit, vocab, legacy: bool):
+    """(steps/sec, epoch wall-time, tokens/sec) for one MLM pretraining."""
+    ids = split.ids.astype(np.int64) if legacy else split.ids
+    warm = _make_pretrainer(vocab, legacy)
+    fit = (lambda e: _legacy_mlm_fit(warm, ids, split.mask, e)) if legacy \
+        else (lambda e: warm.fit(ids, split.mask, epochs=e))
+    fit(1)  # warm BLAS, allocator, and caches
+    elapsed, losses = np.inf, None
+    for _ in range(2):  # best of two (see _run_fit)
+        timed_pre = _make_pretrainer(vocab, legacy)
+        timed_fit = (lambda: _legacy_mlm_fit(timed_pre, ids, split.mask, MLM_EPOCHS)) \
+            if legacy else (lambda: timed_pre.fit(ids, split.mask, epochs=MLM_EPOCHS))
+        run_losses, run = timed(timed_fit)
+        if run < elapsed:
+            elapsed, losses = run, run_losses
+    bs = MLMConfig().batch_size
+    steps = MLM_EPOCHS * ((len(split) + bs - 1) // bs)
+    real_tokens = MLM_EPOCHS * float(split.mask.sum())
+    return {
+        "steps_per_s": round(steps / elapsed, 2),
+        "epoch_wall_s": round(elapsed / MLM_EPOCHS, 4),
+        "tokens_per_s": round(real_tokens / elapsed, 1),
+        "steps": steps,
+        "elapsed_s": round(elapsed, 4),
+        "final_loss": round(float(losses[-1]), 4),
+    }
+
+
+def _optimizer_microbench(config: PragFormerConfig, vocab_size: int,
+                          rounds: int = 200):
+    """Step-only timing: arena FusedAdamW vs legacy per-parameter AdamW
+    (identical synthetic gradients, clip included)."""
+    results = {}
+    for name, fused in (("legacy_adamw", False), ("fused_adamw", True)):
+        model = PragFormer(vocab_size, config)
+        params = model.encoder.parameters() + model.head.parameters()
+        opt_cls = FusedAdamW if fused else AdamW
+        opt = opt_cls(_JointModel(model), lr=1e-3)
+        rng = np.random.default_rng(0)
+        for p in params:
+            p.grad += rng.normal(size=p.grad.shape).astype(p.grad.dtype)
+        start = time.perf_counter()
+        for _ in range(rounds):
+            if fused:
+                opt.clip_grad_norm(1.0)
+            else:
+                clip_grad_norm(params, 1.0)
+            opt.step()
+        elapsed = time.perf_counter() - start
+        results[name] = {
+            "steps_per_s": round(rounds / elapsed, 1),
+            "us_per_step": round(1e6 * elapsed / rounds, 1),
+        }
+    results["speedup"] = round(
+        results["fused_adamw"]["steps_per_s"]
+        / results["legacy_adamw"]["steps_per_s"], 2)
+    return results
+
+
+def test_training_throughput(benchmark):
+    report = {"speedup_floor": SPEEDUP_FLOOR, "finetune": {}, "pretrain": {}}
+
+    # -- §4.1 MLM pretraining (the 2x gate) --------------------------------
+    mlm_split, mlm_vocab = _mlm_workload()
+    mlm_legacy = _run_pretrain(mlm_split, mlm_vocab, legacy=True)
+    mlm_fused = _run_pretrain(mlm_split, mlm_vocab, legacy=False)
+    mlm_speedup = round(mlm_fused["steps_per_s"] / mlm_legacy["steps_per_s"], 2)
+    report["pretrain"] = {
+        "examples": MLM_EXAMPLES,
+        "epochs": MLM_EPOCHS,
+        "vocab_size": len(mlm_vocab),
+        "batch_size": MLMConfig().batch_size,
+        **{k: v for k, v in MLM_ENCODER.items()},
+        "legacy": mlm_legacy,
+        "fused": mlm_fused,
+        "speedup_steps_per_s": mlm_speedup,
+    }
+    # the gather-based head must not change the objective
+    assert abs(mlm_legacy["final_loss"] - mlm_fused["final_loss"]) < 0.05
+
+    # -- §4.3 fine-tuning -------------------------------------------------
+    for scale_name, n_examples, epochs, config in SCALES:
+        split, vocab = _workload(n_examples, config.max_len)
+        legacy_cfg = replace(config, fused_optimizer=False)
+        legacy = _run_fit(legacy_cfg, len(vocab), _legacy_split(split),
+                          epochs, legacy=True)
+        fused = _run_fit(config, len(vocab), split, epochs, legacy=False)
+        speedup = round(fused["steps_per_s"] / legacy["steps_per_s"], 2)
+        report["finetune"][scale_name] = {
+            "examples": n_examples,
+            "epochs": epochs,
+            "batch_size": config.batch_size,
+            "d_model": config.d_model,
+            "n_layers": config.n_layers,
+            "max_len": config.max_len,
+            "legacy": legacy,
+            "fused": fused,
+            "speedup_steps_per_s": speedup,
+        }
+    report["optimizer_microbench"] = _optimizer_microbench(SCALES[1][3],
+                                                           vocab_size=2000)
+
+    # keep pytest-benchmark's timing hooks in the loop without re-running
+    # the whole sweep: one representative fused epoch
+    small_cfg = SCALES[0][3]
+    small_split, small_vocab = _workload(64, small_cfg.max_len)
+    benchmark.pedantic(
+        lambda: PragFormer(len(small_vocab), small_cfg).fit(small_split, epochs=1),
+        rounds=1, iterations=1)
+
+    path = write_bench_report("training", report)
+    ft = ", ".join(
+        f"{name} {entry['speedup_steps_per_s']:.2f}x"
+        for name, entry in report["finetune"].items())
+    print(f"\ntraining throughput — pretrain: {mlm_fused['steps_per_s']:.1f} "
+          f"steps/s ({mlm_speedup:.2f}x legacy); finetune: {ft}; "
+          f"opt micro {report['optimizer_microbench']['speedup']:.1f}x; "
+          f"report: {path}")
+
+    assert mlm_speedup >= SPEEDUP_FLOOR, (
+        f"fused pretraining only {mlm_speedup:.2f}x legacy steps/sec "
+        f"(floor {SPEEDUP_FLOOR}x)")
+
+
+@pytest.mark.smoke
+def test_training_step_smoke():
+    """Fast sanity pass for scripts/check.sh: the legacy replica and the
+    fused path start from the same weights, consume the same rng streams,
+    and must agree on the training losses to float32 round-off."""
+    config = PragFormerConfig(d_model=16, n_heads=2, n_layers=1, d_ff=24,
+                              d_head_hidden=12, max_len=24, batch_size=8,
+                              seed=5)
+    split, vocab = _workload(32, config.max_len)
+    legacy_cfg = replace(config, fused_optimizer=False)
+    legacy = _make_model(legacy_cfg, len(vocab), legacy=True)
+    hist_l = legacy.fit(_legacy_split(split), epochs=1)
+    fused = _make_model(config, len(vocab), legacy=False)
+    hist_f = fused.fit(split, epochs=1)
+    np.testing.assert_allclose(hist_l.train_loss, hist_f.train_loss,
+                               rtol=1e-2)

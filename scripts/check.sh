@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Repo check: tier-1 test suite plus the fast perf smoke subset.
+#
+#   scripts/check.sh            # tier-1 + perf smoke
+#   scripts/check.sh --fast     # tier-1 only
+#
+# Tier-1 is the gate every change must keep green (`pytest -x -q` from the
+# repo root; bench_* files are never collected there).  The smoke subset
+# runs the `-m perf`-marked benches that also carry the `smoke` marker —
+# seconds, not minutes — to catch hot-path regressions (e.g. the fused and
+# legacy training paths drifting apart) without paying for the full
+# BENCH_* report sweep.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="$(pwd)/src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 =="
+python -m pytest -x -q
+
+if [[ "${1:-}" != "--fast" ]]; then
+    echo "== perf smoke =="
+    # bench_*.py files are outside the default collection pattern on
+    # purpose (tier-1 must never pick them up), so name them explicitly
+    (cd benchmarks && python -m pytest -q -m "perf and smoke" -p no:cacheprovider bench_*.py)
+fi
+
+echo "check.sh: all green"

@@ -7,7 +7,7 @@ representation) — records are immutable once built.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -17,11 +17,16 @@ from repro.data.splits import DatasetSplits, Example
 from repro.tokenize import Representation, Vocab, tokenize_representation
 
 __all__ = ["TokenCache", "EncodedSplit", "EncodedDataset", "encode_dataset",
-           "encode_batch", "pad_encoded"]
+           "encode_batch", "pad_encoded", "MASK_DTYPE", "ID_DTYPE"]
 
 #: Padding masks are kept in the compute dtype; float64 masks would both
 #: double their memory traffic and silently upcast attention scores.
 MASK_DTYPE = np.float32
+
+#: Token/position ids are int32 end-to-end: vocabularies top out in the
+#: tens of thousands and sequences at 110 tokens, so int64 ids just doubled
+#: the index traffic through every embedding gather and id-digest hash.
+ID_DTYPE = np.int32
 
 #: §4.3 — the longest snippet in the paper's corpus had 110 tokens.
 DEFAULT_MAX_LEN = 110
@@ -46,12 +51,27 @@ class TokenCache:
 class EncodedSplit:
     """Padded token ids, attention mask, and labels for one split."""
 
-    ids: np.ndarray    # (N, L) int64, PAD-padded
+    ids: np.ndarray    # (N, L) int32, PAD-padded
     mask: np.ndarray   # (N, L) float32, 1 where real token
     labels: np.ndarray  # (N,) int64
+    #: lazily-cached ascending-length row order (see :meth:`length_order`)
+    _length_order: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False)
 
     def __len__(self) -> int:
         return int(self.ids.shape[0])
+
+    def length_order(self) -> np.ndarray:
+        """Row indices sorted by real (unpadded) length, ascending.
+
+        ``evaluate``/``predict_proba`` walk every split in this order so
+        ``trim_batch`` gets near-uniform batches; the argsort is cached on
+        first use since splits are immutable once encoded and the order
+        used to be recomputed on every call.
+        """
+        if self._length_order is None:
+            self._length_order = np.argsort(self.mask.sum(axis=1), kind="stable")
+        return self._length_order
 
 
 def pad_encoded(
@@ -70,7 +90,7 @@ def pad_encoded(
     n = len(encoded)
     if width is None:
         width = max((len(row) for row in encoded), default=1)
-    ids = np.full((n, width), pad_id, dtype=np.int64)
+    ids = np.full((n, width), pad_id, dtype=ID_DTYPE)
     mask = np.zeros((n, width), dtype=MASK_DTYPE)
     for row, enc in enumerate(encoded):
         ids[row, : len(enc)] = enc

@@ -17,11 +17,13 @@ from repro.nn import (
     AdamW,
     ClassificationHead,
     EncoderConfig,
+    FusedAdamW,
     TransformerEncoder,
     clip_grad_norm,
     cross_entropy,
     softmax,
 )
+from repro.nn.dtype import get_dtype
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 __all__ = ["PragFormerConfig", "TrainHistory", "PragFormer", "trim_batch"]
@@ -78,6 +80,11 @@ class PragFormerConfig:
     grad_clip: float = 1.0
     #: fraction of total steps spent in linear LR warmup (0 disables)
     warmup_frac: float = 0.0
+    #: step with the flat-arena FusedAdamW (default) or the legacy
+    #: per-parameter AdamW.  Given identical gradients the two step
+    #: bit-identically; whole trajectories agree to float round-off (the
+    #: clip-norm reduction order differs — see tests/test_nn_arena.py)
+    fused_optimizer: bool = True
     seed: int = 0
 
 
@@ -160,7 +167,8 @@ class PragFormer:
         """
         cfg = self.config
         if self._optimizer is None:
-            opt = AdamW(_JointModel(self), lr=cfg.lr, weight_decay=cfg.weight_decay)
+            opt_cls = FusedAdamW if cfg.fused_optimizer else AdamW
+            opt = opt_cls(_JointModel(self), lr=cfg.lr, weight_decay=cfg.weight_decay)
             self._optimizer = opt
         else:
             opt = self._optimizer
@@ -190,7 +198,11 @@ class PragFormer:
                 loss, dlogits = cross_entropy(logits, labels)
                 opt.zero_grad()
                 self._backward(dlogits)
-                clip_grad_norm(self._params(), cfg.grad_clip)
+                if isinstance(opt, FusedAdamW):
+                    # one dot product over the arena, not a per-param loop
+                    opt.clip_grad_norm(cfg.grad_clip)
+                else:
+                    clip_grad_norm(self._params(), cfg.grad_clip)
                 if schedule is not None:
                     schedule.step()
                 opt.step()
@@ -228,9 +240,12 @@ class PragFormer:
         for attn in attns:
             attn.retain_attention = retain_attention
         try:
-            out = np.empty((len(split), 2))
-            # process in length order so trim_batch bites, then scatter back
-            order = np.argsort(split.mask.sum(axis=1), kind="stable")
+            # allocate in the compute dtype: np.empty's float64 default would
+            # silently widen every downstream consumer of the probabilities
+            out = np.empty((len(split), 2), dtype=get_dtype())
+            # process in length order so trim_batch bites (longest batch
+            # first, so scratch pools size themselves once), then scatter
+            order = split.length_order()[::-1]
             for start in range(0, len(split), batch_size):
                 sel = order[start : start + batch_size]
                 ids, mask = trim_batch(split.ids[sel], split.mask[sel])
@@ -250,7 +265,7 @@ class PragFormer:
         self.head.inference_mode()
         total_loss = 0.0
         correct = 0
-        order = np.argsort(split.mask.sum(axis=1), kind="stable")
+        order = split.length_order()[::-1]
         for start in range(0, len(split), batch_size):
             sel = order[start : start + batch_size]
             ids, mask = trim_batch(split.ids[sel], split.mask[sel])

@@ -4,10 +4,19 @@ in the paper, built from scratch with explicit backpropagation."""
 
 from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.heads import ClassificationHead, MLMHead
-from repro.nn.layers import Dropout, Embedding, GELU, LayerNorm, Linear, ReLU
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    ReLU,
+    ResidualLayerNorm,
+)
 from repro.nn.losses import cross_entropy, masked_cross_entropy, softmax
-from repro.nn.module import Module, Parameter
-from repro.nn.optim import AdamW, WarmupSchedule, clip_grad_norm
+from repro.nn.module import Module, Parameter, ParameterArena
+from repro.nn.optim import AdamW, FusedAdamW, WarmupSchedule, clip_grad_norm
+from repro.nn.scratch import BufferPool, pooling_disabled, pooling_enabled
 from repro.nn.transformer import (
     EncoderConfig,
     FeedForward,
@@ -25,14 +34,20 @@ __all__ = [
     "LayerNorm",
     "Linear",
     "ReLU",
+    "ResidualLayerNorm",
     "cross_entropy",
     "masked_cross_entropy",
     "softmax",
     "Module",
     "Parameter",
+    "ParameterArena",
     "AdamW",
+    "FusedAdamW",
     "WarmupSchedule",
     "clip_grad_norm",
+    "BufferPool",
+    "pooling_disabled",
+    "pooling_enabled",
     "EncoderConfig",
     "FeedForward",
     "TransformerEncoder",

@@ -11,7 +11,10 @@ The attention weights of the last forward pass can be kept on the module
 the model attends without re-running a hooked forward pass.  In
 ``inference_mode`` retention is opt-in via ``retain_attention``; training
 and plain ``eval`` forwards always retain (the backward pass needs the
-weights anyway).
+weights anyway).  Since the scores live in a pooled scratch buffer, the
+retained maps are only valid until this module's next forward — consumers
+that hold maps across forwards must set ``retain_attention``, which
+stores a private copy in every mode.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ import numpy as np
 
 from repro.nn.layers import Dropout, Linear
 from repro.nn.module import Module
+from repro.nn.scratch import BufferPool, sum_lastaxis
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 __all__ = ["MultiHeadSelfAttention"]
@@ -30,15 +34,16 @@ _NEG_INF = -1e9
 
 
 def _softmax_lastaxis(scores: np.ndarray) -> np.ndarray:
-    shifted = scores - scores.max(axis=-1, keepdims=True)
+    """In-place softmax over the last axis; returns ``scores`` itself."""
+    scores -= scores.max(axis=-1, keepdims=True)
     # clamp before exp: masked keys sit at ~-1e9, and exp() of such extreme
     # arguments can fall off the vectorized path into scalar libm calls
     # (observed ~100x slower on padded buckets).  exp(-60) ~ 9e-27 is an
     # exact zero weight after renormalization, far below any tolerance.
-    np.maximum(shifted, -60.0, out=shifted)
-    np.exp(shifted, out=shifted)
-    shifted /= shifted.sum(axis=-1, keepdims=True)
-    return shifted
+    np.maximum(scores, -60.0, out=scores)
+    np.exp(scores, out=scores)
+    scores /= sum_lastaxis(scores)
+    return scores
 
 
 class MultiHeadSelfAttention(Module):
@@ -67,6 +72,7 @@ class MultiHeadSelfAttention(Module):
         self.retain_attention = False
         self.last_attention: Optional[np.ndarray] = None  # (B, H, L, L)
         self._cache = None
+        self._pool = BufferPool()
 
     def _upgrade_state(self, state: Dict[str, np.ndarray], prefix: str = "") -> None:
         """Fuse legacy per-projection checkpoint entries into ``qkv_proj``."""
@@ -103,35 +109,78 @@ class MultiHeadSelfAttention(Module):
         # python float, not np.float64: a strong float64 scalar would upcast
         # the entire score/softmax/context chain out of the compute dtype
         scale = 1.0 / float(np.sqrt(self.d_head))
-        scores = (q @ k.transpose(0, 1, 3, 2)) * scale  # (B, H, L, L)
+        # pre-scale q (an L x d_head pass) instead of the L x L score matrix;
+        # backward compensates by scaling dq once — dk needs no scale at all
+        # because it contracts against the already-scaled q
+        q *= scale
+        # scores live in a pooled buffer reused across steps with the same
+        # bucket shape; the softmax then runs in place on it, so one
+        # (B, H, L, L) buffer serves the whole score -> attention chain
+        scores = self._pool.get("scores", (b, self.n_heads, l, l), x.dtype)
+        np.matmul(q, k.transpose(0, 1, 3, 2), out=scores)
         if mask is not None:
             if mask.ndim == 2:
                 # broadcast over heads and query positions; pad keys get -inf
                 mask = (1.0 - mask[:, None, None, :]) * _NEG_INF
             scores += mask
         attn = _softmax_lastaxis(scores)
-        if self.retain_attention or not self.inference:
+        if self.retain_attention:
+            # callers that set the flag (explain tooling) may hold the maps
+            # across later forwards, so hand them a private copy in every
+            # mode, never the pooled buffer
+            self.last_attention = attn.copy()
+        elif not self.inference:
+            # backward reads this through _cache; the pooled buffer is valid
+            # until this module's next forward, which cannot precede this
+            # step's backward — but it IS overwritten by the next forward,
+            # so cross-batch consumers must set retain_attention
             self.last_attention = attn
         else:
             self.last_attention = None
         attn_dropped = self.attn_dropout.forward(attn)
-        context = attn_dropped @ v  # (B, H, L, d_head)
-        out = self.out_proj.forward(self._merge(context))
+        context = self._pool.get("context", (b, self.n_heads, l, self.d_head), x.dtype)
+        np.matmul(attn_dropped, v, out=context)
+        merged = self._pool.get("merged", (b, l, self.d_model), x.dtype)
+        np.copyto(merged.reshape(b, l, self.n_heads, self.d_head),
+                  context.transpose(0, 2, 1, 3))
+        out = self.out_proj.forward(merged)
         self._cache = None if self.inference else (q, k, v, attn, attn_dropped, scale)
         return out
 
     def backward(self, dy: np.ndarray) -> np.ndarray:
         q, k, v, attn, attn_dropped, scale = self._cache
+        b, h, l, dh = q.shape
+        pool = self._pool
+        dtype = dy.dtype
         dcontext = self._split(self.out_proj.backward(dy))
-        dattn_dropped = dcontext @ v.transpose(0, 1, 3, 2)
-        dv = attn_dropped.transpose(0, 1, 3, 2) @ dcontext
+        dattn_dropped = pool.get("d_attn", (b, h, l, l), dtype)
+        np.matmul(dcontext, v.transpose(0, 1, 3, 2), out=dattn_dropped)
+        dv = pool.get("dv", (b, h, l, dh), dtype)
+        np.matmul(attn_dropped.transpose(0, 1, 3, 2), dcontext, out=dv)
         dattn = self.attn_dropout.backward(dattn_dropped)
-        # softmax backward: ds = attn * (dattn - sum(dattn * attn))
-        inner = (dattn * attn).sum(axis=-1, keepdims=True)
-        dscores = attn * (dattn - inner)
-        # masked positions have attn == 0, so dscores is already 0 there
-        dq = (dscores @ k) * scale
-        dk = (dscores.transpose(0, 1, 3, 2) @ q) * scale
-        dqkv = np.concatenate(
-            [self._merge(dq), self._merge(dk), self._merge(dv)], axis=-1)
+        # softmax backward, in place on dattn (a scratch buffer either way —
+        # the dropout's pooled output or d_attn itself in eval):
+        # ds = attn * (dattn - sum(dattn * attn))
+        tmp = pool.get("d_tmp", (b, h, l, l), dtype)
+        np.multiply(dattn, attn, out=tmp)
+        inner = sum_lastaxis(tmp)
+        dattn -= inner
+        dattn *= attn
+        dscores = dattn
+        # masked positions have attn == 0, so dscores is already 0 there.
+        # q in the cache is pre-scaled, so dk comes out fully scaled from the
+        # contraction and only dq needs the explicit scale factor
+        dq = pool.get("dq", (b, h, l, dh), dtype)
+        np.matmul(dscores, k, out=dq)
+        dq *= scale
+        dk = pool.get("dk", (b, h, l, dh), dtype)
+        np.matmul(dscores.transpose(0, 1, 3, 2), q, out=dk)
+        # write the three head-merged gradients straight into one (B, L, 3D)
+        # buffer — the old concatenate built three merge copies plus a fourth
+        # array for the result
+        dqkv = pool.get("dqkv", (b, l, 3 * self.d_model), dtype)
+        dqkv5 = dqkv.reshape(b, l, 3, h, dh)
+        np.copyto(dqkv5[:, :, 0], dq.transpose(0, 2, 1, 3))
+        np.copyto(dqkv5[:, :, 1], dk.transpose(0, 2, 1, 3))
+        np.copyto(dqkv5[:, :, 2], dv.transpose(0, 2, 1, 3))
         return self.qkv_proj.backward(dqkv)

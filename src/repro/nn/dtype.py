@@ -12,7 +12,7 @@ from contextlib import contextmanager
 
 import numpy as np
 
-__all__ = ["get_dtype", "set_dtype", "use_dtype"]
+__all__ = ["get_dtype", "set_dtype", "use_dtype", "assert_compute_dtype"]
 
 _DTYPE = np.dtype(np.float32)
 
@@ -28,6 +28,24 @@ def set_dtype(dtype) -> None:
     if dt not in (np.dtype(np.float32), np.dtype(np.float64)):
         raise ValueError(f"unsupported compute dtype {dt}")
     _DTYPE = dt
+
+
+def assert_compute_dtype(*arrays, context: str = "") -> None:
+    """Raise if any floating array strays from the compute dtype.
+
+    The purity guard behind the no-float64 regression tests: a single
+    float64 array in the hot path silently upcasts everything downstream,
+    doubling memory traffic.  Non-float arrays (ids, labels) are ignored.
+    """
+    expected = get_dtype()
+    for i, arr in enumerate(arrays):
+        if arr is None:
+            continue
+        arr = np.asarray(arr)
+        if arr.dtype.kind == "f" and arr.dtype != expected:
+            where = f" ({context})" if context else ""
+            raise TypeError(
+                f"array {i}{where} is {arr.dtype}, compute dtype is {expected}")
 
 
 @contextmanager

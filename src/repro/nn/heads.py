@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.nn.layers import Dropout, Linear, ReLU
 from repro.nn.module import Module
+from repro.nn.scratch import BufferPool
 from repro.utils.rng import RngLike, spawn_rngs
 
 __all__ = ["ClassificationHead", "MLMHead"]
@@ -30,6 +31,7 @@ class ClassificationHead(Module):
         self.drop = Dropout(dropout, rng=r2)
         self.fc2 = Linear(d_hidden, n_classes, rng=r3)
         self._seq_shape = None
+        self._pool = BufferPool()
 
     def forward(self, hidden: np.ndarray) -> np.ndarray:
         """hidden: (B, L, D) encoder output; uses position 0 (CLS).
@@ -42,7 +44,8 @@ class ClassificationHead(Module):
     def backward(self, dlogits: np.ndarray) -> np.ndarray:
         """Returns gradient w.r.t. the full (B, L, D) hidden sequence."""
         dcls = self.fc1.backward(self.act.backward(self.drop.backward(self.fc2.backward(dlogits))))
-        dhidden = np.zeros(self._seq_shape, dtype=dcls.dtype)
+        dhidden = self._pool.get("dhidden", self._seq_shape, dcls.dtype)
+        dhidden.fill(0.0)
         dhidden[:, 0, :] = dcls
         return dhidden
 

@@ -13,9 +13,11 @@ from typing import Optional
 import numpy as np
 
 from repro.nn.module import Module, Parameter
+from repro.nn.scratch import BufferPool, mean_lastaxis, sum_leading
 from repro.utils.rng import RngLike, ensure_rng
 
-__all__ = ["Linear", "Embedding", "LayerNorm", "Dropout", "ReLU", "GELU"]
+__all__ = ["Linear", "Embedding", "LayerNorm", "ResidualLayerNorm", "Dropout",
+           "ReLU", "GELU"]
 
 
 class Linear(Module):
@@ -50,12 +52,16 @@ class Linear(Module):
         dy2 = dy.reshape(-1, dy.shape[-1])
         self.W.grad += x2.T @ dy2
         if self.b is not None:
-            self.b.grad += dy2.sum(axis=0)
+            self.b.grad += sum_leading(dy2)
         return (dy2 @ self.W.data.T).reshape(x.shape)
 
 
 class Embedding(Module):
-    """Token-id lookup table: ids (…,) -> vectors (…, d)."""
+    """Token-id lookup table: ids (…,) -> vectors (…, d).
+
+    Ids arrive as int32 end-to-end (``repro.data.encoding.ID_DTYPE``); any
+    integer dtype works for the gather, but int32 halves the index traffic
+    for both the forward lookup and the backward argsort."""
 
     def __init__(self, n_embeddings: int, d: int, rng: RngLike = None,
                  scale: float = 0.02) -> None:
@@ -114,8 +120,79 @@ class LayerNorm(Module):
         return inv_std * (dxhat - m1 - x_hat * m2)
 
 
+class ResidualLayerNorm(Module):
+    """Fused post-LN residual connection: ``y = LN(x + sublayer)``.
+
+    The unfused form (``LayerNorm.forward(x + s)``) materializes the
+    residual sum, the centered tensor, and the normalized tensor as three
+    full-size temporaries per call; this computes the same values with
+    in-place arithmetic on one pooled scratch buffer — two fewer
+    (B, L, D) allocations per encoder block per direction.
+
+    Parameters are named ``gamma``/``beta`` exactly like :class:`LayerNorm`,
+    so swapping this in for an encoder block's ``ln1``/``ln2`` keeps
+    state-dict keys (and every existing checkpoint) unchanged.
+
+    ``backward`` returns the gradient with respect to the residual *sum*
+    ``x + sublayer`` — which is mathematically the gradient w.r.t. each
+    addend — matching how the encoder block routes it to both branches.
+    """
+
+    def __init__(self, d: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.gamma = Parameter(np.ones(d))
+        self.beta = Parameter(np.zeros(d))
+        self.eps = eps
+        self._cache = None
+        self._pool = BufferPool()
+
+    def forward(self, x: np.ndarray, sublayer: np.ndarray) -> np.ndarray:
+        s = self._pool.get("sum", x.shape, x.dtype)
+        np.add(x, sublayer, out=s)
+        mean = mean_lastaxis(s)
+        s -= mean
+        sq = self._pool.get("sq", x.shape, x.dtype)
+        np.multiply(s, s, out=sq)
+        var = mean_lastaxis(sq)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        s *= inv_std  # s is now x_hat, in place
+        self._cache = None if self.inference else (s, inv_std)
+        out = self._pool.get("out", x.shape, x.dtype)
+        np.multiply(s, self.gamma.data, out=out)
+        out += self.beta.data
+        return out
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        x_hat, inv_std = self._cache
+        d = x_hat.shape[-1]
+        scratch = self._pool.get("bscratch", dy.shape, dy.dtype)
+        np.multiply(dy, x_hat, out=scratch)
+        self.gamma.grad += sum_leading(scratch.reshape(-1, d))
+        self.beta.grad += sum_leading(dy.reshape(-1, d))
+        # the residual-sum gradient is returned (and later accumulated into
+        # in place by the encoder block), so it gets a fresh array — only
+        # the inner temporaries go through the pool
+        dxhat = dy * self.gamma.data
+        # d(x+s) = inv_std * (dxhat - mean(dxhat) - x_hat * mean(dxhat * x_hat))
+        m1 = mean_lastaxis(dxhat)
+        np.multiply(dxhat, x_hat, out=scratch)
+        m2 = mean_lastaxis(scratch)
+        dxhat -= m1
+        np.multiply(x_hat, m2, out=scratch)
+        dxhat -= scratch
+        dxhat *= inv_std
+        return dxhat
+
+
 class Dropout(Module):
-    """Inverted dropout; identity in eval mode (§4.3 regularization)."""
+    """Inverted dropout; identity in eval mode (§4.3 regularization).
+
+    The uniform draw, the mask, and the output live in pooled scratch
+    buffers reused across steps with the same batch shape — the attention
+    dropout's (B, H, L, L) mask is the training loop's single largest
+    allocation, and it now happens once per bucket shape instead of once
+    per step.
+    """
 
     def __init__(self, p: float, rng: RngLike = None) -> None:
         super().__init__()
@@ -124,20 +201,28 @@ class Dropout(Module):
         self.p = p
         self.rng = ensure_rng(rng)
         self._mask: Optional[np.ndarray] = None
+        self._pool = BufferPool()
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if not self.training or self.p == 0.0:
             self._mask = None
             return x
         keep = x.dtype.type(1.0 - self.p)
-        uniform = self.rng.random(x.shape, dtype=x.dtype if x.dtype == np.float32 else np.float64)
-        self._mask = (uniform < keep).astype(x.dtype) / keep
-        return x * self._mask
+        draw_dtype = x.dtype if x.dtype == np.float32 else np.float64
+        uniform = self._pool.get("uniform", x.shape, draw_dtype)
+        self.rng.random(out=uniform, dtype=draw_dtype)
+        mask = self._pool.get("mask", x.shape, x.dtype)
+        np.less(uniform, keep, out=mask)  # float 0/1 indicator
+        np.divide(mask, keep, out=mask)
+        self._mask = mask
+        out = self._pool.get("out", x.shape, x.dtype)
+        return np.multiply(x, mask, out=out)
 
     def backward(self, dy: np.ndarray) -> np.ndarray:
         if self._mask is None:
             return dy
-        return dy * self._mask
+        out = self._pool.get("dout", dy.shape, dy.dtype)
+        return np.multiply(dy, self._mask, out=out)
 
 
 class ReLU(Module):
@@ -157,26 +242,56 @@ class ReLU(Module):
 
 
 class GELU(Module):
-    """tanh-approximated GELU (the transformer FFN activation)."""
+    """tanh-approximated GELU (the transformer FFN activation).
+
+    The (B, L, d_ff)-sized temporaries — the largest activations in the
+    FFN — run through pooled scratch buffers with in-place arithmetic."""
 
     _C = np.sqrt(2.0 / np.pi)
 
     def __init__(self) -> None:
         super().__init__()
         self._cache = None
+        self._pool = BufferPool()
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         c = x.dtype.type(self._C)
         a = x.dtype.type(0.044715)
-        x2 = x * x
-        t = np.tanh(c * (x + a * x2 * x))
+        x2 = self._pool.get("x2", x.shape, x.dtype)
+        np.multiply(x, x, out=x2)
+        # t = tanh(c * (x + a * x^3)), built in place in one buffer
+        t = self._pool.get("t", x.shape, x.dtype)
+        np.multiply(x2, x, out=t)
+        t *= a
+        t += x
+        t *= c
+        np.tanh(t, out=t)
         self._cache = None if self.inference else (x, x2, t)
-        return 0.5 * x * (1.0 + t)
+        out = self._pool.get("out", x.shape, x.dtype)
+        # 0.5 * x * (1 + t)
+        np.add(t, 1.0, out=out)
+        out *= x
+        out *= 0.5
+        return out
 
     def backward(self, dy: np.ndarray) -> np.ndarray:
         x, x2, t = self._cache
         c = x.dtype.type(self._C)
         a3 = x.dtype.type(3 * 0.044715)
-        du = c * (1.0 + a3 * x2)
-        dt = (1.0 - t * t) * du
-        return dy * (0.5 * (1.0 + t) + 0.5 * x * dt)
+        # du = c * (1 + 3a * x^2)
+        du = self._pool.get("du", x.shape, x.dtype)
+        np.multiply(x2, a3, out=du)
+        du += 1.0
+        du *= c
+        # dt = (1 - t^2) * du
+        dt = self._pool.get("dt", x.shape, x.dtype)
+        np.multiply(t, t, out=dt)
+        np.subtract(1.0, dt, out=dt)
+        dt *= du
+        # dy * 0.5 * (1 + t + x*dt), assembled in the du buffer
+        np.multiply(x, dt, out=du)
+        du += t
+        du += 1.0
+        du *= 0.5
+        out = self._pool.get("dout", x.shape, x.dtype)
+        return np.multiply(dy, du, out=out)

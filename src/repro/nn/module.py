@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.nn.dtype import get_dtype
 
-__all__ = ["Parameter", "Module"]
+__all__ = ["Parameter", "Module", "ParameterArena"]
 
 
 class Parameter:
@@ -152,3 +152,71 @@ class Module:
     def load(self, path: str) -> None:
         with np.load(path) as archive:
             self.load_state_dict({k: archive[k] for k in archive.files})
+
+    def parameter_arena(self) -> "ParameterArena":
+        """Flatten this module's parameters into one contiguous arena."""
+        return ParameterArena(self)
+
+
+class ParameterArena:
+    """All of a model's parameters (and gradients) as one flat buffer.
+
+    Each :class:`Parameter`'s ``data``/``grad`` is rebound to a reshaped
+    slice of two contiguous arrays, so layer-local in-place updates
+    (``p.grad += ...``, ``p.data[...] = ...``) keep working unchanged while
+    whole-model operations — an AdamW step, gradient clipping, ``zero_grad``
+    — become a handful of vectorized calls over one array instead of a
+    Python loop over ~30 (see :class:`repro.nn.optim.FusedAdamW`).
+
+    Accepts a :class:`Module` or anything exposing ``named_parameters()``
+    (e.g. the encoder+head adapters the training loops use).  Construction
+    preserves parameter values exactly, so ``state_dict`` round-trips are
+    unchanged; ``decay_mask`` is 1.0 on multi-dimensional parameters and
+    0.0 on biases/LayerNorm vectors, encoding the §4.3 decoupled
+    weight-decay rule as a single elementwise multiply.
+    """
+
+    def __init__(self, model) -> None:
+        pairs = list(model.named_parameters())
+        if not pairs:
+            raise ValueError("model has no parameters to flatten")
+        dtype = pairs[0][1].data.dtype
+        total = sum(p.data.size for _, p in pairs)
+        self.data = np.empty(total, dtype=dtype)
+        self.grad = np.zeros(total, dtype=dtype)
+        self.decay_mask = np.empty(total, dtype=dtype)
+        self.slices: List[Tuple[str, slice, Tuple[int, ...]]] = []
+        offset = 0
+        for name, p in pairs:
+            if p.data.dtype != dtype:
+                raise TypeError(
+                    f"parameter {name} has dtype {p.data.dtype}, arena is {dtype}")
+            region = slice(offset, offset + p.data.size)
+            data_view = self.data[region].reshape(p.data.shape)
+            grad_view = self.grad[region].reshape(p.data.shape)
+            data_view[...] = p.data
+            grad_view[...] = p.grad
+            p.data = data_view
+            p.grad = grad_view
+            self.decay_mask[region] = 1.0 if p.data.ndim > 1 else 0.0
+            self.slices.append((name, region, p.data.shape))
+            offset += p.data.size
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """One flat fill instead of one per parameter."""
+        self.grad.fill(0.0)
+
+    def grad_norm(self) -> float:
+        """Global L2 gradient norm as a single dot product."""
+        return float(np.sqrt(np.dot(self.grad, self.grad)))
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Fused equivalent of :func:`repro.nn.optim.clip_grad_norm`."""
+        norm = self.grad_norm()
+        if norm > max_norm > 0:
+            self.grad *= max_norm / (norm + 1e-12)
+        return norm

@@ -1,19 +1,30 @@
 """Optimizers: AdamW (§4.3) with decoupled weight decay, plus gradient
 clipping and a linear-warmup schedule.
 
+Two implementations of the same update rule:
+
+* :class:`AdamW` — the legacy per-parameter stepper (a Python loop over
+  every parameter array).  Kept as the reference implementation and for
+  models that cannot be flattened.
+* :class:`FusedAdamW` — steps a :class:`~repro.nn.module.ParameterArena`
+  with ~10 whole-arena vectorized calls and a single scratch buffer,
+  regardless of parameter count.  Elementwise operations are issued in the
+  exact order of the legacy loop, so given identical gradients the two
+  produce bit-identical parameters (see ``tests/test_nn_arena.py``).
+
 All state updates are in place on preallocated moment buffers — no
 per-step allocation in the training hot loop.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Union
 
 import numpy as np
 
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module, Parameter, ParameterArena
 
-__all__ = ["AdamW", "clip_grad_norm", "WarmupSchedule"]
+__all__ = ["AdamW", "FusedAdamW", "clip_grad_norm", "WarmupSchedule"]
 
 
 def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:
@@ -71,12 +82,78 @@ class AdamW:
             p.zero_grad()
 
 
+class FusedAdamW:
+    """AdamW over a flat :class:`~repro.nn.module.ParameterArena`.
+
+    The legacy :class:`AdamW` issues ~10 NumPy calls (plus several
+    temporaries) *per parameter* per step; at small model scales that
+    dispatch overhead rivals the actual arithmetic.  Here the whole model
+    is one contiguous buffer, so a step is ~10 calls total, reusing one
+    preallocated scratch array: no per-step allocation at all.
+
+    Decoupled weight decay is applied through the arena's ``decay_mask``
+    (1.0 on matrices, 0.0 on 1-D parameters), preserving the bias/LayerNorm
+    exemption as a single multiply.  The operation order matches the legacy
+    loop elementwise, so trajectories are bit-comparable.
+    """
+
+    def __init__(self, model: Union[Module, ParameterArena], lr: float = 1e-3,
+                 betas=(0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.01) -> None:
+        self.arena = model if isinstance(model, ParameterArena) else ParameterArena(model)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self._m = np.zeros_like(self.arena.data)
+        self._v = np.zeros_like(self.arena.data)
+        self._tmp = np.empty_like(self.arena.data)
+
+    def step(self) -> None:
+        self.t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self.t
+        bias2 = 1.0 - b2**self.t
+        step_size = self.lr / bias1
+        data, grad = self.arena.data, self.arena.grad
+        m, v, tmp = self._m, self._v, self._tmp
+        # m = b1*m + (1-b1)*g
+        m *= b1
+        np.multiply(grad, 1.0 - b1, out=tmp)
+        m += tmp
+        # v = b2*v + (1-b2)*g*g   (legacy evaluates ((1-b2)*g)*g)
+        v *= b2
+        np.multiply(grad, 1.0 - b2, out=tmp)
+        tmp *= grad
+        v += tmp
+        # p -= step_size * m / (sqrt(v/bias2) + eps)
+        np.divide(v, bias2, out=tmp)
+        np.sqrt(tmp, out=tmp)
+        tmp += self.eps
+        np.divide(m, tmp, out=tmp)
+        tmp *= step_size
+        data -= tmp
+        if self.weight_decay:
+            # p -= (lr*wd) * p, matrices only (mask zeroes the rest)
+            np.multiply(data, self.lr * self.weight_decay, out=tmp)
+            tmp *= self.arena.decay_mask
+            data -= tmp
+
+    def zero_grad(self) -> None:
+        self.arena.zero_grad()
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Whole-arena clip: one dot product and (at most) one scale."""
+        return self.arena.clip_grad_norm(max_norm)
+
+
 class WarmupSchedule:
     """Linear warmup to ``peak_lr`` over ``warmup_steps``, then constant or
     linear decay to zero at ``total_steps`` (if given)."""
 
-    def __init__(self, optimizer: AdamW, peak_lr: float, warmup_steps: int,
-                 total_steps: int = 0) -> None:
+    def __init__(self, optimizer: Union[AdamW, FusedAdamW], peak_lr: float,
+                 warmup_steps: int, total_steps: int = 0) -> None:
         self.opt = optimizer
         self.peak = peak_lr
         self.warmup = max(1, warmup_steps)

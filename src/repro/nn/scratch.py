@@ -1,0 +1,140 @@
+"""Reusable scratch buffers for the training hot path.
+
+Training replays a small set of ``(batch, length)`` bucket shapes over and
+over (``_length_bucketed_batches`` + ``trim_batch`` produce them), yet the
+layers used to allocate every large temporary — attention scores, dropout
+masks, residual sums — fresh on every step.  At bench scale those are
+multi-megabyte arrays, so each step paid allocator and page-fault costs
+for memory it had just released.  A :class:`BufferPool` keeps **one**
+grow-only allocation per named slot and hands back a view of the right
+shape, so after the largest bucket has been seen once, no step allocates.
+
+Keying by slot (not by exact shape) matters: bucket trim lengths vary
+batch to batch, and a shape-keyed cache would either thrash or pin one
+multi-megabyte buffer per distinct length.  One flat buffer per slot
+serves every shape whose element count fits, and memory stays bounded by
+the largest bucket.
+
+Ownership rule: every module owns its *own* pool, and a pooled view is
+only valid from one ``forward`` until the same module's next ``forward``.
+That is exactly the lifetime of the layer-local activation caches the
+backward pass reads, so training (forward → backward → next forward) and
+batched inference (forward → next forward) both stay safe.  Buffers must
+never be returned to callers that may retain them across batches — see
+``MultiHeadSelfAttention.retain_attention``, which copies for that reason.
+
+``pooling_disabled()`` switches every pool to plain ``np.empty`` — an A/B
+switch for isolating the effect of buffer reuse, and a debugging aid when
+an aliasing bug is suspected (any pooled-lifetime violation disappears
+under it).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from math import prod
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["BufferPool", "pooling_enabled", "pooling_disabled",
+           "sum_lastaxis", "mean_lastaxis", "sum_leading"]
+
+_POOLING = True
+
+
+def pooling_enabled() -> bool:
+    """Whether :meth:`BufferPool.get` reuses buffers (default) or allocates."""
+    return _POOLING
+
+
+@contextmanager
+def pooling_disabled():
+    """Temporarily fall back to fresh ``np.empty`` allocations everywhere."""
+    global _POOLING
+    previous = _POOLING
+    _POOLING = False
+    try:
+        yield
+    finally:
+        _POOLING = previous
+
+
+class BufferPool:
+    """Named slots of grow-only scratch storage.
+
+    ``get(slot, shape, dtype)`` returns an uninitialized array of ``shape``
+    viewing the slot's flat buffer, growing it when a larger request
+    arrives (contents are always stale — callers must fully overwrite,
+    e.g. via ``out=``).  Successive calls to the same slot alias the same
+    memory, which is the point: only one shape per slot is live at a time.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[str, np.dtype], np.ndarray] = {}
+
+    def get(self, slot: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """An uninitialized ``shape``/``dtype`` view of ``slot``'s buffer."""
+        n = prod(shape)
+        if not _POOLING:
+            return np.empty(shape, dtype)
+        key = (slot, np.dtype(dtype))
+        buffer = self._buffers.get(key)
+        if buffer is None or buffer.size < n:
+            buffer = np.empty(n, dtype)
+            self._buffers[key] = buffer
+        return buffer[:n].reshape(shape)
+
+    def __getstate__(self):
+        """Scratch never travels: pickling a model (e.g. shipping it to a
+        ShardedEngine worker) must not serialize megabytes of stale
+        buffers."""
+        return True
+
+    def __setstate__(self, state) -> None:
+        self._buffers = {}
+
+    def nbytes(self) -> int:
+        """Total bytes currently held across all slots."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+
+# -- matmul reductions -------------------------------------------------------
+# ufunc.reduce over a short trailing axis (d_model, a trimmed sequence
+# length) pays ~5x more dispatch/loop overhead than handing BLAS a GEMV
+# against a cached ones vector.  The LayerNorm means, softmax row sums, and
+# bias-gradient column sums are the hottest reductions in training, so they
+# route through these helpers.
+
+_ONES: Dict[Tuple[int, np.dtype], np.ndarray] = {}
+
+
+def _ones_vector(n: int, dtype) -> np.ndarray:
+    key = (n, np.dtype(dtype))
+    ones = _ONES.get(key)
+    if ones is None:
+        ones = np.ones(n, dtype)
+        _ONES[key] = ones
+    return ones
+
+
+def sum_lastaxis(x: np.ndarray) -> np.ndarray:
+    """``x.sum(axis=-1, keepdims=True)`` as a batched GEMV."""
+    return np.matmul(x, _ones_vector(x.shape[-1], x.dtype))[..., None]
+
+
+def mean_lastaxis(x: np.ndarray) -> np.ndarray:
+    """``x.mean(axis=-1, keepdims=True)`` as a batched GEMV."""
+    out = sum_lastaxis(x)
+    out *= x.dtype.type(1.0 / x.shape[-1])
+    return out
+
+
+def sum_leading(x2d: np.ndarray) -> np.ndarray:
+    """``x2d.sum(axis=0)`` for a 2-D array, as one GEMV."""
+    return np.matmul(_ones_vector(x2d.shape[0], x2d.dtype), x2d)

@@ -13,7 +13,14 @@ from typing import List, Optional
 import numpy as np
 
 from repro.nn.attention import _NEG_INF, MultiHeadSelfAttention
-from repro.nn.layers import Dropout, Embedding, GELU, LayerNorm, Linear
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    ResidualLayerNorm,
+)
 from repro.nn.module import Module
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
@@ -60,28 +67,35 @@ class FeedForward(Module):
 
 
 class TransformerEncoderLayer(Module):
-    """One post-LN encoder block."""
+    """One post-LN encoder block.
+
+    The residual adds are fused into the layer norms
+    (:class:`~repro.nn.layers.ResidualLayerNorm`); the attribute names stay
+    ``ln1``/``ln2`` so checkpoints keep their ``ln1.gamma``-style keys.
+    """
 
     def __init__(self, cfg: EncoderConfig, rng: RngLike = None) -> None:
         super().__init__()
         r_attn, r_ff, r_d1, r_d2 = spawn_rngs(rng, 4)
         self.attn = MultiHeadSelfAttention(cfg.d_model, cfg.n_heads, cfg.dropout, rng=r_attn)
-        self.ln1 = LayerNorm(cfg.d_model)
+        self.ln1 = ResidualLayerNorm(cfg.d_model)
         self.ffn = FeedForward(cfg.d_model, cfg.d_ff, cfg.dropout, rng=r_ff)
-        self.ln2 = LayerNorm(cfg.d_model)
+        self.ln2 = ResidualLayerNorm(cfg.d_model)
         self.drop1 = Dropout(cfg.dropout, rng=r_d1)
         self.drop2 = Dropout(cfg.dropout, rng=r_d2)
 
     def forward(self, x: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
-        x = self.ln1.forward(x + self.drop1.forward(self.attn.forward(x, mask)))
-        x = self.ln2.forward(x + self.drop2.forward(self.ffn.forward(x)))
+        x = self.ln1.forward(x, self.drop1.forward(self.attn.forward(x, mask)))
+        x = self.ln2.forward(x, self.drop2.forward(self.ffn.forward(x)))
         return x
 
     def backward(self, dy: np.ndarray) -> np.ndarray:
+        # each ResidualLayerNorm backward returns a fresh gradient for the
+        # residual sum, so the branch gradients accumulate into it in place
         d = self.ln2.backward(dy)
-        d = d + self.ffn.backward(self.drop2.backward(d))
+        d += self.ffn.backward(self.drop2.backward(d))
         d = self.ln1.backward(d)
-        d = d + self.attn.backward(self.drop1.backward(d))
+        d += self.attn.backward(self.drop1.backward(d))
         return d
 
 
@@ -113,8 +127,16 @@ class TransformerEncoder(Module):
             # silently promote the whole attention stack.  The additive key
             # bias is built once here rather than once per layer.
             mask = mask.astype(self.tok_emb.W.data.dtype, copy=False)
-            mask = (1.0 - mask[:, None, None, :]) * _NEG_INF
-        positions = np.broadcast_to(np.arange(l), (b, l))
+            if mask.all():
+                # length-bucketed + trimmed batches are frequently padding-
+                # free; dropping the bias skips one full (B, H, L, L) add
+                # per layer
+                mask = None
+            else:
+                mask = (1.0 - mask[:, None, None, :]) * _NEG_INF
+        # int32 positions match the encoding pipeline's id dtype (half the
+        # index-traffic of int64 through the embedding gathers)
+        positions = np.broadcast_to(np.arange(l, dtype=np.int32), (b, l))
         x = self.tok_emb.forward(ids) + self.pos_emb.forward(positions)
         x = self.emb_drop.forward(self.emb_ln.forward(x))
         for layer in self.layers:
@@ -133,5 +155,8 @@ class TransformerEncoder(Module):
 
         Under ``inference_mode`` the maps are dropped unless each layer's
         ``attn.retain_attention`` is set (see
-        :meth:`PragFormer.predict_proba`'s ``retain_attention`` flag)."""
+        :meth:`PragFormer.predict_proba`'s ``retain_attention`` flag).
+        Training/eval maps alias pooled scratch and are only valid until
+        the next forward; set ``retain_attention`` to get private copies
+        that survive later batches."""
         return [layer.attn.last_attention for layer in self.layers]

@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.data.encoding import TokenCache, pad_encoded
 from repro.models.pragformer import PragFormer
+from repro.nn.dtype import get_dtype
 from repro.serve.metrics import EngineStats
 from repro.tokenize import Representation, Vocab, text_tokens
 
@@ -228,7 +229,9 @@ class InferenceEngine:
 
     def _predict_encoded(self, encoded: List[np.ndarray]) -> np.ndarray:
         n = len(encoded)
-        out = np.empty((n, 2))
+        # compute dtype, not np.empty's float64 default — cached rows and
+        # HTTP responses stay float32-pure
+        out = np.empty((n, 2), dtype=get_dtype())
         if n == 0:
             return out
         keys = [self._digest(ids) for ids in encoded]
@@ -253,8 +256,13 @@ class InferenceEngine:
             return out
 
         # length-sorted bucketing: each bucket pads only to its own longest
-        # row, so short-snippet buckets run quadratic attention on short L
-        unique = sorted(pending.items(), key=lambda kv: len(encoded[kv[1][0]]))
+        # row, so short-snippet buckets run quadratic attention on short L.
+        # Longest bucket first: the model's grow-only scratch pools then
+        # allocate once for the pass instead of reallocating per bucket
+        # (ascending order made every bucket outgrow the previous buffers,
+        # extending the heap with freshly-faulted pages on each step)
+        unique = sorted(pending.items(), key=lambda kv: len(encoded[kv[1][0]]),
+                        reverse=True)
         for bucket in self._buckets(unique, [len(encoded[rows[0]]) for _, rows in unique]):
             split = pad_encoded([encoded[rows[0]] for _, rows in bucket],
                                 self.vocab.pad_id)
@@ -269,21 +277,25 @@ class InferenceEngine:
         return out
 
     def _buckets(self, unique: List, lengths: List[int]):
-        """Greedy length-homogeneous buckets over ascending-length rows.
+        """Greedy length-homogeneous buckets over descending-length rows.
 
-        A bucket closes when it is full or when admitting the next (longer)
-        row would pad the bucket beyond ``bucket_waste`` x its real cells."""
+        A bucket pads to its first (longest) row; it closes when it is full
+        or when admitting the next (shorter) row would pad the bucket
+        beyond ``bucket_waste`` x its real cells."""
         max_rows = self.config.max_batch_size
         waste = self.config.bucket_waste
         bucket: List = []
         real_cells = 0
+        bucket_max = 0
         for item, length in zip(unique, lengths):
             if bucket and (
                 len(bucket) == max_rows
-                or (len(bucket) + 1) * length > waste * (real_cells + length)
+                or (len(bucket) + 1) * bucket_max > waste * (real_cells + length)
             ):
                 yield bucket
                 bucket, real_cells = [], 0
+            if not bucket:
+                bucket_max = length
             bucket.append(item)
             real_cells += length
         if bucket:

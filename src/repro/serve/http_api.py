@@ -170,7 +170,16 @@ class _AdvisorHandler(BaseHTTPRequestHandler):
             return
         self.server.bump("advise")
         try:
-            advice = self.server.advisor.advise_full_many([code])[0]
+            # prefer the async micro-batching path: concurrent handler
+            # threads enqueue on the per-head submit() queues and their
+            # snippets coalesce into shared forward passes, instead of each
+            # request running its own batch-of-1 (advisors without the
+            # async surface, e.g. ShardedEngine, fall back to the bulk call)
+            advise_async = getattr(self.server.advisor, "advise_full_async", None)
+            if advise_async is not None:
+                advice = advise_async(code)
+            else:
+                advice = self.server.advisor.advise_full_many([code])[0]
         except Exception as exc:  # noqa: BLE001 — report, don't die
             self._error(500, f"inference failed: {exc}")
             return

@@ -286,6 +286,43 @@ class MultiModelEngine:
         """One snippet through all heads -> one :class:`FullAdvice`."""
         return self.advise_full_many([code])[0]
 
+    @staticmethod
+    def _clause_advice(p: float) -> ClauseAdvice:
+        """The §4.1 decision rule for one clause head (positive iff > 0.5),
+        shared by the sync fan-out and async paths so they cannot drift."""
+        return ClauseAdvice(float(p), bool(float(p) > 0.5))
+
+    @classmethod
+    def _assemble_full(cls, p_directive: float,
+                       clause_probs: Dict[str, float]) -> FullAdvice:
+        """Positive-class probabilities -> :class:`FullAdvice`."""
+        p = float(p_directive)
+        return FullAdvice(
+            Advice(p, bool(p > 0.5)),
+            {name: cls._clause_advice(prob)
+             for name, prob in clause_probs.items()},
+        )
+
+    def advise_full_async(self, code: str,
+                          timeout: Optional[float] = None) -> FullAdvice:
+        """One snippet through every head via the async ``submit()`` queues.
+
+        Unlike :meth:`advise_full` — which runs a batch-of-1 forward per
+        head immediately — this enqueues the snippet on each head's
+        micro-batching worker and blocks until the verdicts arrive, so
+        *concurrent* callers (e.g. the HTTP server's handler threads) get
+        coalesced into shared forward passes instead of each paying a
+        batch-of-1.  Single-threaded callers pay at most one
+        ``flush_interval`` of extra latency per head.
+        """
+        futures = [(name, engine.submit(code))
+                   for name, engine in self.engines.items()]
+        probs = {name: float(future.result(timeout=timeout)[1])
+                 for name, future in futures}
+        return self._assemble_full(
+            probs[DIRECTIVE],
+            {name: p for name, p in probs.items() if name != DIRECTIVE})
+
     def advise_full_many(self, codes: Sequence[str],
                          directive: Optional[Sequence[Advice]] = None
                          ) -> List[FullAdvice]:
@@ -309,7 +346,7 @@ class MultiModelEngine:
         full = []
         for i, adv in enumerate(directive):
             clauses = {
-                name: ClauseAdvice(float(probs[i]), bool(probs[i] > 0.5))
+                name: self._clause_advice(probs[i])
                 for name, probs in clause_probs.items()
             }
             full.append(FullAdvice(adv, clauses))

@@ -82,12 +82,16 @@ class Vocab:
 
     def encode(self, tokens: Sequence[str], max_len: int = 0,
                add_cls: bool = True) -> np.ndarray:
-        """Encode to int ids, optionally prepending CLS and truncating."""
+        """Encode to int32 ids, optionally prepending CLS and truncating.
+
+        int32 is the pipeline-wide id dtype (``repro.data.encoding.ID_DTYPE``)
+        — vocabularies never approach 2**31 entries and the narrower ids
+        halve embedding-gather index traffic."""
         ids = [self.cls_id] if add_cls else []
         ids.extend(self._stoi.get(t, self._stoi[UNK]) for t in tokens)
         if max_len > 0:
             ids = ids[:max_len]
-        return np.asarray(ids, dtype=np.int64)
+        return np.asarray(ids, dtype=np.int32)
 
     def decode(self, ids: Sequence[int]) -> List[str]:
         return [self._itos[int(i)] for i in ids]

@@ -118,6 +118,46 @@ class TestEncoding:
         t2 = cache.tokens(rec, Representation.TEXT)
         assert t1 is t2
 
+    def test_ids_are_int32_end_to_end(self, directive_splits):
+        """int32 ids from Vocab.encode through every encoded split."""
+        from repro.data.encoding import ID_DTYPE, encode_batch
+
+        enc = encode_dataset(directive_splits, Representation.TEXT, max_len=32)
+        for split in (enc.train, enc.validation, enc.test):
+            assert split.ids.dtype == ID_DTYPE
+            assert split.mask.dtype == np.float32
+        row = enc.vocab.encode(["int", "i", ";"], max_len=16)
+        assert row.dtype == ID_DTYPE
+        batch = encode_batch([["int", "i", ";"]], enc.vocab, 16)
+        assert batch.ids.dtype == ID_DTYPE
+
+    def test_int32_roundtrip_through_persistence(self, directive_splits, tmp_path):
+        """Encode -> train-free predict -> save_advisor -> reload -> same
+        predictions on the same int32 ids."""
+        from repro.models import PragFormer
+        from repro.models.persistence import load_advisor, save_advisor
+        from repro.models.pragformer import PragFormerConfig
+
+        enc = encode_dataset(directive_splits, Representation.TEXT, max_len=24)
+        model = PragFormer(len(enc.vocab), PragFormerConfig(
+            d_model=16, n_heads=2, n_layers=1, d_ff=24, d_head_hidden=8,
+            max_len=24))
+        before = model.predict_proba(enc.test)
+        save_advisor({"directive": (model, enc.vocab, 24)}, tmp_path / "ckpt")
+        reloaded, vocab2, max_len = load_advisor(tmp_path / "ckpt")["directive"]
+        assert max_len == 24
+        assert vocab2.encode(["int"]).dtype == np.int32
+        after = reloaded.predict_proba(enc.test)
+        np.testing.assert_allclose(before, after, atol=1e-6)
+
+    def test_length_order_cached(self, directive_splits):
+        enc = encode_dataset(directive_splits, Representation.TEXT, max_len=32)
+        order1 = enc.train.length_order()
+        order2 = enc.train.length_order()
+        assert order1 is order2  # computed once, cached on the split
+        lengths = enc.train.mask.sum(axis=1)
+        assert (np.diff(lengths[order1]) >= 0).all()
+
 
 class TestTable7Stats:
     @pytest.fixture(scope="class")

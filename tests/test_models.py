@@ -175,6 +175,49 @@ class TestMLM:
         losses = pre.fit(encoded.train.ids, encoded.train.mask, epochs=3)
         assert losses[-1] < losses[0]
 
+    def test_gathered_head_matches_dense_masked_ce(self, encoded):
+        """The masked-position gather in ``fit`` must produce the same loss
+        and encoder gradient as the dense (B, L, V) head +
+        ``masked_cross_entropy`` formulation it replaced."""
+        from repro.nn import cross_entropy, masked_cross_entropy
+
+        cfg = EncoderConfig(vocab_size=len(encoded.vocab), d_model=16,
+                            n_heads=2, n_layers=1, d_ff=32, max_len=64)
+        pre = MLMPretrainer(cfg, encoded.vocab, MLMConfig(batch_size=16), rng=0)
+        ids = encoded.train.ids[:16]
+        mask = encoded.train.mask[:16]
+        rng = np.random.default_rng(9)
+        corrupted, targets, loss_mask = mask_tokens(ids, mask, encoded.vocab,
+                                                    rng, pre.cfg)
+        pre.encoder.eval()
+        pre.mlm_head.eval()
+        hidden = pre.encoder.forward(corrupted, mask)
+
+        # dense reference
+        dense_logits = pre.mlm_head.forward(hidden)
+        dense_loss, dense_dlogits = masked_cross_entropy(
+            dense_logits, targets, loss_mask)
+        pre.mlm_head.zero_grad()
+        dense_dhidden = pre.mlm_head.backward(dense_dlogits)
+        dense_grad = pre.mlm_head.proj.W.grad.copy()
+
+        # gathered path (what fit() runs)
+        d = hidden.shape[-1]
+        selected = np.flatnonzero(loss_mask.reshape(-1))
+        assert selected.size > 0
+        sel_logits = pre.mlm_head.forward(hidden.reshape(-1, d)[selected])
+        loss, dsel = cross_entropy(sel_logits, targets.reshape(-1)[selected])
+        pre.mlm_head.zero_grad()
+        dsel_hidden = pre.mlm_head.backward(dsel)
+        gathered_dhidden = np.zeros_like(dense_dhidden)
+        gathered_dhidden.reshape(-1, d)[selected] = dsel_hidden
+
+        assert loss == pytest.approx(dense_loss, rel=1e-5)
+        np.testing.assert_allclose(gathered_dhidden, dense_dhidden,
+                                   rtol=1e-4, atol=1e-7)
+        np.testing.assert_allclose(pre.mlm_head.proj.W.grad, dense_grad,
+                                   rtol=1e-4, atol=1e-7)
+
     def test_pretrained_state_loads_into_pragformer(self, encoded):
         cfg = EncoderConfig(vocab_size=len(encoded.vocab), d_model=16, n_heads=2,
                             n_layers=1, d_ff=32, max_len=64)

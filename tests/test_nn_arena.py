@@ -1,0 +1,227 @@
+"""Flat parameter arena + FusedAdamW: aliasing, parity, and dtype purity.
+
+The tentpole claims of the training hot-path overhaul are verified here:
+
+* flattening a model into a :class:`ParameterArena` changes *nothing*
+  observable — state dicts, checkpoints, and forwards are identical;
+* :class:`FusedAdamW` steps are bit-identical to the legacy per-parameter
+  :class:`AdamW` given the same gradients;
+* whole training trajectories (``PragFormer.fit`` with clipping, dropout,
+  length-bucketed batches) match between the two optimizers;
+* one training step leaves no float64 anywhere in the hot state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.encoding import EncodedSplit
+from repro.models.pragformer import PragFormer, PragFormerConfig
+from repro.nn import AdamW, FusedAdamW, ParameterArena, clip_grad_norm
+from repro.nn.dtype import assert_compute_dtype, get_dtype, use_dtype
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+
+
+TINY = dict(d_model=16, n_heads=2, n_layers=2, d_ff=24, d_head_hidden=12,
+            max_len=16, batch_size=8, seed=3)
+
+
+class TwoLayer(Module):
+    def __init__(self, rng=0):
+        super().__init__()
+        self.a = Linear(4, 6, rng=rng)
+        self.b = Linear(6, 2, rng=rng + 1)
+
+
+def _toy_split(n=32, length=10, vocab=24, seed=0):
+    rng = np.random.default_rng(seed)
+    ids = rng.integers(4, vocab, size=(n, length)).astype(np.int32)
+    ids[:, 0] = 2  # CLS
+    mask = np.ones((n, length), dtype=np.float32)
+    # ragged lengths so trim_batch and the bucketing actually engage
+    for row in range(n):
+        cut = int(rng.integers(length // 2, length + 1))
+        ids[row, cut:] = 0
+        mask[row, cut:] = 0.0
+    labels = rng.integers(0, 2, size=n).astype(np.int64)
+    return EncodedSplit(ids, mask, labels)
+
+
+class TestParameterArena:
+    def test_views_alias_flat_buffer(self):
+        model = TwoLayer()
+        arena = ParameterArena(model)
+        assert arena.size == model.num_parameters()
+        model.a.W.data += 1.0  # layer-local in-place update ...
+        start = arena.slices[0][1].start
+        np.testing.assert_array_equal(  # ... lands in the flat buffer
+            arena.data[start : start + model.a.W.data.size],
+            model.a.W.data.reshape(-1))
+        arena.data[...] = 0.0  # and whole-arena writes land in the layers
+        assert (model.b.W.data == 0).all()
+
+    def test_flatten_preserves_state_dict(self):
+        model = TwoLayer()
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        ParameterArena(model)
+        after = model.state_dict()
+        assert before.keys() == after.keys()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_load_state_dict_writes_through_views(self):
+        model, donor = TwoLayer(rng=0), TwoLayer(rng=7)
+        arena = ParameterArena(model)
+        model.load_state_dict(donor.state_dict())
+        np.testing.assert_array_equal(model.a.W.data, donor.a.W.data)
+        start = arena.slices[0][1].start
+        np.testing.assert_array_equal(  # the arena saw the load
+            arena.data[start : start + model.a.W.data.size],
+            donor.a.W.data.reshape(-1))
+
+    def test_decay_mask_matrices_only(self):
+        model = TwoLayer()
+        arena = ParameterArena(model)
+        for name, region, shape in arena.slices:
+            expected = 1.0 if len(shape) > 1 else 0.0
+            assert (arena.decay_mask[region] == expected).all(), name
+
+    def test_zero_grad_and_clip(self):
+        model = TwoLayer()
+        arena = ParameterArena(model)
+        model.a.W.grad += 3.0
+        model.b.b.grad += 4.0
+        assert arena.grad_norm() > 0
+        norm = arena.clip_grad_norm(1.0)
+        assert norm > 1.0
+        np.testing.assert_allclose(arena.grad_norm(), 1.0, rtol=1e-5)
+        arena.zero_grad()
+        assert (model.a.W.grad == 0).all() and (arena.grad == 0).all()
+
+    def test_empty_model_rejected(self):
+        class Bare(Module):
+            pass
+
+        with pytest.raises(ValueError):
+            ParameterArena(Bare())
+
+
+class TestFusedAdamWParity:
+    def _twin_models(self):
+        legacy, fused = TwoLayer(rng=11), TwoLayer(rng=11)
+        fused.load_state_dict(legacy.state_dict())
+        return legacy, fused
+
+    def test_steps_bit_identical_to_legacy(self):
+        """Same gradients in -> bit-identical parameters out, many steps."""
+        legacy, fused = self._twin_models()
+        opt_l = AdamW(legacy, lr=3e-3, weight_decay=0.02)
+        opt_f = FusedAdamW(fused, lr=3e-3, weight_decay=0.02)
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            opt_l.zero_grad()
+            opt_f.zero_grad()
+            for (_, pl), (_, pf) in zip(legacy.named_parameters(),
+                                        fused.named_parameters()):
+                g = rng.normal(size=pl.grad.shape).astype(get_dtype())
+                pl.grad += g
+                pf.grad += g
+            opt_l.step()
+            opt_f.step()
+        for (name, pl), (_, pf) in zip(legacy.named_parameters(),
+                                       fused.named_parameters()):
+            np.testing.assert_array_equal(pl.data, pf.data, err_msg=name)
+
+    def test_fit_trajectory_matches_legacy(self):
+        """Full §4.3 recipe (clip + dropout + bucketing) under float64,
+        where the only remaining difference — reduction order inside the
+        clip norm — is far below the comparison tolerance."""
+        with use_dtype(np.float64):
+            split = _toy_split()
+            val = _toy_split(n=16, seed=1)
+            legacy = PragFormer(24, PragFormerConfig(fused_optimizer=False, **TINY))
+            fused = PragFormer(24, PragFormerConfig(fused_optimizer=True, **TINY))
+            hist_l = legacy.fit(split, val, epochs=3)
+            hist_f = fused.fit(split, val, epochs=3)
+            np.testing.assert_allclose(hist_l.train_loss, hist_f.train_loss,
+                                       rtol=1e-9)
+            np.testing.assert_allclose(hist_l.valid_loss, hist_f.valid_loss,
+                                       rtol=1e-9)
+            state_l = legacy.encoder.state_dict()
+            state_f = fused.encoder.state_dict()
+            for key in state_l:
+                np.testing.assert_allclose(state_l[key], state_f[key],
+                                           rtol=1e-7, atol=1e-10, err_msg=key)
+
+    def test_fused_clip_matches_legacy_clip(self):
+        legacy, fused = self._twin_models()
+        opt_f = FusedAdamW(fused, lr=0.0, weight_decay=0.0)
+        rng = np.random.default_rng(4)
+        for (_, pl), (_, pf) in zip(legacy.named_parameters(),
+                                    fused.named_parameters()):
+            g = rng.normal(size=pl.grad.shape).astype(get_dtype()) * 5
+            pl.grad += g
+            pf.grad += g
+        norm_l = clip_grad_norm(legacy.parameters(), 1.0)
+        norm_f = opt_f.clip_grad_norm(1.0)
+        assert norm_l == pytest.approx(norm_f, rel=1e-5)
+        for (name, pl), (_, pf) in zip(legacy.named_parameters(),
+                                       fused.named_parameters()):
+            np.testing.assert_allclose(pl.grad, pf.grad, rtol=1e-5,
+                                       err_msg=name)
+
+
+class TestTrainStepDtypePurity:
+    def test_no_float64_after_train_step(self):
+        """Regression guard: one fit() epoch must leave parameters, grads,
+        optimizer state, and prediction outputs in the compute dtype."""
+        split = _toy_split()
+        model = PragFormer(24, PragFormerConfig(**TINY))
+        model.fit(split, epochs=1)
+        for name, p in list(model.encoder.named_parameters()) + \
+                list(model.head.named_parameters()):
+            assert_compute_dtype(p.data, p.grad, context=name)
+        opt = model._optimizer
+        assert_compute_dtype(opt.arena.data, opt.arena.grad,
+                             opt.arena.decay_mask, opt._m, opt._v, opt._tmp,
+                             context="optimizer state")
+        probs = model.predict_proba(split)
+        assert_compute_dtype(probs, context="predict_proba")
+        assert probs.dtype == get_dtype()
+        loss, acc = model.evaluate(split)
+        assert isinstance(loss, float) and isinstance(acc, float)
+
+    def test_assert_compute_dtype_helper(self):
+        assert_compute_dtype(np.zeros(3, dtype=get_dtype()),
+                             np.zeros(3, dtype=np.int32), None)
+        with pytest.raises(TypeError, match="float64"):
+            assert_compute_dtype(np.zeros(3, dtype=np.float64))
+
+
+class TestBufferPool:
+    def test_slot_reuse_and_growth(self):
+        from repro.nn import BufferPool
+
+        pool = BufferPool()
+        a = pool.get("x", (4, 8), np.float32)
+        b = pool.get("x", (4, 8), np.float32)
+        assert a.base is b.base  # same backing buffer, reused
+        smaller = pool.get("x", (2, 8), np.float32)
+        assert smaller.base is b.base  # shrinking is a view, no realloc
+        bigger = pool.get("x", (8, 8), np.float32)
+        assert bigger.base is not b.base  # outgrew the slot -> fresh buffer
+        other = pool.get("y", (4, 8), np.float32)
+        assert other.base is not bigger.base  # slots never share storage
+
+    def test_pooling_disabled_allocates_fresh(self):
+        from repro.nn import BufferPool, pooling_disabled, pooling_enabled
+
+        pool = BufferPool()
+        assert pooling_enabled()
+        with pooling_disabled():
+            assert not pooling_enabled()
+            a = pool.get("x", (4,), np.float32)
+            b = pool.get("x", (4,), np.float32)
+            assert a is not b and a.base is None  # plain np.empty each call
+            assert len(pool) == 0  # nothing retained while disabled
+        assert pooling_enabled()

@@ -117,6 +117,60 @@ class TestActivations:
         np.testing.assert_allclose(out, [0.0, 0.8412, -0.1588], atol=1e-3)
 
 
+class TestResidualLayerNorm:
+    """Fused ``LN(x + sublayer)`` must match the analytic LayerNorm math
+    for both residual inputs and both parameters."""
+
+    def _check(self, d, shape):
+        from repro.nn import ResidualLayerNorm
+
+        rln = ResidualLayerNorm(d).eval()
+        x = RNG.normal(size=shape)
+        y = RNG.normal(size=shape)
+
+        def loss():
+            return float(rln.forward(x, y).sum())
+
+        out = rln.forward(x, y)
+        rln.zero_grad()
+        ds = rln.backward(np.ones_like(out))
+        # ds is the gradient w.r.t. the residual sum == either addend
+        np.testing.assert_allclose(ds, numeric_grad(loss, x), rtol=1e-4, atol=TOL)
+        np.testing.assert_allclose(ds, numeric_grad(loss, y), rtol=1e-4, atol=TOL)
+        rln.forward(x, y)
+        rln.zero_grad()
+        rln.backward(np.ones_like(out))
+        for name, p in rln.named_parameters():
+            np.testing.assert_allclose(p.grad, numeric_grad(loss, p.data),
+                                       rtol=1e-4, atol=TOL, err_msg=name)
+
+    def test_2d(self):
+        self._check(6, (3, 6))
+
+    def test_3d(self):
+        self._check(4, (2, 3, 4))
+
+    def test_matches_unfused_layernorm(self):
+        from repro.nn import LayerNorm, ResidualLayerNorm
+
+        d = 8
+        ln, rln = LayerNorm(d).eval(), ResidualLayerNorm(d).eval()
+        gamma, beta = RNG.normal(size=d), RNG.normal(size=d)
+        ln.gamma.data[...] = gamma
+        rln.gamma.data[...] = gamma
+        ln.beta.data[...] = beta
+        rln.beta.data[...] = beta
+        x, y = RNG.normal(size=(2, 5, d)), RNG.normal(size=(2, 5, d))
+        np.testing.assert_allclose(rln.forward(x, y), ln.forward(x + y),
+                                   rtol=1e-12, atol=1e-12)
+        dy = RNG.normal(size=(2, 5, d))
+        ln.zero_grad(); rln.zero_grad()
+        np.testing.assert_allclose(rln.backward(dy.copy()), ln.backward(dy),
+                                   rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(rln.gamma.grad, ln.gamma.grad, rtol=1e-10)
+        np.testing.assert_allclose(rln.beta.grad, ln.beta.grad, rtol=1e-10)
+
+
 class TestLayerNorm:
     def test_input_grad(self):
         check_input_grad(LayerNorm(6), RNG.normal(size=(3, 6)))
