@@ -23,23 +23,35 @@ not-pathological floor; the trace speedup is the gate that matters.
 Results go to ``BENCH_serving.json`` as the first entry in the perf
 trajectory.
 
-Two further sections exercise the serving stack's newer layers: a
+Five further sections exercise the serving stack's newer layers: a
 **shard-count sweep** replays the trace through
 :class:`repro.serve.ShardedEngine` at {1, 2, 4} worker processes
 (digest-hash routing keeps each shard's LRU hot; 1 shard is the in-process
-fallback), and an **eviction-pressure** pass runs the trace against a
+fallback); an **eviction-pressure** pass runs the trace against a
 deliberately undersized prediction cache to record the eviction counters
-and batch-size histogram end to end.  On a single-core host the sweep
-measures routing/IPC overhead rather than scaling — multi-shard numbers
-sitting below the in-process fallback is expected there, and the recorded
-values exist for cross-run comparison, not as a speedup claim.
+and batch-size histogram end to end; a **clause-gating** pass replays a
+majority-negative trace through gated and ungated multi-model engines
+(the gate must cut clause-head requests by about the negative fraction
+while leaving every fanned-out verdict bit-identical); a
+**reload-under-load** pass hot-swaps an advisor checkpoint while client
+threads hammer the engine (zero failed requests, zero stale cache hits,
+post-swap verdicts provably from the new weights); and an **autoscale
+burst** drives a queue-depth-autoscaled sharded engine through a bursty
+then idle phase and records the resize trail.  On a single-core host the
+sweep and autoscale sections measure routing/IPC overhead rather than
+scaling — multi-shard numbers sitting below the in-process fallback is
+expected there, and the recorded values exist for cross-run comparison,
+not as a speedup claim.
 
 Predictions are weight-independent in cost, so an untrained PragFormer at
 the default (paper-shaped) size keeps the bench self-contained and fast.
 """
 
 import functools
+import tempfile
+import threading
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -49,7 +61,14 @@ from conftest import timed, write_bench_report
 from repro.corpus import CorpusConfig, build_corpus
 from repro.data.encoding import encode_batch
 from repro.models import PragFormer
-from repro.serve import EngineConfig, InferenceEngine, ShardedEngine
+from repro.serve import (
+    AutoscaleConfig,
+    EngineConfig,
+    InferenceEngine,
+    ModelRegistry,
+    MultiModelEngine,
+    ShardedEngine,
+)
 from repro.tokenize import Vocab, text_tokens
 
 pytestmark = pytest.mark.perf
@@ -58,6 +77,10 @@ N_REQUESTS = 512
 ZIPF_EXPONENT = 1.35  # ~110 distinct snippets across the 512 requests
 SHARD_COUNTS = (1, 2, 4)
 PRESSURE_CACHE = 48  # smaller than the trace's distinct set -> forced evictions
+GATING_REQUESTS = 256     # gating trace length (3 heads -> keep it lean)
+GATING_NEGATIVE_FRAC = 0.75  # majority-negative, as real traffic skews
+GATE_MARGIN = 0.05
+RELOAD_CLIENTS = 4        # threads hammering during the hot swap
 
 
 def _workload():
@@ -93,6 +116,48 @@ def _shard_worker_engine(model, vocab, max_len):
 def _percentiles(latencies_s):
     lat = np.asarray(latencies_s) * 1e3
     return {f"p{q}_ms": round(float(np.percentile(lat, q)), 3) for q in (50, 95, 99)}
+
+
+def _advisor_registry(directive_model, vocab, max_len, clause_seed=21):
+    """Three-head advisor registry (directive + private + reduction) over
+    the bench vocabulary; clause heads are fresh untrained models."""
+    registry = ModelRegistry()
+    registry.register("directive", directive_model, vocab, max_len=max_len)
+    for k, name in enumerate(("private", "reduction"), start=1):
+        registry.register(name, PragFormer(len(vocab), rng=clause_seed + k),
+                          vocab, max_len=max_len)
+    return registry
+
+
+def _balanced_directive_head(vocab, sample, max_len, min_each=16):
+    """An untrained directive head whose verdicts split both ways.
+
+    Untrained heads are often heavily one-sided (their bias is luck of the
+    init), and the gating section needs real directive-negative traffic to
+    gate.  Scan seeds until one yields at least ``min_each`` snippets of
+    each verdict class on ``sample`` — deterministic, and independent of
+    how a future default init shifts the bias.
+    """
+    for seed in range(64):
+        candidate = PragFormer(len(vocab), rng=1000 + seed)
+        verdicts = InferenceEngine(candidate, vocab,
+                                   max_len=max_len).advise_many(sample)
+        negative = sum(not a.needs_directive for a in verdicts)
+        if min_each <= negative <= len(sample) - min_each:
+            return candidate
+    raise AssertionError("no seed yields a two-sided directive head")
+
+
+def _clause_requests(stats):
+    """Total clause-head requests in a MultiModelEngine stats snapshot."""
+    return sum(stats["heads"][name]["requests"]
+               for name in ("private", "reduction"))
+
+
+def _clause_batches(stats):
+    """Total clause-head forward batches in a stats snapshot."""
+    return sum(stats["heads"][name]["batches"]
+               for name in ("private", "reduction"))
 
 
 def test_serving_throughput(benchmark):
@@ -186,6 +251,173 @@ def test_serving_throughput(benchmark):
         "batch_size_hist": pstats["batch_size_hist"],
     }
 
+    # -- clause gating on a majority-negative trace ------------------------
+    # realistic advisor traffic is mostly directive-negative; the gate must
+    # cut clause-head requests by roughly the negative fraction while the
+    # fanned-out snippets keep bit-identical verdicts
+    gating_model = _balanced_directive_head(vocab, codes[:128], max_len)
+    registry = _advisor_registry(gating_model, vocab, max_len)
+    directive_verdicts = InferenceEngine(
+        gating_model, vocab, max_len=max_len).advise_many(codes)
+    neg_pool = [c for c, a in zip(codes, directive_verdicts)
+                if not a.needs_directive]
+    pos_pool = [c for c, a in zip(codes, directive_verdicts)
+                if a.needs_directive]
+    assert len(neg_pool) >= 8 and len(pos_pool) >= 8, (
+        "gating trace needs both verdict classes "
+        f"(got {len(neg_pool)} negative / {len(pos_pool)} positive)")
+    gating_rng = np.random.default_rng(7)
+    gating_trace = []
+    for _ in range(GATING_REQUESTS):
+        pool = (neg_pool if gating_rng.random() < GATING_NEGATIVE_FRAC
+                else pos_pool)
+        gating_trace.append(pool[gating_rng.integers(len(pool))])
+    neg_set = set(neg_pool)
+    negative_frac = sum(c in neg_set for c in gating_trace) / len(gating_trace)
+    with MultiModelEngine(registry, config=EngineConfig(
+            max_batch_size=128)) as ungated_engine:
+        ungated_full, ungated_elapsed = timed(
+            ungated_engine.advise_full_many, gating_trace)
+        ungated_stats = ungated_engine.stats()
+    with MultiModelEngine(registry, config=EngineConfig(
+            max_batch_size=128, gate_margin=GATE_MARGIN)) as gated_engine:
+        gated_full, gated_elapsed = timed(
+            gated_engine.advise_full_many, gating_trace)
+        gated_stats = gated_engine.stats()
+    # parity: directive verdicts always agree; fanned-out snippets carry
+    # identical clause probabilities
+    gating_mismatches = 0
+    for u, g in zip(ungated_full, gated_full):
+        if g.directive != u.directive:
+            gating_mismatches += 1
+        elif g.clauses and any(
+                abs(g.clauses[n].probability - u.clauses[n].probability) > 1e-6
+                for n in u.clauses):
+            gating_mismatches += 1
+    clause_gating = {
+        "trace_requests": len(gating_trace),
+        "negative_frac": round(negative_frac, 3),
+        "gate_margin": GATE_MARGIN,
+        "ungated": {
+            "snippets_per_s": round(len(gating_trace) / ungated_elapsed, 1),
+            "clause_requests": _clause_requests(ungated_stats),
+            "clause_batches": _clause_batches(ungated_stats),
+        },
+        "gated": {
+            "snippets_per_s": round(len(gating_trace) / gated_elapsed, 1),
+            "clause_requests": _clause_requests(gated_stats),
+            "clause_batches": _clause_batches(gated_stats),
+            "gated_snippets": gated_stats["clause_gating"]["gated_snippets"],
+            "fanned_out": gated_stats["clause_gating"]["fanned_out"],
+        },
+        "clause_request_reduction": round(
+            1.0 - _clause_requests(gated_stats)
+            / max(1, _clause_requests(ungated_stats)), 3),
+        "verdict_mismatches": gating_mismatches,
+    }
+
+    # -- hot reload under concurrent load ----------------------------------
+    # swap an advisor checkpoint while client threads hammer the engine:
+    # zero failed requests, zero stale predictions served afterwards
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt_a = Path(tmp) / "advisor_a"
+        ckpt_b = Path(tmp) / "advisor_b"
+        registry.save(ckpt_a)
+        _advisor_registry(PragFormer(len(vocab), rng=31), vocab, max_len,
+                          clause_seed=40).save(ckpt_b)
+        probe = codes[:48]
+        live = MultiModelEngine(ModelRegistry.from_checkpoint(ckpt_a),
+                                config=EngineConfig(max_batch_size=128))
+        live.advise_full_many(probe)  # caches populated under version "0"
+        failures: list = []
+        # per-thread counters, summed after join — a shared += would lose
+        # updates across thread switches and understate the served count
+        served = [0] * RELOAD_CLIENTS
+        stop = threading.Event()
+
+        def reload_client(slot):
+            while not stop.is_set():
+                try:
+                    served[slot] += len(live.advise_full_many(probe))
+                except Exception as exc:  # noqa: BLE001 — counted below
+                    failures.append(exc)
+                    return
+
+        clients = [threading.Thread(target=reload_client, args=(k,))
+                   for k in range(RELOAD_CLIENTS)]
+        for t in clients:
+            t.start()
+        time.sleep(0.2)  # get real load in flight before the swap
+        _, reload_elapsed = timed(live.reload, ckpt_b)
+        time.sleep(0.2)  # keep serving across the swap boundary
+        stop.set()
+        for t in clients:
+            t.join(timeout=60)
+        with MultiModelEngine(ModelRegistry.from_checkpoint(ckpt_b)) as fresh:
+            expected_new = fresh.advise_full_many(probe)
+        post_swap = live.advise_full_many(probe)
+        stale = sum(
+            1 for got, exp in zip(post_swap, expected_new)
+            if abs(got.directive.probability - exp.directive.probability) > 1e-5
+            or any(abs(got.clauses[n].probability - exp.clauses[n].probability)
+                   > 1e-5 for n in exp.clauses))
+        reload_stats = live.stats()
+        reload_under_load = {
+            "clients": RELOAD_CLIENTS,
+            "requests_served": sum(served),
+            "failed_requests": len(failures),
+            "reload_s": round(reload_elapsed, 4),
+            "model_version": reload_stats["model_version"],
+            "stale_predictions_after_swap": stale,
+            "cache_hits": reload_stats["combined"]["cache_hits"],
+        }
+        live.close()
+
+    # -- autoscale burst: queue-depth resize between min and max shards ----
+    autoscale_cfg = AutoscaleConfig(min_shards=1, max_shards=2,
+                                    high_watermark=0.25, low_watermark=0.05,
+                                    window=4, cooldown_s=0.5)
+    with ShardedEngine(engine_factory, n_shards=1,
+                       autoscale=autoscale_cfg) as scaled:
+        stop = threading.Event()
+        burst_errors: list = []
+
+        def burst_client():
+            while not stop.is_set():
+                try:
+                    scaled.predict_proba(trace[:64])
+                except Exception as exc:  # noqa: BLE001 — counted below
+                    burst_errors.append(exc)
+                    return
+
+        burst = [threading.Thread(target=burst_client) for _ in range(4)]
+        burst_start = time.monotonic()
+        for t in burst:
+            t.start()
+        while scaled.n_shards < 2 and time.monotonic() - burst_start < 30:
+            time.sleep(0.05)
+        grew_to = scaled.n_shards
+        grow_s = time.monotonic() - burst_start
+        stop.set()
+        for t in burst:
+            t.join(timeout=60)
+        assert not burst_errors, burst_errors
+        idle_start = time.monotonic()
+        while scaled.n_shards > 1 and time.monotonic() - idle_start < 30:
+            scaled.predict_proba(trace[:8])
+        shrank_to = scaled.n_shards
+        scaler_state = scaled.stats()["autoscaler"]
+    autoscale_burst = {
+        "config": {"min_shards": 1, "max_shards": 2,
+                   "high_watermark": 0.25, "low_watermark": 0.05,
+                   "window": 4, "cooldown_s": 0.5},
+        "grew_to": grew_to,
+        "grow_s": round(grow_s, 2),
+        "shrank_to": shrank_to,
+        "resizes": scaler_state["resizes"],
+        "last_resize": scaler_state["last_resize"],
+    }
+
     speedup = trace_throughput / seq_throughput
     report = {
         "workload": {
@@ -216,6 +448,9 @@ def test_serving_throughput(benchmark):
         },
         "shard_sweep": shard_sweep,
         "eviction_pressure": eviction_pressure,
+        "clause_gating": clause_gating,
+        "reload_under_load": reload_under_load,
+        "autoscale_burst": autoscale_burst,
         "stats": engine.stats.as_dict(),
     }
     path = write_bench_report("serving", report)
@@ -223,7 +458,12 @@ def test_serving_throughput(benchmark):
                           for n in SHARD_COUNTS)
     print(f"\nengine on trace: {trace_throughput:.0f} snippets/s "
           f"({speedup:.1f}x sequential; distinct-cold {distinct_speedup:.2f}x); "
-          f"shard sweep: {sweep_txt}; report: {path}")
+          f"shard sweep: {sweep_txt}; "
+          f"gating -{clause_gating['clause_request_reduction']:.0%} clause "
+          f"requests on a {negative_frac:.0%}-negative trace; reload under "
+          f"load {reload_under_load['reload_s'] * 1e3:.0f}ms with "
+          f"{reload_under_load['failed_requests']} failures; autoscale "
+          f"{grew_to}->{shrank_to} shards; report: {path}")
 
     assert speedup >= 5.0, f"engine only {speedup:.2f}x sequential on the trace"
     # near-parity expected on one core now that the sequential path shares
@@ -236,3 +476,21 @@ def test_serving_throughput(benchmark):
     assert engine.stats.cache_hits >= len(trace)  # warm pass served from LRU
     assert set(shard_sweep) == {str(n) for n in SHARD_COUNTS}
     assert eviction_pressure["evictions"] > 0, "pressure pass must evict"
+    # clause gating: fewer clause-head requests AND batches on the
+    # majority-negative trace, with zero verdict drift on fanned snippets
+    assert (clause_gating["gated"]["clause_requests"]
+            < clause_gating["ungated"]["clause_requests"])
+    assert (clause_gating["gated"]["clause_batches"]
+            <= clause_gating["ungated"]["clause_batches"])
+    assert clause_gating["clause_request_reduction"] >= 0.3, (
+        "gating saved too little on a majority-negative trace")
+    assert clause_gating["verdict_mismatches"] == 0
+    # hot reload: nothing dropped, nothing stale
+    assert reload_under_load["failed_requests"] == 0
+    assert reload_under_load["stale_predictions_after_swap"] == 0
+    assert reload_under_load["model_version"].startswith("v1:")
+    assert reload_under_load["requests_served"] > 0
+    # autoscaler: the burst grew the fleet, idleness shrank it back
+    assert autoscale_burst["grew_to"] == 2, "burst must reach max_shards"
+    assert autoscale_burst["shrank_to"] == 1, "idle fleet must shrink to min"
+    assert autoscale_burst["resizes"] >= 2

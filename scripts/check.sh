@@ -3,17 +3,27 @@
 #
 #   scripts/check.sh            # tier-1 + perf smoke
 #   scripts/check.sh --fast     # tier-1 only
+#   scripts/check.sh --docs     # docs health only: links, CLI-flag
+#                               # coverage, repro.serve docstring audit
 #
 # Tier-1 is the gate every change must keep green (`pytest -x -q` from the
 # repo root; bench_* files are never collected there).  The smoke subset
 # runs the `-m perf`-marked benches that also carry the `smoke` marker —
 # seconds, not minutes — to catch hot-path regressions (e.g. the fused and
 # legacy training paths drifting apart) without paying for the full
-# BENCH_* report sweep.
+# BENCH_* report sweep.  The --docs step is the documentation pass alone
+# (also part of tier-1), for doc-only edits.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="$(pwd)/src${PYTHONPATH:+:$PYTHONPATH}"
+
+if [[ "${1:-}" == "--docs" ]]; then
+    echo "== docs =="
+    python -m pytest -x -q tests/test_docs_links.py
+    echo "check.sh: docs green"
+    exit 0
+fi
 
 echo "== tier-1 =="
 python -m pytest -x -q

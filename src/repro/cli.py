@@ -23,10 +23,16 @@ writes one JSON directive verdict per line; ``--stats`` dumps engine
 counters to stderr at EOF.  ``--http PORT`` instead loads the directive
 *and* ``private``/``reduction`` clause models behind one
 :class:`repro.serve.MultiModelEngine` and serves ``POST /advise``,
-``POST /advise/batch``, ``GET /healthz``, and ``GET /stats`` (schemas in
-``docs/serving.md``).  In either mode ``--shards N`` partitions traffic
-across N worker processes with digest-hash routing
-(:class:`repro.serve.ShardedEngine`).
+``POST /advise/batch``, ``POST /reload``, ``GET /healthz``, and
+``GET /stats`` (schemas in ``docs/serving.md``).  In either mode
+``--shards N`` partitions traffic across N worker processes with
+digest-hash routing (:class:`repro.serve.ShardedEngine`), and
+``--min-shards``/``--max-shards`` turn on queue-depth autoscaling between
+those bounds.  ``--http`` additionally supports ``--watch DIR`` (start
+from — and hot-reload on changes to — an advisor checkpoint directory
+written by ``ModelRegistry.save``) and ``--gate-margin M`` (clause heads
+only see snippets whose directive probability clears ``0.5 - M``).  The
+operator's guide is ``docs/operations.md``.
 
 ``advise`` fans each positive snippet out to the clause models through the
 same multi-model engine and prints the suggested clauses.
@@ -79,7 +85,23 @@ def _engine_config(args: argparse.Namespace):
     from repro.serve import EngineConfig
 
     return EngineConfig(max_batch_size=getattr(args, "batch_size", 128),
-                        cache_capacity=getattr(args, "cache_size", 4096))
+                        cache_capacity=getattr(args, "cache_size", 4096),
+                        gate_margin=getattr(args, "gate_margin", None))
+
+
+def _autoscale_config(args: argparse.Namespace):
+    """:class:`AutoscaleConfig` from ``--min-shards``/``--max-shards``, or
+    ``None`` when neither flag was given (fixed shard count)."""
+    from repro.serve import AutoscaleConfig
+
+    min_shards = getattr(args, "min_shards", None)
+    max_shards = getattr(args, "max_shards", None)
+    if min_shards is None and max_shards is None:
+        return None
+    min_shards = min_shards or 1
+    return AutoscaleConfig(
+        min_shards=min_shards,
+        max_shards=max_shards or max(min_shards, getattr(args, "shards", 1)))
 
 
 def _make_engine(args: argparse.Namespace):
@@ -114,19 +136,33 @@ def _build_directive_engine(model, vocab, max_len, config):
 def _make_full_advisor(args: argparse.Namespace):
     """Multi-model advisor (directive + clause heads), optionally sharded.
 
-    With ``--shards N > 1`` each worker process builds its own
-    :class:`MultiModelEngine` from the already-trained registry."""
+    With ``--shards N > 1`` (or autoscaling bounds) each worker process
+    builds its own :class:`MultiModelEngine` from the registry.  With
+    ``--watch DIR`` pointing at an existing advisor checkpoint, the
+    registry is loaded from it instead of training via the experiment
+    context — the deployment path: train elsewhere, ``ModelRegistry.save``,
+    serve from the checkpoint and hot-reload on updates."""
     import functools
 
-    from repro.pipeline import get_context
     from repro.serve import ModelRegistry, ShardedEngine
 
     config = _engine_config(args)
-    registry = ModelRegistry.from_context(get_context())
+    watch = getattr(args, "watch", None)
+    registry = None
+    if watch:
+        try:
+            registry = ModelRegistry.from_checkpoint(watch)
+        except FileNotFoundError:
+            registry = None  # no checkpoint yet: train, serve, watch for one
+    if registry is None:
+        from repro.pipeline import get_context
+
+        registry = ModelRegistry.from_context(get_context())
+    autoscale = _autoscale_config(args)
     shards = getattr(args, "shards", 1)
     factory = functools.partial(_build_multi_engine, registry, config)
-    if shards > 1:
-        return ShardedEngine(factory, n_shards=shards)
+    if shards > 1 or autoscale is not None:
+        return ShardedEngine(factory, n_shards=shards, autoscale=autoscale)
     return factory()
 
 
@@ -165,11 +201,28 @@ def _cmd_advise(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     if args.http is not None:
-        from repro.serve import serve_forever
+        from repro.serve import checkpoint_mtime, serve_forever
 
-        serve_forever(_make_full_advisor(args), args.host, args.http)
+        # baseline captured BEFORE the (slow) advisor load: a checkpoint
+        # written while models load still differs from it, so the watcher's
+        # first poll picks the rollout up instead of absorbing it
+        baseline = checkpoint_mtime(args.watch) if args.watch else None
+        serve_forever(_make_full_advisor(args), args.host, args.http,
+                      watch_dir=args.watch,
+                      watch_interval=args.watch_interval,
+                      watch_baseline=baseline)
         return 0
-    if args.shards > 1:
+    if args.watch:
+        print("--watch requires --http (the stdin loop ends at EOF, "
+              "nothing long-lived to reload)", file=sys.stderr)
+        return 2
+    if args.gate_margin is not None:
+        print("--gate-margin requires --http (the stdin loop serves the "
+              "directive head only; there are no clause heads to gate)",
+              file=sys.stderr)
+        return 2
+    autoscale = _autoscale_config(args)
+    if args.shards > 1 or autoscale is not None:
         import functools
 
         from repro.pipeline import get_context
@@ -181,7 +234,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             functools.partial(_build_directive_engine, ctx.pragformer,
                               enc.vocab, ctx.scale.pragformer.max_len,
                               _engine_config(args)),
-            n_shards=args.shards)
+            n_shards=args.shards, autoscale=autoscale)
     else:
         _, engine = _make_engine(args)
 
@@ -309,12 +362,28 @@ def main(argv=None) -> int:
     p_serve.add_argument("--http", type=int, default=None, metavar="PORT",
                          help="serve the multi-model advisor over HTTP on PORT "
                               "(directive + clause heads; /advise, /advise/batch, "
-                              "/healthz, /stats)")
+                              "/reload, /healthz, /stats)")
     p_serve.add_argument("--host", type=str, default="127.0.0.1",
                          help="bind address for --http (default 127.0.0.1)")
     p_serve.add_argument("--shards", type=int, default=1, metavar="N",
                          help="partition traffic across N worker processes "
                               "(digest-hash routing; 1 = in-process)")
+    p_serve.add_argument("--min-shards", type=int, default=None, metavar="N",
+                         help="lower bound for queue-depth shard autoscaling "
+                              "(giving --min-shards or --max-shards enables it)")
+    p_serve.add_argument("--max-shards", type=int, default=None, metavar="N",
+                         help="upper bound for queue-depth shard autoscaling")
+    p_serve.add_argument("--watch", type=str, default=None, metavar="DIR",
+                         help="with --http: serve the advisor checkpoint in DIR "
+                              "and hot-reload whenever a new checkpoint lands "
+                              "(mtime polling; also the default for POST /reload)")
+    p_serve.add_argument("--watch-interval", type=float, default=2.0,
+                         metavar="SECONDS",
+                         help="poll interval for --watch (default 2.0)")
+    p_serve.add_argument("--gate-margin", type=float, default=None, metavar="M",
+                         help="gate clause heads on the directive verdict: only "
+                              "snippets with P(directive) > 0.5 - M fan out "
+                              "(default: gating off)")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_compar = sub.add_parser("compar", help="run the ComPar S2S combiner on a file")

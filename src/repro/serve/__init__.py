@@ -8,16 +8,20 @@ Four modules build on each other:
 * :mod:`repro.serve.registry` — :class:`ModelRegistry` /
   :class:`MultiModelEngine`: the directive model plus the ``private`` /
   ``reduction`` clause models behind one engine, with the combined
-  :meth:`~MultiModelEngine.advise_full` fan-out.
+  :meth:`~MultiModelEngine.advise_full` fan-out, hot checkpoint reload
+  (:meth:`~MultiModelEngine.reload`, :class:`CheckpointWatcher`), and
+  directive-gated clause fan-out (``EngineConfig.gate_margin``).
 * :mod:`repro.serve.sharding` — :class:`ShardedEngine`: bulk traffic
   partitioned across worker processes by source digest, per-shard caches
-  kept hot.
+  kept hot, queue-depth autoscaling between :class:`AutoscaleConfig`
+  bounds.
 * :mod:`repro.serve.http_api` — stdlib HTTP front-end (``/advise``,
-  ``/advise/batch``, ``/healthz``, ``/stats``).
+  ``/advise/batch``, ``/reload``, ``/healthz``, ``/stats``).
 
 Counters live in :mod:`repro.serve.metrics`.  CLI front-ends: ``repro
 serve`` (JSON-lines on stdin, or ``--http PORT``), ``repro advise``.
-The full walk-through is in ``docs/serving.md``.
+The full walk-through is in ``docs/serving.md``; the operator's guide
+(deploy, probe, reload, autoscale) is ``docs/operations.md``.
 """
 
 from repro.serve.engine import (
@@ -26,21 +30,31 @@ from repro.serve.engine import (
     EngineStats,
     InferenceEngine,
     LRUCache,
+    ModelSlot,
 )
 from repro.serve.http_api import AdvisorHTTPServer, make_server, serve_forever
-from repro.serve.metrics import batch_hist_bucket, merge_stat_dicts
+from repro.serve.metrics import RollingMean, batch_hist_bucket, merge_stat_dicts
 from repro.serve.registry import (
+    CheckpointWatcher,
     ClauseAdvice,
     FullAdvice,
     ModelHead,
     ModelRegistry,
     MultiModelEngine,
+    checkpoint_mtime,
 )
-from repro.serve.sharding import ShardedEngine, shard_of, snapshot_stats
+from repro.serve.sharding import (
+    AutoscaleConfig,
+    ShardedEngine,
+    shard_of,
+    snapshot_stats,
+)
 
 __all__ = [
     "Advice",
     "AdvisorHTTPServer",
+    "AutoscaleConfig",
+    "CheckpointWatcher",
     "ClauseAdvice",
     "EngineConfig",
     "EngineStats",
@@ -49,9 +63,12 @@ __all__ = [
     "LRUCache",
     "ModelHead",
     "ModelRegistry",
+    "ModelSlot",
     "MultiModelEngine",
+    "RollingMean",
     "ShardedEngine",
     "batch_hist_bucket",
+    "checkpoint_mtime",
     "make_server",
     "merge_stat_dicts",
     "serve_forever",

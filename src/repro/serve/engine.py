@@ -22,6 +22,13 @@ into serving infrastructure:
   :meth:`~InferenceEngine.submit` enqueues a request and returns a
   :class:`concurrent.futures.Future`, with a background worker that flushes
   a batch when it is full or ``flush_interval`` elapses.
+* **Hot model swap** — the model, vocabulary, serving length, and a
+  *version tag* live together in one immutable slot;
+  :meth:`~InferenceEngine.swap_model` replaces the slot atomically.  Every
+  cache key (prediction LRU *and* tokenize/encode memo) is prefixed with
+  the version tag, so entries written under an old model can never be
+  served for the new one, and requests that started before a swap finish
+  on the weights they started with.
 
 Knobs live on :class:`EngineConfig`; counters on
 :class:`~repro.serve.metrics.EngineStats`.  The engine is the bottom layer
@@ -52,7 +59,7 @@ from repro.serve.metrics import EngineStats
 from repro.tokenize import Representation, Vocab, text_tokens
 
 __all__ = ["EngineConfig", "EngineStats", "LRUCache", "Advice",
-           "InferenceEngine", "source_digest"]
+           "InferenceEngine", "ModelSlot", "source_digest"]
 
 
 def source_digest(code: str, size: int = 16) -> bytes:
@@ -78,12 +85,21 @@ class EngineConfig:
     next row's length would exceed ``bucket_waste`` x the real token cells,
     keeping buckets length-homogeneous so short snippets never pay a long
     snippet's quadratic attention cost.
+
+    ``gate_margin`` enables cross-request clause gating in
+    :class:`~repro.serve.registry.MultiModelEngine`: when set, clause heads
+    only see snippets whose directive probability exceeds
+    ``0.5 - gate_margin`` (``None``, the default, disables gating and every
+    head sees every snippet).  A small positive margin keeps near-threshold
+    snippets fanning out so borderline verdicts still carry clause
+    probabilities; see ``docs/operations.md`` for the accuracy caveats.
     """
 
     max_batch_size: int = 128
     cache_capacity: int = 4096
     flush_interval: float = 0.005
     bucket_waste: float = 1.35
+    gate_margin: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -94,6 +110,8 @@ class EngineConfig:
             raise ValueError("flush_interval must be >= 0")
         if self.bucket_waste < 1.0:
             raise ValueError("bucket_waste must be >= 1.0")
+        if self.gate_margin is not None and not 0.0 <= self.gate_margin <= 0.5:
+            raise ValueError("gate_margin must be in [0, 0.5] (or None)")
 
 
 class LRUCache:
@@ -145,6 +163,30 @@ class Advice:
     needs_directive: bool
 
 
+@dataclass(frozen=True)
+class ModelSlot:
+    """Everything one prediction depends on, swapped as a unit.
+
+    ``version`` tags the deployed checkpoint; ``version_bytes`` (its UTF-8
+    encoding) prefixes every cache key derived while this slot is current,
+    so predictions and encodings from different model versions can never
+    collide.  Slots are immutable: a request snapshots the engine's slot
+    once and uses it for its whole lifetime, which is what lets
+    :meth:`InferenceEngine.swap_model` run under live traffic — in-flight
+    requests finish on the weights they started with.
+    """
+
+    model: PragFormer
+    vocab: Vocab
+    max_len: int
+    version: str
+
+    @property
+    def version_bytes(self) -> bytes:
+        """The version tag as the byte prefix used in cache keys."""
+        return self.version.encode("utf-8")
+
+
 _SHUTDOWN = object()
 
 
@@ -153,7 +195,12 @@ class InferenceEngine:
 
     Thread-safe: the prediction cache is lock-protected and model forwards
     are serialized (the NumPy modules keep per-forward state), so the sync
-    bulk API and the async queue can be used concurrently.
+    bulk API and the async queue can be used concurrently.  The model,
+    vocabulary, serving length, and version tag live in one immutable
+    :class:`ModelSlot` that :meth:`swap_model` replaces atomically; every
+    request snapshots the slot once, so a swap under load never mixes
+    weights within a request and never serves a stale cache entry (keys are
+    version-prefixed).
     """
 
     def __init__(
@@ -163,21 +210,68 @@ class InferenceEngine:
         max_len: Optional[int] = None,
         config: Optional[EngineConfig] = None,
         tokenizer: Optional[Callable[[str], List[str]]] = None,
+        version: str = "0",
     ) -> None:
-        self.model = model
-        self.vocab = vocab
-        self.max_len = max_len or model.config.max_len
+        self._slot = ModelSlot(model, vocab, max_len or model.config.max_len,
+                               version)
         self.config = config or EngineConfig()
         self.tokenizer = tokenizer or text_tokens
         self.cache = LRUCache(self.config.cache_capacity)
         self._encode_memo = LRUCache(self.config.cache_capacity)
         self.stats = EngineStats()
+        self._swap_count = 0
         self._cache_lock = threading.Lock()
         self._model_lock = threading.Lock()
         self._queue: "queue.Queue" = queue.Queue()
         self._worker: Optional[threading.Thread] = None
         self._worker_lock = threading.Lock()
         self._closed = False
+
+    # -- the live model slot -----------------------------------------------
+
+    @property
+    def model(self) -> PragFormer:
+        """The currently deployed model (see :meth:`swap_model`)."""
+        return self._slot.model
+
+    @property
+    def vocab(self) -> Vocab:
+        """The currently deployed vocabulary."""
+        return self._slot.vocab
+
+    @property
+    def max_len(self) -> int:
+        """The current serving truncation length."""
+        return self._slot.max_len
+
+    @property
+    def model_version(self) -> str:
+        """Version tag of the deployed slot (prefixes every cache key)."""
+        return self._slot.version
+
+    def swap_model(
+        self,
+        model: PragFormer,
+        vocab: Vocab,
+        max_len: Optional[int] = None,
+        version: Optional[str] = None,
+    ) -> str:
+        """Atomically deploy a new (model, vocab, max_len) under ``version``.
+
+        Requests already in flight keep the slot they snapshotted and
+        finish on the old weights; every later request sees the new slot.
+        Because cache keys are version-prefixed, entries written under the
+        old version can never satisfy a new-version lookup — they age out
+        of the LRUs naturally.  ``version`` defaults to a per-engine
+        ``swap-N`` counter tag; returns the tag actually deployed.
+        """
+        with self._cache_lock:
+            self._swap_count += 1
+            if version is None:
+                version = f"swap-{self._swap_count}"
+            self._slot = ModelSlot(model, vocab,
+                                   max_len or model.config.max_len, version)
+        return version
 
     # -- encoding ----------------------------------------------------------
 
@@ -187,26 +281,35 @@ class InferenceEngine:
         Tokenize-once: results are memoized by source digest (pure-Python
         lexing costs about as much as a small-model forward pass, so
         repeated traffic must not re-lex)."""
-        key = source_digest(code)
+        return self._encode(self._slot, code)
+
+    def _encode(self, slot: ModelSlot, code: str) -> np.ndarray:
+        """Encode ``code`` under ``slot``; memo keys carry slot.version so a
+        row encoded with an old vocabulary is never reused after a swap."""
+        key = slot.version_bytes + source_digest(code)
         with self._cache_lock:
             hit = self._encode_memo.get(key)
         if hit is not None:
             return hit
-        ids = self.vocab.encode(self.tokenizer(code), max_len=self.max_len)
+        ids = slot.vocab.encode(self.tokenizer(code), max_len=slot.max_len)
         with self._cache_lock:
             self.stats.tokenized += 1
             self.stats.encode_evictions += self._encode_memo.put(key, ids)
         return ids
 
     @staticmethod
-    def _digest(ids: np.ndarray) -> bytes:
-        return hashlib.blake2b(ids.tobytes(), digest_size=16).digest()
+    def _digest(slot: ModelSlot, ids: np.ndarray) -> bytes:
+        """Prediction-cache key: model version tag + token-id digest."""
+        return slot.version_bytes + hashlib.blake2b(
+            ids.tobytes(), digest_size=16).digest()
 
     # -- sync bulk API -----------------------------------------------------
 
     def predict_proba(self, codes: Sequence[str]) -> np.ndarray:
         """(N, 2) class probabilities for ``codes``, batched and cached."""
-        return self._predict_encoded([self.encode(code) for code in codes])
+        slot = self._slot
+        return self._predict_encoded(
+            [self._encode(slot, code) for code in codes], slot)
 
     def advise(self, code: str) -> Advice:
         """One snippet -> :class:`Advice` (batched path, cache included)."""
@@ -221,20 +324,22 @@ class InferenceEngine:
                         rep: Representation = Representation.TEXT) -> np.ndarray:
         """Bulk probabilities for corpus :class:`Record` objects, with
         tokenization memoized through the shared :class:`TokenCache`."""
-        encoded = [self.vocab.encode(cache.tokens(rec, rep), max_len=self.max_len)
+        slot = self._slot
+        encoded = [slot.vocab.encode(cache.tokens(rec, rep), max_len=slot.max_len)
                    for rec in records]
-        return self._predict_encoded(encoded)
+        return self._predict_encoded(encoded, slot)
 
     # -- core batching path ------------------------------------------------
 
-    def _predict_encoded(self, encoded: List[np.ndarray]) -> np.ndarray:
+    def _predict_encoded(self, encoded: List[np.ndarray],
+                         slot: ModelSlot) -> np.ndarray:
         n = len(encoded)
         # compute dtype, not np.empty's float64 default — cached rows and
         # HTTP responses stay float32-pure
         out = np.empty((n, 2), dtype=get_dtype())
         if n == 0:
             return out
-        keys = [self._digest(ids) for ids in encoded]
+        keys = [self._digest(slot, ids) for ids in encoded]
 
         # resolve cache hits and coalesce duplicate misses per digest
         pending: "OrderedDict[bytes, List[int]]" = OrderedDict()
@@ -265,9 +370,9 @@ class InferenceEngine:
                         reverse=True)
         for bucket in self._buckets(unique, [len(encoded[rows[0]]) for _, rows in unique]):
             split = pad_encoded([encoded[rows[0]] for _, rows in bucket],
-                                self.vocab.pad_id)
+                                slot.vocab.pad_id)
             with self._model_lock:
-                probs = self.model.predict_proba(split, batch_size=len(bucket))
+                probs = slot.model.predict_proba(split, batch_size=len(bucket))
             with self._cache_lock:
                 self.stats.record_batch(len(bucket))
                 for (key, rows), p in zip(bucket, probs):
@@ -305,12 +410,17 @@ class InferenceEngine:
 
     def submit(self, code: str) -> Future:
         """Enqueue one snippet; the returned future resolves to its (2,)
-        probability vector once a micro-batch containing it has run."""
+        probability vector once a micro-batch containing it has run.
+
+        The request snapshots the current :class:`ModelSlot`, so a
+        :meth:`swap_model` racing the queue cannot run an old-vocabulary
+        row through the new model."""
         if self._closed:
             raise RuntimeError("engine is closed")
         self._ensure_worker()
         future: Future = Future()
-        self._queue.put((self.encode(code), future))
+        slot = self._slot
+        self._queue.put((slot, self._encode(slot, code), future))
         return future
 
     def _ensure_worker(self) -> None:
@@ -343,16 +453,25 @@ class InferenceEngine:
             self._flush(batch)
 
     def _flush(self, batch: List) -> None:
-        try:
-            probs = self._predict_encoded([ids for ids, _ in batch])
-        except BaseException as exc:  # surface engine errors to every waiter
-            for _, future in batch:
+        # group by model slot: a swap_model racing the queue may leave rows
+        # from two versions in one flush, and each must run on (and cache
+        # under) the weights it snapshotted at submit time
+        groups: "OrderedDict[int, List]" = OrderedDict()
+        for item in batch:
+            groups.setdefault(id(item[0]), []).append(item)
+        for items in groups.values():
+            slot = items[0][0]
+            try:
+                probs = self._predict_encoded([ids for _, ids, _ in items],
+                                              slot)
+            except BaseException as exc:  # surface errors to every waiter
+                for _, _, future in items:
+                    if not future.done():
+                        future.set_exception(exc)
+                continue
+            for (_, _, future), p in zip(items, probs):
                 if not future.done():
-                    future.set_exception(exc)
-            return
-        for (_, future), p in zip(batch, probs):
-            if not future.done():
-                future.set_result(p)
+                    future.set_result(p)
 
     def close(self) -> None:
         """Stop the async worker (idempotent); sync APIs keep working."""
@@ -371,7 +490,7 @@ class InferenceEngine:
             except queue.Empty:
                 break
             if item is not _SHUTDOWN:
-                _, future = item
+                future = item[-1]
                 if not future.done():
                     future.set_exception(RuntimeError("engine is closed"))
 

@@ -18,11 +18,18 @@ Endpoints (all JSON; schemas and ``curl`` examples in ``docs/serving.md``):
   heads (for a sharded advisor this round-trips a worker process).
 * ``GET /stats`` — the advisor's live metrics snapshot plus HTTP-level
   request counters.
+* ``POST /reload`` — hot-swap the advisor to a new checkpoint directory:
+  body ``{"path": "advisor_ckpt/"}``, or an empty body to reload the
+  server's default checkpoint directory (set by ``repro serve --watch`` /
+  :func:`make_server`'s ``reload_dir``).  Replies with the new
+  ``model_version``; ``501`` when the advisor cannot hot-reload, ``500``
+  (old weights keep serving) when the checkpoint is bad.
 
 Malformed requests get ``400`` with ``{"error": ...}``; unknown paths
 ``404``; the serving loop never dies on a bad request.  Start it from the
 CLI with ``repro serve --http PORT`` or programmatically via
-:func:`make_server` / :func:`serve_forever`.
+:func:`make_server` / :func:`serve_forever`.  The operator's guide to the
+lifecycle (probing, reload, autoscaling) is ``docs/operations.md``.
 """
 
 from __future__ import annotations
@@ -44,13 +51,16 @@ class AdvisorHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address: Tuple[str, int], advisor) -> None:
+    def __init__(self, address: Tuple[str, int], advisor,
+                 reload_dir: Optional[str] = None) -> None:
         super().__init__(address, _AdvisorHandler)
         self.advisor = advisor
+        #: default checkpoint directory for body-less ``POST /reload``
+        self.reload_dir = str(reload_dir) if reload_dir is not None else None
         self._counter_lock = threading.Lock()
         self.http_requests: Dict[str, int] = {
             "advise": 0, "advise_batch": 0, "healthz": 0, "stats": 0,
-            "errors": 0,
+            "reload": 0, "errors": 0,
         }
 
     def bump(self, key: str) -> None:
@@ -152,11 +162,13 @@ class _AdvisorHandler(BaseHTTPRequestHandler):
     # -- POST --------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
-        """Route ``/advise`` and ``/advise/batch``."""
+        """Route ``/advise``, ``/advise/batch``, and ``/reload``."""
         if self.path == "/advise":
             self._handle_advise()
         elif self.path == "/advise/batch":
             self._handle_advise_batch()
+        elif self.path == "/reload":
+            self._handle_reload()
         else:
             self._error(404, f"unknown path {self.path!r}")
 
@@ -184,6 +196,42 @@ class _AdvisorHandler(BaseHTTPRequestHandler):
             self._error(500, f"inference failed: {exc}")
             return
         self._send_json(200, advice.as_dict())
+
+    def _handle_reload(self) -> None:
+        """Hot-swap the advisor's checkpoint (``POST /reload``).
+
+        ``{"path": ...}`` selects the checkpoint directory; an empty body
+        falls back to the server's ``reload_dir``.  On success the reply
+        carries the new ``model_version``; on failure the advisor keeps
+        serving the old weights and the error says why.
+        """
+        path = self.server.reload_dir
+        try:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+        except ValueError:
+            self._error(400, "invalid Content-Length")
+            return
+        if length > 0:
+            payload = self._read_body()
+            if payload is None:
+                return
+            path = payload.get("path", path)
+        if not isinstance(path, str) or not path:
+            self._error(400, "no checkpoint: POST {\"path\": ...} or start "
+                             "the server with a reload/watch directory")
+            return
+        reload_fn = getattr(self.server.advisor, "reload", None)
+        if reload_fn is None:
+            self._error(501, "advisor does not support hot reload")
+            return
+        self.server.bump("reload")
+        try:
+            version = reload_fn(path)
+        except Exception as exc:  # noqa: BLE001 — old weights keep serving
+            self._error(500, f"reload failed: {exc}")
+            return
+        self._send_json(200, {"status": "reloaded", "path": path,
+                              "model_version": version})
 
     def _handle_advise_batch(self) -> None:
         payload = self._read_body()
@@ -233,27 +281,59 @@ class _AdvisorHandler(BaseHTTPRequestHandler):
         return ids, codes
 
 
-def make_server(advisor, host: str = "127.0.0.1", port: int = 0
-                ) -> AdvisorHTTPServer:
+def make_server(advisor, host: str = "127.0.0.1", port: int = 0,
+                reload_dir: Optional[str] = None) -> AdvisorHTTPServer:
     """Bind an :class:`AdvisorHTTPServer` (``port=0`` = ephemeral) without
     starting it — callers drive ``serve_forever``/``shutdown`` themselves
-    (tests run it on a thread)."""
-    return AdvisorHTTPServer((host, port), advisor)
+    (tests run it on a thread).  ``reload_dir`` is the default checkpoint
+    directory a body-less ``POST /reload`` falls back to."""
+    return AdvisorHTTPServer((host, port), advisor, reload_dir=reload_dir)
 
 
-def serve_forever(advisor, host: str, port: int, banner: bool = True) -> None:
+#: Sentinel for ``serve_forever(watch_baseline=...)``: let the watcher
+#: stat the manifest itself at construction time.
+_BASELINE_UNSET = object()
+
+
+def serve_forever(advisor, host: str, port: int, banner: bool = True,
+                  watch_dir: Optional[str] = None,
+                  watch_interval: float = 2.0,
+                  watch_baseline=_BASELINE_UNSET) -> None:
     """Blocking convenience loop for the CLI: bind, announce, serve until
-    interrupted, then close the advisor."""
-    server = make_server(advisor, host, port)
+    interrupted, then close the advisor.
+
+    With ``watch_dir`` set, a
+    :class:`~repro.serve.registry.CheckpointWatcher` polls that advisor
+    checkpoint directory every ``watch_interval`` seconds and hot-reloads
+    the advisor when a new checkpoint lands; the directory also becomes
+    the default for body-less ``POST /reload``.  ``watch_baseline`` is
+    the manifest mtime the advisor was loaded from (capture it *before*
+    loading, see :func:`repro.serve.registry.checkpoint_mtime`) so a
+    checkpoint landing during the load window is still reloaded; by
+    default the watcher baselines at construction.
+    """
+    from repro.serve.registry import CheckpointWatcher
+
+    server = make_server(advisor, host, port, reload_dir=watch_dir)
+    watcher = None
+    if watch_dir is not None:
+        kwargs = ({} if watch_baseline is _BASELINE_UNSET
+                  else {"baseline_mtime": watch_baseline})
+        watcher = CheckpointWatcher(advisor, watch_dir,
+                                    interval=watch_interval, **kwargs).start()
     bound_host, bound_port = server.server_address[:2]
     if banner:
+        watching = f", watching {watch_dir}" if watch_dir is not None else ""
         print(f"advisor listening on http://{bound_host}:{bound_port} "
-              f"(POST /advise, POST /advise/batch, GET /healthz, GET /stats)")
+              f"(POST /advise, POST /advise/batch, POST /reload, "
+              f"GET /healthz, GET /stats{watching})")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover — interactive exit
         pass
     finally:
+        if watcher is not None:
+            watcher.stop()
         server.server_close()
         close = getattr(advisor, "close", None)
         if close is not None:

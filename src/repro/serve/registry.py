@@ -22,6 +22,19 @@ behind a single front door:
   :class:`~repro.serve.engine.Advice` plus one :class:`ClauseAdvice` per
   clause head, JSON-ready via :meth:`FullAdvice.as_dict`.
 
+Two operability layers ride on top (see ``docs/operations.md``):
+
+* **Hot reload** — :meth:`MultiModelEngine.reload` swaps every head to a
+  new advisor checkpoint under live traffic; in-flight requests finish on
+  the old weights and version-tagged cache keys guarantee no stale
+  predictions survive the swap.  :class:`CheckpointWatcher` polls a
+  checkpoint directory's manifest mtime and reloads automatically
+  (``repro serve --watch DIR``).
+* **Clause gating** — with ``EngineConfig.gate_margin`` set, the directive
+  head is consulted first and clause heads only see snippets whose
+  directive probability clears ``0.5 - gate_margin``, cutting clause-head
+  compute on majority-negative traffic.
+
 ``repro serve --http`` and ``repro advise`` are the CLI front-ends; see
 ``docs/serving.md`` for the architecture walk-through.
 """
@@ -31,6 +44,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.models.pragformer import PragFormer
@@ -47,12 +61,31 @@ from repro.tokenize import Vocab, text_tokens
 __all__ = [
     "DEFAULT_CLAUSES",
     "DIRECTIVE",
+    "CheckpointWatcher",
     "ClauseAdvice",
     "FullAdvice",
     "ModelHead",
     "ModelRegistry",
     "MultiModelEngine",
+    "checkpoint_mtime",
 ]
+
+
+def checkpoint_mtime(path) -> Optional[int]:
+    """Manifest mtime (ns) of an advisor checkpoint, or ``None`` if absent.
+
+    The ``advisor.json`` manifest is written *last* by
+    :func:`repro.models.save_advisor`, so its mtime identifies a complete
+    checkpoint.  One definition shared by :class:`CheckpointWatcher` and
+    the CLI's ``--watch`` startup (which captures a baseline *before*
+    loading the checkpoint, so a rollout landing mid-load is still seen).
+    """
+    from repro.models.persistence import _ADVISOR_MANIFEST
+
+    try:
+        return (Path(path) / _ADVISOR_MANIFEST).stat().st_mtime_ns
+    except OSError:
+        return None
 
 #: Registry name of the mandatory directive head; all other heads are
 #: treated as clause models.
@@ -236,6 +269,12 @@ class MultiModelEngine:
     :meth:`advise_full` path fans a snippet out to the directive head and
     every clause head and folds the verdicts into one :class:`FullAdvice`.
 
+    With ``config.gate_margin`` set, :meth:`advise_full_many` and
+    :meth:`advise_full_async` consult the directive head first and only
+    fan clause work out for snippets whose directive probability exceeds
+    ``0.5 - gate_margin`` — gated-out snippets come back with an empty
+    ``clauses`` dict (their recommendation list is empty either way).
+
     Thread-safe to the same degree as :class:`InferenceEngine`.  Use as a
     context manager (or call :meth:`close`) to stop the per-head async
     workers.
@@ -251,6 +290,7 @@ class MultiModelEngine:
             raise ValueError(f"registry must contain a {DIRECTIVE!r} head")
         self.registry = registry
         self.config = config or EngineConfig()
+        self.model_version = "0"
         self.lex_memo = _SharedLexMemo(tokenizer or text_tokens,
                                        self.config.cache_capacity)
         self.engines: Dict[str, InferenceEngine] = {
@@ -260,6 +300,11 @@ class MultiModelEngine:
                                        tokenizer=self.lex_memo)
             for head in registry
         }
+        self._reload_lock = threading.Lock()
+        self._reload_count = 0
+        self._gate_lock = threading.Lock()
+        self.gated_snippets = 0    # snippets whose clause fan-out was skipped
+        self.fanned_snippets = 0   # snippets that did reach the clause heads
 
     # -- directive-only paths (InferenceEngine-compatible surface) ---------
 
@@ -303,6 +348,23 @@ class MultiModelEngine:
              for name, prob in clause_probs.items()},
         )
 
+    def _fans_out(self, probability: float) -> bool:
+        """Gating rule: does a snippet with this directive probability reach
+        the clause heads?  Always true with gating disabled; with a margin,
+        true for positives and for negatives within ``gate_margin`` of the
+        0.5 decision boundary (so near-threshold verdicts still carry
+        clause probabilities)."""
+        margin = self.config.gate_margin
+        return margin is None or float(probability) > 0.5 - margin
+
+    def _count_gated(self, gated: int, fanned: int) -> None:
+        """Accumulate gating counters (no-op when gating is disabled)."""
+        if self.config.gate_margin is None:
+            return
+        with self._gate_lock:
+            self.gated_snippets += gated
+            self.fanned_snippets += fanned
+
     def advise_full_async(self, code: str,
                           timeout: Optional[float] = None) -> FullAdvice:
         """One snippet through every head via the async ``submit()`` queues.
@@ -314,7 +376,25 @@ class MultiModelEngine:
         coalesced into shared forward passes instead of each paying a
         batch-of-1.  Single-threaded callers pay at most one
         ``flush_interval`` of extra latency per head.
+
+        With ``gate_margin`` set, the directive verdict is awaited first
+        and clause heads are only enqueued when the snippet fans out —
+        gating trades the lost head-level overlap for skipping the clause
+        forwards entirely on directive-negative traffic.
         """
+        if self.config.gate_margin is not None:
+            p_dir = float(self.directive_engine.submit(code)
+                          .result(timeout=timeout)[1])
+            if not self._fans_out(p_dir):
+                self._count_gated(1, 0)
+                return self._assemble_full(p_dir, {})
+            self._count_gated(0, 1)
+            futures = [(name, engine.submit(code))
+                       for name, engine in self.engines.items()
+                       if name != DIRECTIVE]
+            return self._assemble_full(p_dir, {
+                name: float(future.result(timeout=timeout)[1])
+                for name, future in futures})
         futures = [(name, engine.submit(code))
                    for name, engine in self.engines.items()]
         probs = {name: float(future.result(timeout=timeout)[1])
@@ -326,7 +406,7 @@ class MultiModelEngine:
     def advise_full_many(self, codes: Sequence[str],
                          directive: Optional[Sequence[Advice]] = None
                          ) -> List[FullAdvice]:
-        """Bulk combined advice: every head sees every snippet.
+        """Bulk combined advice: every head sees every fanned-out snippet.
 
         Tokenization is shared (one lex per distinct snippet), and since
         all heads truncate to the same ``max_len`` the per-head engines
@@ -334,23 +414,81 @@ class MultiModelEngine:
         per head, nothing more.  Callers that already hold directive
         verdicts for ``codes`` (e.g. the CLI, which gates clause inference
         on them) can pass them via ``directive`` to skip re-scoring.
+
+        With ``gate_margin`` set, clause heads only see the snippets that
+        fan out (see :meth:`_fans_out`); gated-out snippets get an empty
+        ``clauses`` dict.  Snippets that do fan out get byte-identical
+        clause verdicts to an ungated engine — gating changes which rows
+        run, never their values.
         """
         if directive is None:
             directive = self.directive_engine.advise_many(codes)
         elif len(directive) != len(codes):
             raise ValueError("directive advice must match codes 1:1")
+        fan_idx = [i for i, adv in enumerate(directive)
+                   if self._fans_out(adv.probability)]
+        self._count_gated(len(codes) - len(fan_idx), len(fan_idx))
+        fan_codes = [codes[i] for i in fan_idx]
+        fan_row = {orig: row for row, orig in enumerate(fan_idx)}
         clause_probs = {
-            name: self.engines[name].predict_proba(codes)[:, 1]
+            name: self.engines[name].predict_proba(fan_codes)[:, 1]
             for name in self.registry.clause_names()
         }
         full = []
         for i, adv in enumerate(directive):
-            clauses = {
-                name: self._clause_advice(probs[i])
+            row = fan_row.get(i)
+            clauses = {} if row is None else {
+                name: self._clause_advice(probs[row])
                 for name, probs in clause_probs.items()
             }
             full.append(FullAdvice(adv, clauses))
         return full
+
+    # -- hot reload ----------------------------------------------------------
+
+    def reload(self, advisor_dir, version: Optional[str] = None) -> str:
+        """Swap every head to the checkpoint in ``advisor_dir``, live.
+
+        Loads the checkpoint (slow I/O, outside any lock), then swaps each
+        head's engine to its new (model, vocab, max_len) under one fresh
+        version tag.  Per head the swap is atomic — in-flight requests
+        finish on the weights they started with, and version-tagged cache
+        keys mean no prediction computed by the old model is ever served
+        for the new one.  A request fanning out *during* the reload may
+        combine old-directive with new-clause verdicts for one transient
+        call; each verdict is still internally consistent.
+
+        The checkpoint must provide every currently served head (extra
+        heads in the checkpoint are ignored — the head set is fixed at
+        construction).  Raises without touching the engines when the
+        checkpoint is missing, malformed, or incomplete, so a failed
+        reload leaves the old model serving.  ``version`` overrides the
+        default ``v<n>:<dir>`` tag — :class:`~repro.serve.sharding
+        .ShardedEngine` passes one tag to every worker so a fleet always
+        agrees on its deployed version.  Returns the tag deployed (also
+        reported by :meth:`stats` as ``model_version``).
+        """
+        from repro.models.persistence import load_advisor
+
+        heads = load_advisor(advisor_dir)
+        missing = [name for name in self.engines if name not in heads]
+        if missing:
+            raise ValueError(
+                f"checkpoint {advisor_dir} lacks served heads {missing}; "
+                f"it provides {sorted(heads)}")
+        with self._reload_lock:
+            self._reload_count += 1
+            if version is None:
+                version = f"v{self._reload_count}:{Path(advisor_dir).name}"
+            registry = ModelRegistry()
+            for name in self.registry.names():
+                model, vocab, max_len = heads[name]
+                registry.register(name, model, vocab, max_len=max_len)
+                self.engines[name].swap_model(model, vocab, max_len,
+                                              version=version)
+            self.registry = registry
+            self.model_version = version
+        return version
 
     # -- observability ------------------------------------------------------
 
@@ -363,14 +501,26 @@ class MultiModelEngine:
 
         Shape: ``{"heads": {name: EngineStats.as_dict()}, "combined":
         merged counters, "snippets_lexed": distinct snippets lexed by the
-        shared memo}`` — JSON-ready for the ``/stats`` endpoint.
+        shared memo, "model_version": deployed checkpoint tag, "reloads":
+        completed hot reloads, "clause_gating": gate config + skip
+        counters}`` — JSON-ready for the ``/stats`` endpoint.
         """
         per_head = {name: eng.stats.as_dict() for name, eng in self.engines.items()}
+        with self._gate_lock:
+            gating = {
+                "enabled": self.config.gate_margin is not None,
+                "gate_margin": self.config.gate_margin,
+                "gated_snippets": self.gated_snippets,
+                "fanned_out": self.fanned_snippets,
+            }
         return {
             "heads": per_head,
             "combined": merge_engine_stats(
                 eng.stats for eng in self.engines.values()),
             "snippets_lexed": self.lex_memo.lexed,
+            "model_version": self.model_version,
+            "reloads": self._reload_count,
+            "clause_gating": gating,
         }
 
     # -- lifecycle ----------------------------------------------------------
@@ -385,3 +535,100 @@ class MultiModelEngine:
 
     def __exit__(self, *exc: object) -> None:
         self.close()
+
+
+#: Sentinel default for ``CheckpointWatcher(baseline_mtime=...)``: stat the
+#: manifest at construction time.
+_STAT_AT_INIT = object()
+
+
+class CheckpointWatcher:
+    """Poll an advisor checkpoint directory and hot-reload on change.
+
+    Backs ``repro serve --watch DIR``: a daemon thread stats the
+    checkpoint's ``advisor.json`` manifest every ``interval`` seconds and
+    calls ``advisor.reload(path)`` when its mtime moves.  The manifest is
+    the right sentinel because :func:`repro.models.save_advisor` writes it
+    *last* — a new mtime means every head's ``.npz`` is already on disk,
+    so the watcher never loads a half-written checkpoint.
+
+    A failed reload (corrupt or incomplete checkpoint) is recorded in
+    ``last_error`` and polling continues — the advisor keeps serving the
+    old weights.  ``advisor`` is anything exposing ``reload(path)``: a
+    :class:`MultiModelEngine` or a
+    :class:`~repro.serve.sharding.ShardedEngine` wrapping one per worker.
+
+    ``baseline_mtime`` is the manifest mtime the advisor's *current*
+    weights correspond to; by default the watcher stats the manifest at
+    construction.  Callers that load the checkpoint *before* building the
+    watcher (the CLI) should capture :func:`checkpoint_mtime` before
+    loading and pass it here — otherwise a rollout landing during the
+    load window is absorbed into the baseline and never served.
+    """
+
+    def __init__(self, advisor, path, interval: float = 2.0,
+                 baseline_mtime=_STAT_AT_INIT) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        self.advisor = advisor
+        self.path = Path(path)
+        self.interval = interval
+        self.reloads = 0          # successful reloads triggered by the watch
+        self.last_error: Optional[str] = None
+        self._last_mtime = (checkpoint_mtime(self.path)
+                            if baseline_mtime is _STAT_AT_INIT
+                            else baseline_mtime)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def _manifest_mtime(self) -> Optional[int]:
+        """The manifest's mtime in ns, or ``None`` while it doesn't exist."""
+        return checkpoint_mtime(self.path)
+
+    def poll_once(self) -> bool:
+        """One poll step: reload if the manifest mtime moved.
+
+        Returns True when a reload was performed (successfully or not —
+        check ``last_error``); False when nothing changed.  Exposed so
+        tests and manual operators can drive the watch loop themselves.
+        """
+        mtime = self._manifest_mtime()
+        if mtime is None or mtime == self._last_mtime:
+            return False
+        # record the mtime before reloading: a *broken* checkpoint must not
+        # be retried every interval, only when it changes again
+        self._last_mtime = mtime
+        try:
+            self.advisor.reload(self.path)
+        except Exception as exc:  # noqa: BLE001 — keep serving old weights
+            self.last_error = f"{type(exc).__name__}: {exc}"
+        else:
+            self.reloads += 1
+            self.last_error = None
+        return True
+
+    def start(self) -> "CheckpointWatcher":
+        """Start the polling daemon thread (idempotent); returns self."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="checkpoint-watcher", daemon=True)
+            self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.poll_once()
+
+    def stop(self) -> None:
+        """Stop the polling thread (idempotent)."""
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "CheckpointWatcher":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

@@ -15,12 +15,23 @@ hosting its own engine built by a caller-supplied zero-argument factory:
 * **Concurrent callers** — replies are tagged with request ids, so multiple
   threads (e.g. HTTP handler threads) can have calls in flight at once;
   calls touching disjoint shards proceed fully in parallel.
-* **Graceful fallback** — ``n_shards=1`` builds the engine in-process and
-  skips multiprocessing entirely (same API, zero IPC overhead), so callers
-  can treat the shard count as a pure tuning knob.
+* **Graceful fallback** — ``n_shards=1`` (without autoscaling) builds the
+  engine in-process and skips multiprocessing entirely (same API, zero IPC
+  overhead), so callers can treat the shard count as a pure tuning knob.
+* **Queue-depth autoscaling** — with an :class:`AutoscaleConfig`, the
+  engine samples the in-flight backlog each call into a rolling window and
+  grows/shrinks the active worker count between ``min_shards`` and
+  ``max_shards``.  Routing stays consistent on resize (always
+  ``digest % n_shards`` over the *active* count), growth replays the last
+  hot-reload so new workers never serve stale weights, and hysteresis
+  (full-window gate + cooldown) keeps the fleet from flapping.
+* **Hot reload** — :meth:`reload` broadcasts an advisor-checkpoint swap to
+  every active worker (workers must host an engine exposing
+  ``reload(path)``, e.g. :class:`~repro.serve.registry.MultiModelEngine`).
 * **Observability** — :meth:`stats` aggregates every worker's engine
-  counters and reports per-shard routed-request counts and live queue
-  depths (requests sent but not yet answered).
+  counters and reports per-shard routed-request counts, live queue depths
+  (requests sent but not yet answered), the deployed model version, and
+  the autoscaler's state (current shards, last resize and its reason).
 
 Workers are started with the ``fork`` start method when the platform
 offers it (the factory may close over live models — fork shares their
@@ -34,26 +45,78 @@ import itertools
 import multiprocessing as mp
 import queue as queue_mod
 import threading
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn.dtype import get_dtype
 from repro.serve.engine import Advice, source_digest
-from repro.serve.metrics import merge_stat_dicts
+from repro.serve.metrics import RollingMean, merge_stat_dicts
 
-__all__ = ["ShardedEngine", "shard_of", "snapshot_stats"]
+__all__ = ["AutoscaleConfig", "ShardedEngine", "shard_of", "snapshot_stats"]
 
 _STOP = "stop"
+
+
+def _route_key(code: str) -> int:
+    """Shard-count-independent routing hash for a snippet (blake2b-based,
+    stable across processes and runs, unlike the per-process-salted
+    ``hash()``).  ``_route_key(code) % n_shards`` is the shard index —
+    split out so bulk callers can hash outside the routing lock."""
+    return int.from_bytes(source_digest(code, size=8), "big")
 
 
 def shard_of(code: str, n_shards: int) -> int:
     """Deterministic shard index for a snippet.
 
-    Keyed on a blake2b digest of the source text — stable across processes
-    and runs (unlike ``hash()``, which is salted per process), so a given
-    snippet always hits the same shard's warm caches.
+    Keyed on a blake2b digest of the source text, so a given snippet
+    always hits the same shard's warm caches.
     """
-    return int.from_bytes(source_digest(code, size=8), "big") % n_shards
+    return _route_key(code) % n_shards
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Queue-depth autoscaling knobs for :class:`ShardedEngine`.
+
+    Each serving call samples the mean per-shard backlog (requests sent
+    but unanswered, over active shards) into a rolling window of
+    ``window`` samples.  Once the window is full and ``cooldown_s`` has
+    passed since the last resize, a mean above ``high_watermark`` grows
+    the fleet by one worker and a mean below ``low_watermark`` shrinks it
+    by one, always staying within ``[min_shards, max_shards]``.  The
+    window is cleared after every resize, so the next decision is based
+    entirely on post-resize load — together with the cooldown this is the
+    hysteresis that prevents flapping.  Tuning guidance lives in
+    ``docs/operations.md``.
+    """
+
+    min_shards: int = 1
+    max_shards: int = 4
+    high_watermark: float = 2.0
+    low_watermark: float = 0.25
+    window: int = 16
+    cooldown_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.min_shards < 1:
+            raise ValueError("min_shards must be >= 1")
+        if self.max_shards < self.min_shards:
+            raise ValueError("max_shards must be >= min_shards")
+        if not 0.0 <= self.low_watermark < self.high_watermark:
+            raise ValueError(
+                "need 0 <= low_watermark < high_watermark")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+
+    def clamp(self, n_shards: int) -> int:
+        """``n_shards`` clamped into ``[min_shards, max_shards]``."""
+        return max(self.min_shards, min(self.max_shards, n_shards))
 
 
 def snapshot_stats(engine) -> Dict[str, object]:
@@ -77,8 +140,18 @@ def _head_names(engine) -> List[str]:
     return []
 
 
-def _worker_main(factory, requests, responses) -> None:
+def _worker_main(factory, requests, responses, reload_spec=None) -> None:
     """Worker loop: build the engine once, then serve method calls.
+
+    ``reload_spec`` — a ``(checkpoint_path, version_tag)`` pair — replays
+    the parent's last *successful* hot reload on a worker spawned after
+    it (the autoscaler growing the fleet): the factory closes over the
+    registry the parent started with, so without the replay a grown
+    worker would serve pre-reload weights.  The parent-issued tag keeps
+    every worker's ``model_version`` identical.  A failed replay (the
+    checkpoint vanished since) falls back to the factory weights and
+    keeps serving — a live worker with a divergent ``model_version`` in
+    ``/stats`` beats a dead slot.
 
     Messages are ``(rid, method, payload)`` tuples; replies are
     ``(rid, "ok", result)`` or ``(rid, "error", repr)`` — the echoed
@@ -87,6 +160,12 @@ def _worker_main(factory, requests, responses) -> None:
     of hanging the shard.
     """
     engine = factory()
+    if reload_spec is not None:
+        path, version = reload_spec
+        try:
+            engine.reload(path, version=version)
+        except Exception:  # noqa: BLE001 — factory weights keep serving
+            pass
     try:
         while True:
             msg = requests.get()
@@ -98,6 +177,9 @@ def _worker_main(factory, requests, responses) -> None:
                     result = snapshot_stats(engine)
                 elif method == "heads":
                     result = _head_names(engine)
+                elif method == "reload":
+                    path, version = payload
+                    result = engine.reload(path, version=version)
                 else:
                     result = getattr(engine, method)(payload)
                 responses.put((rid, "ok", result))
@@ -109,6 +191,21 @@ def _worker_main(factory, requests, responses) -> None:
             close()
 
 
+class _Token(NamedTuple):
+    """Handle for one in-flight worker request.
+
+    Captures the response queue and process object *at send time*: if the
+    autoscaler later retires this slot and respawns it with fresh queues,
+    the caller still collects its reply from the queue the retired worker
+    writes to.
+    """
+
+    rid: int
+    shard: int
+    responses: object
+    worker: object
+
+
 class ShardedEngine:
     """Bulk advisor traffic partitioned across N single-engine workers.
 
@@ -117,11 +214,19 @@ class ShardedEngine:
     :class:`~repro.serve.registry.MultiModelEngine`, or anything exposing
     the same bulk methods).  All bulk calls (:meth:`predict_proba`,
     :meth:`advise_many`, :meth:`advise_full_many`) route per snippet by
-    :func:`shard_of` and preserve request order in the returned results.
+    :func:`shard_of` over the *active* shard count and preserve request
+    order in the returned results.
+
+    Passing ``autoscale=AutoscaleConfig(...)`` turns on queue-depth
+    autoscaling: the worker fleet grows and shrinks between the
+    configured bounds as the rolling backlog signal demands (see
+    :class:`AutoscaleConfig`).  Autoscaling always runs in
+    multiprocessing mode — the in-process ``n_shards=1`` fallback cannot
+    grow.
 
     Thread-safe: replies carry request ids, so concurrent bulk calls (e.g.
     HTTP handler threads) run in parallel — per shard, whichever caller is
-    reading stores any reply that is not its own for the thread it belongs
+    reading parks any reply that is not its own for the thread it belongs
     to; calls on disjoint shards never contend.
     """
 
@@ -130,77 +235,145 @@ class ShardedEngine:
         factory: Callable[[], object],
         n_shards: int = 1,
         mp_context: Optional[str] = None,
+        autoscale: Optional[AutoscaleConfig] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
+        if autoscale is not None:
+            n_shards = autoscale.clamp(n_shards)
         self.n_shards = n_shards
-        self.routed = [0] * n_shards      # requests routed per shard, ever
-        self._depth = [0] * n_shards      # sub-batches in flight per shard
+        self.autoscale = autoscale
+        self.routed: List[int] = []       # requests routed per slot, ever
+        self._depth: List[int] = []       # sub-batches in flight per slot
         self._meta_lock = threading.Lock()   # routed/_depth/request ids
+        self._route_lock = threading.RLock()  # active shard count + resizes
         self._rids = itertools.count()
+        self._factory = factory
+        self._reload_spec: Optional[Tuple[str, str]] = None
+        self._reload_count = 0
         self._local = None
         self._workers: List[mp.Process] = []
         self._requests: List[mp.queues.Queue] = []
         self._responses: List[mp.queues.Queue] = []
         self._closed = False
-        if n_shards == 1:
+        # autoscaler state
+        self._window = (RollingMean(autoscale.window)
+                        if autoscale is not None else None)
+        self._last_resize_at = time.monotonic()
+        self._resizes = 0
+        self._resizing = False    # a grow is preparing outside _route_lock
+        self._last_resize: Optional[Dict[str, object]] = None
+        if n_shards == 1 and autoscale is None:
             # in-process fallback: same API, no IPC, no extra processes
+            self.routed.append(0)
+            self._depth.append(0)
             self._local = factory()
             return
         # reply plumbing: one reader at a time per shard; replies that
         # belong to another thread's request are parked in _pending
-        self._recv_locks = [threading.Lock() for _ in range(n_shards)]
-        self._pending_locks = [threading.Lock() for _ in range(n_shards)]
-        self._pending: List[Dict[int, Tuple[str, object]]] = [
-            {} for _ in range(n_shards)]
+        self._recv_locks: List[threading.Lock] = []
+        self._pending_locks: List[threading.Lock] = []
+        self._pending: List[Dict[int, Tuple[str, object]]] = []
         if mp_context is None:
             mp_context = ("fork" if "fork" in mp.get_all_start_methods()
                           else "spawn")
-        ctx = mp.get_context(mp_context)
+        self._mp_ctx = mp.get_context(mp_context)
         for shard in range(n_shards):
-            req: "mp.queues.Queue" = ctx.Queue()
-            resp: "mp.queues.Queue" = ctx.Queue()
-            proc = ctx.Process(target=_worker_main, args=(factory, req, resp),
-                               name=f"advisor-shard-{shard}", daemon=True)
-            proc.start()
+            self._install_worker(shard, self._start_worker(shard, None))
+
+    # -- worker lifecycle --------------------------------------------------
+
+    def _start_worker(self, index: int,
+                      reload_spec: Optional[Tuple[str, str]]
+                      ) -> Optional[Tuple]:
+        """Spawn a worker process for slot ``index`` (no routing changes).
+
+        Deliberately runs *without* ``_route_lock``: process start can
+        take a while and the slot is not routable until
+        :meth:`_install_worker` publishes it.  ``reload_spec`` (the
+        caller's snapshot of the last successful reload) is replayed in
+        the worker at startup so a grown worker never serves pre-rollout
+        weights.  Returns ``None`` — grow aborted, retry later — when the
+        slot's retired worker is still draining in-flight requests:
+        terminating it would fail the callers waiting on those replies.
+        """
+        if index < len(self._workers):
+            old = self._workers[index]
+            if old.is_alive():  # retired worker still draining
+                old.join(timeout=1.0)
+                if old.is_alive():
+                    return None  # don't kill its in-flight work; retry
+        req: "mp.queues.Queue" = self._mp_ctx.Queue()
+        resp: "mp.queues.Queue" = self._mp_ctx.Queue()
+        proc = self._mp_ctx.Process(
+            target=_worker_main,
+            args=(self._factory, req, resp, reload_spec),
+            name=f"advisor-shard-{index}", daemon=True)
+        proc.start()
+        return proc, req, resp
+
+    def _install_worker(self, index: int, started: Tuple) -> None:
+        """Publish a started worker into slot ``index``.
+
+        Appends a new slot or replaces a retired one (the autoscaler
+        growing back into it).  Per-slot locks and pending-reply parking
+        are created once and never replaced — late replies from a retired
+        worker drain through the queue objects their callers captured in
+        their :class:`_Token`.  Callers resizing a live engine hold
+        ``_route_lock``.
+        """
+        proc, req, resp = started
+        if index == len(self._workers):
             self._workers.append(proc)
             self._requests.append(req)
             self._responses.append(resp)
+            self._recv_locks.append(threading.Lock())
+            self._pending_locks.append(threading.Lock())
+            self._pending.append({})
+            self.routed.append(0)
+            self._depth.append(0)
+        else:
+            self._workers[index] = proc
+            self._requests[index] = req
+            self._responses[index] = resp
 
     # -- routing -----------------------------------------------------------
 
     def shard_of(self, code: str) -> int:
-        """Shard index this engine routes ``code`` to."""
+        """Shard index this engine routes ``code`` to (active count)."""
         return shard_of(code, self.n_shards)
 
     # -- worker IPC --------------------------------------------------------
 
-    def _send(self, shard: int, method: str, payload) -> int:
-        """Enqueue one request on ``shard``; returns its request id."""
+    def _send(self, shard: int, method: str, payload) -> _Token:
+        """Enqueue one request on ``shard``; returns its reply token."""
         if self._closed:
             raise RuntimeError("sharded engine is closed")
-        with self._meta_lock:
-            rid = next(self._rids)
-            self._depth[shard] += 1
-        self._requests[shard].put((rid, method, payload))
-        return rid
+        with self._route_lock:
+            token = _Token(next(self._rids), shard,
+                           self._responses[shard], self._workers[shard])
+            with self._meta_lock:
+                self._depth[shard] += 1
+            self._requests[shard].put((token.rid, method, payload))
+        return token
 
-    def _collect(self, shard: int, rid: int) -> Tuple[str, object]:
-        """Wait for the reply to ``rid``, parking other threads' replies.
+    def _collect(self, token: _Token) -> Tuple[str, object]:
+        """Wait for the reply to ``token``, parking other threads' replies.
 
         Raises ``RuntimeError`` if the worker dies before answering."""
+        shard = token.shard
         try:
             while True:
                 with self._pending_locks[shard]:
-                    if rid in self._pending[shard]:
-                        return self._pending[shard].pop(rid)
+                    if token.rid in self._pending[shard]:
+                        return self._pending[shard].pop(token.rid)
                 with self._recv_locks[shard]:
                     # ours may have been parked while we waited for the lock
                     with self._pending_locks[shard]:
-                        if rid in self._pending[shard]:
-                            return self._pending[shard].pop(rid)
-                    got_rid, status, result = self._reply(shard)
-                    if got_rid == rid:
+                        if token.rid in self._pending[shard]:
+                            return self._pending[shard].pop(token.rid)
+                    got_rid, status, result = self._reply(token)
+                    if got_rid == token.rid:
                         return status, result
                     with self._pending_locks[shard]:
                         self._pending[shard][got_rid] = (status, result)
@@ -208,23 +381,26 @@ class ShardedEngine:
             with self._meta_lock:
                 self._depth[shard] -= 1
 
-    def _reply(self, shard: int):
-        """Next raw reply from ``shard``, without hanging on a dead worker.
+    def _reply(self, token: _Token):
+        """Next raw reply on ``token``'s queue, without hanging on a dead
+        worker.
 
         Polls with a short timeout and, between polls, checks the worker is
         still alive — a factory that crashes at startup or a worker killed
-        mid-request must surface as an error, not wedge callers forever."""
+        mid-request must surface as an error, not wedge callers forever.
+        Queue and process come from the token, so a slot respawned by the
+        autoscaler cannot redirect a caller onto the wrong queue."""
         while True:
             try:
-                return self._responses[shard].get(timeout=1.0)
+                return token.responses.get(timeout=1.0)
             except queue_mod.Empty:
-                if not self._workers[shard].is_alive():
+                if not token.worker.is_alive():
                     try:  # a final reply may still be in the queue's pipe
-                        return self._responses[shard].get(timeout=1.0)
+                        return token.responses.get(timeout=1.0)
                     except queue_mod.Empty:
                         raise RuntimeError(
-                            f"shard {shard} worker died (exitcode "
-                            f"{self._workers[shard].exitcode})") from None
+                            f"shard {token.shard} worker died (exitcode "
+                            f"{token.worker.exitcode})") from None
 
     def _scatter_call(self, method: str, codes: Sequence[str]) -> List:
         """Fan ``codes`` out by shard, run ``method`` on each worker's
@@ -235,20 +411,29 @@ class ShardedEngine:
             with self._meta_lock:  # routed[] is read-modify-write
                 self.routed[0] += len(codes)
             return list(getattr(self._local, method)(list(codes)))
-        by_shard: Dict[int, List[int]] = {}
-        for i, code in enumerate(codes):
-            by_shard.setdefault(self.shard_of(code), []).append(i)
-        # send every sub-batch before collecting any reply: workers overlap
-        rids: Dict[int, int] = {}
-        for shard, rows in by_shard.items():
-            with self._meta_lock:
-                self.routed[shard] += len(rows)
-            rids[shard] = self._send(shard, method, [codes[i] for i in rows])
+        self._observe_load()
+        # hash outside the lock (digests are shard-count independent and
+        # dominate routing cost); bucket + send under it so a concurrent
+        # resize cannot strand a sub-batch on a retiring worker.
+        # Collection happens outside the lock.
+        keys = [_route_key(code) for code in codes]
+        with self._route_lock:
+            n = self.n_shards
+            by_shard: Dict[int, List[int]] = {}
+            for i, key in enumerate(keys):
+                by_shard.setdefault(key % n, []).append(i)
+            # send every sub-batch before collecting: workers overlap
+            tokens: Dict[int, _Token] = {}
+            for shard, rows in by_shard.items():
+                with self._meta_lock:
+                    self.routed[shard] += len(rows)
+                tokens[shard] = self._send(shard, method,
+                                           [codes[i] for i in rows])
         out: List = [None] * len(codes)
         failures: List[str] = []
         for shard, rows in by_shard.items():
             try:
-                status, result = self._collect(shard, rids[shard])
+                status, result = self._collect(tokens[shard])
             except RuntimeError as exc:
                 failures.append(str(exc))
                 continue
@@ -261,13 +446,116 @@ class ShardedEngine:
             raise RuntimeError("; ".join(failures))
         return out
 
+    # -- autoscaling -------------------------------------------------------
+
+    def _observe_load(self) -> None:
+        """Sample the backlog this call arrives into, then maybe resize.
+
+        The sample is taken *before* this call's own sends, so it measures
+        contention from other in-flight callers: sequential traffic
+        samples zero (scale down), concurrent bursts sample the queue the
+        burst is building (scale up)."""
+        if self._window is None:
+            return
+        with self._meta_lock:
+            n = self.n_shards
+            backlog = sum(self._depth[:n])
+        self._window.push(backlog / n)
+        self._maybe_autoscale()
+
+    def _maybe_autoscale(self) -> None:
+        """Apply the resize rule when the window is full and cooled down.
+
+        Shrinking is cheap (retire the top slot) and completes under
+        ``_route_lock`` on the calling thread.  Growing spawns a process,
+        which can take seconds — exactly when the fleet is backlogged —
+        so it is handed to a short-lived background thread (``_resizing``
+        serializes grows) and the sampling request continues unstalled;
+        only the final publish of the new slot takes the lock.
+        """
+        cfg = self.autoscale
+        if cfg is None or self._closed or not self._window.full:
+            return
+        if time.monotonic() - self._last_resize_at < cfg.cooldown_s:
+            return
+        with self._route_lock:
+            # re-check under the lock: another caller may just have resized
+            # (clearing the window) or the cooldown may have restarted
+            if (self._closed or self._resizing or not self._window.full
+                    or time.monotonic() - self._last_resize_at < cfg.cooldown_s):
+                return
+            mean = self._window.mean()
+            if mean > cfg.high_watermark and self.n_shards < cfg.max_shards:
+                self._resizing = True
+                threading.Thread(
+                    target=self._grow,
+                    args=(self.n_shards, self._reload_spec,
+                          f"mean queue depth {mean:.2f} > "
+                          f"high watermark {cfg.high_watermark}"),
+                    name="advisor-autoscale-grow", daemon=True).start()
+            elif mean < cfg.low_watermark and self.n_shards > cfg.min_shards:
+                # shrink: the retiring slot leaves the routing set first,
+                # then receives _STOP — FIFO ordering means sub-batches
+                # already queued are answered before the worker exits
+                retiring = self.n_shards - 1
+                self._requests[retiring].put(_STOP)
+                self.n_shards = retiring
+                self._note_resize(retiring + 1, retiring,
+                                  f"mean queue depth {mean:.2f} < "
+                                  f"low watermark {cfg.low_watermark}")
+
+    def _grow(self, index: int, reload_spec: Optional[Tuple[str, str]],
+              reason: str) -> None:
+        """Background grow: spawn, publish, catch up on a racing reload.
+
+        ``reload_spec`` was snapshotted under ``_route_lock`` when this
+        grow was scheduled; a reload broadcast landing between then and
+        the publish only reaches the *published* slots, so after
+        installing we re-check the spec and send the new worker a
+        catch-up reload.  A catch-up failure leaves the worker serving
+        its spawn-time weights — alive but with a divergent
+        ``model_version`` visible in :meth:`stats`.
+        """
+        catchup: Optional[_Token] = None
+        try:
+            started = self._start_worker(index, reload_spec)
+            if started is None:
+                return  # retired slot still draining; a later tick retries
+            with self._route_lock:
+                if self._closed:  # closed while preparing: stop the orphan
+                    started[1].put(_STOP)
+                    return
+                self._install_worker(index, started)
+                self.n_shards = index + 1
+                self._note_resize(index, index + 1, reason)
+                if (self._reload_spec is not None
+                        and self._reload_spec != reload_spec):
+                    catchup = self._send(index, "reload", self._reload_spec)
+        finally:
+            self._resizing = False
+        if catchup is not None:
+            try:
+                self._collect(catchup)
+            except RuntimeError:  # pragma: no cover — worker died at start
+                pass
+
+    def _note_resize(self, old: int, new: int, reason: str) -> None:
+        """Record one resize and restart the hysteresis clocks."""
+        self._resizes += 1
+        self._last_resize = {"from": old, "to": new, "reason": reason,
+                             "at": round(time.time(), 3)}
+        self._last_resize_at = time.monotonic()
+        self._window.clear()
+
     # -- bulk APIs ---------------------------------------------------------
 
     def predict_proba(self, codes: Sequence[str]) -> np.ndarray:
         """(N, 2) directive probabilities, sharded and order-preserving."""
         rows = self._scatter_call("predict_proba", codes)
         if not rows:
-            return np.empty((0, 2))
+            # compute dtype, not np.empty's float64 default — the sharded
+            # path must stay as float32-pure as the in-process engine
+            return np.empty((0, 2), dtype=get_dtype())
         return np.stack([np.asarray(row) for row in rows])
 
     def advise_many(self, codes: Sequence[str]) -> List[Advice]:
@@ -287,6 +575,60 @@ class ShardedEngine:
         """Single-snippet combined advice."""
         return self.advise_full_many([code])[0]
 
+    # -- hot reload --------------------------------------------------------
+
+    def reload(self, path) -> Optional[str]:
+        """Broadcast a checkpoint reload to every active worker.
+
+        Workers must host an engine exposing ``reload(path, version=...)``
+        (a :class:`~repro.serve.registry.MultiModelEngine`); each swaps
+        its heads atomically as described there, all under **one**
+        parent-issued version tag so the whole fleet — including workers
+        the autoscaler spawns later, which replay the reload at startup —
+        reports the same ``model_version``.  Raises if any worker fails —
+        the error names the shards, shards that did reload keep the new
+        weights (re-issue the reload after fixing the checkpoint), and
+        the remembered replay spec reverts to the last *fully successful*
+        reload so future grown workers never start from a known-bad
+        checkpoint.  Returns the new version tag.
+        """
+        path = str(path)
+        if self._closed:
+            raise RuntimeError("sharded engine is closed")
+        if self._local is not None:
+            reload_fn = getattr(self._local, "reload", None)
+            if reload_fn is None:
+                raise RuntimeError(
+                    "local engine does not support reload(path)")
+            version = reload_fn(path)
+            self._reload_spec = (path, version)
+            return version
+        with self._route_lock:
+            self._reload_count += 1
+            version = f"v{self._reload_count}:{Path(path).name}"
+            tokens = [self._send(shard, "reload", (path, version))
+                      for shard in range(self.n_shards)]
+            # remembered under the lock: a grow racing this reload either
+            # sees the spec (and replays it) or got a broadcast token
+            previous_spec = self._reload_spec
+            self._reload_spec = (path, version)
+        failures: List[str] = []
+        for shard, token in enumerate(tokens):
+            try:
+                status, result = self._collect(token)
+            except RuntimeError as exc:
+                failures.append(str(exc))
+                continue
+            if status != "ok":
+                failures.append(f"shard {shard} failed: {result}")
+        if failures:
+            with self._route_lock:
+                # don't poison future grown workers with a bad checkpoint
+                if self._reload_spec == (path, version):
+                    self._reload_spec = previous_spec
+            raise RuntimeError("; ".join(failures))
+        return version
+
     # -- observability -----------------------------------------------------
 
     def head_names(self) -> List[str]:
@@ -295,22 +637,25 @@ class ShardedEngine:
         engines."""
         if self._local is not None:
             return _head_names(self._local)
-        status, result = self._collect(0, self._send(0, "heads", None))
+        status, result = self._collect(self._send(0, "heads", None))
         if status != "ok":
             raise RuntimeError(f"shard 0 failed: {result}")
         return result
 
     def queue_depth(self) -> List[int]:
-        """Per-shard count of requests sent but not yet answered."""
+        """Per-active-shard count of requests sent but not yet answered."""
         with self._meta_lock:
-            return list(self._depth)
+            return list(self._depth[:self.n_shards])
 
     def stats(self) -> Dict[str, object]:
         """Aggregate + per-shard serving metrics.
 
-        Shape: ``{"n_shards", "routed": [per-shard request counts],
-        "queue_depth": [in-flight requests], "shards": [per-worker
-        engine snapshots], "combined": merged counters}`` — JSON-ready.
+        Shape: ``{"n_shards", "routed": [per-slot request counts],
+        "queue_depth": [in-flight requests per active shard], "shards":
+        [per-worker engine snapshots], "combined": merged counters}`` —
+        plus ``"model_version"`` when the workers report one and an
+        ``"autoscaler"`` block (bounds, current shards, resize count,
+        last resize with its reason) when autoscaling is on.  JSON-ready.
         """
         if self._local is not None:
             shards = [snapshot_stats(self._local)]
@@ -320,7 +665,7 @@ class ShardedEngine:
                 for s in shards]
         with self._meta_lock:
             routed = list(self.routed)
-        return {
+        out: Dict[str, object] = {
             "n_shards": self.n_shards,
             "routed": routed,
             "queue_depth": self.queue_depth(),
@@ -328,14 +673,28 @@ class ShardedEngine:
             "combined": merge_stat_dicts(
                 f for f in flat if isinstance(f, dict)),
         }
+        first = shards[0] if shards else None
+        if isinstance(first, dict) and "model_version" in first:
+            out["model_version"] = first["model_version"]
+        if self.autoscale is not None:
+            out["autoscaler"] = {
+                "min_shards": self.autoscale.min_shards,
+                "max_shards": self.autoscale.max_shards,
+                "current_shards": self.n_shards,
+                "resizes": self._resizes,
+                "last_resize": self._last_resize,
+                "window_mean": round(self._window.mean(), 3),
+            }
+        return out
 
     def _scatter_stats(self) -> List[Dict[str, object]]:
-        rids = [self._send(shard, "stats", None)
-                for shard in range(self.n_shards)]
+        with self._route_lock:
+            tokens = [self._send(shard, "stats", None)
+                      for shard in range(self.n_shards)]
         replies = []
-        for shard, rid in enumerate(rids):
+        for shard, token in enumerate(tokens):
             try:  # collect every live shard even if one died
-                replies.append(self._collect(shard, rid))
+                replies.append(self._collect(token))
             except RuntimeError as exc:
                 replies.append(("error", str(exc)))
         snapshots = []
@@ -357,14 +716,15 @@ class ShardedEngine:
             if close is not None:
                 close()
             return
-        for req in self._requests:
-            req.put(_STOP)
-        for proc in self._workers:
-            proc.join(timeout=timeout)
-            if proc.is_alive():  # pragma: no cover — stuck worker
-                proc.terminate()
-        for q in (*self._requests, *self._responses):
-            q.close()
+        with self._route_lock:
+            for req in self._requests:
+                req.put(_STOP)
+            for proc in self._workers:
+                proc.join(timeout=timeout)
+                if proc.is_alive():  # pragma: no cover — stuck worker
+                    proc.terminate()
+            for q in (*self._requests, *self._responses):
+                q.close()
 
     def __enter__(self) -> "ShardedEngine":
         return self

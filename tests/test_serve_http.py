@@ -163,6 +163,119 @@ class TestConcurrentMicroBatching:
             thread.join(timeout=5)
 
 
+class TestReloadEndpoint:
+    """POST /reload: hot checkpoint swap through the HTTP front door."""
+
+    @pytest.fixture()
+    def reload_setup(self, tmp_path):
+        vocab = Vocab.build([text_tokens(code) for code in SNIPPETS],
+                            min_freq=1)
+
+        def registry(seed0):
+            reg = ModelRegistry()
+            for k, name in enumerate(("directive", "private")):
+                reg.register(name, PragFormer(len(vocab), TINY, rng=seed0 + k),
+                             vocab, max_len=TINY.max_len)
+            return reg
+
+        ckpt_a, ckpt_b = tmp_path / "ckpt_a", tmp_path / "ckpt_b"
+        registry(0).save(ckpt_a)
+        registry(50).save(ckpt_b)
+        advisor = MultiModelEngine(ModelRegistry.from_checkpoint(ckpt_a))
+        server = make_server(advisor, port=0, reload_dir=str(ckpt_a))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}", advisor, ckpt_b
+        server.shutdown()
+        server.server_close()
+        advisor.close()
+        thread.join(timeout=5)
+
+    def test_reload_with_explicit_path(self, reload_setup):
+        url, advisor, ckpt_b = reload_setup
+        before = _post(url + "/advise", {"code": SNIPPETS[0]})[1]
+        status, body = _post(url + "/reload", {"path": str(ckpt_b)})
+        assert status == 200
+        assert body["status"] == "reloaded"
+        assert body["model_version"] == f"v1:{ckpt_b.name}"
+        after = _post(url + "/advise", {"code": SNIPPETS[0]})[1]
+        assert after["p_directive"] != before["p_directive"]
+        # /stats must reflect the swap so operators can verify it happened
+        stats = _get(url + "/stats")[1]
+        assert stats["engine"]["model_version"] == body["model_version"]
+        assert stats["engine"]["reloads"] == 1
+        assert stats["http"]["reload"] == 1
+
+    def test_reload_empty_body_uses_server_default(self, reload_setup):
+        url, advisor, _ = reload_setup
+        req = urllib.request.Request(url + "/reload", method="POST")
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            body = json.loads(resp.read().decode("utf-8"))
+        assert body["status"] == "reloaded"
+        assert body["model_version"].endswith("ckpt_a")
+
+    def test_reload_bad_checkpoint_500_keeps_serving(self, reload_setup):
+        url, advisor, _ = reload_setup
+        version = advisor.model_version
+        req = urllib.request.Request(
+            url + "/reload",
+            data=json.dumps({"path": "/nonexistent/ckpt"}).encode("utf-8"),
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10)
+        assert err.value.code == 500
+        assert advisor.model_version == version
+        assert _post(url + "/advise", {"code": SNIPPETS[0]})[0] == 200
+
+    def test_reload_unsupported_advisor_501(self):
+        class Plain:
+            """Advisor without a reload surface."""
+
+            def advise_full_many(self, codes):
+                raise NotImplementedError
+
+            def stats(self):
+                return {}
+
+        server = make_server(Plain(), port=0, reload_dir="somewhere")
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            req = urllib.request.Request(f"http://{host}:{port}/reload",
+                                         method="POST")
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(req, timeout=10)
+            assert err.value.code == 501
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_reload_no_path_no_default_400(self, tmp_path):
+        vocab = Vocab.build([text_tokens(SNIPPETS[0])], min_freq=1)
+        registry = ModelRegistry()
+        registry.register("directive", PragFormer(len(vocab), TINY), vocab,
+                          max_len=TINY.max_len)
+        advisor = MultiModelEngine(registry)
+        server = make_server(advisor, port=0)  # no reload_dir
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            req = urllib.request.Request(f"http://{host}:{port}/reload",
+                                         method="POST")
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(req, timeout=10)
+            assert err.value.code == 400
+        finally:
+            server.shutdown()
+            server.server_close()
+            advisor.close()
+            thread.join(timeout=5)
+
+
 class TestErrorHandling:
     def _post_error(self, url, data):
         req = urllib.request.Request(

@@ -144,6 +144,84 @@ class TestAdviseFull:
         assert sum(combined["batch_size_hist"].values()) == combined["batches"]
 
 
+class TestClauseGating:
+    """Cross-request clause gating: directive-negative traffic skips the
+    clause heads; snippets that fan out get identical verdicts."""
+
+    def _gated(self, registry, margin):
+        return MultiModelEngine(registry, config=EngineConfig(
+            max_batch_size=8, gate_margin=margin))
+
+    def test_gated_and_ungated_agree_on_fanned_snippets(self, registry,
+                                                        advisor):
+        ungated = advisor.advise_full_many(SNIPPETS)
+        with self._gated(registry, 0.0) as gated_engine:
+            gated = gated_engine.advise_full_many(SNIPPETS)
+        for u, g in zip(ungated, gated):
+            assert g.directive == u.directive
+            if g.clauses:  # fanned out: clause verdicts must be identical
+                for name in u.clauses:
+                    np.testing.assert_allclose(
+                        g.clauses[name].probability,
+                        u.clauses[name].probability, atol=1e-6)
+            else:          # gated out: only directive-negative snippets
+                assert not g.directive.needs_directive
+            assert g.recommended_clauses() == u.recommended_clauses()
+
+    def test_negative_snippets_skip_clause_heads(self, registry, advisor):
+        directive = advisor.advise_many(SNIPPETS)
+        n_negative = sum(not a.needs_directive for a in directive)
+        n_positive = len(SNIPPETS) - n_negative
+        assert n_negative, "workload must contain directive-negative snippets"
+        with self._gated(registry, 0.0) as engine:
+            engine.advise_full_many(SNIPPETS)
+            stats = engine.stats()
+            for name in ("private", "reduction"):
+                assert stats["heads"][name]["requests"] == n_positive
+            gating = stats["clause_gating"]
+            assert gating["enabled"] is True
+            assert gating["gated_snippets"] == n_negative
+            assert gating["fanned_out"] == n_positive
+
+    def test_margin_keeps_near_threshold_snippets(self, registry, advisor):
+        """With a margin spanning the whole [0, 1] range every snippet
+        fans out, however negative its directive verdict."""
+        with self._gated(registry, 0.5) as engine:
+            full = engine.advise_full_many(SNIPPETS)
+            assert all(set(f.clauses) == {"private", "reduction"}
+                       for f in full)
+            assert engine.stats()["clause_gating"]["gated_snippets"] == 0
+
+    def test_async_path_gates_identically(self, registry, advisor):
+        expected = advisor.advise_full_many(SNIPPETS)
+        with self._gated(registry, 0.0) as engine:
+            for code, exp in zip(SNIPPETS, expected):
+                got = engine.advise_full_async(code, timeout=30)
+                np.testing.assert_allclose(got.directive.probability,
+                                           exp.directive.probability,
+                                           atol=1e-6)
+                if exp.directive.needs_directive:
+                    assert set(got.clauses) == set(exp.clauses)
+                    for name in exp.clauses:
+                        np.testing.assert_allclose(
+                            got.clauses[name].probability,
+                            exp.clauses[name].probability, atol=1e-6)
+                else:
+                    assert got.clauses == {}
+
+    def test_gating_disabled_by_default(self, advisor):
+        advisor.advise_full_many(SNIPPETS)
+        gating = advisor.stats()["clause_gating"]
+        assert gating["enabled"] is False
+        assert gating["gated_snippets"] == 0
+
+    def test_gate_margin_validation(self):
+        with pytest.raises(ValueError, match="gate_margin"):
+            EngineConfig(gate_margin=-0.1)
+        with pytest.raises(ValueError, match="gate_margin"):
+            EngineConfig(gate_margin=0.6)
+
+
 class TestFromContext:
     def test_builds_all_three_heads_from_trained_context(self):
         """The CLI path: registry over a (tiny) trained experiment context."""
