@@ -35,9 +35,13 @@ majority-negative trace through gated and ungated multi-model engines
 while leaving every fanned-out verdict bit-identical); a
 **reload-under-load** pass hot-swaps an advisor checkpoint while client
 threads hammer the engine (zero failed requests, zero stale cache hits,
-post-swap verdicts provably from the new weights); and an **autoscale
-burst** drives a queue-depth-autoscaled sharded engine through a bursty
-then idle phase and records the resize trail.  On a single-core host the
+post-swap verdicts provably from the new weights); a **canary rollout**
+pass starts a second checkpoint on a digest slice of traffic while client
+threads hammer the engine, reads the per-arm counters, and promotes it
+live (zero failed requests, zero canary-arm errors, zero stale verdicts
+after the promote — the invariants ``scripts/bench_gate.py`` holds CI
+to); and an **autoscale burst** drives a queue-depth-autoscaled sharded
+engine through a bursty then idle phase and records the resize trail.  On a single-core host the
 sweep and autoscale sections measure routing/IPC overhead rather than
 scaling — multi-shard numbers sitting below the in-process fallback is
 expected there, and the recorded values exist for cross-run comparison,
@@ -68,6 +72,7 @@ from repro.serve import (
     ModelRegistry,
     MultiModelEngine,
     ShardedEngine,
+    canary_routes,
 )
 from repro.tokenize import Vocab, text_tokens
 
@@ -81,6 +86,7 @@ GATING_REQUESTS = 256     # gating trace length (3 heads -> keep it lean)
 GATING_NEGATIVE_FRAC = 0.75  # majority-negative, as real traffic skews
 GATE_MARGIN = 0.05
 RELOAD_CLIENTS = 4        # threads hammering during the hot swap
+CANARY_FRACTION = 0.3     # digest slice the canary rollout serves
 
 
 def _workload():
@@ -373,6 +379,83 @@ def test_serving_throughput(benchmark):
         }
         live.close()
 
+    # -- canary rollout under concurrent load ------------------------------
+    # serve checkpoint B to a digest slice next to primary A while client
+    # threads hammer the engine, then promote B live: zero failed
+    # requests, zero canary-arm errors, post-promote verdicts provably
+    # from B — the invariants scripts/bench_gate.py gates CI on
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt_a = Path(tmp) / "advisor_a"
+        ckpt_b = Path(tmp) / "advisor_b"
+        registry.save(ckpt_a)
+        _advisor_registry(PragFormer(len(vocab), rng=53), vocab, max_len,
+                          clause_seed=60).save(ckpt_b)
+        probe = codes[:48]
+        canary_slice = sum(canary_routes(c, CANARY_FRACTION) for c in probe)
+        assert canary_slice >= 1, "probe must intersect the canary slice"
+        live = MultiModelEngine(ModelRegistry.from_checkpoint(ckpt_a),
+                                config=EngineConfig(max_batch_size=128))
+        failures = []
+        served = [0] * RELOAD_CLIENTS
+        stop = threading.Event()
+
+        def canary_client(slot):
+            while not stop.is_set():
+                try:
+                    served[slot] += len(live.advise_full_many(probe))
+                except Exception as exc:  # noqa: BLE001 — counted below
+                    failures.append(exc)
+                    return
+
+        clients = [threading.Thread(target=canary_client, args=(k,))
+                   for k in range(RELOAD_CLIENTS)]
+        for t in clients:
+            t.start()
+        time.sleep(0.2)  # real load in flight before the rollout
+        canary_version, start_s = timed(live.start_canary, ckpt_b,
+                                        CANARY_FRACTION)
+        time.sleep(0.3)  # accumulate per-arm counters under load
+        # one foreground pass guarantees completed canary-arm batches are
+        # in the counters before the mid-rollout snapshot (the concurrent
+        # clients may all be inside the still-cold canary forward)
+        live.advise_full_many(probe)
+        mid_stats = live.stats()["canary"]
+        _, promote_s = timed(live.promote)
+        time.sleep(0.2)  # keep serving across the promote boundary
+        stop.set()
+        for t in clients:
+            t.join(timeout=60)
+        with MultiModelEngine(ModelRegistry.from_checkpoint(ckpt_b)) as fresh:
+            expected_new = fresh.advise_full_many(probe)
+        post_promote = live.advise_full_many(probe)
+        canary_stale = sum(
+            1 for got, exp in zip(post_promote, expected_new)
+            if abs(got.directive.probability - exp.directive.probability) > 1e-5
+            or any(abs(got.clauses[n].probability - exp.clauses[n].probability)
+                   > 1e-5 for n in exp.clauses))
+        final_stats = live.stats()
+        arms = mid_stats["arms"]
+        canary_rollout = {
+            "clients": RELOAD_CLIENTS,
+            "fraction": CANARY_FRACTION,
+            "probe_canary_slice": canary_slice,
+            "version": canary_version,
+            "requests_served": sum(served),
+            "failed_requests": len(failures),
+            "canary_requests": arms["canary"]["requests"],
+            "canary_arm_errors": arms["canary"]["errors"],
+            "primary_requests": arms["primary"]["requests"],
+            "disagreement_rate": arms["canary"]["disagreement_rate"],
+            "canary_latency_mean_ms": arms["canary"]["latency_mean_ms"],
+            "primary_latency_mean_ms": arms["primary"]["latency_mean_ms"],
+            "start_s": round(start_s, 4),
+            "promote_s": round(promote_s, 4),
+            "model_version": final_stats["model_version"],
+            "outcome": final_stats["last_canary"]["outcome"],
+            "stale_after_promote": canary_stale,
+        }
+        live.close()
+
     # -- autoscale burst: queue-depth resize between min and max shards ----
     autoscale_cfg = AutoscaleConfig(min_shards=1, max_shards=2,
                                     high_watermark=0.25, low_watermark=0.05,
@@ -450,6 +533,7 @@ def test_serving_throughput(benchmark):
         "eviction_pressure": eviction_pressure,
         "clause_gating": clause_gating,
         "reload_under_load": reload_under_load,
+        "canary_rollout": canary_rollout,
         "autoscale_burst": autoscale_burst,
         "stats": engine.stats.as_dict(),
     }
@@ -462,7 +546,11 @@ def test_serving_throughput(benchmark):
           f"gating -{clause_gating['clause_request_reduction']:.0%} clause "
           f"requests on a {negative_frac:.0%}-negative trace; reload under "
           f"load {reload_under_load['reload_s'] * 1e3:.0f}ms with "
-          f"{reload_under_load['failed_requests']} failures; autoscale "
+          f"{reload_under_load['failed_requests']} failures; canary "
+          f"{canary_rollout['canary_requests']} req at "
+          f"{CANARY_FRACTION:.0%} promoted in "
+          f"{canary_rollout['promote_s'] * 1e3:.0f}ms with "
+          f"{canary_rollout['failed_requests']} failures; autoscale "
           f"{grew_to}->{shrank_to} shards; report: {path}")
 
     assert speedup >= 5.0, f"engine only {speedup:.2f}x sequential on the trace"
@@ -490,6 +578,14 @@ def test_serving_throughput(benchmark):
     assert reload_under_load["stale_predictions_after_swap"] == 0
     assert reload_under_load["model_version"].startswith("v1:")
     assert reload_under_load["requests_served"] > 0
+    # canary rollout: nothing dropped, the canary slice actually served,
+    # no canary-arm errors, and post-promote verdicts from the new weights
+    assert canary_rollout["failed_requests"] == 0
+    assert canary_rollout["canary_arm_errors"] == 0
+    assert canary_rollout["canary_requests"] >= 1
+    assert canary_rollout["stale_after_promote"] == 0
+    assert canary_rollout["outcome"] == "promoted"
+    assert canary_rollout["model_version"] == canary_rollout["version"]
     # autoscaler: the burst grew the fleet, idleness shrank it back
     assert autoscale_burst["grew_to"] == 2, "burst must reach max_shards"
     assert autoscale_burst["shrank_to"] == 1, "idle fleet must shrink to min"

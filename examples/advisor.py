@@ -8,9 +8,8 @@ Run:  python examples/advisor.py
 
 import numpy as np
 
-from repro.clang import For, parse, unparse, walk
+from repro.clang import For, parse, unparse
 from repro.data.encoding import EncodedSplit
-from repro.models.pragformer import trim_batch
 from repro.pipeline import SMALL, get_context
 from repro.s2s import ComPar
 from repro.tokenize import text_tokens

@@ -6,7 +6,7 @@ and parse-robustness failures.
 Run:  python examples/s2s_pitfalls.py
 """
 
-from repro.s2s import AutoParLike, CetusLike, ComPar, Par4AllLike
+from repro.s2s import ComPar
 
 compar = ComPar()
 

@@ -1,0 +1,193 @@
+#!/usr/bin/env python
+"""Bench-regression gate: fail CI when a committed BENCH report regresses.
+
+The committed ``benchmarks/BENCH_serving.json`` / ``BENCH_training.json``
+reports are the repo's perf trajectory.  This gate enforces the subset of
+their metrics that is *stable across machines*: dimensionless ratios
+(speedup-vs-sequential, clause-request reduction, optimizer speedup) and
+hard invariant counters (zero failed requests / stale cache hits / verdict
+mismatches under reload and canary rollouts).  Raw wall-times and
+snippets-per-second are **never** gated — the bench host is a single noisy
+core, so absolute throughput swings run to run while the ratios and
+invariants hold; wall-times are printed report-only for trend reading.
+
+A gate whose metric is *missing* fails too: silently dropping a bench
+section must not green the pipeline.
+
+Usage::
+
+    python scripts/bench_gate.py                 # gate the committed reports
+    python scripts/bench_gate.py --serving F.json --training G.json
+    python scripts/bench_gate.py --list          # show the gate table
+
+Exit status 0 when every gate passes, 1 otherwise — wired into
+``.github/workflows/ci.yml`` as the ``bench-gate`` job and covered by
+``tests/test_bench_gate.py`` (which also proves a doctored regression
+fails).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: report key -> default path of the committed report
+DEFAULT_REPORTS = {
+    "serving": REPO_ROOT / "benchmarks" / "BENCH_serving.json",
+    "training": REPO_ROOT / "benchmarks" / "BENCH_training.json",
+}
+
+_OPS = {
+    ">=": lambda value, threshold: value >= threshold,
+    "<=": lambda value, threshold: value <= threshold,
+    "==": lambda value, threshold: value == threshold,
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gated metric: a dotted path into a report, an op, a threshold."""
+
+    report: str          # "serving" | "training"
+    path: str            # dotted path, e.g. "engine_trace.speedup_vs_sequential"
+    op: str              # ">=", "<=", "=="
+    threshold: float
+
+    def describe(self) -> str:
+        """Human-readable one-liner for the gate table."""
+        return f"{self.report}:{self.path} {self.op} {self.threshold}"
+
+
+#: The gate table.  Thresholds are deliberately looser than the committed
+#: values — they catch regressions of *kind* (a ratio collapsing, an
+#: invariant breaking), not single-digit-percent noise.
+GATES: List[Gate] = [
+    # serving: the engine must stay clearly ahead of the sequential path
+    # on the Zipf trace, and not pathologically behind on all-distinct
+    Gate("serving", "engine_trace.speedup_vs_sequential", ">=", 2.0),
+    Gate("serving", "all_distinct_cold.speedup_vs_sequential", ">=", 0.3),
+    # clause gating: compute actually saved, verdicts never drift
+    Gate("serving", "clause_gating.clause_request_reduction", ">=", 0.25),
+    Gate("serving", "clause_gating.verdict_mismatches", "==", 0),
+    # hot reload under load: the operability invariants
+    Gate("serving", "reload_under_load.failed_requests", "==", 0),
+    Gate("serving", "reload_under_load.stale_predictions_after_swap", "==", 0),
+    # the reload trace is cache-heavy by design; hits vanishing means the
+    # version-prefixed key scheme broke
+    Gate("serving", "reload_under_load.cache_hits", ">=", 1),
+    # canary rollout under load: zero dropped requests, zero canary-arm
+    # errors, the canary slice actually served, and post-promote verdicts
+    # provably from the promoted weights
+    Gate("serving", "canary_rollout.failed_requests", "==", 0),
+    Gate("serving", "canary_rollout.canary_arm_errors", "==", 0),
+    Gate("serving", "canary_rollout.canary_requests", ">=", 1),
+    Gate("serving", "canary_rollout.stale_after_promote", "==", 0),
+    # training: the fused path's speedups are the PR 3 contract
+    Gate("training", "pretrain.speedup_steps_per_s", ">=", 2.0),
+    Gate("training", "optimizer_microbench.speedup", ">=", 1.2),
+    Gate("training", "finetune.small.speedup_steps_per_s", ">=", 0.9),
+]
+
+#: Report-only wall-time/throughput metrics, printed for trend reading.
+REPORT_ONLY: List[Tuple[str, str]] = [
+    ("serving", "engine_trace.snippets_per_s"),
+    ("serving", "sequential_trace.snippets_per_s"),
+    ("serving", "reload_under_load.reload_s"),
+    ("serving", "canary_rollout.promote_s"),
+    ("training", "pretrain.fused.steps_per_s"),
+    ("training", "finetune.small.fused.steps_per_s"),
+]
+
+
+def lookup(report: Dict, path: str):
+    """Resolve a dotted ``path`` in ``report``; ``None`` when absent."""
+    node = report
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def check_gates(reports: Dict[str, Dict],
+                gates: Optional[List[Gate]] = None) -> List[str]:
+    """Evaluate ``gates`` against loaded ``reports``; returns failures.
+
+    Each failure is a one-line human-readable message; an empty list means
+    the gate is green.  Missing reports or metrics fail loudly.
+    """
+    failures = []
+    for gate in (GATES if gates is None else gates):
+        report = reports.get(gate.report)
+        if report is None:
+            failures.append(f"FAIL {gate.describe()}: report not loaded")
+            continue
+        value = lookup(report, gate.path)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            failures.append(
+                f"FAIL {gate.describe()}: metric missing from report")
+            continue
+        if not _OPS[gate.op](value, gate.threshold):
+            failures.append(
+                f"FAIL {gate.describe()}: got {value}")
+    return failures
+
+
+def _load(path: Path) -> Optional[Dict]:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        description="fail on bench-report regressions (ratios/counters only)")
+    parser.add_argument("--serving", type=Path,
+                        default=DEFAULT_REPORTS["serving"],
+                        help="path to BENCH_serving.json")
+    parser.add_argument("--training", type=Path,
+                        default=DEFAULT_REPORTS["training"],
+                        help="path to BENCH_training.json")
+    parser.add_argument("--list", action="store_true",
+                        help="print the gate table and exit")
+    args = parser.parse_args(argv)
+    if args.list:
+        for gate in GATES:
+            print(gate.describe())
+        return 0
+    reports = {}
+    for key, path in (("serving", args.serving), ("training", args.training)):
+        loaded = _load(path)
+        if loaded is None:
+            print(f"FAIL cannot read {key} report at {path}")
+        else:
+            reports[key] = loaded
+    failures = check_gates(reports)
+    for gate in GATES:
+        if not any(gate.describe() in failure for failure in failures):
+            value = lookup(reports.get(gate.report, {}), gate.path)
+            print(f"PASS {gate.describe()} (got {value})")
+    for failure in failures:
+        print(failure)
+    print("-- report-only (wall-clock; single noisy core, never gated) --")
+    for key, path in REPORT_ONLY:
+        value = lookup(reports.get(key, {}), path)
+        if value is not None:
+            print(f"     {key}:{path} = {value}")
+    if failures or len(reports) < len(DEFAULT_REPORTS):
+        print(f"bench_gate: {len(failures)} gate(s) failed", file=sys.stderr)
+        return 1
+    print(f"bench_gate: all {len(GATES)} gates green")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Repo check: tier-1 test suite plus the fast perf smoke subset.
+# Repo check: lint, tier-1 test suite, and the fast perf smoke subset.
 #
-#   scripts/check.sh            # tier-1 + perf smoke
+#   scripts/check.sh            # lint + tier-1 + perf smoke
 #   scripts/check.sh --fast     # tier-1 only
 #   scripts/check.sh --docs     # docs health only: links, CLI-flag
 #                               # coverage, repro.serve docstring audit
+#   scripts/check.sh --lint     # lint only (ruff, or the stdlib fallback)
+#   scripts/check.sh --perf     # perf smoke subset only
 #
 # Tier-1 is the gate every change must keep green (`pytest -x -q` from the
 # repo root; bench_* files are never collected there).  The smoke subset
@@ -12,27 +14,83 @@
 # seconds, not minutes — to catch hot-path regressions (e.g. the fused and
 # legacy training paths drifting apart) without paying for the full
 # BENCH_* report sweep.  The --docs step is the documentation pass alone
-# (also part of tier-1), for doc-only edits.
+# (also part of tier-1), for doc-only edits.  Lint runs `ruff check .`
+# (config in pyproject.toml) when ruff is installed, otherwise the stdlib
+# fallback linter scripts/lint_fallback.py.
+#
+# The CI workflow (.github/workflows/ci.yml) runs these same modes, one
+# job per stage, plus `python scripts/bench_gate.py` over the committed
+# bench reports; tests/test_check_script.py pins the invocations so the
+# two cannot drift apart.
+#
+# Every stage reports an explicit pass/fail banner and the script exits
+# non-zero on the first failing stage — stage failures are detected and
+# named by run_stage itself, not left to `set -e` subshell semantics.
 
-set -euo pipefail
+set -uo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="$(pwd)/src${PYTHONPATH:+:$PYTHONPATH}"
 
-if [[ "${1:-}" == "--docs" ]]; then
-    echo "== docs =="
+PASSED_STAGES=()
+
+run_stage() {
+    local name="$1"; shift
+    echo "== ${name} =="
+    "$@"
+    local status=$?
+    if [[ $status -ne 0 ]]; then
+        echo "check.sh: stage '${name}' FAILED (exit ${status})" >&2
+        exit "$status"
+    fi
+    PASSED_STAGES+=("$name")
+    echo "check.sh: stage '${name}' passed"
+}
+
+stage_lint() {
+    if command -v ruff >/dev/null 2>&1; then
+        ruff check .
+    else
+        echo "ruff not installed; running stdlib fallback linter"
+        python scripts/lint_fallback.py
+    fi
+}
+
+stage_tier1() {
+    python -m pytest -x -q
+}
+
+stage_docs() {
     python -m pytest -x -q tests/test_docs_links.py
-    echo "check.sh: docs green"
-    exit 0
-fi
+}
 
-echo "== tier-1 =="
-python -m pytest -x -q
-
-if [[ "${1:-}" != "--fast" ]]; then
-    echo "== perf smoke =="
+stage_perf_smoke() {
     # bench_*.py files are outside the default collection pattern on
     # purpose (tier-1 must never pick them up), so name them explicitly
     (cd benchmarks && python -m pytest -q -m "perf and smoke" -p no:cacheprovider bench_*.py)
-fi
+}
 
-echo "check.sh: all green"
+case "${1:-}" in
+    --docs)
+        run_stage "docs" stage_docs
+        ;;
+    --lint)
+        run_stage "lint" stage_lint
+        ;;
+    --perf)
+        run_stage "perf-smoke" stage_perf_smoke
+        ;;
+    --fast)
+        run_stage "tier-1" stage_tier1
+        ;;
+    "")
+        run_stage "lint" stage_lint
+        run_stage "tier-1" stage_tier1
+        run_stage "perf-smoke" stage_perf_smoke
+        ;;
+    *)
+        echo "check.sh: unknown mode '${1}' (use --fast, --docs, --lint, --perf, or no argument)" >&2
+        exit 2
+        ;;
+esac
+
+echo "check.sh: all green (${PASSED_STAGES[*]})"

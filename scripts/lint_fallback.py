@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Dependency-free fallback linter for ``scripts/check.sh --lint``.
+
+The real lint gate is ``ruff check .`` (configured in ``pyproject.toml``
+and run by the CI workflow, which can pip-install ruff).  Development
+containers for this repo deliberately can't install new packages, so this
+script re-implements the high-signal subset of the configured rules with
+nothing but the stdlib ``ast`` module:
+
+* **syntax errors** (ruff E9): every ``.py`` file must parse;
+* **unused imports** (ruff F401): a module/name imported at module scope
+  and never referenced — names re-exported via ``__all__`` or imported
+  as ``x as x`` count as used, ``from __future__`` and ``__init__.py``
+  re-export files are handled, and a trailing ``# noqa`` comment on the
+  import line suppresses the finding;
+* **duplicate top-level definitions** (ruff F811): a function/class
+  defined twice in the same scope, the second silently shadowing the
+  first.
+
+Exit status 0 when clean, 1 with one ``path:line: message`` per finding —
+the same contract ``ruff check`` has, so ``check.sh`` treats the two
+interchangeably.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Directories scanned, relative to the repo root (src first: findings
+#: there matter most).
+SCAN_DIRS = ("src", "tests", "benchmarks", "scripts", "examples")
+
+
+def _noqa_lines(source: str) -> set:
+    """1-based line numbers carrying a ``# noqa`` comment."""
+    return {i for i, line in enumerate(source.splitlines(), start=1)
+            if "# noqa" in line}
+
+
+def _binding_name(alias: ast.alias) -> str:
+    """The local name an import alias binds (``a.b`` binds ``a``)."""
+    if alias.asname:
+        return alias.asname
+    return alias.name.split(".", 1)[0]
+
+
+class _UsageCollector(ast.NodeVisitor):
+    """Collect every identifier that could reference an imported binding."""
+
+    def __init__(self) -> None:
+        self.used = set()
+
+    def visit_Name(self, node: ast.Name) -> None:  # noqa: N802 — ast API
+        self.used.add(node.id)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:  # noqa: N802
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:  # noqa: N802
+        pass  # the import statement itself is not a use
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:  # noqa: N802
+        pass
+
+
+def _exported_names(tree: ast.Module) -> set:
+    """Names listed in a module-level ``__all__`` (best effort)."""
+    exported = set()
+    for node in tree.body:
+        if (isinstance(node, ast.Assign)
+                and any(isinstance(t, ast.Name) and t.id == "__all__"
+                        for t in node.targets)):
+            try:
+                value = ast.literal_eval(node.value)
+            except ValueError:
+                continue
+            if isinstance(value, (list, tuple)):
+                exported.update(str(name) for name in value)
+    return exported
+
+
+def _unused_imports(tree: ast.Module, source: str, is_init: bool) -> list:
+    """(line, message) findings for module-scope imports never referenced."""
+    noqa = _noqa_lines(source)
+    exported = _exported_names(tree)
+    collector = _UsageCollector()
+    collector.visit(tree)
+    # names in docstring-free string annotations ("List[Foo]") still parse
+    # as plain strings; count every word in string constants as a use so
+    # typing-style forward references don't false-positive
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            collector.used.update(
+                part for chunk in node.value.replace(".", " ").split()
+                for part in (chunk.strip("[](),~`'\""),) if part.isidentifier())
+    findings = []
+    for node in tree.body:
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        if isinstance(node, ast.ImportFrom) and node.module == "__future__":
+            continue
+        if node.lineno in noqa:
+            continue
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            name = _binding_name(alias)
+            explicit_reexport = alias.asname is not None and (
+                alias.asname == alias.name)
+            if (name in collector.used or name in exported
+                    or explicit_reexport or (is_init and name in exported)):
+                continue
+            if is_init:
+                # __init__.py files re-export for their package namespace;
+                # only flag when the module has an __all__ that omits them
+                if not exported:
+                    continue
+            findings.append((node.lineno, f"unused import '{name}' (F401-like)"))
+    return findings
+
+
+def _duplicate_defs(tree: ast.Module) -> list:
+    """(line, message) findings for top-level names defined twice."""
+    seen = {}
+    findings = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            if node.name in seen:
+                findings.append((
+                    node.lineno,
+                    f"redefinition of '{node.name}' from line "
+                    f"{seen[node.name]} (F811-like)"))
+            seen[node.name] = node.lineno
+    return findings
+
+
+def lint_file(path: Path) -> list:
+    """All findings for one file, as ``(line, message)`` pairs."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [(exc.lineno or 0, f"syntax error: {exc.msg} (E9-like)")]
+    is_init = path.name == "__init__.py"
+    return sorted(_unused_imports(tree, source, is_init)
+                  + _duplicate_defs(tree))
+
+
+def main(argv=None) -> int:
+    """Lint the repo (or explicit file arguments); 0 clean, 1 findings."""
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = [p for d in SCAN_DIRS for p in sorted((root / d).rglob("*.py"))]
+    failures = 0
+    for path in files:
+        for line, message in lint_file(path):
+            try:
+                shown = path.relative_to(root)
+            except ValueError:
+                shown = path
+            print(f"{shown}:{line}: {message}")
+            failures += 1
+    if failures:
+        print(f"lint_fallback: {failures} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint_fallback: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,8 +30,11 @@ digest-hash routing (:class:`repro.serve.ShardedEngine`), and
 ``--min-shards``/``--max-shards`` turn on queue-depth autoscaling between
 those bounds.  ``--http`` additionally supports ``--watch DIR`` (start
 from — and hot-reload on changes to — an advisor checkpoint directory
-written by ``ModelRegistry.save``) and ``--gate-margin M`` (clause heads
-only see snippets whose directive probability clears ``0.5 - M``).  The
+written by ``ModelRegistry.save``), ``--gate-margin M`` (clause heads
+only see snippets whose directive probability clears ``0.5 - M``), and
+``--canary DIR`` / ``--canary-fraction F`` (serve a second checkpoint to
+a deterministic digest slice of traffic next to the primary; finish the
+rollout over ``POST /canary/promote`` / ``/canary/rollback``).  The
 operator's guide is ``docs/operations.md``.
 
 ``advise`` fans each positive snippet out to the clause models through the
@@ -207,7 +210,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # written while models load still differs from it, so the watcher's
         # first poll picks the rollout up instead of absorbing it
         baseline = checkpoint_mtime(args.watch) if args.watch else None
-        serve_forever(_make_full_advisor(args), args.host, args.http,
+        advisor = _make_full_advisor(args)
+        if args.canary:
+            version = advisor.start_canary(args.canary, args.canary_fraction)
+            print(f"canary {version} serving "
+                  f"{args.canary_fraction:.0%} of traffic "
+                  f"(POST /canary/promote or /canary/rollback to finish)")
+        serve_forever(advisor, args.host, args.http,
                       watch_dir=args.watch,
                       watch_interval=args.watch_interval,
                       watch_baseline=baseline)
@@ -215,6 +224,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.watch:
         print("--watch requires --http (the stdin loop ends at EOF, "
               "nothing long-lived to reload)", file=sys.stderr)
+        return 2
+    if args.canary:
+        print("--canary requires --http (canary rollouts split the "
+              "multi-model advisor's traffic; the stdin loop serves the "
+              "directive head only)", file=sys.stderr)
         return 2
     if args.gate_margin is not None:
         print("--gate-margin requires --http (the stdin loop serves the "
@@ -384,6 +398,15 @@ def main(argv=None) -> int:
                          help="gate clause heads on the directive verdict: only "
                               "snippets with P(directive) > 0.5 - M fan out "
                               "(default: gating off)")
+    p_serve.add_argument("--canary", type=str, default=None, metavar="DIR",
+                         help="with --http: start serving the advisor "
+                              "checkpoint in DIR as a canary next to the "
+                              "primary (finish with POST /canary/promote or "
+                              "/canary/rollback)")
+    p_serve.add_argument("--canary-fraction", type=float, default=0.1,
+                         metavar="F",
+                         help="fraction of the digest space the canary "
+                              "serves (default 0.1)")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_compar = sub.add_parser("compar", help="run the ComPar S2S combiner on a file")

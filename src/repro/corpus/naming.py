@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-import numpy as np
 
 from repro.utils.rng import RngLike, ensure_rng
 

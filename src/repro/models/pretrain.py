@@ -9,7 +9,7 @@ selected; of those, 80 % become ``<mask>``, 10 % a random token, 10 % stay.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np

@@ -7,7 +7,6 @@ reading the encoder's CLS position.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -18,7 +18,7 @@ per-step allocation in the training hot loop.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Union
+from typing import Sequence, Union
 
 import numpy as np
 

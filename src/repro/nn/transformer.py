@@ -22,7 +22,7 @@ from repro.nn.layers import (
     ResidualLayerNorm,
 )
 from repro.nn.module import Module
-from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+from repro.utils.rng import RngLike, spawn_rngs
 
 __all__ = ["EncoderConfig", "FeedForward", "TransformerEncoderLayer", "TransformerEncoder"]
 

@@ -9,7 +9,7 @@ environment variable ('small' | 'full') or pass a config explicitly.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.models.pragformer import PragFormerConfig
 

@@ -9,9 +9,8 @@ scale's seed.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-import numpy as np
 
 from repro.corpus import Corpus, CorpusConfig, build_corpus
 from repro.data import (

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-import numpy as np
 
 from repro.benchsuites import polybench_suite, specomp_suite
 from repro.corpus import directive_stats, domain_distribution, length_histogram
@@ -17,7 +16,7 @@ from repro.corpus.records import Record
 from repro.data.encoding import EncodedSplit, encode_batch
 from repro.eval import binary_metrics, error_rate_by_length
 from repro.explain import LimeExplainer
-from repro.models import BowLogistic, PragFormer
+from repro.models import PragFormer
 from repro.pipeline.config import ScaleConfig
 from repro.pipeline.context import ExperimentContext, get_context
 from repro.tokenize import Representation, text_tokens

@@ -24,7 +24,6 @@ from repro.clang.pragma import parse_pragma
 from repro.s2s.compilers import (
     AutoParLike,
     CetusLike,
-    CompileResult,
     Par4AllLike,
     S2SCompiler,
 )

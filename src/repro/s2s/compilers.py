@@ -27,7 +27,7 @@ from typing import Dict, List, Optional
 
 from repro.clang import Compound, For, FuncDef, parse, walk
 from repro.clang.lexer import LexError
-from repro.clang.nodes import Assignment, Cast, StructRef
+from repro.clang.nodes import Cast, StructRef
 from repro.clang.parser import ParseError, TYPE_NAMES
 from repro.clang.pragma import Clause, OmpDirective
 from repro.s2s.depend import AnalysisPolicy, LoopAnalysis, analyze_loop

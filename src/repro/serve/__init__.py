@@ -9,8 +9,12 @@ Four modules build on each other:
   :class:`MultiModelEngine`: the directive model plus the ``private`` /
   ``reduction`` clause models behind one engine, with the combined
   :meth:`~MultiModelEngine.advise_full` fan-out, hot checkpoint reload
-  (:meth:`~MultiModelEngine.reload`, :class:`CheckpointWatcher`), and
-  directive-gated clause fan-out (``EngineConfig.gate_margin``).
+  (:meth:`~MultiModelEngine.reload`, :class:`CheckpointWatcher`),
+  directive-gated clause fan-out (``EngineConfig.gate_margin``), and
+  digest-sliced canary rollouts
+  (:meth:`~MultiModelEngine.start_canary` /
+  :meth:`~MultiModelEngine.promote` /
+  :meth:`~MultiModelEngine.rollback`, :class:`CanaryPolicy`).
 * :mod:`repro.serve.sharding` — :class:`ShardedEngine`: bulk traffic
   partitioned across worker processes by source digest, per-shard caches
   kept hot, queue-depth autoscaling between :class:`AutoscaleConfig`
@@ -33,14 +37,22 @@ from repro.serve.engine import (
     ModelSlot,
 )
 from repro.serve.http_api import AdvisorHTTPServer, make_server, serve_forever
-from repro.serve.metrics import RollingMean, batch_hist_bucket, merge_stat_dicts
+from repro.serve.metrics import (
+    ArmStats,
+    RollingMean,
+    batch_hist_bucket,
+    merge_arm_stats,
+    merge_stat_dicts,
+)
 from repro.serve.registry import (
+    CanaryPolicy,
     CheckpointWatcher,
     ClauseAdvice,
     FullAdvice,
     ModelHead,
     ModelRegistry,
     MultiModelEngine,
+    canary_routes,
     checkpoint_mtime,
 )
 from repro.serve.sharding import (
@@ -53,7 +65,9 @@ from repro.serve.sharding import (
 __all__ = [
     "Advice",
     "AdvisorHTTPServer",
+    "ArmStats",
     "AutoscaleConfig",
+    "CanaryPolicy",
     "CheckpointWatcher",
     "ClauseAdvice",
     "EngineConfig",
@@ -68,8 +82,10 @@ __all__ = [
     "RollingMean",
     "ShardedEngine",
     "batch_hist_bucket",
+    "canary_routes",
     "checkpoint_mtime",
     "make_server",
+    "merge_arm_stats",
     "merge_stat_dicts",
     "serve_forever",
     "shard_of",

@@ -24,6 +24,15 @@ Endpoints (all JSON; schemas and ``curl`` examples in ``docs/serving.md``):
   :func:`make_server`'s ``reload_dir``).  Replies with the new
   ``model_version``; ``501`` when the advisor cannot hot-reload, ``500``
   (old weights keep serving) when the checkpoint is bad.
+* ``POST /canary`` — start a canary rollout: body
+  ``{"path": "ckpt_v2/", "fraction": 0.1}`` routes the digest slice to
+  the new checkpoint (``fraction`` defaults to 0.1).  Replies with the
+  canary ``version``; ``409`` when a canary is already active, ``501``
+  when the advisor cannot canary, ``500`` (primary untouched) when the
+  checkpoint is bad.  Watch the per-arm counters under ``canary`` in
+  ``GET /stats``, then finish with ``POST /canary/promote`` (replies
+  with the promoted ``model_version``) or ``POST /canary/rollback`` —
+  both take no body and answer ``409`` with no canary active.
 
 Malformed requests get ``400`` with ``{"error": ...}``; unknown paths
 ``404``; the serving loop never dies on a bad request.  Start it from the
@@ -60,7 +69,8 @@ class AdvisorHTTPServer(ThreadingHTTPServer):
         self._counter_lock = threading.Lock()
         self.http_requests: Dict[str, int] = {
             "advise": 0, "advise_batch": 0, "healthz": 0, "stats": 0,
-            "reload": 0, "errors": 0,
+            "reload": 0, "canary": 0, "canary_promote": 0,
+            "canary_rollback": 0, "errors": 0,
         }
 
     def bump(self, key: str) -> None:
@@ -162,13 +172,20 @@ class _AdvisorHandler(BaseHTTPRequestHandler):
     # -- POST --------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
-        """Route ``/advise``, ``/advise/batch``, and ``/reload``."""
+        """Route ``/advise``, ``/advise/batch``, ``/reload``, and the
+        ``/canary`` lifecycle."""
         if self.path == "/advise":
             self._handle_advise()
         elif self.path == "/advise/batch":
             self._handle_advise_batch()
         elif self.path == "/reload":
             self._handle_reload()
+        elif self.path == "/canary":
+            self._handle_canary_start()
+        elif self.path == "/canary/promote":
+            self._handle_canary_finish("promote", "canary_promote")
+        elif self.path == "/canary/rollback":
+            self._handle_canary_finish("rollback", "canary_rollback")
         else:
             self._error(404, f"unknown path {self.path!r}")
 
@@ -232,6 +249,68 @@ class _AdvisorHandler(BaseHTTPRequestHandler):
             return
         self._send_json(200, {"status": "reloaded", "path": path,
                               "model_version": version})
+
+    def _handle_canary_start(self) -> None:
+        """Start a canary rollout (``POST /canary``).
+
+        Body: ``{"path": "ckpt/", "fraction": 0.1}`` — ``path`` is
+        required, ``fraction`` defaults to 0.1 and must be in (0, 1].
+        ``409`` when a canary is already active; on a bad checkpoint the
+        primary keeps serving all traffic and the reply is ``500``.
+        """
+        payload = self._read_body()
+        if payload is None:
+            return
+        path = payload.get("path")
+        if not isinstance(path, str) or not path:
+            self._error(400, "request needs a non-empty string 'path' field")
+            return
+        fraction = payload.get("fraction", 0.1)
+        if (isinstance(fraction, bool) or not isinstance(fraction, (int, float))
+                or not 0.0 < float(fraction) <= 1.0):
+            self._error(400, "'fraction' must be a number in (0, 1]")
+            return
+        start = getattr(self.server.advisor, "start_canary", None)
+        if start is None:
+            self._error(501, "advisor does not support canary rollouts")
+            return
+        self.server.bump("canary")
+        try:
+            version = start(path, float(fraction))
+        except RuntimeError as exc:  # a canary is already rolling out
+            self._error(409, str(exc))
+            return
+        except Exception as exc:  # noqa: BLE001 — primary keeps serving
+            self._error(500, f"canary failed to start: {exc}")
+            return
+        self._send_json(200, {"status": "canary-started", "path": path,
+                              "fraction": float(fraction),
+                              "version": version})
+
+    def _handle_canary_finish(self, action: str, counter: str) -> None:
+        """Finish a canary rollout (``POST /canary/promote|rollback``).
+
+        No body required.  ``409`` with no canary active; ``501`` when
+        the advisor has no canary surface.
+        """
+        fn = getattr(self.server.advisor, action, None)
+        if fn is None:
+            self._error(501, "advisor does not support canary rollouts")
+            return
+        self.server.bump(counter)
+        try:
+            result = fn()
+        except RuntimeError as exc:  # no canary active / partial fleet
+            self._error(409, str(exc))
+            return
+        except Exception as exc:  # noqa: BLE001 — report, don't die
+            self._error(500, f"canary {action} failed: {exc}")
+            return
+        if action == "promote":
+            self._send_json(200, {"status": "promoted",
+                                  "model_version": result})
+        else:
+            self._send_json(200, {"status": "rolled-back"})
 
     def _handle_advise_batch(self) -> None:
         payload = self._read_body()
@@ -326,6 +405,7 @@ def serve_forever(advisor, host: str, port: int, banner: bool = True,
         watching = f", watching {watch_dir}" if watch_dir is not None else ""
         print(f"advisor listening on http://{bound_host}:{bound_port} "
               f"(POST /advise, POST /advise/batch, POST /reload, "
+              f"POST /canary[/promote|/rollback], "
               f"GET /healthz, GET /stats{watching})")
     try:
         server.serve_forever()

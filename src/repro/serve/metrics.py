@@ -14,8 +14,15 @@ Every layer of the serving stack reports through the types here:
 * :func:`batch_hist_bucket` — the shared histogram bucketing rule, exposed
   so the bench reporter and tests label buckets identically.
 * :class:`RollingMean` — a fixed-size window over a load signal, used by
-  :class:`~repro.serve.sharding.ShardedEngine`'s queue-depth autoscaler to
-  smooth per-call depth samples into a resize decision.
+  :class:`~repro.serve.sharding.ShardedEngine`'s autoscaler to smooth
+  per-call queue-depth and per-batch latency samples into a resize
+  decision.
+* :class:`ArmStats` / :func:`merge_arm_stats` — per-arm counters for a
+  canary deployment (requests, errors, verdict agreement against the
+  primary arm, latency), kept once for the primary arm and once for the
+  canary arm by :class:`~repro.serve.registry.MultiModelEngine` and
+  summed across worker processes by
+  :class:`~repro.serve.sharding.ShardedEngine`.
 
 Snapshots are plain ``dict``s with string keys throughout so they can go
 straight into ``json.dumps`` for the ``/stats`` HTTP endpoint and the
@@ -29,8 +36,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable
 
-__all__ = ["EngineStats", "RollingMean", "batch_hist_bucket",
-           "merge_engine_stats", "merge_stat_dicts"]
+__all__ = ["ArmStats", "EngineStats", "RollingMean", "batch_hist_bucket",
+           "merge_arm_stats", "merge_engine_stats", "merge_stat_dicts"]
 
 
 class RollingMean:
@@ -136,6 +143,95 @@ class EngineStats:
         out: Dict[str, object] = dict(self.__dict__)
         out["batch_size_hist"] = dict(self.batch_size_hist)
         return out
+
+
+@dataclass
+class ArmStats:
+    """Monotonic counters for one arm of a canary deployment.
+
+    ``requests`` counts snippets the arm *served*; ``errors`` counts
+    snippets whose inference on this arm raised (a canary-arm error falls
+    back to the primary arm, so the request itself still succeeds).
+    ``agreements``/``disagreements`` compare the canary arm's directive
+    verdict against a shadow primary verdict for the same snippet — only
+    the canary arm accumulates them.  ``latency_total_s`` over
+    ``latency_samples`` is the arm's serving time per snippet (the sync
+    bulk path records a batch's elapsed time against every row in it).
+
+    Not internally locked — the owner (``MultiModelEngine``'s canary
+    state) serializes updates.
+    """
+
+    requests: int = 0
+    errors: int = 0
+    agreements: int = 0
+    disagreements: int = 0
+    latency_total_s: float = 0.0
+    latency_samples: int = 0
+
+    def record_served(self, n: int, elapsed_s: float) -> None:
+        """Account ``n`` snippets served in ``elapsed_s`` seconds."""
+        self.requests += n
+        self.latency_total_s += float(elapsed_s)
+        self.latency_samples += n
+
+    def record_agreements(self, agreed: Iterable[bool]) -> None:
+        """Fold a batch of directive-verdict comparisons into the counters."""
+        for ok in agreed:
+            if ok:
+                self.agreements += 1
+            else:
+                self.disagreements += 1
+
+    @property
+    def samples(self) -> int:
+        """Outcomes a promotion policy can judge: served + errored."""
+        return self.requests + self.errors
+
+    def disagreement_rate(self) -> float:
+        """Disagreements over compared verdicts (0.0 before any compare)."""
+        compared = self.agreements + self.disagreements
+        return self.disagreements / compared if compared else 0.0
+
+    def error_rate(self) -> float:
+        """Errors over policy samples (0.0 before any traffic)."""
+        return self.errors / self.samples if self.samples else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot with the derived rates precomputed."""
+        mean_ms = (1e3 * self.latency_total_s / self.latency_samples
+                   if self.latency_samples else 0.0)
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "agreements": self.agreements,
+            "disagreements": self.disagreements,
+            "latency_total_s": round(self.latency_total_s, 6),
+            "latency_samples": self.latency_samples,
+            "latency_mean_ms": round(mean_ms, 3),
+            "disagreement_rate": round(self.disagreement_rate(), 6),
+            "error_rate": round(self.error_rate(), 6),
+        }
+
+
+def merge_arm_stats(snapshots: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Sum many :meth:`ArmStats.as_dict` snapshots into one aggregate.
+
+    Base counters add; the derived rates (``latency_mean_ms``,
+    ``disagreement_rate``, ``error_rate``) are recomputed from the summed
+    counters rather than averaged, so shards with unequal traffic weigh in
+    proportionally.  Used by ``ShardedEngine.stats`` to fold per-worker
+    canary arms into one fleet-wide view.
+    """
+    merged = ArmStats()
+    for snap in snapshots:
+        merged.requests += int(snap.get("requests", 0))
+        merged.errors += int(snap.get("errors", 0))
+        merged.agreements += int(snap.get("agreements", 0))
+        merged.disagreements += int(snap.get("disagreements", 0))
+        merged.latency_total_s += float(snap.get("latency_total_s", 0.0))
+        merged.latency_samples += int(snap.get("latency_samples", 0))
+    return merged.as_dict()
 
 
 def merge_stat_dicts(snapshots: Iterable[Dict[str, object]]) -> Dict[str, object]:

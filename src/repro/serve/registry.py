@@ -22,7 +22,7 @@ behind a single front door:
   :class:`~repro.serve.engine.Advice` plus one :class:`ClauseAdvice` per
   clause head, JSON-ready via :meth:`FullAdvice.as_dict`.
 
-Two operability layers ride on top (see ``docs/operations.md``):
+Three operability layers ride on top (see ``docs/operations.md``):
 
 * **Hot reload** — :meth:`MultiModelEngine.reload` swaps every head to a
   new advisor checkpoint under live traffic; in-flight requests finish on
@@ -34,6 +34,16 @@ Two operability layers ride on top (see ``docs/operations.md``):
   head is consulted first and clause heads only see snippets whose
   directive probability clears ``0.5 - gate_margin``, cutting clause-head
   compute on majority-negative traffic.
+* **Canary rollout** — :meth:`MultiModelEngine.start_canary` serves a new
+  checkpoint to a deterministic digest-hash slice of traffic
+  (:func:`canary_routes`) next to the current primary, accumulating
+  per-arm latency / error / verdict-agreement counters
+  (:class:`~repro.serve.metrics.ArmStats`);
+  :meth:`~MultiModelEngine.promote` atomically makes the canary primary
+  through the same versioned-slot machinery as :meth:`reload` (so no
+  stale cache entry survives), :meth:`~MultiModelEngine.rollback` drops
+  it, and an optional :class:`CanaryPolicy` auto-promotes or
+  auto-rolls-back once enough canary traffic has been judged.
 
 ``repro serve --http`` and ``repro advise`` are the CLI front-ends; see
 ``docs/serving.md`` for the architecture walk-through.
@@ -42,10 +52,11 @@ Two operability layers ride on top (see ``docs/operations.md``):
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.models.pragformer import PragFormer
 from repro.serve.engine import (
@@ -55,18 +66,20 @@ from repro.serve.engine import (
     LRUCache,
     source_digest,
 )
-from repro.serve.metrics import merge_engine_stats
+from repro.serve.metrics import ArmStats, merge_engine_stats
 from repro.tokenize import Vocab, text_tokens
 
 __all__ = [
     "DEFAULT_CLAUSES",
     "DIRECTIVE",
+    "CanaryPolicy",
     "CheckpointWatcher",
     "ClauseAdvice",
     "FullAdvice",
     "ModelHead",
     "ModelRegistry",
     "MultiModelEngine",
+    "canary_routes",
     "checkpoint_mtime",
 ]
 
@@ -260,6 +273,147 @@ class _SharedLexMemo:
         return tokens
 
 
+def canary_routes(code: str, fraction: float) -> bool:
+    """Deterministic canary-arm assignment for one snippet.
+
+    A snippet goes to the canary iff ``digest % 100 < fraction * 100``
+    over a blake2b digest of the source text, so the assignment is stable
+    across calls, processes, and sharded workers (every worker of a fleet
+    splits traffic identically), and a given snippet never flaps between
+    arms mid-rollout.  The 16-byte digest is deliberately *not* the
+    8-byte one shard routing reduces — blake2b output depends on the
+    digest size, so the two hashes are independent; reusing the routing
+    integer would correlate ``% 100`` with ``% n_shards`` and starve some
+    shards of canary traffic whenever ``n_shards`` shares a factor with
+    100 (e.g. 10 shards at fraction 0.05 would put every canary snippet
+    on shards 0-4).  ``fraction`` is quantized to whole percent —
+    ``start_canary`` rejects fractions that would quantize to zero.
+    """
+    return int.from_bytes(source_digest(code, size=16), "big") % 100 < round(
+        fraction * 100)
+
+
+@dataclass(frozen=True)
+class CanaryPolicy:
+    """Auto-promotion rule for a canary rollout.
+
+    Once the canary arm has judged ``min_samples`` outcomes (served +
+    errored snippets), the policy fires exactly once: **roll back** when
+    the arm's error rate exceeds ``max_error_rate`` or its directive
+    verdicts disagree with the primary arm's on more than
+    ``max_disagreement`` of the compared snippets; otherwise **promote**
+    (with ``auto_promote=False`` the policy only ever rolls back — the
+    operator promotes manually after reading ``/stats``).
+    """
+
+    min_samples: int = 200
+    max_disagreement: float = 0.02
+    max_error_rate: float = 0.0
+    auto_promote: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if not 0.0 <= self.max_disagreement <= 1.0:
+            raise ValueError("max_disagreement must be in [0, 1]")
+        if not 0.0 <= self.max_error_rate <= 1.0:
+            raise ValueError("max_error_rate must be in [0, 1]")
+
+    def judge(self, canary: ArmStats) -> Optional[Tuple[str, str]]:
+        """``("promote"|"rollback", reason)`` once the sample floor is met,
+        else ``None`` (keep serving both arms)."""
+        if canary.samples < self.min_samples:
+            return None
+        if canary.error_rate() > self.max_error_rate:
+            return ("rollback",
+                    f"error rate {canary.error_rate():.4f} > "
+                    f"max_error_rate {self.max_error_rate} "
+                    f"after {canary.samples} samples")
+        if canary.disagreement_rate() > self.max_disagreement:
+            return ("rollback",
+                    f"disagreement rate {canary.disagreement_rate():.4f} > "
+                    f"max_disagreement {self.max_disagreement} "
+                    f"after {canary.samples} samples")
+        if self.auto_promote:
+            return ("promote",
+                    f"{canary.samples} samples within policy bounds "
+                    f"(disagreement {canary.disagreement_rate():.4f}, "
+                    f"errors {canary.error_rate():.4f})")
+        return None
+
+
+class _CanaryState:
+    """Everything one live canary rollout owns, behind one lock.
+
+    ``engines`` is the canary's own per-head :class:`InferenceEngine` set
+    (sharing the parent's lex memo); ``primary``/``canary`` are the
+    per-arm counters.  ``finished`` flips exactly once — whichever of
+    promote / rollback / policy decision claims the state first wins, and
+    requests that raced the finish fall back to the primary arm without
+    polluting the counters.
+    """
+
+    def __init__(self, version: str, fraction: float,
+                 registry: ModelRegistry,
+                 engines: Dict[str, InferenceEngine],
+                 policy: Optional[CanaryPolicy],
+                 started_at: float) -> None:
+        self.version = version
+        self.fraction = fraction
+        self.registry = registry
+        self.engines = engines
+        self.policy = policy
+        self.started_at = started_at
+        self.primary = ArmStats()
+        self.canary = ArmStats()
+        self._lock = threading.Lock()
+        self._decided = False   # the policy fired (promote/rollback queued)
+        self.finished = False   # promote()/rollback() claimed the state
+
+    def note_primary(self, n: int, elapsed_s: float) -> None:
+        """Account ``n`` primary-arm snippets served in ``elapsed_s``."""
+        with self._lock:
+            self.primary.record_served(n, elapsed_s)
+
+    def note_primary_errors(self, n: int) -> None:
+        """Account ``n`` primary-arm failures (the exception propagates)."""
+        with self._lock:
+            self.primary.errors += n
+
+    def note_canary(self, n: int, elapsed_s: float,
+                    agreed: Sequence[bool]) -> Optional[Tuple[str, str]]:
+        """Account served canary traffic; returns a policy decision at most
+        once over the state's lifetime."""
+        with self._lock:
+            self.canary.record_served(n, elapsed_s)
+            self.canary.record_agreements(agreed)
+            return self._judge_locked()
+
+    def note_canary_errors(self, n: int) -> Optional[Tuple[str, str]]:
+        """Account failed canary traffic (served by primary fallback)."""
+        with self._lock:
+            if self.finished:
+                # the promote/rollback race itself closed the canary
+                # engines under this request; that is not a model failure
+                return None
+            self.canary.errors += n
+            return self._judge_locked()
+
+    def _judge_locked(self) -> Optional[Tuple[str, str]]:
+        if self.policy is None or self._decided or self.finished:
+            return None
+        decision = self.policy.judge(self.canary)
+        if decision is not None:
+            self._decided = True
+        return decision
+
+    def arms_dict(self) -> Dict[str, object]:
+        """JSON-ready per-arm counter snapshot."""
+        with self._lock:
+            return {"primary": self.primary.as_dict(),
+                    "canary": self.canary.as_dict()}
+
+
 class MultiModelEngine:
     """All registry heads served through one batched, cached front door.
 
@@ -274,6 +428,11 @@ class MultiModelEngine:
     fan clause work out for snippets whose directive probability exceeds
     ``0.5 - gate_margin`` — gated-out snippets come back with an empty
     ``clauses`` dict (their recommendation list is empty either way).
+
+    :meth:`start_canary` deploys a second checkpoint to a deterministic
+    digest slice of traffic alongside the primary, with per-arm counters
+    and :meth:`promote` / :meth:`rollback` (or a :class:`CanaryPolicy`)
+    to finish the rollout — see ``docs/operations.md``.
 
     Thread-safe to the same degree as :class:`InferenceEngine`.  Use as a
     context manager (or call :meth:`close`) to stop the per-head async
@@ -305,6 +464,8 @@ class MultiModelEngine:
         self._gate_lock = threading.Lock()
         self.gated_snippets = 0    # snippets whose clause fan-out was skipped
         self.fanned_snippets = 0   # snippets that did reach the clause heads
+        self._canary: Optional[_CanaryState] = None
+        self._last_canary: Optional[Dict[str, object]] = None
 
     # -- directive-only paths (InferenceEngine-compatible surface) ---------
 
@@ -365,6 +526,33 @@ class MultiModelEngine:
             self.gated_snippets += gated
             self.fanned_snippets += fanned
 
+    def _async_fan_out(self, engines: Dict[str, InferenceEngine], code: str,
+                       timeout: Optional[float]) -> FullAdvice:
+        """One snippet through ``engines`` via the async ``submit()``
+        queues, honouring clause gating — the shared core of the primary
+        and canary arms of :meth:`advise_full_async`."""
+        directive_engine = engines[DIRECTIVE]
+        if self.config.gate_margin is not None:
+            p_dir = float(directive_engine.submit(code)
+                          .result(timeout=timeout)[1])
+            if not self._fans_out(p_dir):
+                self._count_gated(1, 0)
+                return self._assemble_full(p_dir, {})
+            self._count_gated(0, 1)
+            futures = [(name, engine.submit(code))
+                       for name, engine in engines.items()
+                       if name != DIRECTIVE]
+            return self._assemble_full(p_dir, {
+                name: float(future.result(timeout=timeout)[1])
+                for name, future in futures})
+        futures = [(name, engine.submit(code))
+                   for name, engine in engines.items()]
+        probs = {name: float(future.result(timeout=timeout)[1])
+                 for name, future in futures}
+        return self._assemble_full(
+            probs[DIRECTIVE],
+            {name: p for name, p in probs.items() if name != DIRECTIVE})
+
     def advise_full_async(self, code: str,
                           timeout: Optional[float] = None) -> FullAdvice:
         """One snippet through every head via the async ``submit()`` queues.
@@ -381,27 +569,74 @@ class MultiModelEngine:
         and clause heads are only enqueued when the snippet fans out —
         gating trades the lost head-level overlap for skipping the clause
         forwards entirely on directive-negative traffic.
+
+        With a canary active (:meth:`start_canary`), snippets in the
+        canary's digest slice are served by the canary engines (with a
+        shadow primary directive verdict for the agreement counters) and
+        everything else by the primary, each arm feeding its
+        :class:`~repro.serve.metrics.ArmStats`.
         """
-        if self.config.gate_margin is not None:
-            p_dir = float(self.directive_engine.submit(code)
-                          .result(timeout=timeout)[1])
-            if not self._fans_out(p_dir):
-                self._count_gated(1, 0)
-                return self._assemble_full(p_dir, {})
-            self._count_gated(0, 1)
-            futures = [(name, engine.submit(code))
-                       for name, engine in self.engines.items()
-                       if name != DIRECTIVE]
-            return self._assemble_full(p_dir, {
-                name: float(future.result(timeout=timeout)[1])
-                for name, future in futures})
-        futures = [(name, engine.submit(code))
-                   for name, engine in self.engines.items()]
-        probs = {name: float(future.result(timeout=timeout)[1])
-                 for name, future in futures}
-        return self._assemble_full(
-            probs[DIRECTIVE],
-            {name: p for name, p in probs.items() if name != DIRECTIVE})
+        state = self._canary
+        if state is None:
+            return self._async_fan_out(self.engines, code, timeout)
+        if canary_routes(code, state.fraction):
+            return self._canary_async(state, code, timeout)
+        start = time.perf_counter()
+        try:
+            full = self._async_fan_out(self.engines, code, timeout)
+        except Exception:
+            state.note_primary_errors(1)
+            raise
+        state.note_primary(1, time.perf_counter() - start)
+        return full
+
+    def _canary_async(self, state: "_CanaryState", code: str,
+                      timeout: Optional[float]) -> FullAdvice:
+        """Canary-arm async path: serve from the canary engines, shadow the
+        primary directive head for verdict agreement, and fall back to the
+        primary arm (counting an error) if the canary fails — a bad canary
+        checkpoint degrades metrics, never availability."""
+        shadow = self.directive_engine.submit(code)
+        start = time.perf_counter()
+        try:
+            full = self._async_fan_out(state.engines, code, timeout)
+        except Exception:
+            self._apply_decision(state.note_canary_errors(1))
+            full = self._async_fan_out(self.engines, code, timeout)
+            shadow.result(timeout=timeout)  # drain the shadow verdict
+            return full
+        elapsed = time.perf_counter() - start
+        p_primary = float(shadow.result(timeout=timeout)[1])
+        agreed = full.directive.needs_directive == bool(p_primary > 0.5)
+        self._apply_decision(state.note_canary(1, elapsed, [agreed]))
+        return full
+
+    def _fan_out(self, engines: Dict[str, InferenceEngine],
+                 codes: Sequence[str],
+                 directive: Optional[Sequence[Advice]]) -> List[FullAdvice]:
+        """Bulk fan-out through one arm's ``engines`` (gating included) —
+        the shared core of the primary and canary arms of
+        :meth:`advise_full_many`."""
+        if directive is None:
+            directive = engines[DIRECTIVE].advise_many(codes)
+        fan_idx = [i for i, adv in enumerate(directive)
+                   if self._fans_out(adv.probability)]
+        self._count_gated(len(codes) - len(fan_idx), len(fan_idx))
+        fan_codes = [codes[i] for i in fan_idx]
+        fan_row = {orig: row for row, orig in enumerate(fan_idx)}
+        clause_probs = {
+            name: engine.predict_proba(fan_codes)[:, 1]
+            for name, engine in engines.items() if name != DIRECTIVE
+        }
+        full = []
+        for i, adv in enumerate(directive):
+            row = fan_row.get(i)
+            clauses = {} if row is None else {
+                name: self._clause_advice(probs[row])
+                for name, probs in clause_probs.items()
+            }
+            full.append(FullAdvice(adv, clauses))
+        return full
 
     def advise_full_many(self, codes: Sequence[str],
                          directive: Optional[Sequence[Advice]] = None
@@ -420,29 +655,68 @@ class MultiModelEngine:
         ``clauses`` dict.  Snippets that do fan out get byte-identical
         clause verdicts to an ungated engine — gating changes which rows
         run, never their values.
+
+        With a canary active, the batch is split by :func:`canary_routes`:
+        the canary slice is served by the canary engines (shadow primary
+        directive verdicts feed the agreement counters), the rest by the
+        primary, and results come back in request order either way.
         """
-        if directive is None:
-            directive = self.directive_engine.advise_many(codes)
-        elif len(directive) != len(codes):
+        if directive is not None and len(directive) != len(codes):
             raise ValueError("directive advice must match codes 1:1")
-        fan_idx = [i for i, adv in enumerate(directive)
-                   if self._fans_out(adv.probability)]
-        self._count_gated(len(codes) - len(fan_idx), len(fan_idx))
-        fan_codes = [codes[i] for i in fan_idx]
-        fan_row = {orig: row for row, orig in enumerate(fan_idx)}
-        clause_probs = {
-            name: self.engines[name].predict_proba(fan_codes)[:, 1]
-            for name in self.registry.clause_names()
-        }
-        full = []
-        for i, adv in enumerate(directive):
-            row = fan_row.get(i)
-            clauses = {} if row is None else {
-                name: self._clause_advice(probs[row])
-                for name, probs in clause_probs.items()
-            }
-            full.append(FullAdvice(adv, clauses))
-        return full
+        state = self._canary
+        if state is None:
+            return self._fan_out(self.engines, codes, directive)
+        return self._advise_full_many_canary(state, codes, directive)
+
+    def _advise_full_many_canary(self, state: "_CanaryState",
+                                 codes: Sequence[str],
+                                 directive: Optional[Sequence[Advice]]
+                                 ) -> List[FullAdvice]:
+        """Split one bulk call across the two arms and merge in order."""
+        c_rows = [i for i, code in enumerate(codes)
+                  if canary_routes(code, state.fraction)]
+        c_set = set(c_rows)
+        p_rows = [i for i in range(len(codes)) if i not in c_set]
+        out: List[Optional[FullAdvice]] = [None] * len(codes)
+        if p_rows:
+            p_dir = None if directive is None else [directive[i] for i in p_rows]
+            start = time.perf_counter()
+            try:
+                p_full = self._fan_out(self.engines,
+                                       [codes[i] for i in p_rows], p_dir)
+            except Exception:
+                state.note_primary_errors(len(p_rows))
+                raise
+            state.note_primary(len(p_rows), time.perf_counter() - start)
+            for i, full in zip(p_rows, p_full):
+                out[i] = full
+        if c_rows:
+            c_codes = [codes[i] for i in c_rows]
+            c_dir = None if directive is None else [directive[i] for i in c_rows]
+            start = time.perf_counter()
+            try:
+                c_full = self._fan_out(state.engines, c_codes, None)
+            except Exception:
+                # a failing canary arm degrades metrics, not availability:
+                # serve its slice from the primary and count the errors
+                self._apply_decision(state.note_canary_errors(len(c_rows)))
+                c_full = self._fan_out(self.engines, c_codes, c_dir)
+                for i, full in zip(c_rows, c_full):
+                    out[i] = full
+                return out
+            elapsed = time.perf_counter() - start
+            # shadow directive verdicts from the primary arm, for the
+            # agreement counters (cheap: one extra directive-head batch,
+            # largely cache-resident on repeated traffic)
+            shadow = (c_dir if c_dir is not None
+                      else self.directive_engine.advise_many(c_codes))
+            agreed = [got.directive.needs_directive == ref.needs_directive
+                      for got, ref in zip(c_full, shadow)]
+            self._apply_decision(
+                state.note_canary(len(c_rows), elapsed, agreed))
+            for i, full in zip(c_rows, c_full):
+                out[i] = full
+        return out
 
     # -- hot reload ----------------------------------------------------------
 
@@ -467,16 +741,20 @@ class MultiModelEngine:
         .ShardedEngine` passes one tag to every worker so a fleet always
         agrees on its deployed version.  Returns the tag deployed (also
         reported by :meth:`stats` as ``model_version``).
-        """
-        from repro.models.persistence import load_advisor
 
-        heads = load_advisor(advisor_dir)
-        missing = [name for name in self.engines if name not in heads]
-        if missing:
-            raise ValueError(
-                f"checkpoint {advisor_dir} lacks served heads {missing}; "
-                f"it provides {sorted(heads)}")
+        Raises ``RuntimeError`` while a canary is active — finish the
+        rollout (:meth:`promote` / :meth:`rollback`) first, so the canary's
+        agreement counters always compare against one fixed primary.
+        """
+        heads = self._load_checkpoint_heads(advisor_dir)
         with self._reload_lock:
+            # checked under the lock: a start_canary racing this reload
+            # either installed its state first (we refuse) or will see the
+            # reloaded primary as its comparison baseline
+            if self._canary is not None:
+                raise RuntimeError(
+                    "a canary rollout is active; promote() or rollback() "
+                    "it before reloading the primary")
             self._reload_count += 1
             if version is None:
                 version = f"v{self._reload_count}:{Path(advisor_dir).name}"
@@ -489,6 +767,150 @@ class MultiModelEngine:
             self.registry = registry
             self.model_version = version
         return version
+
+    def _load_checkpoint_heads(self, advisor_dir):
+        """Load an advisor checkpoint and require it to cover every served
+        head (shared by :meth:`reload` and :meth:`start_canary`; raises
+        without touching any engine on a missing/incomplete checkpoint)."""
+        from repro.models.persistence import load_advisor
+
+        heads = load_advisor(advisor_dir)
+        missing = [name for name in self.engines if name not in heads]
+        if missing:
+            raise ValueError(
+                f"checkpoint {advisor_dir} lacks served heads {missing}; "
+                f"it provides {sorted(heads)}")
+        return heads
+
+    # -- canary rollout ------------------------------------------------------
+
+    def start_canary(self, advisor_dir, fraction: float,
+                     policy: Optional[CanaryPolicy] = None,
+                     version: Optional[str] = None) -> str:
+        """Serve the checkpoint in ``advisor_dir`` to a canary slice of
+        traffic next to the current primary.
+
+        ``fraction`` of the digest space (``canary_routes``) is served by a
+        second versioned engine set loaded from the checkpoint; the rest
+        keeps hitting the primary.  Both arms accumulate
+        :class:`~repro.serve.metrics.ArmStats` (visible under ``canary``
+        in :meth:`stats`), and canary-routed snippets additionally get a
+        shadow primary directive verdict for the agreement counters.  A
+        canary-arm failure is served by the primary and counted as an arm
+        error — a broken canary checkpoint can never fail requests.
+
+        ``policy`` auto-promotes or auto-rolls-back once its sample floor
+        is met; without one the operator calls :meth:`promote` /
+        :meth:`rollback`.  ``version`` overrides the default
+        ``v<n>:<dir>`` tag (:class:`~repro.serve.sharding.ShardedEngine`
+        passes one tag fleet-wide).  Raises ``RuntimeError`` if a canary
+        is already active; a missing/incomplete checkpoint raises without
+        disturbing the primary.  Returns the canary's version tag.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if round(fraction * 100) < 1:
+            raise ValueError(
+                f"fraction {fraction} quantizes to zero canary traffic "
+                "(canary_routes works in whole percent; use >= 0.005)")
+        heads = self._load_checkpoint_heads(advisor_dir)
+        with self._reload_lock:
+            if self._canary is not None:
+                raise RuntimeError(
+                    f"canary {self._canary.version} already active; "
+                    "promote() or rollback() it first")
+            self._reload_count += 1
+            if version is None:
+                version = f"v{self._reload_count}:{Path(advisor_dir).name}"
+            registry = ModelRegistry()
+            engines: Dict[str, InferenceEngine] = {}
+            for name in self.registry.names():
+                model, vocab, max_len = heads[name]
+                registry.register(name, model, vocab, max_len=max_len)
+                engines[name] = InferenceEngine(
+                    model, vocab, max_len=max_len, config=self.config,
+                    tokenizer=self.lex_memo, version=version)
+            self._canary = _CanaryState(version, fraction, registry, engines,
+                                        policy, time.time())
+        return version
+
+    def promote(self, reason: Optional[str] = None) -> str:
+        """Atomically make the canary the new primary; returns its tag.
+
+        Reuses the hot-reload machinery: each primary head's slot is
+        swapped to the canary's (model, vocab, max_len) under the canary's
+        version tag, so in-flight primary requests finish on the weights
+        they started with and every version-prefixed cache key written
+        under the old primary misses by construction afterwards.  The
+        canary engine set is closed (queued async work drains first); a
+        request racing the promote falls back to the just-promoted
+        primary.  Raises ``RuntimeError`` with no canary active.
+        """
+        with self._reload_lock:
+            state = self._canary
+            if state is None:
+                raise RuntimeError("no canary active")
+            state.finished = True
+            self._canary = None
+            for name in state.registry.names():
+                head = state.registry.get(name)
+                self.engines[name].swap_model(head.model, head.vocab,
+                                              head.max_len,
+                                              version=state.version)
+            self.registry = state.registry
+            self.model_version = state.version
+            self._finish_canary(state, "promoted", reason)
+        for engine in state.engines.values():
+            engine.close()
+        return state.version
+
+    def rollback(self, reason: Optional[str] = None) -> str:
+        """Drop the canary; the primary keeps serving untouched.
+
+        Returns the primary's (still-deployed) version tag.  Raises
+        ``RuntimeError`` with no canary active.
+        """
+        with self._reload_lock:
+            state = self._canary
+            if state is None:
+                raise RuntimeError("no canary active")
+            state.finished = True
+            self._canary = None
+            self._finish_canary(state, "rolled_back", reason)
+        for engine in state.engines.values():
+            engine.close()
+        return self.model_version
+
+    def _finish_canary(self, state: "_CanaryState", outcome: str,
+                       reason: Optional[str]) -> None:
+        """Record the rollout's outcome + final counters (``last_canary``
+        in :meth:`stats`).  Caller holds ``_reload_lock``."""
+        self._last_canary = {
+            "version": state.version,
+            "fraction": state.fraction,
+            "outcome": outcome,
+            "reason": reason,
+            "duration_s": round(time.time() - state.started_at, 3),
+            "arms": state.arms_dict(),
+        }
+
+    def _apply_decision(self, decision: Optional[Tuple[str, str]]) -> None:
+        """Act on a :class:`CanaryPolicy` verdict from a request thread.
+
+        Promote/rollback may race a concurrent explicit call — the loser's
+        ``RuntimeError`` ("no canary active") is deliberately swallowed;
+        exactly one finish wins.
+        """
+        if decision is None:
+            return
+        action, reason = decision
+        try:
+            if action == "promote":
+                self.promote(reason=f"policy: {reason}")
+            else:
+                self.rollback(reason=f"policy: {reason}")
+        except RuntimeError:
+            pass
 
     # -- observability ------------------------------------------------------
 
@@ -503,7 +925,9 @@ class MultiModelEngine:
         merged counters, "snippets_lexed": distinct snippets lexed by the
         shared memo, "model_version": deployed checkpoint tag, "reloads":
         completed hot reloads, "clause_gating": gate config + skip
-        counters}`` — JSON-ready for the ``/stats`` endpoint.
+        counters, "canary": live rollout (version, fraction, per-arm
+        counters) or ``None``, "last_canary": how the previous rollout
+        ended, or ``None``}`` — JSON-ready for the ``/stats`` endpoint.
         """
         per_head = {name: eng.stats.as_dict() for name, eng in self.engines.items()}
         with self._gate_lock:
@@ -513,6 +937,18 @@ class MultiModelEngine:
                 "gated_snippets": self.gated_snippets,
                 "fanned_out": self.fanned_snippets,
             }
+        state = self._canary
+        canary = None if state is None else {
+            "version": state.version,
+            "fraction": state.fraction,
+            "policy": None if state.policy is None else {
+                "min_samples": state.policy.min_samples,
+                "max_disagreement": state.policy.max_disagreement,
+                "max_error_rate": state.policy.max_error_rate,
+                "auto_promote": state.policy.auto_promote,
+            },
+            "arms": state.arms_dict(),
+        }
         return {
             "heads": per_head,
             "combined": merge_engine_stats(
@@ -521,12 +957,18 @@ class MultiModelEngine:
             "model_version": self.model_version,
             "reloads": self._reload_count,
             "clause_gating": gating,
+            "canary": canary,
+            "last_canary": self._last_canary,
         }
 
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        """Close every per-head engine (idempotent)."""
+        """Close every per-head engine, canary set included (idempotent)."""
+        state = self._canary
+        if state is not None:
+            for engine in state.engines.values():
+                engine.close()
         for engine in self.engines.values():
             engine.close()
 
@@ -597,9 +1039,17 @@ class CheckpointWatcher:
             return False
         # record the mtime before reloading: a *broken* checkpoint must not
         # be retried every interval, only when it changes again
-        self._last_mtime = mtime
+        previous_mtime, self._last_mtime = self._last_mtime, mtime
         try:
             self.advisor.reload(self.path)
+        except RuntimeError as exc:
+            # a canary-blocked reload is *retryable*, not broken: keep the
+            # old baseline so the rollout is retried every poll and lands
+            # as soon as the canary is promoted or rolled back (otherwise
+            # a checkpoint written mid-canary would be dropped forever)
+            self.last_error = f"{type(exc).__name__}: {exc}"
+            if "canary" in str(exc):
+                self._last_mtime = previous_mtime
         except Exception as exc:  # noqa: BLE001 — keep serving old weights
             self.last_error = f"{type(exc).__name__}: {exc}"
         else:

@@ -18,16 +18,26 @@ hosting its own engine built by a caller-supplied zero-argument factory:
 * **Graceful fallback** — ``n_shards=1`` (without autoscaling) builds the
   engine in-process and skips multiprocessing entirely (same API, zero IPC
   overhead), so callers can treat the shard count as a pure tuning knob.
-* **Queue-depth autoscaling** — with an :class:`AutoscaleConfig`, the
+* **Load-signal autoscaling** — with an :class:`AutoscaleConfig`, the
   engine samples the in-flight backlog each call into a rolling window and
   grows/shrinks the active worker count between ``min_shards`` and
-  ``max_shards``.  Routing stays consistent on resize (always
+  ``max_shards``.  With ``latency_high_ms`` set, a second rolling window
+  over per-snippet round-trip latency also triggers growth — a slow model
+  saturates its workers long before the queue deepens, and latency is the
+  signal that sees it.  Routing stays consistent on resize (always
   ``digest % n_shards`` over the *active* count), growth replays the last
-  hot-reload so new workers never serve stale weights, and hysteresis
-  (full-window gate + cooldown) keeps the fleet from flapping.
+  hot-reload (and any live canary) so new workers never serve stale
+  weights, and hysteresis (full-window gate + cooldown) keeps the fleet
+  from flapping.
 * **Hot reload** — :meth:`reload` broadcasts an advisor-checkpoint swap to
   every active worker (workers must host an engine exposing
   ``reload(path)``, e.g. :class:`~repro.serve.registry.MultiModelEngine`).
+* **Canary rollout** — :meth:`start_canary` / :meth:`promote` /
+  :meth:`rollback` broadcast the registry-level canary deployment to
+  every worker under one parent-issued version tag; because arm
+  assignment is a pure digest hash, every worker splits traffic
+  identically, and workers the autoscaler grows mid-rollout replay the
+  canary at spawn.
 * **Observability** — :meth:`stats` aggregates every worker's engine
   counters and reports per-shard routed-request counts, live queue depths
   (requests sent but not yet answered), the deployed model version, and
@@ -54,7 +64,7 @@ import numpy as np
 
 from repro.nn.dtype import get_dtype
 from repro.serve.engine import Advice, source_digest
-from repro.serve.metrics import RollingMean, merge_stat_dicts
+from repro.serve.metrics import RollingMean, merge_arm_stats, merge_stat_dicts
 
 __all__ = ["AutoscaleConfig", "ShardedEngine", "shard_of", "snapshot_stats"]
 
@@ -90,8 +100,17 @@ class AutoscaleConfig:
     by one, always staying within ``[min_shards, max_shards]``.  The
     window is cleared after every resize, so the next decision is based
     entirely on post-resize load — together with the cooldown this is the
-    hysteresis that prevents flapping.  Tuning guidance lives in
-    ``docs/operations.md``.
+    hysteresis that prevents flapping.
+
+    ``latency_high_ms`` (optional) adds a second grow signal: a rolling
+    window over the per-snippet round-trip latency of each worker
+    sub-batch (send to reply, forward pass included).  When its mean
+    exceeds the watermark the fleet grows even with shallow queues —
+    sequential callers never build a backlog, but a slow (e.g. just
+    reloaded, bigger) model still saturates the workers — and while it is
+    above the watermark the fleet refuses to shrink.  ``None`` (default)
+    keeps autoscaling purely queue-depth driven.  Tuning guidance lives
+    in ``docs/operations.md``.
     """
 
     min_shards: int = 1
@@ -100,6 +119,7 @@ class AutoscaleConfig:
     low_watermark: float = 0.25
     window: int = 16
     cooldown_s: float = 5.0
+    latency_high_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.min_shards < 1:
@@ -113,6 +133,8 @@ class AutoscaleConfig:
             raise ValueError("window must be >= 1")
         if self.cooldown_s < 0:
             raise ValueError("cooldown_s must be >= 0")
+        if self.latency_high_ms is not None and self.latency_high_ms <= 0:
+            raise ValueError("latency_high_ms must be > 0 (or None)")
 
     def clamp(self, n_shards: int) -> int:
         """``n_shards`` clamped into ``[min_shards, max_shards]``."""
@@ -140,7 +162,8 @@ def _head_names(engine) -> List[str]:
     return []
 
 
-def _worker_main(factory, requests, responses, reload_spec=None) -> None:
+def _worker_main(factory, requests, responses, reload_spec=None,
+                 canary_spec=None) -> None:
     """Worker loop: build the engine once, then serve method calls.
 
     ``reload_spec`` — a ``(checkpoint_path, version_tag)`` pair — replays
@@ -148,10 +171,13 @@ def _worker_main(factory, requests, responses, reload_spec=None) -> None:
     it (the autoscaler growing the fleet): the factory closes over the
     registry the parent started with, so without the replay a grown
     worker would serve pre-reload weights.  The parent-issued tag keeps
-    every worker's ``model_version`` identical.  A failed replay (the
-    checkpoint vanished since) falls back to the factory weights and
-    keeps serving — a live worker with a divergent ``model_version`` in
-    ``/stats`` beats a dead slot.
+    every worker's ``model_version`` identical.  ``canary_spec`` — a
+    ``(path, fraction, version_tag)`` triple — likewise replays a canary
+    rollout that was live when the grow was scheduled, so a grown worker
+    splits traffic exactly like its siblings.  A failed replay (the
+    checkpoint vanished since) falls back to the weights already loaded
+    and keeps serving — a live worker with a divergent ``model_version``
+    in ``/stats`` beats a dead slot.
 
     Messages are ``(rid, method, payload)`` tuples; replies are
     ``(rid, "ok", result)`` or ``(rid, "error", repr)`` — the echoed
@@ -165,6 +191,12 @@ def _worker_main(factory, requests, responses, reload_spec=None) -> None:
         try:
             engine.reload(path, version=version)
         except Exception:  # noqa: BLE001 — factory weights keep serving
+            pass
+    if canary_spec is not None:
+        path, fraction, version = canary_spec
+        try:
+            engine.start_canary(path, fraction, version=version)
+        except Exception:  # noqa: BLE001 — primary-only worker keeps serving
             pass
     try:
         while True:
@@ -180,6 +212,14 @@ def _worker_main(factory, requests, responses, reload_spec=None) -> None:
                 elif method == "reload":
                     path, version = payload
                     result = engine.reload(path, version=version)
+                elif method == "start_canary":
+                    path, fraction, version = payload
+                    result = engine.start_canary(path, fraction,
+                                                 version=version)
+                elif method == "canary_promote":
+                    result = engine.promote()
+                elif method == "canary_rollback":
+                    result = engine.rollback()
                 else:
                     result = getattr(engine, method)(payload)
                 responses.put((rid, "ok", result))
@@ -197,13 +237,15 @@ class _Token(NamedTuple):
     Captures the response queue and process object *at send time*: if the
     autoscaler later retires this slot and respawns it with fresh queues,
     the caller still collects its reply from the queue the retired worker
-    writes to.
+    writes to.  ``sent_at`` (monotonic seconds) is the round-trip
+    latency reference for the autoscaler's latency signal.
     """
 
     rid: int
     shard: int
     responses: object
     worker: object
+    sent_at: float
 
 
 class ShardedEngine:
@@ -217,9 +259,10 @@ class ShardedEngine:
     :func:`shard_of` over the *active* shard count and preserve request
     order in the returned results.
 
-    Passing ``autoscale=AutoscaleConfig(...)`` turns on queue-depth
+    Passing ``autoscale=AutoscaleConfig(...)`` turns on load-signal
     autoscaling: the worker fleet grows and shrinks between the
-    configured bounds as the rolling backlog signal demands (see
+    configured bounds as the rolling backlog — and, with
+    ``latency_high_ms``, per-snippet latency — signals demand (see
     :class:`AutoscaleConfig`).  Autoscaling always runs in
     multiprocessing mode — the in-process ``n_shards=1`` fallback cannot
     grow.
@@ -250,6 +293,7 @@ class ShardedEngine:
         self._rids = itertools.count()
         self._factory = factory
         self._reload_spec: Optional[Tuple[str, str]] = None
+        self._canary_spec: Optional[Tuple[str, float, str]] = None
         self._reload_count = 0
         self._local = None
         self._workers: List[mp.Process] = []
@@ -259,6 +303,10 @@ class ShardedEngine:
         # autoscaler state
         self._window = (RollingMean(autoscale.window)
                         if autoscale is not None else None)
+        self._lat_window = (RollingMean(autoscale.window)
+                            if autoscale is not None
+                            and autoscale.latency_high_ms is not None
+                            else None)
         self._last_resize_at = time.monotonic()
         self._resizes = 0
         self._resizing = False    # a grow is preparing outside _route_lock
@@ -279,23 +327,26 @@ class ShardedEngine:
                           else "spawn")
         self._mp_ctx = mp.get_context(mp_context)
         for shard in range(n_shards):
-            self._install_worker(shard, self._start_worker(shard, None))
+            self._install_worker(shard, self._start_worker(shard, None, None))
 
     # -- worker lifecycle --------------------------------------------------
 
     def _start_worker(self, index: int,
-                      reload_spec: Optional[Tuple[str, str]]
+                      reload_spec: Optional[Tuple[str, str]],
+                      canary_spec: Optional[Tuple[str, float, str]]
                       ) -> Optional[Tuple]:
         """Spawn a worker process for slot ``index`` (no routing changes).
 
         Deliberately runs *without* ``_route_lock``: process start can
         take a while and the slot is not routable until
-        :meth:`_install_worker` publishes it.  ``reload_spec`` (the
-        caller's snapshot of the last successful reload) is replayed in
-        the worker at startup so a grown worker never serves pre-rollout
-        weights.  Returns ``None`` — grow aborted, retry later — when the
-        slot's retired worker is still draining in-flight requests:
-        terminating it would fail the callers waiting on those replies.
+        :meth:`_install_worker` publishes it.  ``reload_spec`` /
+        ``canary_spec`` (the caller's snapshots of the last successful
+        reload and any live canary) are replayed in the worker at startup
+        so a grown worker never serves pre-rollout weights and splits
+        canary traffic like its siblings.  Returns ``None`` — grow
+        aborted, retry later — when the slot's retired worker is still
+        draining in-flight requests: terminating it would fail the
+        callers waiting on those replies.
         """
         if index < len(self._workers):
             old = self._workers[index]
@@ -307,7 +358,7 @@ class ShardedEngine:
         resp: "mp.queues.Queue" = self._mp_ctx.Queue()
         proc = self._mp_ctx.Process(
             target=_worker_main,
-            args=(self._factory, req, resp, reload_spec),
+            args=(self._factory, req, resp, reload_spec, canary_spec),
             name=f"advisor-shard-{index}", daemon=True)
         proc.start()
         return proc, req, resp
@@ -351,7 +402,8 @@ class ShardedEngine:
             raise RuntimeError("sharded engine is closed")
         with self._route_lock:
             token = _Token(next(self._rids), shard,
-                           self._responses[shard], self._workers[shard])
+                           self._responses[shard], self._workers[shard],
+                           time.monotonic())
             with self._meta_lock:
                 self._depth[shard] += 1
             self._requests[shard].put((token.rid, method, payload))
@@ -440,6 +492,11 @@ class ShardedEngine:
             if status != "ok":
                 failures.append(f"shard {shard} failed: {result}")
                 continue
+            if self._lat_window is not None:
+                # per-snippet round-trip latency of this sub-batch (queue
+                # wait + forward pass) — the autoscaler's slow-model signal
+                elapsed = time.monotonic() - tokens[shard].sent_at
+                self._lat_window.push(elapsed * 1e3 / max(1, len(rows)))
             for i, value in zip(rows, result):
                 out[i] = value
         if failures:
@@ -463,8 +520,24 @@ class ShardedEngine:
         self._window.push(backlog / n)
         self._maybe_autoscale()
 
+    def _latency_signal(self) -> Tuple[float, bool]:
+        """``(mean per-snippet ms, above-watermark?)`` of the latency
+        window; ``(0.0, False)`` when the signal is disabled or not yet
+        full."""
+        cfg = self.autoscale
+        if (self._lat_window is None or cfg is None
+                or cfg.latency_high_ms is None):
+            return 0.0, False
+        mean = self._lat_window.mean()
+        return mean, self._lat_window.full and mean > cfg.latency_high_ms
+
     def _maybe_autoscale(self) -> None:
         """Apply the resize rule when the window is full and cooled down.
+
+        Growth fires on either signal — deep queues (concurrent burst) or
+        high per-snippet latency (slow model, see
+        ``AutoscaleConfig.latency_high_ms``); shrinking requires an idle
+        queue *and* a latency window below the watermark.
 
         Shrinking is cheap (retire the top slot) and completes under
         ``_route_lock`` on the calling thread.  Growing spawns a process,
@@ -485,15 +558,23 @@ class ShardedEngine:
                     or time.monotonic() - self._last_resize_at < cfg.cooldown_s):
                 return
             mean = self._window.mean()
-            if mean > cfg.high_watermark and self.n_shards < cfg.max_shards:
+            lat_mean, lat_slow = self._latency_signal()
+            if ((mean > cfg.high_watermark or lat_slow)
+                    and self.n_shards < cfg.max_shards):
+                if mean > cfg.high_watermark:
+                    reason = (f"mean queue depth {mean:.2f} > "
+                              f"high watermark {cfg.high_watermark}")
+                else:
+                    reason = (f"mean per-snippet latency {lat_mean:.2f} ms > "
+                              f"latency watermark {cfg.latency_high_ms} ms")
                 self._resizing = True
                 threading.Thread(
                     target=self._grow,
                     args=(self.n_shards, self._reload_spec,
-                          f"mean queue depth {mean:.2f} > "
-                          f"high watermark {cfg.high_watermark}"),
+                          self._canary_spec, reason),
                     name="advisor-autoscale-grow", daemon=True).start()
-            elif mean < cfg.low_watermark and self.n_shards > cfg.min_shards:
+            elif (mean < cfg.low_watermark and not lat_slow
+                  and self.n_shards > cfg.min_shards):
                 # shrink: the retiring slot leaves the routing set first,
                 # then receives _STOP — FIFO ordering means sub-batches
                 # already queued are answered before the worker exits
@@ -505,20 +586,24 @@ class ShardedEngine:
                                   f"low watermark {cfg.low_watermark}")
 
     def _grow(self, index: int, reload_spec: Optional[Tuple[str, str]],
+              canary_spec: Optional[Tuple[str, float, str]],
               reason: str) -> None:
-        """Background grow: spawn, publish, catch up on a racing reload.
+        """Background grow: spawn, publish, catch up on racing rollouts.
 
-        ``reload_spec`` was snapshotted under ``_route_lock`` when this
-        grow was scheduled; a reload broadcast landing between then and
-        the publish only reaches the *published* slots, so after
-        installing we re-check the spec and send the new worker a
-        catch-up reload.  A catch-up failure leaves the worker serving
-        its spawn-time weights — alive but with a divergent
-        ``model_version`` visible in :meth:`stats`.
+        ``reload_spec`` / ``canary_spec`` were snapshotted under
+        ``_route_lock`` when this grow was scheduled; a reload or canary
+        broadcast landing between then and the publish only reaches the
+        *published* slots, so after installing we re-check both specs and
+        send the new worker catch-up messages — in rollout order: drop a
+        canary that ended (its promote, if any, shows up as a changed
+        reload spec), replay the reload, then start a canary that began.
+        A catch-up failure leaves the worker serving its spawn-time
+        weights — alive but with a divergent ``model_version`` visible in
+        :meth:`stats`.
         """
-        catchup: Optional[_Token] = None
+        catchups: List[_Token] = []
         try:
-            started = self._start_worker(index, reload_spec)
+            started = self._start_worker(index, reload_spec, canary_spec)
             if started is None:
                 return  # retired slot still draining; a later tick retries
             with self._route_lock:
@@ -528,12 +613,20 @@ class ShardedEngine:
                 self._install_worker(index, started)
                 self.n_shards = index + 1
                 self._note_resize(index, index + 1, reason)
+                msgs: List[Tuple[str, object]] = []
+                canary_changed = self._canary_spec != canary_spec
+                if canary_changed and canary_spec is not None:
+                    msgs.append(("canary_rollback", None))
                 if (self._reload_spec is not None
                         and self._reload_spec != reload_spec):
-                    catchup = self._send(index, "reload", self._reload_spec)
+                    msgs.append(("reload", self._reload_spec))
+                if canary_changed and self._canary_spec is not None:
+                    msgs.append(("start_canary", self._canary_spec))
+                catchups = [self._send(index, method, payload)
+                            for method, payload in msgs]
         finally:
             self._resizing = False
-        if catchup is not None:
+        for catchup in catchups:
             try:
                 self._collect(catchup)
             except RuntimeError:  # pragma: no cover — worker died at start
@@ -546,6 +639,8 @@ class ShardedEngine:
                              "at": round(time.time(), 3)}
         self._last_resize_at = time.monotonic()
         self._window.clear()
+        if self._lat_window is not None:
+            self._lat_window.clear()
 
     # -- bulk APIs ---------------------------------------------------------
 
@@ -595,6 +690,10 @@ class ShardedEngine:
         path = str(path)
         if self._closed:
             raise RuntimeError("sharded engine is closed")
+        if self._canary_spec is not None:
+            raise RuntimeError(
+                f"canary {self._canary_spec[2]} is active; promote() or "
+                "rollback() it before reloading the primary")
         if self._local is not None:
             reload_fn = getattr(self._local, "reload", None)
             if reload_fn is None:
@@ -629,6 +728,136 @@ class ShardedEngine:
             raise RuntimeError("; ".join(failures))
         return version
 
+    # -- canary rollout ----------------------------------------------------
+
+    def _broadcast(self, method: str, payload) -> List[str]:
+        """Send ``method`` to every active shard and collect the failures
+        (caller holds no locks; sends happen under ``_route_lock``)."""
+        with self._route_lock:
+            tokens = [self._send(shard, method, payload)
+                      for shard in range(self.n_shards)]
+        failures: List[str] = []
+        for shard, token in enumerate(tokens):
+            try:
+                status, result = self._collect(token)
+            except RuntimeError as exc:
+                failures.append(str(exc))
+                continue
+            if status != "ok":
+                failures.append(f"shard {shard} failed: {result}")
+        return failures
+
+    def start_canary(self, path, fraction: float,
+                     version: Optional[str] = None) -> str:
+        """Broadcast a canary rollout to every active worker.
+
+        Workers must host an engine exposing ``start_canary`` (a
+        :class:`~repro.serve.registry.MultiModelEngine`); the parent
+        issues **one** version tag so the whole fleet — including workers
+        the autoscaler grows mid-rollout, which replay the canary at
+        spawn — agrees on the rollout's identity, and the digest-based
+        arm split is identical on every worker by construction.  If any
+        worker fails to start, the rollout is rolled back everywhere and
+        the error raised — a traffic split only some shards honour is
+        never left serving.  Returns the canary version tag.
+
+        Promotion policies stay engine-level: in a fleet the operator (or
+        an external controller watching ``/stats``) decides, then calls
+        :meth:`promote` / :meth:`rollback` to move every worker at once.
+        """
+        path = str(path)
+        if self._closed:
+            raise RuntimeError("sharded engine is closed")
+        if self._local is not None:
+            version = self._local.start_canary(path, fraction,
+                                               version=version)
+            self._canary_spec = (path, fraction, version)
+            return version
+        with self._route_lock:
+            if self._canary_spec is not None:
+                raise RuntimeError(
+                    f"canary {self._canary_spec[2]} already active; "
+                    "promote() or rollback() it first")
+            self._reload_count += 1
+            if version is None:
+                version = f"v{self._reload_count}:{Path(path).name}"
+            spec = (path, float(fraction), version)
+            tokens = [self._send(shard, "start_canary", spec)
+                      for shard in range(self.n_shards)]
+            self._canary_spec = spec
+        failures: List[str] = []
+        for shard, token in enumerate(tokens):
+            try:
+                status, result = self._collect(token)
+            except RuntimeError as exc:
+                failures.append(str(exc))
+                continue
+            if status != "ok":
+                failures.append(f"shard {shard} failed: {result}")
+        if failures:
+            try:  # drop the partial rollout everywhere, then report
+                self.rollback()
+            except RuntimeError:  # pragma: no cover — rollback best-effort
+                pass
+            raise RuntimeError("; ".join(failures))
+        return version
+
+    def promote(self) -> str:
+        """Broadcast canary promotion: every worker atomically makes the
+        canary its primary (see ``MultiModelEngine.promote``), and the
+        remembered reload spec moves to the promoted checkpoint so
+        workers grown later replay it.  Raises with no canary active, or
+        naming the shards that failed.  On a partial failure the canary
+        spec is *kept*: shards that promoted hold the new weights, and
+        re-issuing ``promote()`` converges the rest (already-promoted
+        workers answer "no canary active", which is tolerated — the
+        rollout is never left wedged with no API path to finish it).
+        Returns the promoted version tag."""
+        if self._closed:
+            raise RuntimeError("sharded engine is closed")
+        with self._route_lock:
+            if self._canary_spec is None:
+                raise RuntimeError("no canary active")
+            path, _, version = self._canary_spec
+        if self._local is not None:
+            result = self._local.promote()
+            with self._route_lock:
+                self._reload_spec = (path, version)
+                self._canary_spec = None
+            return result
+        failures = [f for f in self._broadcast("canary_promote", None)
+                    if "no canary active" not in f]
+        if failures:
+            raise RuntimeError("; ".join(failures))
+        with self._route_lock:
+            self._reload_spec = (path, version)
+            self._canary_spec = None
+        return version
+
+    def rollback(self) -> None:
+        """Broadcast canary rollback: every worker drops its canary arm
+        and keeps serving the primary untouched.  Idempotent per shard —
+        a worker that never started (or already dropped) its canary is
+        not an error, so a partially started rollout can always be
+        cleaned up.  Like :meth:`promote`, a partial failure keeps the
+        canary spec so the rollback can simply be re-issued."""
+        if self._closed:
+            raise RuntimeError("sharded engine is closed")
+        with self._route_lock:
+            if self._canary_spec is None and self._local is None:
+                raise RuntimeError("no canary active")
+        if self._local is not None:
+            self._local.rollback()
+            with self._route_lock:
+                self._canary_spec = None
+            return
+        failures = [f for f in self._broadcast("canary_rollback", None)
+                    if "no canary active" not in f]
+        if failures:
+            raise RuntimeError("; ".join(failures))
+        with self._route_lock:
+            self._canary_spec = None
+
     # -- observability -----------------------------------------------------
 
     def head_names(self) -> List[str]:
@@ -653,9 +882,13 @@ class ShardedEngine:
         Shape: ``{"n_shards", "routed": [per-slot request counts],
         "queue_depth": [in-flight requests per active shard], "shards":
         [per-worker engine snapshots], "combined": merged counters}`` —
-        plus ``"model_version"`` when the workers report one and an
-        ``"autoscaler"`` block (bounds, current shards, resize count,
-        last resize with its reason) when autoscaling is on.  JSON-ready.
+        plus ``"model_version"`` when the workers report one, a
+        ``"canary"`` block (version, fraction, per-arm counters summed
+        across workers, and ``shards_live`` — how many workers host the
+        canary) when one is rolling out, and an ``"autoscaler"`` block
+        (bounds, current shards, resize count, last resize with its
+        reason, latency watermark + window mean when the latency signal
+        is on) when autoscaling is on.  JSON-ready.
         """
         if self._local is not None:
             shards = [snapshot_stats(self._local)]
@@ -676,6 +909,21 @@ class ShardedEngine:
         first = shards[0] if shards else None
         if isinstance(first, dict) and "model_version" in first:
             out["model_version"] = first["model_version"]
+        if isinstance(first, dict) and "canary" in first:
+            live = [s["canary"] for s in shards
+                    if isinstance(s, dict) and s.get("canary")]
+            out["canary"] = None if not live else {
+                "version": live[0]["version"],
+                "fraction": live[0]["fraction"],
+                "shards_live": len(live),
+                "arms": {
+                    arm: merge_arm_stats(c["arms"][arm] for c in live)
+                    for arm in ("primary", "canary")
+                },
+            }
+            out["last_canary"] = next(
+                (s["last_canary"] for s in shards
+                 if isinstance(s, dict) and s.get("last_canary")), None)
         if self.autoscale is not None:
             out["autoscaler"] = {
                 "min_shards": self.autoscale.min_shards,
@@ -685,6 +933,11 @@ class ShardedEngine:
                 "last_resize": self._last_resize,
                 "window_mean": round(self._window.mean(), 3),
             }
+            if self._lat_window is not None:
+                out["autoscaler"]["latency_high_ms"] = (
+                    self.autoscale.latency_high_ms)
+                out["autoscaler"]["window_latency_mean_ms"] = round(
+                    self._lat_window.mean(), 3)
         return out
 
     def _scatter_stats(self) -> List[Dict[str, object]]:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.data.encoding import TokenCache
 from repro.data.splits import DatasetSplits

@@ -8,7 +8,7 @@ experiment functions reproducible bit-for-bit and avoids the global
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -11,7 +11,6 @@ from repro.clang import (
     Call,
     Cast,
     Compound,
-    Constant,
     Decl,
     DoWhile,
     For,
@@ -19,7 +18,6 @@ from repro.clang import (
     Identifier,
     If,
     ParseError,
-    Return,
     StructRef,
     TernaryOp,
     UnaryOp,

@@ -1,6 +1,5 @@
 """Tests for the command-line interface."""
 
-import json
 
 import pytest
 
@@ -126,3 +125,18 @@ class TestServeParser:
         must error loudly, not no-op silently."""
         assert main(["serve", "--gate-margin", "0.1"]) == 2
         assert "--gate-margin requires --http" in capsys.readouterr().err
+
+    def test_canary_flags(self):
+        args = self._parse(["serve", "--http", "8080",
+                            "--canary", "ckpt_v2", "--canary-fraction", "0.25"])
+        assert args["canary"] == "ckpt_v2"
+        assert args["canary_fraction"] == 0.25
+        # canary defaults off, at a 10% slice when enabled bare
+        args = self._parse(["serve", "--http", "8080"])
+        assert args["canary"] is None
+        assert args["canary_fraction"] == 0.1
+
+    def test_canary_requires_http(self, capsys):
+        """Stdin mode has no multi-model advisor to split traffic over."""
+        assert main(["serve", "--canary", "ckpt_v2"]) == 2
+        assert "--canary requires --http" in capsys.readouterr().err

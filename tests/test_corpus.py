@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 from repro.clang import For, parse, walk
 from repro.clang.pragma import parse_pragma
 from repro.corpus import (
-    Corpus,
     CorpusConfig,
     NEGATIVE_FAMILIES,
     POSITIVE_FAMILIES,

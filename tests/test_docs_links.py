@@ -83,7 +83,8 @@ class TestCliCoverage:
     def test_serving_doc_covers_http_endpoints(self):
         doc = (REPO_ROOT / "docs" / "serving.md").read_text()
         for endpoint in ("/advise", "/advise/batch", "/healthz", "/stats",
-                         "/reload"):
+                         "/reload", "/canary", "/canary/promote",
+                         "/canary/rollback"):
             assert endpoint in doc, f"docs/serving.md missing {endpoint}"
 
     def test_operations_doc_covers_operator_surface(self):
@@ -91,11 +92,14 @@ class TestCliCoverage:
         and every endpoint an operator touches."""
         doc = (REPO_ROOT / "docs" / "operations.md").read_text()
         for flag in ("--watch", "--min-shards", "--max-shards",
-                     "--gate-margin", "--shards"):
+                     "--gate-margin", "--shards", "--canary",
+                     "--canary-fraction"):
             assert flag in doc, f"docs/operations.md missing flag {flag}"
-        for endpoint in ("/healthz", "/stats", "/reload"):
+        for endpoint in ("/healthz", "/stats", "/reload", "/canary",
+                         "/canary/promote", "/canary/rollback"):
             assert endpoint in doc, f"docs/operations.md missing {endpoint}"
-        for concept in ("model_version", "hysteresis", "cooldown", "gating"):
+        for concept in ("model_version", "hysteresis", "cooldown", "gating",
+                        "canary", "promote", "rollback", "latency_high_ms"):
             assert concept in doc.lower(), (
                 f"docs/operations.md missing {concept}")
 
@@ -106,7 +110,7 @@ class TestCliCoverage:
 
         source = Path(cli.__file__).read_text()
         for flag in ("--watch", "--min-shards", "--max-shards",
-                     "--gate-margin"):
+                     "--gate-margin", "--canary", "--canary-fraction"):
             assert f'"{flag}"' in source, f"cli.py lost {flag}"
 
     def test_architecture_doc_maps_every_package(self):

@@ -1,13 +1,11 @@
 """Tests for the future-work extensions: directive generation, the hybrid
 model+S2S advisor, and attention introspection."""
 
-import numpy as np
 import pytest
 
 from repro.clang.pragma import parse_pragma
 from repro.explain import attention_by_token_class, cls_attention
-from repro.models import DirectiveGenerator, HybridAdvisor, PragFormer, PragFormerConfig
-from repro.models.pragformer import trim_batch
+from repro.models import DirectiveGenerator, HybridAdvisor, PragFormerConfig
 from repro.pipeline import ScaleConfig
 from repro.pipeline.context import get_context
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.nn import AdamW, Linear, Module, Parameter, WarmupSchedule, clip_grad_norm
-from repro.nn.layers import Dropout, LayerNorm
+from repro.nn.layers import Dropout
 
 
 class Quadratic(Module):

@@ -2,7 +2,6 @@
 table-level ground truths that must hold regardless of scale or seed."""
 
 import numpy as np
-import pytest
 
 from repro.clang import parse
 from repro.clang.pragma import parse_pragma

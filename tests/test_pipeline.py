@@ -1,10 +1,9 @@
 """Integration tests for the experiment pipeline at a tiny scale."""
 
-import numpy as np
 import pytest
 
 from repro.models.pragformer import PragFormerConfig
-from repro.pipeline import ExperimentContext, ScaleConfig, get_scale
+from repro.pipeline import ScaleConfig, get_scale
 from repro.pipeline import experiments as E
 from repro.pipeline.context import get_context
 from repro.tokenize import Representation

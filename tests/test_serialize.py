@@ -1,11 +1,10 @@
 """Tests for AST DFS serialization and unparse edge cases."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.clang import parse, unparse, walk
-from repro.clang.nodes import ExprStmt, Node, Pragma
+from repro.clang.nodes import ExprStmt, Pragma
 from repro.clang.serialize import ast_to_dfs_text
 
 

@@ -370,3 +370,117 @@ class TestErrorHandling:
     def test_server_survives_errors(self, server_url):
         status, _ = _post(server_url + "/advise", {"code": SNIPPETS[0]})
         assert status == 200
+
+
+class TestCanaryEndpoints:
+    """POST /canary + /canary/promote + /canary/rollback lifecycle."""
+
+    @pytest.fixture()
+    def canary_setup(self, tmp_path):
+        vocab = Vocab.build([text_tokens(code) for code in SNIPPETS],
+                            min_freq=1)
+
+        def registry(seed0):
+            reg = ModelRegistry()
+            for k, name in enumerate(("directive", "private")):
+                reg.register(name, PragFormer(len(vocab), TINY, rng=seed0 + k),
+                             vocab, max_len=TINY.max_len)
+            return reg
+
+        ckpt_a, ckpt_b = tmp_path / "ckpt_a", tmp_path / "ckpt_b"
+        registry(0).save(ckpt_a)
+        registry(50).save(ckpt_b)
+        advisor = MultiModelEngine(ModelRegistry.from_checkpoint(ckpt_a))
+        server = make_server(advisor, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}", advisor, ckpt_b
+        server.shutdown()
+        server.server_close()
+        advisor.close()
+        thread.join(timeout=5)
+
+    def _post_status(self, url, payload=None):
+        """POST returning (status, body) without raising on 4xx/5xx."""
+        body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+        req = urllib.request.Request(url, data=body)
+        try:
+            with urllib.request.urlopen(req, timeout=10) as resp:
+                return resp.status, json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read().decode("utf-8"))
+
+    def test_full_lifecycle_start_stats_promote(self, canary_setup):
+        url, advisor, ckpt_b = canary_setup
+        status, body = self._post_status(
+            url + "/canary", {"path": str(ckpt_b), "fraction": 0.5})
+        assert status == 200
+        assert body["status"] == "canary-started"
+        assert body["fraction"] == 0.5
+        version = body["version"]
+        # per-arm counters are live in /stats while the rollout runs
+        self._post_status(url + "/advise", {"code": SNIPPETS[0]})
+        stats = _get(url + "/stats")[1]
+        assert stats["engine"]["canary"]["version"] == version
+        assert set(stats["engine"]["canary"]["arms"]) == {"primary", "canary"}
+        status, body = self._post_status(url + "/canary/promote")
+        assert status == 200
+        assert body == {"status": "promoted", "model_version": version}
+        stats = _get(url + "/stats")[1]
+        assert stats["engine"]["model_version"] == version
+        assert stats["engine"]["canary"] is None
+        assert stats["engine"]["last_canary"]["outcome"] == "promoted"
+        assert stats["http"]["canary"] == 1
+        assert stats["http"]["canary_promote"] == 1
+
+    def test_rollback_and_conflict_statuses(self, canary_setup):
+        url, advisor, ckpt_b = canary_setup
+        # finishing with no canary active is a 409, not a 500
+        assert self._post_status(url + "/canary/promote")[0] == 409
+        assert self._post_status(url + "/canary/rollback")[0] == 409
+        assert self._post_status(
+            url + "/canary", {"path": str(ckpt_b)})[0] == 200
+        # a second rollout while one is active is a 409 too
+        assert self._post_status(
+            url + "/canary", {"path": str(ckpt_b)})[0] == 409
+        status, body = self._post_status(url + "/canary/rollback")
+        assert status == 200 and body == {"status": "rolled-back"}
+        assert _get(url + "/stats")[1]["engine"]["model_version"] == "0"
+
+    def test_bad_requests(self, canary_setup):
+        url, advisor, ckpt_b = canary_setup
+        # missing path, bad fraction, bad checkpoint
+        assert self._post_status(url + "/canary", {})[0] == 400
+        assert self._post_status(
+            url + "/canary", {"path": str(ckpt_b), "fraction": 0})[0] == 400
+        assert self._post_status(
+            url + "/canary", {"path": str(ckpt_b), "fraction": "lots"})[0] == 400
+        status, body = self._post_status(
+            url + "/canary", {"path": str(ckpt_b / "nope")})
+        assert status == 500
+        # primary untouched after the failed start
+        assert _get(url + "/healthz")[0] == 200
+        assert _get(url + "/stats")[1]["engine"]["canary"] is None
+
+    def test_advisor_without_canary_surface_501(self):
+        class Plain:
+            def advise_full_many(self, codes):
+                raise NotImplementedError
+
+            def stats(self):
+                return {}
+
+        server = make_server(Plain(), port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        try:
+            assert self._post_status(
+                url + "/canary", {"path": "x"})[0] == 501
+            assert self._post_status(url + "/canary/promote")[0] == 501
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)

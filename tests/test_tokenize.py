@@ -1,22 +1,18 @@
 """Tests for identifier replacement, representations, and vocabulary."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.clang import parse
-from repro.clang.serialize import ast_to_dfs_text, unparse
 from repro.tokenize import (
     CLS,
     MASK,
     PAD,
     Representation,
-    STDLIB_NAMES,
     UNK,
     Vocab,
     build_replacement_map,
-    rename_ast,
     rename_directive,
     replace_identifiers_in_code,
     represent,

@@ -2,7 +2,6 @@
 dropout behaviour, and gradient clipping engagement."""
 
 import numpy as np
-import pytest
 
 from repro.data.encoding import EncodedSplit
 from repro.models import MLMConfig, MLMPretrainer, PragFormer, PragFormerConfig
