@@ -40,8 +40,15 @@ pass starts a second checkpoint on a digest slice of traffic while client
 threads hammer the engine, reads the per-arm counters, and promotes it
 live (zero failed requests, zero canary-arm errors, zero stale verdicts
 after the promote — the invariants ``scripts/bench_gate.py`` holds CI
-to); and an **autoscale burst** drives a queue-depth-autoscaled sharded
-engine through a bursty then idle phase and records the resize trail.  On a single-core host the
+to); an **autoscale burst** drives a queue-depth-autoscaled sharded
+engine through a bursty then idle phase and records the resize trail;
+and a **fault injection** pass kills one of four shards mid-trace with
+the deterministic :mod:`repro.serve.chaos` schedule — every request must
+still be answered (answered fraction 1.0, zero lost), the supervisor
+must respawn the slot, and the recovery time plus supervisor counters go
+into the report — then overloads the HTTP front-end past its in-flight
+cap to record the shed (429) count (more invariants
+``scripts/bench_gate.py`` gates CI on).  On a single-core host the
 sweep and autoscale sections measure routing/IPC overhead rather than
 scaling — multi-shard numbers sitting below the in-process fallback is
 expected there, and the recorded values exist for cross-run comparison,
@@ -52,9 +59,12 @@ the default (paper-shaped) size keeps the bench self-contained and fast.
 """
 
 import functools
+import json
 import tempfile
 import threading
 import time
+import urllib.error
+import urllib.request
 from pathlib import Path
 
 import numpy as np
@@ -66,13 +76,17 @@ from repro.corpus import CorpusConfig, build_corpus
 from repro.data.encoding import encode_batch
 from repro.models import PragFormer
 from repro.serve import (
+    AdmissionConfig,
     AutoscaleConfig,
+    ChaosConfig,
     EngineConfig,
     InferenceEngine,
     ModelRegistry,
     MultiModelEngine,
     ShardedEngine,
+    SupervisorConfig,
     canary_routes,
+    make_server,
 )
 from repro.tokenize import Vocab, text_tokens
 
@@ -87,6 +101,10 @@ GATING_NEGATIVE_FRAC = 0.75  # majority-negative, as real traffic skews
 GATE_MARGIN = 0.05
 RELOAD_CLIENTS = 4        # threads hammering during the hot swap
 CANARY_FRACTION = 0.3     # digest slice the canary rollout serves
+FAULT_ROUNDS = 10         # trace rounds through the chaos-faulted fleet
+FAULT_KILL_SLOT = 1       # which of the 4 shards the chaos schedule kills
+FAULT_KILL_CALL = 3       # the slot's serving-call index that dies
+OVERLOAD_CLIENTS = 6      # simultaneous requests against max_inflight=1
 
 
 def _workload():
@@ -164,6 +182,23 @@ def _clause_batches(stats):
     """Total clause-head forward batches in a stats snapshot."""
     return sum(stats["heads"][name]["batches"]
                for name in ("private", "reduction"))
+
+
+class _SlowAdvisor:
+    """Wrap an advisor with a fixed per-call delay so the overload pass
+    deterministically holds the admission slot long enough for the
+    simultaneous clients to be shed (429) rather than racing through."""
+
+    def __init__(self, inner, delay_s):
+        self.inner = inner
+        self.delay_s = delay_s
+
+    def advise_full_many(self, codes):
+        time.sleep(self.delay_s)
+        return self.inner.advise_full_many(codes)
+
+    def stats(self):
+        return self.inner.stats()
 
 
 def test_serving_throughput(benchmark):
@@ -501,6 +536,127 @@ def test_serving_throughput(benchmark):
         "last_resize": scaler_state["last_resize"],
     }
 
+    # -- fault injection: kill one of four shards mid-trace ----------------
+    # the chaos schedule kills shard FAULT_KILL_SLOT on its 4th serving
+    # call; every request must still be answered (retried on a healthy
+    # shard — real verdicts, not degraded stubs), the supervisor must
+    # respawn the slot, and nothing may hang or be lost
+    fault_cfg = SupervisorConfig(request_timeout_s=5.0,
+                                 heartbeat_interval_s=0.05,
+                                 heartbeat_timeout_s=0.5,
+                                 restart_backoff_s=0.01,
+                                 restart_backoff_max_s=0.1)
+    fault_chaos = ChaosConfig(kill_at=(FAULT_KILL_CALL,),
+                              slots=(FAULT_KILL_SLOT,))
+    fault_trace = trace[:64]
+    fault_lat = []
+    answered = 0
+    lost_requests = 0
+    recovery_s = None
+    with ShardedEngine(engine_factory, n_shards=4, chaos=fault_chaos,
+                       supervisor=fault_cfg) as faulted:
+        for _ in range(FAULT_ROUNDS):
+            round_start = time.perf_counter()
+            try:
+                got = faulted.predict_proba(fault_trace)
+                answered += len(got)
+                lost_requests += len(fault_trace) - len(got)
+            except Exception:  # noqa: BLE001 — a lost round IS the regression
+                lost_requests += len(fault_trace)
+            fault_lat.append(time.perf_counter() - round_start)
+            if recovery_s is None and (
+                    faulted.stats()["supervisor"]["faults"] > 0):
+                heal_start = time.monotonic()
+                while time.monotonic() - heal_start < 30:
+                    snap = faulted.stats()
+                    if (snap["supervisor"]["restarts"] >= 1 and all(
+                            "error" not in shard
+                            for shard in snap["shards"])):
+                        break
+                    time.sleep(0.01)
+                recovery_s = time.monotonic() - heal_start
+        fault_sup = faulted.stats()["supervisor"]
+
+    # -- admission under overload: shed with 429, never hang ---------------
+    # OVERLOAD_CLIENTS simultaneous requests against max_inflight=1 and a
+    # deliberately slow advisor: exactly the situation load shedding
+    # exists for.  Every client must get a definitive answer — 200 or an
+    # explicit 429 — and the shed counter must account for the rejects.
+    overload_advisor = _SlowAdvisor(
+        MultiModelEngine(registry, config=EngineConfig(max_batch_size=128)),
+        delay_s=0.05)
+    server = make_server(overload_advisor, port=0,
+                         admission=AdmissionConfig(max_inflight=1,
+                                                   retry_after_s=1.0))
+    server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    server_thread.start()
+    host, port = server.server_address[:2]
+    statuses: list = []
+    status_lock = threading.Lock()
+    start_line = threading.Barrier(OVERLOAD_CLIENTS)
+
+    def overload_client(code):
+        start_line.wait()
+        request = urllib.request.Request(
+            f"http://{host}:{port}/advise",
+            data=json.dumps({"code": code}).encode("utf-8"),
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request, timeout=30) as resp:
+                status = resp.status
+                resp.read()
+        except urllib.error.HTTPError as err:
+            status = err.code
+            err.read()
+        with status_lock:
+            statuses.append(status)
+
+    overload = [threading.Thread(target=overload_client, args=(codes[k],))
+                for k in range(OVERLOAD_CLIENTS)]
+    for t in overload:
+        t.start()
+    for t in overload:
+        t.join(timeout=60)
+    shed_counter = server.counters()["shed"]
+    server.shutdown()
+    server.server_close()
+    server_thread.join(timeout=10)
+    overload_advisor.inner.close()
+
+    fault_injection = {
+        "config": {"n_shards": 4, "kill_slot": FAULT_KILL_SLOT,
+                   "kill_call_index": FAULT_KILL_CALL,
+                   "request_timeout_s": fault_cfg.request_timeout_s},
+        "rounds": FAULT_ROUNDS,
+        "requests": FAULT_ROUNDS * len(fault_trace),
+        "answered": answered,
+        "answered_fraction": round(
+            answered / (FAULT_ROUNDS * len(fault_trace)), 4),
+        "lost_requests": lost_requests,
+        "recovery_s": None if recovery_s is None else round(recovery_s, 3),
+        "restarts": fault_sup["restarts"],
+        "faults": fault_sup["faults"],
+        "retries": fault_sup["retries"],
+        "deadline_exceeded": fault_sup["deadline_exceeded"],
+        "degraded_answers": fault_sup["degraded_answers"],
+        "round_latency": _percentiles(fault_lat),
+        # dimensionless: worst round (which eats the dead-worker detection
+        # plus the retry) relative to the configured request deadline —
+        # bounded means "no hang", which is gateable across machines
+        "p99_vs_deadline": round(
+            float(np.percentile(np.asarray(fault_lat), 99))
+            / fault_cfg.request_timeout_s, 3),
+        "admission": {
+            "max_inflight": 1,
+            "concurrent_clients": OVERLOAD_CLIENTS,
+            "requests": OVERLOAD_CLIENTS,
+            "ok_200": statuses.count(200),
+            "shed_429": statuses.count(429),
+            "shed_counter": shed_counter,
+            "unanswered": OVERLOAD_CLIENTS - len(statuses),
+        },
+    }
+
     speedup = trace_throughput / seq_throughput
     report = {
         "workload": {
@@ -535,6 +691,7 @@ def test_serving_throughput(benchmark):
         "reload_under_load": reload_under_load,
         "canary_rollout": canary_rollout,
         "autoscale_burst": autoscale_burst,
+        "fault_injection": fault_injection,
         "stats": engine.stats.as_dict(),
     }
     path = write_bench_report("serving", report)
@@ -551,7 +708,12 @@ def test_serving_throughput(benchmark):
           f"{CANARY_FRACTION:.0%} promoted in "
           f"{canary_rollout['promote_s'] * 1e3:.0f}ms with "
           f"{canary_rollout['failed_requests']} failures; autoscale "
-          f"{grew_to}->{shrank_to} shards; report: {path}")
+          f"{grew_to}->{shrank_to} shards; chaos kill: "
+          f"{fault_injection['answered']}/{fault_injection['requests']} "
+          f"answered, {fault_injection['lost_requests']} lost, recovered in "
+          f"{fault_injection['recovery_s']}s, "
+          f"{fault_injection['admission']['shed_429']} shed under overload; "
+          f"report: {path}")
 
     assert speedup >= 5.0, f"engine only {speedup:.2f}x sequential on the trace"
     # near-parity expected on one core now that the sequential path shares
@@ -590,3 +752,20 @@ def test_serving_throughput(benchmark):
     assert autoscale_burst["grew_to"] == 2, "burst must reach max_shards"
     assert autoscale_burst["shrank_to"] == 1, "idle fleet must shrink to min"
     assert autoscale_burst["resizes"] >= 2
+    # fault injection: a killed shard loses nothing — every request
+    # answered for real, the slot respawned, latency bounded by deadlines
+    assert fault_injection["lost_requests"] == 0
+    assert fault_injection["answered_fraction"] == 1.0
+    assert fault_injection["faults"] >= 1, "the chaos kill must be observed"
+    assert fault_injection["restarts"] >= 1, "the slot must be respawned"
+    assert fault_injection["degraded_answers"] == 0, (
+        "three healthy shards remain; answers must be real, not degraded")
+    assert fault_injection["recovery_s"] is not None
+    assert fault_injection["recovery_s"] < 30
+    # overload: every client answered definitively — 200 or explicit 429 —
+    # and the server's shed counter accounts for the rejects
+    admission = fault_injection["admission"]
+    assert admission["unanswered"] == 0
+    assert admission["ok_200"] >= 1
+    assert admission["shed_429"] >= 1, "overload must actually shed"
+    assert admission["shed_counter"] >= admission["shed_429"]

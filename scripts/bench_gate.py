@@ -88,6 +88,20 @@ GATES: List[Gate] = [
     Gate("serving", "canary_rollout.canary_arm_errors", "==", 0),
     Gate("serving", "canary_rollout.canary_requests", ">=", 1),
     Gate("serving", "canary_rollout.stale_after_promote", "==", 0),
+    # fault injection: a killed shard loses nothing — every request
+    # answered (fraction 1.0), the supervisor respawned the slot, no
+    # degraded stubs while healthy shards remain, and the worst faulted
+    # round stays bounded relative to the request deadline (the "no
+    # silent hang" invariant, as a dimensionless ratio)
+    Gate("serving", "fault_injection.lost_requests", "==", 0),
+    Gate("serving", "fault_injection.answered_fraction", ">=", 1.0),
+    Gate("serving", "fault_injection.restarts", ">=", 1),
+    Gate("serving", "fault_injection.degraded_answers", "==", 0),
+    Gate("serving", "fault_injection.p99_vs_deadline", "<=", 3.0),
+    # admission under overload: every request answered definitively and
+    # the overload actually shed (429) rather than queueing into a hang
+    Gate("serving", "fault_injection.admission.unanswered", "==", 0),
+    Gate("serving", "fault_injection.admission.shed_429", ">=", 1),
     # training: the fused path's speedups are the PR 3 contract
     Gate("training", "pretrain.speedup_steps_per_s", ">=", 2.0),
     Gate("training", "optimizer_microbench.speedup", ">=", 1.2),
@@ -100,6 +114,8 @@ REPORT_ONLY: List[Tuple[str, str]] = [
     ("serving", "sequential_trace.snippets_per_s"),
     ("serving", "reload_under_load.reload_s"),
     ("serving", "canary_rollout.promote_s"),
+    ("serving", "fault_injection.recovery_s"),
+    ("serving", "fault_injection.round_latency.p99_ms"),
     ("training", "pretrain.fused.steps_per_s"),
     ("training", "finetune.small.fused.steps_per_s"),
 ]

@@ -7,6 +7,8 @@
 #                               # coverage, repro.serve docstring audit
 #   scripts/check.sh --lint     # lint only (ruff, or the stdlib fallback)
 #   scripts/check.sh --perf     # perf smoke subset only
+#   scripts/check.sh --chaos    # chaos smoke only: fault-injection suite
+#                               # (worker kill/hang/drop, admission control)
 #
 # Tier-1 is the gate every change must keep green (`pytest -x -q` from the
 # repo root; bench_* files are never collected there).  The smoke subset
@@ -69,6 +71,14 @@ stage_perf_smoke() {
     (cd benchmarks && python -m pytest -q -m "perf and smoke" -p no:cacheprovider bench_*.py)
 }
 
+stage_chaos_smoke() {
+    # the deterministic fault-injection suite: worker kill/hang/drop/
+    # malformed faults, crash-loop degrade, admission control.  Part of
+    # tier-1 too; this mode isolates it so serving changes get a fast,
+    # targeted signal before the full suite.
+    python -m pytest -x -q tests/test_serve_faults.py
+}
+
 case "${1:-}" in
     --docs)
         run_stage "docs" stage_docs
@@ -82,13 +92,16 @@ case "${1:-}" in
     --fast)
         run_stage "tier-1" stage_tier1
         ;;
+    --chaos)
+        run_stage "chaos-smoke" stage_chaos_smoke
+        ;;
     "")
         run_stage "lint" stage_lint
         run_stage "tier-1" stage_tier1
         run_stage "perf-smoke" stage_perf_smoke
         ;;
     *)
-        echo "check.sh: unknown mode '${1}' (use --fast, --docs, --lint, --perf, or no argument)" >&2
+        echo "check.sh: unknown mode '${1}' (use --fast, --docs, --lint, --perf, --chaos, or no argument)" >&2
         exit 2
         ;;
 esac

@@ -34,8 +34,14 @@ written by ``ModelRegistry.save``), ``--gate-margin M`` (clause heads
 only see snippets whose directive probability clears ``0.5 - M``), and
 ``--canary DIR`` / ``--canary-fraction F`` (serve a second checkpoint to
 a deterministic digest slice of traffic next to the primary; finish the
-rollout over ``POST /canary/promote`` / ``/canary/rollback``).  The
-operator's guide is ``docs/operations.md``.
+rollout over ``POST /canary/promote`` / ``/canary/rollback``).
+Fault tolerance: sharded serving carries per-request deadlines
+(``--request-timeout SECONDS``, default 30, ``0`` disables — timed-out
+or fault-hit requests are retried then answered with degraded verdicts),
+and the HTTP front-end enforces admission control
+(``--max-body-bytes N`` for the 413 body cap; batch caps, load shedding,
+and the circuit breaker use :class:`repro.serve.AdmissionConfig`
+defaults).  The operator's guide is ``docs/operations.md``.
 
 ``advise`` fans each positive snippet out to the clause models through the
 same multi-model engine and prints the suggested clauses.
@@ -107,6 +113,30 @@ def _autoscale_config(args: argparse.Namespace):
         max_shards=max_shards or max(min_shards, getattr(args, "shards", 1)))
 
 
+def _supervisor_config(args: argparse.Namespace):
+    """:class:`SupervisorConfig` from ``--request-timeout``, or ``None``
+    (engine defaults) when the flag was not given.  ``0`` disables
+    per-request deadlines entirely — calls wait as long as they must."""
+    from repro.serve import SupervisorConfig
+
+    timeout = getattr(args, "request_timeout", None)
+    if timeout is None:
+        return None
+    return SupervisorConfig(
+        request_timeout_s=None if timeout == 0 else float(timeout))
+
+
+def _admission_config(args: argparse.Namespace):
+    """:class:`AdmissionConfig` from ``--max-body-bytes``, or ``None``
+    (server defaults) when the flag was not given."""
+    from repro.serve import AdmissionConfig
+
+    max_body = getattr(args, "max_body_bytes", None)
+    if max_body is None:
+        return None
+    return AdmissionConfig(max_body_bytes=int(max_body))
+
+
 def _make_engine(args: argparse.Namespace):
     """Directive-only engine (the stdin serving loop's workhorse)."""
     from repro.pipeline import get_context
@@ -165,7 +195,8 @@ def _make_full_advisor(args: argparse.Namespace):
     shards = getattr(args, "shards", 1)
     factory = functools.partial(_build_multi_engine, registry, config)
     if shards > 1 or autoscale is not None:
-        return ShardedEngine(factory, n_shards=shards, autoscale=autoscale)
+        return ShardedEngine(factory, n_shards=shards, autoscale=autoscale,
+                             supervisor=_supervisor_config(args))
     return factory()
 
 
@@ -219,7 +250,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         serve_forever(advisor, args.host, args.http,
                       watch_dir=args.watch,
                       watch_interval=args.watch_interval,
-                      watch_baseline=baseline)
+                      watch_baseline=baseline,
+                      admission=_admission_config(args))
         return 0
     if args.watch:
         print("--watch requires --http (the stdin loop ends at EOF, "
@@ -248,7 +280,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             functools.partial(_build_directive_engine, ctx.pragformer,
                               enc.vocab, ctx.scale.pragformer.max_len,
                               _engine_config(args)),
-            n_shards=args.shards, autoscale=autoscale)
+            n_shards=args.shards, autoscale=autoscale,
+            supervisor=_supervisor_config(args))
     else:
         _, engine = _make_engine(args)
 
@@ -407,6 +440,16 @@ def main(argv=None) -> int:
                          metavar="F",
                          help="fraction of the digest space the canary "
                               "serves (default 0.1)")
+    p_serve.add_argument("--request-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="deadline for each sharded serving request; "
+                              "requests that miss it are retried on a "
+                              "healthy shard then answered with a degraded "
+                              "verdict (default 30, 0 disables)")
+    p_serve.add_argument("--max-body-bytes", type=int, default=None,
+                         metavar="N",
+                         help="with --http: largest accepted request body; "
+                              "bigger bodies get 413 (default 4 MiB)")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_compar = sub.add_parser("compar", help="run the ComPar S2S combiner on a file")

@@ -1,6 +1,6 @@
 """Serving layer: the advisor as a multi-model, sharded, observable service.
 
-Four modules build on each other:
+Five modules build on each other:
 
 * :mod:`repro.serve.engine` — :class:`InferenceEngine`: length-bucketed
   micro-batching, token-digest prediction LRU, tokenize-once memo, sync
@@ -18,9 +18,16 @@ Four modules build on each other:
 * :mod:`repro.serve.sharding` — :class:`ShardedEngine`: bulk traffic
   partitioned across worker processes by source digest, per-shard caches
   kept hot, queue-depth autoscaling between :class:`AutoscaleConfig`
-  bounds.
+  bounds, and fault tolerance (:class:`SupervisorConfig`): worker
+  supervision with heartbeats and respawn budgets, per-request
+  deadlines, and degraded verdicts instead of hangs or exceptions.
+* :mod:`repro.serve.chaos` — :class:`ChaosConfig`: deterministic
+  worker-fault injection (kill / hang / drop / malformed / slow) that
+  the fault-tolerance tests and benches drive.
 * :mod:`repro.serve.http_api` — stdlib HTTP front-end (``/advise``,
-  ``/advise/batch``, ``/reload``, ``/healthz``, ``/stats``).
+  ``/advise/batch``, ``/reload``, ``/healthz``, ``/stats``) with
+  admission control (:class:`AdmissionConfig`): body/batch caps,
+  queue-depth load shedding, and a circuit breaker.
 
 Counters live in :mod:`repro.serve.metrics`.  CLI front-ends: ``repro
 serve`` (JSON-lines on stdin, or ``--http PORT``), ``repro advise``.
@@ -28,6 +35,7 @@ The full walk-through is in ``docs/serving.md``; the operator's guide
 (deploy, probe, reload, autoscale) is ``docs/operations.md``.
 """
 
+from repro.serve.chaos import ChaosConfig, inject_fault
 from repro.serve.engine import (
     Advice,
     EngineConfig,
@@ -36,7 +44,12 @@ from repro.serve.engine import (
     LRUCache,
     ModelSlot,
 )
-from repro.serve.http_api import AdvisorHTTPServer, make_server, serve_forever
+from repro.serve.http_api import (
+    AdmissionConfig,
+    AdvisorHTTPServer,
+    make_server,
+    serve_forever,
+)
 from repro.serve.metrics import (
     ArmStats,
     RollingMean,
@@ -57,19 +70,24 @@ from repro.serve.registry import (
 )
 from repro.serve.sharding import (
     AutoscaleConfig,
+    DeadlineExceeded,
     ShardedEngine,
+    SupervisorConfig,
     shard_of,
     snapshot_stats,
 )
 
 __all__ = [
+    "AdmissionConfig",
     "Advice",
     "AdvisorHTTPServer",
     "ArmStats",
     "AutoscaleConfig",
     "CanaryPolicy",
+    "ChaosConfig",
     "CheckpointWatcher",
     "ClauseAdvice",
+    "DeadlineExceeded",
     "EngineConfig",
     "EngineStats",
     "FullAdvice",
@@ -81,9 +99,11 @@ __all__ = [
     "MultiModelEngine",
     "RollingMean",
     "ShardedEngine",
+    "SupervisorConfig",
     "batch_hist_bucket",
     "canary_routes",
     "checkpoint_mtime",
+    "inject_fault",
     "make_server",
     "merge_arm_stats",
     "merge_stat_dicts",

@@ -157,10 +157,17 @@ class LRUCache:
 
 @dataclass(frozen=True)
 class Advice:
-    """One advisor verdict: directive probability plus the §4.1 decision."""
+    """One advisor verdict: directive probability plus the §4.1 decision.
+
+    ``degraded`` marks a verdict the fleet could not actually compute (a
+    worker died or missed its deadline and every fallback failed too):
+    the serving layer answers a neutral ``p = 0.5`` placeholder instead
+    of raising, and this flag is how callers tell it apart from a real
+    model prediction."""
 
     probability: float
     needs_directive: bool
+    degraded: bool = False
 
 
 @dataclass(frozen=True)

@@ -35,42 +35,108 @@ Endpoints (all JSON; schemas and ``curl`` examples in ``docs/serving.md``):
   both take no body and answer ``409`` with no canary active.
 
 Malformed requests get ``400`` with ``{"error": ...}``; unknown paths
-``404``; the serving loop never dies on a bad request.  Start it from the
+``404``; the serving loop never dies on a bad request.  **Admission
+control** (:class:`AdmissionConfig`) protects the advisor behind the
+endpoints: oversized bodies are rejected with ``413`` before they are
+read, batches above the snippet cap with ``400``, traffic beyond the
+in-flight limit is shed with ``429`` + ``Retry-After``, and a circuit
+breaker answers ``503`` while the fleet is rebuilding after consecutive
+inference failures (half-open probes after the cooldown re-close it).
+``/healthz`` and ``/stats`` bypass admission — observability must keep
+working exactly when the service is shedding.  Start the server from the
 CLI with ``repro serve --http PORT`` or programmatically via
 :func:`make_server` / :func:`serve_forever`.  The operator's guide to the
-lifecycle (probing, reload, autoscaling) is ``docs/operations.md``.
+lifecycle (probing, reload, autoscaling, failure modes) is
+``docs/operations.md``.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["AdvisorHTTPServer", "make_server", "serve_forever"]
+__all__ = ["AdmissionConfig", "AdvisorHTTPServer", "make_server",
+           "serve_forever"]
 
 #: Largest accepted request body (bytes) — snippets are loop nests, not
 #: whole programs; an oversized body gets a 413 instead of an allocation.
 MAX_BODY_BYTES = 4 * 1024 * 1024
 
 
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Admission-control knobs for :class:`AdvisorHTTPServer`.
+
+    Requests are refused *before* they cost inference capacity:
+
+    * ``max_body_bytes`` — request bodies above this are answered ``413``
+      without being read.
+    * ``max_batch_snippets`` — ``/advise/batch`` requests with more
+      snippets are answered ``400``; one batch must not monopolize the
+      fleet.
+    * ``max_inflight`` — serving requests (``/advise``,
+      ``/advise/batch``) already being processed; beyond it new ones are
+      *shed* with ``429`` and a ``Retry-After: retry_after_s`` header
+      instead of queueing into a latency collapse.
+    * ``breaker_threshold`` — consecutive inference failures that open
+      the circuit breaker; while open, serving requests are answered
+      ``503`` immediately.  After ``breaker_cooldown_s`` the breaker
+      goes *half-open*: requests flow again, the first success closes it
+      and the next failure re-opens it — probing the fleet without
+      stampeding it mid-rebuild.
+    """
+
+    max_body_bytes: int = MAX_BODY_BYTES
+    max_batch_snippets: int = 400
+    max_inflight: int = 64
+    retry_after_s: float = 1.0
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
+        if self.max_batch_snippets < 1:
+            raise ValueError("max_batch_snippets must be >= 1")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.retry_after_s <= 0:
+            raise ValueError("retry_after_s must be > 0")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError("breaker_cooldown_s must be > 0")
+
+
 class AdvisorHTTPServer(ThreadingHTTPServer):
-    """Threaded HTTP server owning the advisor and request counters."""
+    """Threaded HTTP server owning the advisor, request counters, and the
+    admission-control state (in-flight gauge + circuit breaker)."""
 
     daemon_threads = True
 
     def __init__(self, address: Tuple[str, int], advisor,
-                 reload_dir: Optional[str] = None) -> None:
+                 reload_dir: Optional[str] = None,
+                 admission: Optional[AdmissionConfig] = None) -> None:
         super().__init__(address, _AdvisorHandler)
         self.advisor = advisor
         #: default checkpoint directory for body-less ``POST /reload``
         self.reload_dir = str(reload_dir) if reload_dir is not None else None
+        #: admission-control knobs; defaults apply when not given
+        self.admission = (admission if admission is not None
+                          else AdmissionConfig())
         self._counter_lock = threading.Lock()
+        self._inflight = 0
+        self._breaker_failures = 0
+        self._breaker_open_until = 0.0
         self.http_requests: Dict[str, int] = {
             "advise": 0, "advise_batch": 0, "healthz": 0, "stats": 0,
             "reload": 0, "canary": 0, "canary_promote": 0,
-            "canary_rollback": 0, "errors": 0,
+            "canary_rollback": 0, "errors": 0, "shed": 0,
+            "breaker_rejected": 0,
         }
 
     def bump(self, key: str) -> None:
@@ -83,6 +149,54 @@ class AdvisorHTTPServer(ThreadingHTTPServer):
         """Consistent snapshot of the request counters."""
         with self._counter_lock:
             return dict(self.http_requests)
+
+    # -- admission control -------------------------------------------------
+
+    def try_acquire(self) -> bool:
+        """Claim one in-flight serving slot; ``False`` means shed (429).
+        Every ``True`` must be paired with a :meth:`release`."""
+        with self._counter_lock:
+            if self._inflight >= self.admission.max_inflight:
+                return False
+            self._inflight += 1
+            return True
+
+    def release(self) -> None:
+        """Return an in-flight serving slot claimed by :meth:`try_acquire`."""
+        with self._counter_lock:
+            self._inflight -= 1
+
+    def breaker_allows(self) -> bool:
+        """Whether the circuit breaker admits serving traffic right now
+        (closed, or half-open after the cooldown)."""
+        with self._counter_lock:
+            return time.monotonic() >= self._breaker_open_until
+
+    def record_outcome(self, ok: bool) -> None:
+        """Feed one inference outcome to the circuit breaker: a success
+        closes it, ``breaker_threshold`` consecutive failures open it for
+        ``breaker_cooldown_s``."""
+        with self._counter_lock:
+            if ok:
+                self._breaker_failures = 0
+                self._breaker_open_until = 0.0
+            else:
+                self._breaker_failures += 1
+                if self._breaker_failures >= self.admission.breaker_threshold:
+                    self._breaker_open_until = (
+                        time.monotonic() + self.admission.breaker_cooldown_s)
+
+    def admission_stats(self) -> Dict[str, object]:
+        """JSON-ready admission snapshot for ``/stats``."""
+        with self._counter_lock:
+            return {
+                "max_inflight": self.admission.max_inflight,
+                "inflight": self._inflight,
+                "max_batch_snippets": self.admission.max_batch_snippets,
+                "max_body_bytes": self.admission.max_body_bytes,
+                "breaker_failures": self._breaker_failures,
+                "breaker_open": time.monotonic() < self._breaker_open_until,
+            }
 
 
 class _AdvisorHandler(BaseHTTPRequestHandler):
@@ -97,27 +211,54 @@ class _AdvisorHandler(BaseHTTPRequestHandler):
         """Silence per-request stderr chatter; /stats is the observability
         surface."""
 
-    def _send_json(self, status: int, payload: Dict) -> None:
+    def _send_json(self, status: int, payload: Dict,
+                   headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
+    def _error(self, status: int, message: str,
+               headers: Optional[Dict[str, str]] = None) -> None:
         self.server.bump("errors")
         # error paths may leave an unread request body on the keep-alive
         # socket; closing the connection stops it being parsed as the next
         # request line
         self.close_connection = True
-        self._send_json(status, {"error": message})
+        self._send_json(status, {"error": message}, headers=headers)
+
+    def _admit(self) -> bool:
+        """Admission gate for the serving endpoints (``/advise``,
+        ``/advise/batch``): circuit breaker first (503 while the fleet is
+        rebuilding), then the in-flight cap (429 + ``Retry-After``, the
+        request is *shed*).  ``True`` claims an in-flight slot the caller
+        must :meth:`AdvisorHTTPServer.release` when done."""
+        server = self.server
+        retry_after = {"Retry-After":
+                       str(max(1, round(server.admission.retry_after_s)))}
+        if not server.breaker_allows():
+            server.bump("breaker_rejected")
+            self._error(503, "circuit breaker open after consecutive "
+                             "inference failures; retry shortly",
+                        headers=retry_after)
+            return False
+        if not server.try_acquire():
+            server.bump("shed")
+            self._error(429, "server at capacity; request shed, retry "
+                             "shortly", headers=retry_after)
+            return False
+        return True
 
     def _read_body(self) -> Optional[Dict]:
         """Parse the JSON request body; replies with the right 4xx and
         returns ``None`` on any malformation."""
+        limit = self.server.admission.max_body_bytes
         try:
             length = int(self.headers.get("Content-Length", 0))
         except ValueError:
@@ -126,8 +267,8 @@ class _AdvisorHandler(BaseHTTPRequestHandler):
         if length <= 0:
             self._error(400, "request body required")
             return None
-        if length > MAX_BODY_BYTES:
-            self._error(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        if length > limit:
+            self._error(413, f"body exceeds {limit} bytes")
             return None
         try:
             payload = json.loads(self.rfile.read(length).decode("utf-8"))
@@ -165,6 +306,7 @@ class _AdvisorHandler(BaseHTTPRequestHandler):
                 self._error(500, f"stats failed: {exc}")
                 return
             self._send_json(200, {"http": self.server.counters(),
+                                  "admission": self.server.admission_stats(),
                                   "engine": stats})
         else:
             self._error(404, f"unknown path {self.path!r}")
@@ -190,29 +332,39 @@ class _AdvisorHandler(BaseHTTPRequestHandler):
             self._error(404, f"unknown path {self.path!r}")
 
     def _handle_advise(self) -> None:
-        payload = self._read_body()
-        if payload is None:
+        if not self._admit():
             return
-        code = payload.get("code")
-        if not isinstance(code, str) or not code.strip():
-            self._error(400, "request needs a non-empty string 'code' field")
-            return
-        self.server.bump("advise")
         try:
-            # prefer the async micro-batching path: concurrent handler
-            # threads enqueue on the per-head submit() queues and their
-            # snippets coalesce into shared forward passes, instead of each
-            # request running its own batch-of-1 (advisors without the
-            # async surface, e.g. ShardedEngine, fall back to the bulk call)
-            advise_async = getattr(self.server.advisor, "advise_full_async", None)
-            if advise_async is not None:
-                advice = advise_async(code)
-            else:
-                advice = self.server.advisor.advise_full_many([code])[0]
-        except Exception as exc:  # noqa: BLE001 — report, don't die
-            self._error(500, f"inference failed: {exc}")
-            return
-        self._send_json(200, advice.as_dict())
+            payload = self._read_body()
+            if payload is None:
+                return
+            code = payload.get("code")
+            if not isinstance(code, str) or not code.strip():
+                self._error(400,
+                            "request needs a non-empty string 'code' field")
+                return
+            self.server.bump("advise")
+            try:
+                # prefer the async micro-batching path: concurrent handler
+                # threads enqueue on the per-head submit() queues and their
+                # snippets coalesce into shared forward passes, instead of
+                # each request running its own batch-of-1 (advisors without
+                # the async surface, e.g. ShardedEngine, fall back to the
+                # bulk call)
+                advise_async = getattr(self.server.advisor,
+                                       "advise_full_async", None)
+                if advise_async is not None:
+                    advice = advise_async(code)
+                else:
+                    advice = self.server.advisor.advise_full_many([code])[0]
+            except Exception as exc:  # noqa: BLE001 — report, don't die
+                self.server.record_outcome(False)
+                self._error(500, f"inference failed: {exc}")
+                return
+            self.server.record_outcome(True)
+            self._send_json(200, advice.as_dict())
+        finally:
+            self.server.release()
 
     def _handle_reload(self) -> None:
         """Hot-swap the advisor's checkpoint (``POST /reload``).
@@ -313,24 +465,36 @@ class _AdvisorHandler(BaseHTTPRequestHandler):
             self._send_json(200, {"status": "rolled-back"})
 
     def _handle_advise_batch(self) -> None:
-        payload = self._read_body()
-        if payload is None:
+        if not self._admit():
             return
-        ids, codes = self._parse_batch(payload)
-        if codes is None:
-            return
-        self.server.bump("advise_batch")
         try:
-            advices = self.server.advisor.advise_full_many(codes)
-        except Exception as exc:  # noqa: BLE001 — report, don't die
-            self._error(500, f"inference failed: {exc}")
-            return
-        results = []
-        for rid, advice in zip(ids, advices):
-            body = advice.as_dict()
-            body["id"] = rid
-            results.append(body)
-        self._send_json(200, {"results": results})
+            payload = self._read_body()
+            if payload is None:
+                return
+            ids, codes = self._parse_batch(payload)
+            if codes is None:
+                return
+            cap = self.server.admission.max_batch_snippets
+            if len(codes) > cap:
+                self._error(400, f"batch of {len(codes)} snippets exceeds "
+                                 f"the {cap}-snippet cap; split the request")
+                return
+            self.server.bump("advise_batch")
+            try:
+                advices = self.server.advisor.advise_full_many(codes)
+            except Exception as exc:  # noqa: BLE001 — report, don't die
+                self.server.record_outcome(False)
+                self._error(500, f"inference failed: {exc}")
+                return
+            self.server.record_outcome(True)
+            results = []
+            for rid, advice in zip(ids, advices):
+                body = advice.as_dict()
+                body["id"] = rid
+                results.append(body)
+            self._send_json(200, {"results": results})
+        finally:
+            self.server.release()
 
     def _parse_batch(self, payload: Dict):
         """``{"codes": [...]}`` or ``{"requests": [{"id","code"}]}`` ->
@@ -361,12 +525,16 @@ class _AdvisorHandler(BaseHTTPRequestHandler):
 
 
 def make_server(advisor, host: str = "127.0.0.1", port: int = 0,
-                reload_dir: Optional[str] = None) -> AdvisorHTTPServer:
+                reload_dir: Optional[str] = None,
+                admission: Optional[AdmissionConfig] = None,
+                ) -> AdvisorHTTPServer:
     """Bind an :class:`AdvisorHTTPServer` (``port=0`` = ephemeral) without
     starting it — callers drive ``serve_forever``/``shutdown`` themselves
     (tests run it on a thread).  ``reload_dir`` is the default checkpoint
-    directory a body-less ``POST /reload`` falls back to."""
-    return AdvisorHTTPServer((host, port), advisor, reload_dir=reload_dir)
+    directory a body-less ``POST /reload`` falls back to; ``admission``
+    overrides the default :class:`AdmissionConfig`."""
+    return AdvisorHTTPServer((host, port), advisor, reload_dir=reload_dir,
+                             admission=admission)
 
 
 #: Sentinel for ``serve_forever(watch_baseline=...)``: let the watcher
@@ -377,7 +545,8 @@ _BASELINE_UNSET = object()
 def serve_forever(advisor, host: str, port: int, banner: bool = True,
                   watch_dir: Optional[str] = None,
                   watch_interval: float = 2.0,
-                  watch_baseline=_BASELINE_UNSET) -> None:
+                  watch_baseline=_BASELINE_UNSET,
+                  admission: Optional[AdmissionConfig] = None) -> None:
     """Blocking convenience loop for the CLI: bind, announce, serve until
     interrupted, then close the advisor.
 
@@ -389,11 +558,14 @@ def serve_forever(advisor, host: str, port: int, banner: bool = True,
     the manifest mtime the advisor was loaded from (capture it *before*
     loading, see :func:`repro.serve.registry.checkpoint_mtime`) so a
     checkpoint landing during the load window is still reloaded; by
-    default the watcher baselines at construction.
+    default the watcher baselines at construction.  ``admission``
+    overrides the default :class:`AdmissionConfig` (the CLI's
+    ``--max-body-bytes`` plumbs through here).
     """
     from repro.serve.registry import CheckpointWatcher
 
-    server = make_server(advisor, host, port, reload_dir=watch_dir)
+    server = make_server(advisor, host, port, reload_dir=watch_dir,
+                         admission=admission)
     watcher = None
     if watch_dir is not None:
         kwargs = ({} if watch_baseline is _BASELINE_UNSET

@@ -134,10 +134,15 @@ class FullAdvice:
     :class:`ClauseAdvice`; a clause is only *recommended* when the snippet
     also needs a directive — a ``private`` clause on a serial loop is
     meaningless — which is what :meth:`recommended_clauses` encodes.
+    ``degraded`` marks a verdict the fleet could not compute (see
+    :class:`~repro.serve.engine.Advice`): neutral placeholder values, no
+    clause verdicts, and the flag surfaces in :meth:`as_dict` so HTTP
+    clients can tell.
     """
 
     directive: Advice
     clauses: Dict[str, ClauseAdvice]
+    degraded: bool = False
 
     def recommended_clauses(self) -> List[str]:
         """Clause names worth suggesting: directive-positive and p > 0.5."""
@@ -156,6 +161,7 @@ class FullAdvice:
                 for name, c in self.clauses.items()
             },
             "recommended_clauses": self.recommended_clauses(),
+            "degraded": self.degraded,
         }
 
 
@@ -1016,6 +1022,7 @@ class CheckpointWatcher:
         self.path = Path(path)
         self.interval = interval
         self.reloads = 0          # successful reloads triggered by the watch
+        self.poll_errors = 0      # poll bodies that raised (and were survived)
         self.last_error: Optional[str] = None
         self._last_mtime = (checkpoint_mtime(self.path)
                             if baseline_mtime is _STAT_AT_INIT
@@ -1067,8 +1074,16 @@ class CheckpointWatcher:
         return self
 
     def _loop(self) -> None:
+        # the poll body is exception-proofed: a transient unreadable or
+        # partially-written checkpoint dir (an unpacking rollout, an NFS
+        # blip) must log-and-retry, not silently kill the watcher thread
+        # and leave the fleet never reloading again
         while not self._stop.wait(self.interval):
-            self.poll_once()
+            try:
+                self.poll_once()
+            except Exception as exc:  # noqa: BLE001 — watcher must survive
+                self.poll_errors += 1
+                self.last_error = f"{type(exc).__name__}: {exc}"
 
     def stop(self) -> None:
         """Stop the polling thread (idempotent)."""

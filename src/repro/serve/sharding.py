@@ -38,10 +38,22 @@ hosting its own engine built by a caller-supplied zero-argument factory:
   assignment is a pure digest hash, every worker splits traffic
   identically, and workers the autoscaler grows mid-rollout replay the
   canary at spawn.
+* **Fault tolerance** — a worker supervisor (see
+  :class:`SupervisorConfig`) heartbeats every active worker over the
+  reply-token plumbing, detects crashed or wedged processes, and
+  respawns the slot with the same replay-at-spawn path the autoscaler
+  uses, under an exponential-backoff restart budget; every serving
+  request carries a deadline, and a request that times out or lands on a
+  dead worker is retried once on a healthy shard (then the in-process
+  fallback engine) before being answered with an explicit *degraded*
+  neutral verdict instead of an exception.  Deterministic fault
+  injection for all of this lives in :mod:`repro.serve.chaos`.
 * **Observability** — :meth:`stats` aggregates every worker's engine
   counters and reports per-shard routed-request counts, live queue depths
-  (requests sent but not yet answered), the deployed model version, and
-  the autoscaler's state (current shards, last resize and its reason).
+  (requests sent but not yet answered), the deployed model version, the
+  autoscaler's state (current shards, last resize and its reason), and
+  the supervisor's fault counters (``restarts``, ``faults``,
+  ``deadline_exceeded``, ``degraded_answers``).
 
 Workers are started with the ``fork`` start method when the platform
 offers it (the factory may close over live models — fork shares their
@@ -63,12 +75,25 @@ from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.nn.dtype import get_dtype
+from repro.serve.chaos import ChaosConfig, inject_fault
 from repro.serve.engine import Advice, source_digest
 from repro.serve.metrics import RollingMean, merge_arm_stats, merge_stat_dicts
 
-__all__ = ["AutoscaleConfig", "ShardedEngine", "shard_of", "snapshot_stats"]
+__all__ = ["AutoscaleConfig", "DeadlineExceeded", "ShardedEngine",
+           "SupervisorConfig", "shard_of", "snapshot_stats"]
 
 _STOP = "stop"
+
+#: Bulk serving methods: the only calls that carry request deadlines, may
+#: be answered with degraded verdicts, and advance the chaos call counter.
+_SERVING_METHODS = frozenset(
+    {"predict_proba", "advise_many", "advise_full_many"})
+
+
+class DeadlineExceeded(RuntimeError):
+    """A worker request missed its deadline (see
+    ``SupervisorConfig.request_timeout_s``).  Internal to the serving
+    path — callers of the bulk APIs see a degraded verdict, never this."""
 
 
 def _route_key(code: str) -> int:
@@ -141,6 +166,63 @@ class AutoscaleConfig:
         return max(self.min_shards, min(self.max_shards, n_shards))
 
 
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Fault-tolerance knobs for :class:`ShardedEngine`.
+
+    **Deadlines** — every bulk serving request is sent with a deadline of
+    ``request_timeout_s`` seconds (``None`` disables).  A request that
+    misses it is retried once on a healthy shard, then on the in-process
+    fallback engine, and finally answered with a *degraded* neutral
+    verdict (``p = 0.5``, ``needs_directive = False``, ``degraded=True``)
+    — callers always get an answer, never a hang or an exception.
+
+    **Supervision** — a daemon thread wakes every
+    ``heartbeat_interval_s`` seconds (``0`` disables supervision), reaps
+    workers whose process died, and pings live workers over the normal
+    reply plumbing; a worker that cannot answer a ping within
+    ``heartbeat_timeout_s`` is wedged (stuck in a forward pass or a
+    deadlock) and is terminated so its slot can be respawned.
+
+    **Restart budget** — respawns of one slot back off exponentially
+    (``restart_backoff_s`` doubling per consecutive failure, capped at
+    ``restart_backoff_max_s``).  After ``restart_budget`` consecutive
+    failures the slot is *degraded*: the supervisor stops fast-respawning
+    (retrying only at the capped backoff) and traffic that cannot be
+    served by the remaining shards falls through to an in-process engine
+    built from the factory — a crash-looping checkpoint serves degraded
+    instead of flapping the fleet.  A worker that answers a heartbeat
+    resets its slot's budget.
+    """
+
+    request_timeout_s: Optional[float] = 30.0
+    heartbeat_interval_s: float = 1.0
+    heartbeat_timeout_s: float = 10.0
+    restart_backoff_s: float = 0.1
+    restart_backoff_max_s: float = 30.0
+    restart_budget: int = 3
+
+    def __post_init__(self) -> None:
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be > 0 (or None)")
+        if self.heartbeat_interval_s < 0:
+            raise ValueError("heartbeat_interval_s must be >= 0 (0 disables)")
+        if self.heartbeat_timeout_s <= 0:
+            raise ValueError("heartbeat_timeout_s must be > 0")
+        if self.restart_backoff_s <= 0:
+            raise ValueError("restart_backoff_s must be > 0")
+        if self.restart_backoff_max_s < self.restart_backoff_s:
+            raise ValueError(
+                "restart_backoff_max_s must be >= restart_backoff_s")
+        if self.restart_budget < 0:
+            raise ValueError("restart_budget must be >= 0")
+
+    def backoff(self, consecutive_failures: int) -> float:
+        """Restart delay after ``consecutive_failures`` failed respawns."""
+        return min(self.restart_backoff_max_s,
+                   self.restart_backoff_s * (2.0 ** consecutive_failures))
+
+
 def snapshot_stats(engine) -> Dict[str, object]:
     """Engine-agnostic stats snapshot: supports the single-head
     ``engine.stats`` (an ``EngineStats``), ``MultiModelEngine.stats()``,
@@ -162,8 +244,23 @@ def _head_names(engine) -> List[str]:
     return []
 
 
+def _well_formed(result, expected: int) -> bool:
+    """Whether a worker's ``ok`` reply can answer an ``expected``-snippet
+    sub-batch: a non-string sequence of exactly that length.  A garbled
+    IPC payload (chaos ``malformed``, a corrupted pipe) must be treated
+    as a fault and retried, never scattered back to callers — a str is
+    rejected explicitly because ``zip`` would happily pair its characters
+    with request rows."""
+    if isinstance(result, (str, bytes)):
+        return False
+    try:
+        return len(result) == expected
+    except TypeError:
+        return False
+
+
 def _worker_main(factory, requests, responses, reload_spec=None,
-                 canary_spec=None) -> None:
+                 canary_spec=None, chaos=None, slot=0) -> None:
     """Worker loop: build the engine once, then serve method calls.
 
     ``reload_spec`` — a ``(checkpoint_path, version_tag)`` pair — replays
@@ -183,7 +280,13 @@ def _worker_main(factory, requests, responses, reload_spec=None,
     ``(rid, "ok", result)`` or ``(rid, "error", repr)`` — the echoed
     request id lets concurrent parent threads pair replies with their own
     requests, and a worker-side exception surfaces in the caller instead
-    of hanging the shard.
+    of hanging the shard.  ``ping`` answers ``"pong"`` without touching
+    the engine — the supervisor's heartbeat; because the loop is
+    single-threaded, a worker wedged inside a serving call cannot answer
+    and the missed heartbeat is what exposes it.  ``chaos`` (a
+    :class:`~repro.serve.chaos.ChaosConfig`, tests/benches only) injects
+    scheduled faults for worker ``slot`` before dispatching each serving
+    call.
     """
     engine = factory()
     if reload_spec is not None:
@@ -198,14 +301,22 @@ def _worker_main(factory, requests, responses, reload_spec=None,
             engine.start_canary(path, fraction, version=version)
         except Exception:  # noqa: BLE001 — primary-only worker keeps serving
             pass
+    serving_calls = 0
     try:
         while True:
             msg = requests.get()
             if msg == _STOP:
                 return
             rid, method, payload = msg
+            if method in _SERVING_METHODS:
+                call_index, serving_calls = serving_calls, serving_calls + 1
+                if chaos is not None and inject_fault(chaos, slot, call_index,
+                                                     responses, rid):
+                    continue
             try:
-                if method == "stats":
+                if method == "ping":
+                    result = "pong"
+                elif method == "stats":
                     result = snapshot_stats(engine)
                 elif method == "heads":
                     result = _head_names(engine)
@@ -238,7 +349,11 @@ class _Token(NamedTuple):
     autoscaler later retires this slot and respawns it with fresh queues,
     the caller still collects its reply from the queue the retired worker
     writes to.  ``sent_at`` (monotonic seconds) is the round-trip
-    latency reference for the autoscaler's latency signal.
+    latency reference for the autoscaler's latency signal.  ``deadline``
+    (monotonic seconds, ``None`` = wait forever) bounds the collect;
+    ``tracked`` is whether the request counts toward the shard's queue
+    depth (supervisor heartbeats do not — they would pollute the
+    autoscaler's backlog signal).
     """
 
     rid: int
@@ -246,6 +361,8 @@ class _Token(NamedTuple):
     responses: object
     worker: object
     sent_at: float
+    deadline: Optional[float] = None
+    tracked: bool = True
 
 
 class ShardedEngine:
@@ -279,6 +396,8 @@ class ShardedEngine:
         n_shards: int = 1,
         mp_context: Optional[str] = None,
         autoscale: Optional[AutoscaleConfig] = None,
+        supervisor: Optional[SupervisorConfig] = None,
+        chaos: Optional[ChaosConfig] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -286,6 +405,10 @@ class ShardedEngine:
             n_shards = autoscale.clamp(n_shards)
         self.n_shards = n_shards
         self.autoscale = autoscale
+        #: fault-tolerance knobs; defaults apply when not given
+        self.supervisor = (supervisor if supervisor is not None
+                           else SupervisorConfig())
+        self._chaos = chaos
         self.routed: List[int] = []       # requests routed per slot, ever
         self._depth: List[int] = []       # sub-batches in flight per slot
         self._meta_lock = threading.Lock()   # routed/_depth/request ids
@@ -311,6 +434,23 @@ class ShardedEngine:
         self._resizes = 0
         self._resizing = False    # a grow is preparing outside _route_lock
         self._last_resize: Optional[Dict[str, object]] = None
+        # fault-tolerance state (counters under _meta_lock)
+        self._restarts = 0            # successful worker respawns
+        self._faults = 0              # fault observations (dead/hung/garbled)
+        self._deadline_exceeded = 0   # requests that missed their deadline
+        self._retries = 0             # sub-batches retried after a fault
+        self._degraded_answers = 0    # snippets answered with the neutral verdict
+        self._fallback_answers = 0    # snippets served by the in-process fallback
+        self._slot_restarts: List[int] = []   # consecutive failed respawns
+        self._slot_next_retry: List[float] = []
+        self._slot_degraded: List[bool] = []
+        self._slot_spawns: List[int] = []     # spawn generation per slot
+        self._abandoned: List[set] = []       # rids whose caller gave up
+        self._fallback_lock = threading.Lock()
+        self._fallback_engine = None
+        self._fallback_failed = False
+        self._stop_supervisor = threading.Event()
+        self._supervisor_thread: Optional[threading.Thread] = None
         if n_shards == 1 and autoscale is None:
             # in-process fallback: same API, no IPC, no extra processes
             self.routed.append(0)
@@ -328,6 +468,11 @@ class ShardedEngine:
         self._mp_ctx = mp.get_context(mp_context)
         for shard in range(n_shards):
             self._install_worker(shard, self._start_worker(shard, None, None))
+        if self.supervisor.heartbeat_interval_s > 0:
+            self._supervisor_thread = threading.Thread(
+                target=self._supervise_loop, name="advisor-supervisor",
+                daemon=True)
+            self._supervisor_thread.start()
 
     # -- worker lifecycle --------------------------------------------------
 
@@ -356,9 +501,16 @@ class ShardedEngine:
                     return None  # don't kill its in-flight work; retry
         req: "mp.queues.Queue" = self._mp_ctx.Queue()
         resp: "mp.queues.Queue" = self._mp_ctx.Queue()
+        # a respawned worker is only re-armed with the chaos schedule when
+        # the schedule says so — by default the replacement is healthy
+        spawned = (self._slot_spawns[index]
+                   if index < len(self._slot_spawns) else 0)
+        chaos = (self._chaos if self._chaos is not None
+                 and (spawned == 0 or self._chaos.rearm) else None)
         proc = self._mp_ctx.Process(
             target=_worker_main,
-            args=(self._factory, req, resp, reload_spec, canary_spec),
+            args=(self._factory, req, resp, reload_spec, canary_spec,
+                  chaos, index),
             name=f"advisor-shard-{index}", daemon=True)
         proc.start()
         return proc, req, resp
@@ -381,12 +533,18 @@ class ShardedEngine:
             self._recv_locks.append(threading.Lock())
             self._pending_locks.append(threading.Lock())
             self._pending.append({})
+            self._abandoned.append(set())
             self.routed.append(0)
             self._depth.append(0)
+            self._slot_restarts.append(0)
+            self._slot_next_retry.append(0.0)
+            self._slot_degraded.append(False)
+            self._slot_spawns.append(1)
         else:
             self._workers[index] = proc
             self._requests[index] = req
             self._responses[index] = resp
+            self._slot_spawns[index] += 1
 
     # -- routing -----------------------------------------------------------
 
@@ -396,30 +554,63 @@ class ShardedEngine:
 
     # -- worker IPC --------------------------------------------------------
 
-    def _send(self, shard: int, method: str, payload) -> _Token:
-        """Enqueue one request on ``shard``; returns its reply token."""
+    def _send(self, shard: int, method: str, payload,
+              deadline: Optional[float] = None,
+              tracked: bool = True) -> _Token:
+        """Enqueue one request on ``shard``; returns its reply token.
+
+        ``deadline`` (monotonic) bounds the later :meth:`_collect`;
+        ``tracked=False`` (supervisor heartbeats) skips the queue-depth
+        accounting so liveness probes never look like backlog."""
         if self._closed:
             raise RuntimeError("sharded engine is closed")
         with self._route_lock:
             token = _Token(next(self._rids), shard,
                            self._responses[shard], self._workers[shard],
-                           time.monotonic())
-            with self._meta_lock:
-                self._depth[shard] += 1
+                           time.monotonic(), deadline, tracked)
+            if tracked:
+                with self._meta_lock:
+                    self._depth[shard] += 1
             self._requests[shard].put((token.rid, method, payload))
         return token
+
+    def _abandon(self, token: _Token) -> None:
+        """Mark ``token``'s reply as unwanted (its caller timed out).
+
+        A late reply that does arrive is dropped at parking time instead
+        of sitting in ``_pending`` forever; a reply that was parked in
+        the race window is dropped here."""
+        shard = token.shard
+        with self._pending_locks[shard]:
+            if self._pending[shard].pop(token.rid, None) is None:
+                self._abandoned[shard].add(token.rid)
 
     def _collect(self, token: _Token) -> Tuple[str, object]:
         """Wait for the reply to ``token``, parking other threads' replies.
 
-        Raises ``RuntimeError`` if the worker dies before answering."""
+        Raises ``RuntimeError`` if the worker dies before answering, and
+        :class:`DeadlineExceeded` once ``token.deadline`` passes — the
+        serving path turns both into a retry and, failing that, a
+        degraded verdict."""
         shard = token.shard
         try:
             while True:
                 with self._pending_locks[shard]:
                     if token.rid in self._pending[shard]:
                         return self._pending[shard].pop(token.rid)
-                with self._recv_locks[shard]:
+                if token.deadline is None:
+                    self._recv_locks[shard].acquire()
+                else:
+                    remaining = token.deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise DeadlineExceeded(
+                            f"shard {shard} request missed its deadline")
+                    # bounded acquire: the thread holding the lock may be
+                    # waiting out its own (later) deadline
+                    if not self._recv_locks[shard].acquire(
+                            timeout=min(0.25, remaining)):
+                        continue
+                try:
                     # ours may have been parked while we waited for the lock
                     with self._pending_locks[shard]:
                         if token.rid in self._pending[shard]:
@@ -428,10 +619,19 @@ class ShardedEngine:
                     if got_rid == token.rid:
                         return status, result
                     with self._pending_locks[shard]:
-                        self._pending[shard][got_rid] = (status, result)
+                        if got_rid in self._abandoned[shard]:
+                            self._abandoned[shard].discard(got_rid)
+                        else:
+                            self._pending[shard][got_rid] = (status, result)
+                finally:
+                    self._recv_locks[shard].release()
+        except DeadlineExceeded:
+            self._abandon(token)
+            raise
         finally:
-            with self._meta_lock:
-                self._depth[shard] -= 1
+            if token.tracked:
+                with self._meta_lock:
+                    self._depth[shard] -= 1
 
     def _reply(self, token: _Token):
         """Next raw reply on ``token``'s queue, without hanging on a dead
@@ -439,13 +639,26 @@ class ShardedEngine:
 
         Polls with a short timeout and, between polls, checks the worker is
         still alive — a factory that crashes at startup or a worker killed
-        mid-request must surface as an error, not wedge callers forever.
-        Queue and process come from the token, so a slot respawned by the
+        mid-request must surface as an error, not wedge callers forever —
+        and whether ``token.deadline`` has passed (a *hung* worker is
+        still alive; only the deadline unblocks its callers).  Queue and
+        process come from the token, so a slot respawned by the
         autoscaler cannot redirect a caller onto the wrong queue."""
         while True:
+            timeout = 1.0
+            if token.deadline is not None:
+                timeout = min(1.0, token.deadline - time.monotonic())
+                if timeout <= 0:
+                    raise DeadlineExceeded(
+                        f"shard {token.shard} request missed its deadline")
             try:
-                return token.responses.get(timeout=1.0)
+                return token.responses.get(timeout=timeout)
             except queue_mod.Empty:
+                if (token.deadline is not None
+                        and time.monotonic() >= token.deadline):
+                    raise DeadlineExceeded(
+                        f"shard {token.shard} request missed its "
+                        "deadline") from None
                 if not token.worker.is_alive():
                     try:  # a final reply may still be in the queue's pipe
                         return token.responses.get(timeout=1.0)
@@ -456,7 +669,17 @@ class ShardedEngine:
 
     def _scatter_call(self, method: str, codes: Sequence[str]) -> List:
         """Fan ``codes`` out by shard, run ``method`` on each worker's
-        sub-batch concurrently, and gather results back in request order."""
+        sub-batch concurrently, and gather results back in request order.
+
+        Each sub-batch carries a deadline
+        (``SupervisorConfig.request_timeout_s``).  A sub-batch whose
+        worker died, whose reply was lost or garbled, or whose deadline
+        passed is *not* an exception: it is retried once on a healthy
+        shard, then on the in-process fallback engine, and finally
+        answered with degraded neutral verdicts — every snippet always
+        gets an answer.  Worker-side application errors (the engine
+        itself raised) still raise, as before: they are deterministic
+        and re-running them elsewhere would fail the same way."""
         if self._closed:
             raise RuntimeError("sharded engine is closed")
         if self._local is not None:
@@ -480,17 +703,31 @@ class ShardedEngine:
                 with self._meta_lock:
                     self.routed[shard] += len(rows)
                 tokens[shard] = self._send(shard, method,
-                                           [codes[i] for i in rows])
+                                           [codes[i] for i in rows],
+                                           deadline=self._request_deadline())
         out: List = [None] * len(codes)
         failures: List[str] = []
+        faulted: List[Tuple[int, List[int]]] = []
         for shard, rows in by_shard.items():
             try:
                 status, result = self._collect(tokens[shard])
-            except RuntimeError as exc:
-                failures.append(str(exc))
+            except DeadlineExceeded:
+                with self._meta_lock:
+                    self._deadline_exceeded += 1
+                faulted.append((shard, rows))
+                continue
+            except RuntimeError:
+                with self._meta_lock:
+                    self._faults += 1
+                faulted.append((shard, rows))
                 continue
             if status != "ok":
                 failures.append(f"shard {shard} failed: {result}")
+                continue
+            if not _well_formed(result, len(rows)):
+                with self._meta_lock:  # garbled IPC payload, not an answer
+                    self._faults += 1
+                faulted.append((shard, rows))
                 continue
             if self._lat_window is not None:
                 # per-snippet round-trip latency of this sub-batch (queue
@@ -501,7 +738,203 @@ class ShardedEngine:
                 out[i] = value
         if failures:
             raise RuntimeError("; ".join(failures))
+        for shard, rows in faulted:
+            sub = [codes[i] for i in rows]
+            result = self._retry_subbatch(method, sub, exclude=shard)
+            if result is None:
+                result = self._degraded_result(method, len(rows))
+            for i, value in zip(rows, result):
+                out[i] = value
         return out
+
+    # -- fault handling ----------------------------------------------------
+
+    def _request_deadline(self) -> Optional[float]:
+        """Absolute (monotonic) deadline for a serving request sent now."""
+        timeout = self.supervisor.request_timeout_s
+        return None if timeout is None else time.monotonic() + timeout
+
+    def _retry_subbatch(self, method: str, sub: List[str],
+                        exclude: int) -> Optional[List]:
+        """One retry of a faulted sub-batch: a live shard other than
+        ``exclude`` first, the in-process fallback engine second.
+
+        Returns the results, or ``None`` when nothing could answer (the
+        caller falls back to degraded verdicts)."""
+        with self._meta_lock:
+            self._retries += 1
+        token = None
+        with self._route_lock:
+            if not self._closed:
+                n = self.n_shards
+                target = next(
+                    (s for s in ((exclude + k) % n for k in range(1, n))
+                     if self._workers[s].is_alive()), None)
+                if target is not None:
+                    token = self._send(target, method, sub,
+                                       deadline=self._request_deadline())
+        if token is not None:
+            try:
+                status, result = self._collect(token)
+                if status == "ok" and _well_formed(result, len(sub)):
+                    return list(result)
+            except DeadlineExceeded:
+                with self._meta_lock:
+                    self._deadline_exceeded += 1
+            except RuntimeError:
+                with self._meta_lock:
+                    self._faults += 1
+        fallback = self._fallback()
+        if fallback is not None:
+            try:
+                result = list(getattr(fallback, method)(sub))
+                with self._meta_lock:
+                    self._fallback_answers += len(sub)
+                return result
+            except Exception:  # noqa: BLE001 — fall through to degraded
+                pass
+        return None
+
+    def _fallback(self):
+        """The lazily built in-process last-resort engine (or ``None``).
+
+        Built from the same factory as the workers, in the parent, the
+        first time a faulted sub-batch cannot be retried on any live
+        shard.  A factory that itself raises (the crash-looping
+        checkpoint being the reason the fleet is down) is remembered and
+        not retried — callers then get degraded verdicts."""
+        with self._fallback_lock:
+            if self._fallback_engine is None and not self._fallback_failed:
+                try:
+                    self._fallback_engine = self._factory()
+                except Exception:  # noqa: BLE001 — degraded verdicts instead
+                    self._fallback_failed = True
+            return self._fallback_engine
+
+    def _degraded_result(self, method: str, count: int) -> List:
+        """Explicit neutral verdicts for ``count`` unanswerable snippets.
+
+        ``p = 0.5`` / ``needs_directive = False`` with ``degraded=True``
+        set — visibly *not* a model prediction, but a well-formed answer
+        the HTTP layer can serialize, so a fleet-wide outage sheds
+        accuracy instead of availability."""
+        with self._meta_lock:
+            self._degraded_answers += count
+        if method == "predict_proba":
+            return [np.full(2, 0.5, dtype=get_dtype()) for _ in range(count)]
+        if method == "advise_many":
+            return [Advice(0.5, False, degraded=True) for _ in range(count)]
+        if method == "advise_full_many":
+            from repro.serve.registry import FullAdvice
+
+            return [FullAdvice(Advice(0.5, False, degraded=True), {},
+                               degraded=True) for _ in range(count)]
+        raise RuntimeError(f"no degraded verdict for method {method!r}")
+
+    # -- supervision -------------------------------------------------------
+
+    def _supervise_loop(self) -> None:
+        """Daemon supervisor: one :meth:`_check_fleet` pass per
+        ``heartbeat_interval_s`` tick until the engine closes.  The pass
+        is exception-proofed — the supervisor surviving is the whole
+        point of having one."""
+        interval = self.supervisor.heartbeat_interval_s
+        while not self._stop_supervisor.wait(interval):
+            try:
+                self._check_fleet()
+            except Exception:  # noqa: BLE001 — supervision must survive
+                pass
+
+    def _check_fleet(self) -> None:
+        """One supervision pass over the active slots.
+
+        A slot whose process died is revived (subject to its backoff
+        schedule).  A live slot is pinged over the normal reply plumbing
+        with a ``heartbeat_timeout_s`` deadline; because the worker loop
+        is single-threaded, a worker wedged inside a serving call cannot
+        answer — a missed ping means *hung*, and the only recovery is to
+        terminate the process and revive the slot.  A slot that answers
+        its ping is healthy: its restart budget and degraded flag reset.
+        """
+        cfg = self.supervisor
+        for index in range(self.n_shards):
+            with self._route_lock:
+                if self._closed or index >= self.n_shards:
+                    return
+                proc = self._workers[index]
+            if not proc.is_alive():
+                self._revive(index)
+                continue
+            try:
+                token = self._send(
+                    index, "ping", None,
+                    deadline=time.monotonic() + cfg.heartbeat_timeout_s,
+                    tracked=False)
+            except RuntimeError:  # closed mid-pass
+                return
+            try:
+                status, _ = self._collect(token)
+            except DeadlineExceeded:
+                # alive but wedged — stuck forward pass, deadlock, chaos
+                # hang; terminating it is the only way to free the slot
+                proc.terminate()
+                proc.join(timeout=1.0)
+                self._revive(index)
+            except RuntimeError:  # died while we waited
+                self._revive(index)
+            else:
+                if status == "ok":
+                    self._slot_restarts[index] = 0
+                    self._slot_degraded[index] = False
+
+    def _revive(self, index: int) -> None:
+        """Respawn the dead worker in slot ``index``.
+
+        Serialized against autoscaler grows via ``_resizing`` and paced
+        by the slot's exponential-backoff schedule.  The respawn replays
+        the remembered reload spec and any live canary — identical to the
+        autoscaler's replay-at-spawn path — so a revived worker serves
+        the fleet's current weights, not the factory's.  Once
+        ``restart_budget`` consecutive revives have failed the slot is
+        marked *degraded*: retries slow to the capped backoff and the
+        in-process fallback engine is warmed so traffic the dead slot
+        owned still gets real answers.
+        """
+        cfg = self.supervisor
+        now = time.monotonic()
+        with self._route_lock:
+            if (self._closed or self._resizing or index >= self.n_shards
+                    or self._workers[index].is_alive()
+                    or now < self._slot_next_retry[index]):
+                return
+            self._resizing = True
+            reload_spec = self._reload_spec
+            canary_spec = self._canary_spec
+        try:
+            with self._meta_lock:
+                self._faults += 1
+            attempt = self._slot_restarts[index]
+            self._slot_restarts[index] = attempt + 1
+            self._slot_next_retry[index] = now + cfg.backoff(attempt)
+            if attempt >= cfg.restart_budget:
+                # crash loop: degrade the slot instead of flapping, and
+                # make sure the fallback engine is ready to answer for it
+                self._slot_degraded[index] = True
+                self._slot_next_retry[index] = (
+                    now + cfg.restart_backoff_max_s)
+                self._fallback()
+            started = self._start_worker(index, reload_spec, canary_spec)
+            if started is None:  # pragma: no cover — retired, draining
+                return
+            with self._route_lock:
+                if self._closed:  # closed while spawning: stop the orphan
+                    started[1].put(_STOP)
+                    return
+                self._install_worker(index, started)
+            with self._meta_lock:
+                self._restarts += 1
+        finally:
+            self._resizing = False
 
     # -- autoscaling -------------------------------------------------------
 
@@ -866,7 +1299,8 @@ class ShardedEngine:
         engines."""
         if self._local is not None:
             return _head_names(self._local)
-        status, result = self._collect(self._send(0, "heads", None))
+        status, result = self._collect(
+            self._send(0, "heads", None, deadline=self._request_deadline()))
         if status != "ok":
             raise RuntimeError(f"shard 0 failed: {result}")
         return result
@@ -888,14 +1322,23 @@ class ShardedEngine:
         canary) when one is rolling out, and an ``"autoscaler"`` block
         (bounds, current shards, resize count, last resize with its
         reason, latency watermark + window mean when the latency signal
-        is on) when autoscaling is on.  JSON-ready.
+        is on) when autoscaling is on, and always a ``"supervisor"``
+        block with the fault-tolerance counters (``restarts``, ``faults``,
+        ``deadline_exceeded``, ``retries``, ``degraded_answers``,
+        ``fallback_answers``, ``degraded_shards``).  A dead or wedged
+        shard contributes an ``{"error": ...}`` placeholder instead of
+        failing the whole snapshot — /stats is the tool for diagnosing a
+        broken fleet and must keep working while the fleet is broken.
+        JSON-ready.
         """
         if self._local is not None:
             shards = [snapshot_stats(self._local)]
         else:
             shards = self._scatter_stats()
-        flat = [s.get("combined", s) if isinstance(s, dict) else s
-                for s in shards]
+        # error placeholders carry no counters: aggregate over healthy only
+        healthy = [s for s in shards
+                   if isinstance(s, dict) and "error" not in s]
+        flat = [s.get("combined", s) for s in healthy]
         with self._meta_lock:
             routed = list(self.routed)
         out: Dict[str, object] = {
@@ -906,11 +1349,11 @@ class ShardedEngine:
             "combined": merge_stat_dicts(
                 f for f in flat if isinstance(f, dict)),
         }
-        first = shards[0] if shards else None
+        first = next(iter(healthy), None)
         if isinstance(first, dict) and "model_version" in first:
             out["model_version"] = first["model_version"]
         if isinstance(first, dict) and "canary" in first:
-            live = [s["canary"] for s in shards
+            live = [s["canary"] for s in healthy
                     if isinstance(s, dict) and s.get("canary")]
             out["canary"] = None if not live else {
                 "version": live[0]["version"],
@@ -938,46 +1381,94 @@ class ShardedEngine:
                     self.autoscale.latency_high_ms)
                 out["autoscaler"]["window_latency_mean_ms"] = round(
                     self._lat_window.mean(), 3)
+        with self._meta_lock:
+            out["supervisor"] = {
+                "request_timeout_s": self.supervisor.request_timeout_s,
+                "restarts": self._restarts,
+                "faults": self._faults,
+                "deadline_exceeded": self._deadline_exceeded,
+                "retries": self._retries,
+                "degraded_answers": self._degraded_answers,
+                "fallback_answers": self._fallback_answers,
+                "degraded_shards": int(
+                    sum(self._slot_degraded[:self.n_shards])),
+            }
         return out
 
     def _scatter_stats(self) -> List[Dict[str, object]]:
+        """Per-worker stats snapshots, fault-tolerantly: a shard that is
+        dead, wedged past the request deadline, or erroring contributes
+        an ``{"error": ...}`` placeholder so the rest of the fleet still
+        reports."""
         with self._route_lock:
-            tokens = [self._send(shard, "stats", None)
+            tokens = [self._send(shard, "stats", None,
+                                 deadline=self._request_deadline())
                       for shard in range(self.n_shards)]
-        replies = []
+        snapshots: List[Dict[str, object]] = []
         for shard, token in enumerate(tokens):
             try:  # collect every live shard even if one died
-                replies.append(self._collect(token))
-            except RuntimeError as exc:
-                replies.append(("error", str(exc)))
-        snapshots = []
-        for shard, (status, result) in enumerate(replies):
-            if status != "ok":
-                raise RuntimeError(f"shard {shard} failed: {result}")
-            snapshots.append(result)
+                status, result = self._collect(token)
+            except RuntimeError as exc:  # includes DeadlineExceeded
+                snapshots.append({"error": str(exc)})
+                continue
+            if status != "ok" or not isinstance(result, dict):
+                snapshots.append({"error": f"shard {shard}: {result}"})
+            else:
+                snapshots.append(result)
         return snapshots
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self, timeout: float = 5.0) -> None:
-        """Stop all workers (idempotent); the engine is unusable after."""
+        """Stop all workers (idempotent); the engine is unusable after.
+
+        Fault-tolerant by design: already-dead workers are reaped without
+        raising, all joins share one ``timeout`` budget (a fleet of stuck
+        workers cannot multiply it), workers that refuse to exit are
+        terminated, and the queues are always released — close() must
+        succeed on exactly the broken fleets the chaos tests create.
+        """
         if self._closed:
             return
         self._closed = True
+        self._stop_supervisor.set()
+        if self._supervisor_thread is not None:
+            self._supervisor_thread.join(timeout=1.0)
+        with self._fallback_lock:
+            fallback, self._fallback_engine = self._fallback_engine, None
+        if fallback is not None:
+            fb_close = getattr(fallback, "close", None)
+            if fb_close is not None:
+                try:
+                    fb_close()
+                except Exception:  # noqa: BLE001 — best-effort teardown
+                    pass
         if self._local is not None:
             close = getattr(self._local, "close", None)
             if close is not None:
                 close()
             return
         with self._route_lock:
-            for req in self._requests:
-                req.put(_STOP)
-            for proc in self._workers:
-                proc.join(timeout=timeout)
-                if proc.is_alive():  # pragma: no cover — stuck worker
-                    proc.terminate()
-            for q in (*self._requests, *self._responses):
+            workers = list(self._workers)
+            requests = list(self._requests)
+            responses = list(self._responses)
+        for req in requests:
+            try:  # a dead worker's full pipe must not wedge close()
+                req.put_nowait(_STOP)
+            except Exception:  # noqa: BLE001 — queue broken or full
+                pass
+        deadline = time.monotonic() + timeout
+        for proc in workers:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():  # stuck worker: the budget is spent
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for q in (*requests, *responses):
+            try:
                 q.close()
+                q.cancel_join_thread()
+            except Exception:  # noqa: BLE001 — already closed
+                pass
 
     def __enter__(self) -> "ShardedEngine":
         return self

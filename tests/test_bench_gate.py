@@ -68,6 +68,12 @@ class TestDoctoredRegressionsFail:
         ("canary_rollout.failed_requests", 7),
         ("canary_rollout.canary_arm_errors", 1),
         ("canary_rollout.stale_after_promote", 4),
+        ("fault_injection.lost_requests", 64),
+        ("fault_injection.answered_fraction", 0.9),
+        ("fault_injection.restarts", 0),
+        ("fault_injection.p99_vs_deadline", 20.0),
+        ("fault_injection.admission.unanswered", 3),
+        ("fault_injection.admission.shed_429", 0),
     ])
     def test_doctored_serving_metric_fails(self, committed, path, bad_value):
         doctored = copy.deepcopy(committed)

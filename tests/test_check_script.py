@@ -95,6 +95,14 @@ class TestModeInvocations:
         calls = _calls(log)
         assert len(calls) == 1 and "perf and smoke" in calls[0]
 
+    def test_chaos_runs_fault_suite_only(self, shim):
+        env, log = shim
+        result = _run(env, "--chaos")
+        assert result.returncode == 0, result.stderr
+        calls = _calls(log)
+        assert calls == ["python -m pytest -x -q tests/test_serve_faults.py"]
+        assert "check.sh: stage 'chaos-smoke' passed" in result.stdout
+
     def test_unknown_mode_rejected(self, shim):
         env, _ = shim
         result = _run(env, "--bogus")
@@ -143,12 +151,13 @@ class TestCiWorkflowMirrorsCheckScript:
 
     def test_workflow_exists_and_names_all_jobs(self, workflow):
         for job in ("tier1:", "perf-smoke:", "docs:", "lint:",
-                    "bench-gate:"):
+                    "chaos-smoke:", "bench-gate:"):
             assert job in workflow, f"ci.yml missing job {job}"
 
     def test_workflow_invokes_check_sh_modes(self, workflow):
         for mode in ("scripts/check.sh --fast", "scripts/check.sh --perf",
-                     "scripts/check.sh --docs", "scripts/check.sh --lint"):
+                     "scripts/check.sh --docs", "scripts/check.sh --lint",
+                     "scripts/check.sh --chaos"):
             assert mode in workflow, f"ci.yml does not run {mode}"
 
     def test_workflow_runs_bench_gate(self, workflow):
@@ -164,7 +173,7 @@ class TestCiWorkflowMirrorsCheckScript:
     def test_check_sh_documents_every_mode(self):
         """check.sh's own usage header must list the modes CI invokes."""
         script = CHECK_SH.read_text()
-        for mode in ("--fast", "--docs", "--lint", "--perf"):
+        for mode in ("--fast", "--docs", "--lint", "--perf", "--chaos"):
             assert mode in script
         assert "ruff check" in script
         assert "lint_fallback.py" in script

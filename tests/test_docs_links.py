@@ -93,13 +93,16 @@ class TestCliCoverage:
         doc = (REPO_ROOT / "docs" / "operations.md").read_text()
         for flag in ("--watch", "--min-shards", "--max-shards",
                      "--gate-margin", "--shards", "--canary",
-                     "--canary-fraction"):
+                     "--canary-fraction", "--request-timeout",
+                     "--max-body-bytes"):
             assert flag in doc, f"docs/operations.md missing flag {flag}"
         for endpoint in ("/healthz", "/stats", "/reload", "/canary",
                          "/canary/promote", "/canary/rollback"):
             assert endpoint in doc, f"docs/operations.md missing {endpoint}"
         for concept in ("model_version", "hysteresis", "cooldown", "gating",
-                        "canary", "promote", "rollback", "latency_high_ms"):
+                        "canary", "promote", "rollback", "latency_high_ms",
+                        "circuit breaker", "retry-after", "restart budget",
+                        "degraded", "deadline_exceeded", "crash loop"):
             assert concept in doc.lower(), (
                 f"docs/operations.md missing {concept}")
 
@@ -110,7 +113,8 @@ class TestCliCoverage:
 
         source = Path(cli.__file__).read_text()
         for flag in ("--watch", "--min-shards", "--max-shards",
-                     "--gate-margin", "--canary", "--canary-fraction"):
+                     "--gate-margin", "--canary", "--canary-fraction",
+                     "--request-timeout", "--max-body-bytes"):
             assert f'"{flag}"' in source, f"cli.py lost {flag}"
 
     def test_architecture_doc_maps_every_package(self):
@@ -178,9 +182,10 @@ class TestServeDocstrings:
             + ", ".join(sorted(missing)))
 
     def test_audit_actually_sees_the_surface(self):
-        """Guard the auditor itself: it must walk all five serve modules
+        """Guard the auditor itself: it must walk all six serve modules
         and a healthy sample of known-public symbols."""
         names = {m.__name__ for m in self._serve_modules()}
-        assert names == {"repro.serve", "repro.serve.engine",
-                         "repro.serve.http_api", "repro.serve.metrics",
-                         "repro.serve.registry", "repro.serve.sharding"}
+        assert names == {"repro.serve", "repro.serve.chaos",
+                         "repro.serve.engine", "repro.serve.http_api",
+                         "repro.serve.metrics", "repro.serve.registry",
+                         "repro.serve.sharding"}

@@ -82,7 +82,8 @@ class TestAdviseFull:
         assert set(full.clauses) == {"private", "reduction"}
         body = full.as_dict()
         assert set(body) == {"needs_directive", "p_directive", "clauses",
-                             "recommended_clauses"}
+                             "recommended_clauses", "degraded"}
+        assert body["degraded"] is False  # a real prediction, not a stub
         for clause in body["clauses"].values():
             assert set(clause) == {"probability", "suggested"}
 

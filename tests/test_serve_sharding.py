@@ -15,6 +15,7 @@ from repro.serve import (
     InferenceEngine,
     RollingMean,
     ShardedEngine,
+    SupervisorConfig,
     shard_of,
 )
 from repro.tokenize import Vocab, text_tokens
@@ -204,16 +205,27 @@ class TestMultiProcess:
                 t.join(timeout=60)
         assert not errors, errors
 
-    def test_dead_worker_raises_instead_of_hanging(self):
-        """A factory that crashes at worker startup must surface as an
-        error on the first call, not wedge the caller forever."""
+    def test_dead_worker_degrades_instead_of_hanging(self):
+        """A factory that crashes at worker startup must not wedge or
+        fail the caller: with no live shard to retry on and a fallback
+        that cannot build either, every snippet gets the explicit
+        degraded neutral verdict (p = 0.5) instead of an exception."""
 
         def crashing_factory():
             raise RuntimeError("no model for you")
 
-        with ShardedEngine(crashing_factory, n_shards=2) as sharded:
-            with pytest.raises(RuntimeError, match="worker died"):
-                sharded.predict_proba(SNIPPETS)
+        cfg = SupervisorConfig(request_timeout_s=10.0,
+                               heartbeat_interval_s=0)
+        with ShardedEngine(crashing_factory, n_shards=2,
+                           supervisor=cfg) as sharded:
+            proba = sharded.predict_proba(SNIPPETS)
+            np.testing.assert_allclose(proba, 0.5)
+            advice = sharded.advise_many(SNIPPETS[:2])
+            assert all(a.degraded for a in advice)
+            assert all(not a.needs_directive for a in advice)
+            sup = sharded.stats()["supervisor"]
+            assert sup["degraded_answers"] == len(SNIPPETS) + 2
+            assert sup["faults"] >= 2
 
     def test_head_names_through_workers(self, model_and_vocab):
         from repro.serve import ModelRegistry, MultiModelEngine
