@@ -9,6 +9,8 @@
 #   scripts/check.sh --perf     # perf smoke subset only
 #   scripts/check.sh --chaos    # chaos smoke only: fault-injection suite
 #                               # (worker kill/hang/drop, admission control)
+#   scripts/check.sh --ipc      # IPC stress only: shared-memory ring
+#                               # property/stress suite + ring-fault tests
 #
 # Tier-1 is the gate every change must keep green (`pytest -x -q` from the
 # repo root; bench_* files are never collected there).  The smoke subset
@@ -79,6 +81,16 @@ stage_chaos_smoke() {
     python -m pytest -x -q tests/test_serve_faults.py
 }
 
+stage_ipc_stress() {
+    # the zero-copy data-plane suite: SPSC ring invariants (property
+    # tests against a reference deque), frame codecs, queue-vs-shm
+    # parity on a 1k-snippet trace, multi-producer stress, segment
+    # lifecycle — plus the ring-fault subset of the chaos suite (torn
+    # frames, worker killed holding a slot, deadline on a full ring).
+    python -m pytest -x -q tests/test_serve_ipc.py \
+        "tests/test_serve_faults.py::TestRingFaults"
+}
+
 case "${1:-}" in
     --docs)
         run_stage "docs" stage_docs
@@ -95,13 +107,16 @@ case "${1:-}" in
     --chaos)
         run_stage "chaos-smoke" stage_chaos_smoke
         ;;
+    --ipc)
+        run_stage "ipc-stress" stage_ipc_stress
+        ;;
     "")
         run_stage "lint" stage_lint
         run_stage "tier-1" stage_tier1
         run_stage "perf-smoke" stage_perf_smoke
         ;;
     *)
-        echo "check.sh: unknown mode '${1}' (use --fast, --docs, --lint, --perf, --chaos, or no argument)" >&2
+        echo "check.sh: unknown mode '${1}' (use --fast, --docs, --lint, --perf, --chaos, --ipc, or no argument)" >&2
         exit 2
         ;;
 esac

@@ -196,7 +196,8 @@ def _make_full_advisor(args: argparse.Namespace):
     factory = functools.partial(_build_multi_engine, registry, config)
     if shards > 1 or autoscale is not None:
         return ShardedEngine(factory, n_shards=shards, autoscale=autoscale,
-                             supervisor=_supervisor_config(args))
+                             supervisor=_supervisor_config(args),
+                             ipc=getattr(args, "ipc", "shm"))
     return factory()
 
 
@@ -281,7 +282,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                               enc.vocab, ctx.scale.pragformer.max_len,
                               _engine_config(args)),
             n_shards=args.shards, autoscale=autoscale,
-            supervisor=_supervisor_config(args))
+            supervisor=_supervisor_config(args),
+            ipc=getattr(args, "ipc", "shm"))
     else:
         _, engine = _make_engine(args)
 
@@ -415,6 +417,12 @@ def main(argv=None) -> int:
     p_serve.add_argument("--shards", type=int, default=1, metavar="N",
                          help="partition traffic across N worker processes "
                               "(digest-hash routing; 1 = in-process)")
+    p_serve.add_argument("--ipc", choices=("queue", "shm"), default="shm",
+                         help="sharded-fleet data-plane transport: 'shm' "
+                              "(default) sends serving batches over "
+                              "shared-memory rings as pre-encoded token "
+                              "ids; 'queue' pins everything to pickled "
+                              "multiprocessing queues (escape hatch)")
     p_serve.add_argument("--min-shards", type=int, default=None, metavar="N",
                          help="lower bound for queue-depth shard autoscaling "
                               "(giving --min-shards or --max-shards enables it)")

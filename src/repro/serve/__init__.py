@@ -1,6 +1,6 @@
 """Serving layer: the advisor as a multi-model, sharded, observable service.
 
-Five modules build on each other:
+Six modules build on each other:
 
 * :mod:`repro.serve.engine` — :class:`InferenceEngine`: length-bucketed
   micro-batching, token-digest prediction LRU, tokenize-once memo, sync
@@ -21,6 +21,12 @@ Five modules build on each other:
   bounds, and fault tolerance (:class:`SupervisorConfig`): worker
   supervision with heartbeats and respawn budgets, per-request
   deadlines, and degraded verdicts instead of hangs or exceptions.
+* :mod:`repro.serve.shm_ring` — :class:`ShmRing`: the preallocated
+  shared-memory SPSC rings and fixed int32 frame layout behind the
+  sharded fleet's zero-copy data plane (``ShardedEngine(ipc="shm")``,
+  the default): the router encodes each snippet once and ships token
+  ids; workers reply with probabilities and verdict flags — no pickling
+  on the hot path.
 * :mod:`repro.serve.chaos` — :class:`ChaosConfig`: deterministic
   worker-fault injection (kill / hang / drop / malformed / slow) that
   the fault-tolerance tests and benches drive.
@@ -76,6 +82,7 @@ from repro.serve.sharding import (
     shard_of,
     snapshot_stats,
 )
+from repro.serve.shm_ring import FrameTooBig, ShmRing
 
 __all__ = [
     "AdmissionConfig",
@@ -90,6 +97,7 @@ __all__ = [
     "DeadlineExceeded",
     "EngineConfig",
     "EngineStats",
+    "FrameTooBig",
     "FullAdvice",
     "InferenceEngine",
     "LRUCache",
@@ -99,6 +107,7 @@ __all__ = [
     "MultiModelEngine",
     "RollingMean",
     "ShardedEngine",
+    "ShmRing",
     "SupervisorConfig",
     "batch_hist_bucket",
     "canary_routes",

@@ -327,6 +327,50 @@ class InferenceEngine:
         probs = self.predict_proba(codes)[:, 1]
         return [Advice(float(p), bool(p > 0.5)) for p in probs]
 
+    def codec(self) -> Optional[dict]:
+        """Describe how to encode snippets for this engine, or ``None``.
+
+        The shared-memory transport (:mod:`repro.serve.shm_ring`) moves
+        pre-encoded int32 token-id rows instead of source text, which
+        requires the *router* to encode exactly as this engine would.
+        The codec ships everything that encoding depends on: the deployed
+        ``version`` (the staleness tag carried in every request frame),
+        the ``vocab``, the truncation ``max_len``, and the clause-head
+        name order (empty for a bare engine).  Engines built with a
+        custom ``tokenizer`` return ``None`` — the router cannot
+        replicate an arbitrary callable, so the fleet falls back to the
+        pickled queue transport."""
+        if self.tokenizer is not text_tokens:
+            return None
+        slot = self._slot
+        return {"version": slot.version, "max_len": slot.max_len,
+                "vocab": slot.vocab, "heads": []}
+
+    def predict_proba_encoded(self, rows: Sequence[np.ndarray]) -> np.ndarray:
+        """(N, 2) probabilities for pre-encoded token-id rows.
+
+        The shared-memory data plane's entry point: ``rows`` were encoded
+        by the router under this engine's codec (same vocabulary, same
+        ``max_len``), so the engine skips tokenization entirely and goes
+        straight to the batched/cached forward path.  Rows are defensively
+        truncated to the current slot's ``max_len``; prediction-cache keys
+        are the same version-prefixed id digests as the text path, so the
+        two transports share one cache and return identical verdicts."""
+        slot = self._slot
+        encoded = []
+        for row in rows:
+            ids = np.ascontiguousarray(row, dtype=np.int32)
+            encoded.append(ids[:slot.max_len] if ids.size > slot.max_len
+                           else ids)
+        return self._predict_encoded(encoded, slot)
+
+    def advise_many_encoded(self, rows: Sequence[np.ndarray]) -> List[Advice]:
+        """Bulk :class:`Advice` for pre-encoded token-id rows (the
+        shared-memory transport's ``advise_many``); positive iff
+        P(+) > 0.5, exactly as the text path decides."""
+        probs = self.predict_proba_encoded(rows)[:, 1]
+        return [Advice(float(p), bool(p > 0.5)) for p in probs]
+
     def predict_records(self, records: Sequence, cache: TokenCache,
                         rep: Representation = Representation.TEXT) -> np.ndarray:
         """Bulk probabilities for corpus :class:`Record` objects, with

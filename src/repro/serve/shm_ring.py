@@ -1,0 +1,515 @@
+"""Shared-memory SPSC ring transport for the shard fleet's data plane.
+
+:mod:`repro.serve.sharding` originally moved every serving request and
+reply through pickled :class:`multiprocessing.Queue` messages; on bulk
+traffic the pickling (snippet strings out, numpy arrays and advice
+objects back) dominated the round trip so thoroughly that one shard beat
+two on raw throughput.  This module is the replacement data plane: a
+pair of preallocated :class:`multiprocessing.shared_memory` ring buffers
+per worker (one request ring, one reply ring) carrying fixed-layout
+``int32`` frames — token-id arrays in, verdict ids / probabilities /
+flags out — with **no pickling on the hot path**.  Control-plane traffic
+(heartbeats, stats, hot reload, canary rollouts, stop) stays on the
+queues, where pickling costs nothing measurable and arbitrary payloads
+are worth the flexibility.
+
+**Ring layout.**  One shared-memory segment per ring::
+
+    [head int64][tail int64]                    # 16-byte global header
+    slot 0: [seq int64][rid int64][meta int32]  # 32-byte slot header
+            [words int32][crc uint32][pad]
+            [payload int32 x slot_words]
+    slot 1: ...
+
+``head`` is written only by the producer, ``tail`` only by the consumer
+(classic Lamport single-producer/single-consumer ring; the counters are
+monotonic, the slot index is ``counter % slots``, and full/empty never
+ambiguate because ``head - tail`` is the exact occupancy).  A frame is
+*committed* by writing ``seq = head + 1`` after the payload — the
+consumer treats a slot as readable only once its ``seq`` matches, so a
+half-written frame is never observed.  ``crc`` (CRC-32 of the payload
+bytes) turns a torn or corrupted slot into a *detected* fault the parent
+can retry instead of a silently wrong verdict; chaos testing writes
+deliberately bad CRCs through ``try_push(corrupt=True)``.  The protocol
+relies on same-order store visibility for aligned words (x86-TSO; both
+ends are CPython processes executing the stores in bytecode order).
+
+**Frames.**  ``encode_request``/``decode_request`` carry the parent-side
+encoding: per snippet a length, a 16-byte source digest (shard-stable
+routing/canary identity — the worker never sees source text), and the
+``int32`` token-id row the router encoded exactly once.
+``encode_result``/``decode_result`` carry verdicts back as flat numbers:
+probabilities as two-word float64 (lossless for every supported compute
+dtype), booleans as flag bits, clause heads as indices into the fleet's
+shared head-name order.  ``codec_tag`` pins the vocabulary generation:
+a worker whose deployed version differs answers a ``fault`` frame and
+the parent re-encodes and retries.
+
+Sizing: ``slots * (32 + 4 * slot_words)`` bytes per ring, two rings per
+worker.  The defaults (8 slots x 128 Ki words = ~4 MiB per ring) hold a
+512-snippet sub-batch comfortably; ``docs/operations.md`` has tuning
+guidance, and frames that do not fit fall back to the control queue.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+import zlib
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.dtype import get_dtype
+from repro.serve.engine import Advice
+from repro.serve.registry import ClauseAdvice, FullAdvice
+
+__all__ = [
+    "RING_NAME_PREFIX",
+    "STATUS_ERROR",
+    "STATUS_FAULT",
+    "STATUS_OK",
+    "FrameTooBig",
+    "ShmRing",
+    "decode_request",
+    "decode_result",
+    "decode_text",
+    "encode_request",
+    "encode_result",
+    "encode_text",
+    "reply_meta",
+    "split_reply_meta",
+]
+
+#: Every segment name starts with this, so tests can assert no leaked
+#: ``/dev/shm`` entries after teardown (see ``tests/conftest.py``).
+RING_NAME_PREFIX = "repro-ring"
+
+_GLOBAL_HEADER = 16   # head + tail, int64 each
+_SLOT_HEADER = 32     # seq, rid (int64); meta, words, crc, pad (int32)
+
+#: Reply status codes (high bits of the reply ``meta`` word).
+STATUS_OK = 0       # payload is an encoded result
+STATUS_ERROR = 1    # payload is an application error message (re-raised)
+STATUS_FAULT = 2    # payload is a transport fault note (retried, never raised)
+
+_ring_names = itertools.count()
+
+
+class FrameTooBig(ValueError):
+    """A frame exceeds the ring's fixed ``slot_words`` payload capacity.
+
+    The sharding layer catches this (and a full ring) by falling back to
+    the control queue for that sub-batch, so oversized batches stay
+    correct — they just pay the pickled path."""
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without re-registering it.
+
+    ``SharedMemory.__init__`` registers every attach with the resource
+    tracker (until 3.13's ``track=False``), which makes the *attaching*
+    process unlink the segment at exit and spam leak warnings.  The
+    parent that created the segment owns its lifetime; attachers must
+    unregister."""
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+    except Exception:  # noqa: BLE001 — tracker absent on some platforms
+        pass
+    return shm
+
+
+class ShmRing:
+    """Fixed-capacity SPSC ring over one shared-memory segment.
+
+    Exactly one producer process/thread may call the push side and one
+    consumer the pop side (the sharding layer serializes the parent's
+    sides under its routing/receive locks; the worker loop is single-
+    threaded by construction).  The creating process owns the segment:
+    it must call :meth:`close` and :meth:`unlink` — workers attach (or
+    inherit over ``fork``) and only ever :meth:`close`.
+
+    Picklable by name: sending a ring to a ``spawn``-context worker
+    re-attaches in the child.
+    """
+
+    def __init__(self, slots: int = 8, slot_words: int = 1 << 17,
+                 name: Optional[str] = None, create: bool = True) -> None:
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        if slot_words < 16:
+            raise ValueError("slot_words must be >= 16")
+        self.slots = slots
+        self.slot_words = slot_words
+        self._slot_bytes = _SLOT_HEADER + 4 * slot_words
+        nbytes = _GLOBAL_HEADER + slots * self._slot_bytes
+        if create:
+            name = name or (f"{RING_NAME_PREFIX}-{os.getpid()}"
+                            f"-{next(_ring_names)}")
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=True, size=nbytes)
+        else:
+            self._shm = _attach(name)
+        self.name = self._shm.name
+        self._owner = create
+        self._closed = False
+        self._map_views()
+        if create:
+            self._head[0] = 0
+            self._tail[0] = 0
+
+    def _map_views(self) -> None:
+        """(Re)build the numpy views over the segment buffer."""
+        buf = self._shm.buf
+        sb = self._slot_bytes
+        n = self.slots
+        self._head = np.ndarray((1,), np.int64, buf, 0)
+        self._tail = np.ndarray((1,), np.int64, buf, 8)
+        base = _GLOBAL_HEADER
+        stride = (sb,)
+        self._seq = np.ndarray((n,), np.int64, buf, base + 0, stride)
+        self._rid = np.ndarray((n,), np.int64, buf, base + 8, stride)
+        self._meta = np.ndarray((n,), np.int32, buf, base + 16, stride)
+        self._words = np.ndarray((n,), np.int32, buf, base + 20, stride)
+        self._crc = np.ndarray((n,), np.uint32, buf, base + 24, stride)
+        self._payloads = [
+            np.ndarray((self.slot_words,), np.int32, buf,
+                       base + _SLOT_HEADER + i * sb)
+            for i in range(n)
+        ]
+
+    # -- pickling (spawn-context workers attach by name) --------------------
+
+    def __getstate__(self) -> Dict[str, object]:
+        return {"slots": self.slots, "slot_words": self.slot_words,
+                "name": self.name}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__init__(state["slots"], state["slot_words"],
+                      name=state["name"], create=False)
+
+    # -- occupancy -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Committed frames currently waiting to be popped."""
+        return int(self._head[0]) - int(self._tail[0])
+
+    def fits(self, n_words: int) -> bool:
+        """Whether a payload of ``n_words`` can ever fit one slot."""
+        return n_words <= self.slot_words
+
+    @property
+    def nbytes(self) -> int:
+        """Total size of the backing segment."""
+        return _GLOBAL_HEADER + self.slots * self._slot_bytes
+
+    # -- producer side -------------------------------------------------------
+
+    def try_push(self, rid: int, meta: int, payload: np.ndarray,
+                 corrupt: bool = False) -> bool:
+        """Publish one frame; ``False`` when the ring is full.
+
+        ``payload`` is coerced to a contiguous ``int32`` array.  Raises
+        :class:`FrameTooBig` when it cannot fit a slot at any occupancy.
+        ``corrupt=True`` (chaos testing only) commits the frame with a
+        deliberately wrong CRC — the consumer sees a torn write."""
+        payload = np.ascontiguousarray(payload, dtype=np.int32)
+        if payload.size > self.slot_words:
+            raise FrameTooBig(
+                f"frame of {payload.size} words exceeds slot capacity "
+                f"{self.slot_words}")
+        head = int(self._head[0])
+        if head - int(self._tail[0]) >= self.slots:
+            return False
+        i = head % self.slots
+        self._payloads[i][:payload.size] = payload
+        self._rid[i] = rid
+        self._meta[i] = meta
+        self._words[i] = payload.size
+        crc = zlib.crc32(payload.tobytes()) & 0xFFFFFFFF
+        if corrupt:
+            crc ^= 0x5A5A5A5A
+        self._crc[i] = crc
+        # commit marker last: the consumer only reads a slot whose seq
+        # matches, so it can never observe the fields above half-written
+        self._seq[i] = head + 1
+        self._head[0] = head + 1
+        return True
+
+    def push(self, rid: int, meta: int, payload: np.ndarray,
+             corrupt: bool = False, timeout: Optional[float] = None) -> bool:
+        """Blocking :meth:`try_push` with exponential-backoff polling."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        pause = 5e-5
+        while not self.try_push(rid, meta, payload, corrupt=corrupt):
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(pause)
+            pause = min(pause * 2, 2e-3)
+        return True
+
+    # -- consumer side -------------------------------------------------------
+
+    def try_pop(self) -> Optional[Tuple[int, int, np.ndarray, bool]]:
+        """Consume the next committed frame, or ``None`` when empty.
+
+        Returns ``(rid, meta, payload_copy, crc_ok)``; popping releases
+        the slot for reuse immediately (the payload is copied out).  A
+        frame whose CRC (or length field) does not check out is still
+        consumed — delivering it with ``crc_ok=False`` lets the parent
+        count a fault and retry instead of wedging the ring."""
+        tail = int(self._tail[0])
+        i = tail % self.slots
+        if int(self._seq[i]) != tail + 1:
+            return None
+        rid = int(self._rid[i])
+        meta = int(self._meta[i])
+        words = int(self._words[i])
+        if 0 <= words <= self.slot_words:
+            payload = self._payloads[i][:words].copy()
+            ok = (zlib.crc32(payload.tobytes()) & 0xFFFFFFFF
+                  ) == int(self._crc[i])
+        else:  # corrupted length field: nothing in the slot is trustworthy
+            payload = np.empty(0, np.int32)
+            ok = False
+        self._tail[0] = tail + 1
+        return rid, meta, payload, ok
+
+    def pop(self, timeout: Optional[float] = None
+            ) -> Optional[Tuple[int, int, np.ndarray, bool]]:
+        """Blocking :meth:`try_pop` with exponential-backoff polling.
+
+        The backoff caps at 200 us: pop() only spins while a reply is
+        actually owed (the consumer is inside a request round trip), so
+        the cap trades a negligible slice of one core for not adding
+        milliseconds of wakeup latency to every small batch."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        pause = 5e-5
+        while True:
+            frame = self.try_pop()
+            if frame is not None:
+                return frame
+            if deadline is not None and time.monotonic() >= deadline:
+                return None
+            time.sleep(pause)
+            pause = min(pause * 2, 2e-4)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap the segment (idempotent).  Views die with it, so no
+        frame returned earlier is invalidated (they are copies)."""
+        if self._closed:
+            return
+        self._closed = True
+        # numpy views hold buffer exports; they must go before close()
+        self._head = self._tail = None
+        self._seq = self._rid = self._meta = self._words = self._crc = None
+        self._payloads = None
+        try:
+            self._shm.close()
+        except Exception:  # noqa: BLE001 — already closed
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment from the OS namespace (owner only;
+        idempotent — a vanished segment is not an error)."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+        except Exception:  # noqa: BLE001 — best-effort cleanup
+            pass
+
+
+# -- reply meta packing ------------------------------------------------------
+
+def reply_meta(status: int, method_id: int) -> int:
+    """Pack a reply's status + echoed method id into one meta word."""
+    return (status << 8) | (method_id & 0xFF)
+
+
+def split_reply_meta(meta: int) -> Tuple[int, int]:
+    """Inverse of :func:`reply_meta`: ``(status, method_id)``."""
+    return meta >> 8, meta & 0xFF
+
+
+# -- float packing -----------------------------------------------------------
+# Probabilities travel as float64 (two int32 words) — lossless for both the
+# default float32 compute dtype and a REPRO_DTYPE=float64 override, so the
+# queue and shm transports return bit-identical verdicts.
+
+def _pack_floats(values) -> np.ndarray:
+    return np.ascontiguousarray(values, dtype=np.float64).reshape(-1).view(
+        np.int32)
+
+
+def _unpack_floats(words: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(words, dtype=np.int32).view(np.float64)
+
+
+# -- request frames ----------------------------------------------------------
+
+def encode_request(codec_tag: int, rows: Sequence[np.ndarray],
+                   digests: Sequence[bytes]) -> np.ndarray:
+    """Pack one sub-batch: ``[tag, n, len_i..., digest words..., ids...]``.
+
+    ``rows`` are the parent-encoded int32 token-id rows; ``digests`` the
+    matching 16-byte source digests (shard/canary identity — the worker
+    never needs the source text back)."""
+    n = len(rows)
+    head = np.empty(2 + n, dtype=np.int32)
+    head[0] = codec_tag
+    head[1] = n
+    if n:
+        head[2:] = np.fromiter((len(row) for row in rows), count=n,
+                               dtype=np.int32)
+        return np.concatenate(
+            [head, np.frombuffer(b"".join(digests), dtype=np.int32),
+             *(np.ascontiguousarray(r, dtype=np.int32) for r in rows)])
+    return head
+
+
+def decode_request(payload: np.ndarray
+                   ) -> Tuple[int, List[np.ndarray], List[bytes]]:
+    """Inverse of :func:`encode_request`; raises ``ValueError`` on a
+    structurally impossible frame (CRC passed but lengths disagree)."""
+    if payload.size < 2:
+        raise ValueError("request frame too short")
+    tag = int(payload[0])
+    n = int(payload[1])
+    if n < 0 or payload.size < 2 + 5 * n:
+        raise ValueError("request frame header out of range")
+    lens = payload[2:2 + n].astype(np.int64)
+    if n and (lens < 0).any():
+        raise ValueError("negative row length in request frame")
+    dig = payload[2 + n:2 + 5 * n].tobytes()
+    digests = [dig[16 * i:16 * (i + 1)] for i in range(n)]
+    ids = payload[2 + 5 * n:]
+    if int(lens.sum()) != ids.size:
+        raise ValueError("request frame id region does not match lengths")
+    rows = (np.split(ids, np.cumsum(lens)[:-1].tolist()) if n else [])
+    return tag, list(rows), digests
+
+
+# -- reply frames ------------------------------------------------------------
+
+def encode_text(message: str) -> np.ndarray:
+    """UTF-8 message payload (error / fault notes): ``[nbytes, data...]``."""
+    raw = message.encode("utf-8", "replace")[:4096]
+    raw += b"\x00" * (-len(raw) % 4)
+    out = np.empty(1 + len(raw) // 4, dtype=np.int32)
+    out[0] = len(message.encode("utf-8", "replace")[:4096])
+    if raw:
+        out[1:] = np.frombuffer(raw, dtype=np.int32)
+    return out
+
+
+def decode_text(payload: np.ndarray) -> str:
+    """Inverse of :func:`encode_text` (empty string on a short frame)."""
+    if payload.size < 1:
+        return ""
+    n = int(payload[0])
+    return payload[1:].tobytes()[:max(0, n)].decode("utf-8", "replace")
+
+
+def _advice_flags(advice: Advice) -> int:
+    return int(bool(advice.needs_directive)) | (int(bool(advice.degraded)) << 1)
+
+
+def encode_result(method: str, result,
+                  head_index: Optional[Dict[str, int]] = None) -> np.ndarray:
+    """Encode one ``ok`` reply for ``method`` into a flat int32 frame.
+
+    * ``predict_proba``: ``[n]`` + n x 2 float64 probability pairs.
+    * ``advise_many``: ``[n, flags...]`` + n float64 probabilities.
+    * ``advise_full_many``: ``[n]`` then per item ``[flags, p(2w),
+      n_clauses]`` and per clause ``[head_id, cflags, p(2w)]`` —
+      ``head_id`` indexes the fleet's shared head-name order
+      (``head_index``).
+    """
+    if method == "predict_proba":
+        arr = np.asarray(result, dtype=np.float64)
+        return np.concatenate([
+            np.asarray([arr.shape[0]], dtype=np.int32),
+            _pack_floats(arr),
+        ])
+    if method == "advise_many":
+        n = len(result)
+        head = np.empty(1 + n, dtype=np.int32)
+        head[0] = n
+        for i, adv in enumerate(result):
+            head[1 + i] = _advice_flags(adv)
+        return np.concatenate(
+            [head, _pack_floats([adv.probability for adv in result])])
+    if method == "advise_full_many":
+        head_index = head_index or {}
+        parts: List[np.ndarray] = [np.asarray([len(result)], dtype=np.int32)]
+        for full in result:
+            flags = _advice_flags(full.directive) | (
+                int(bool(full.degraded)) << 2)
+            parts.append(np.asarray([flags], dtype=np.int32))
+            parts.append(_pack_floats([full.directive.probability]))
+            parts.append(np.asarray([len(full.clauses)], dtype=np.int32))
+            for name, clause in full.clauses.items():
+                parts.append(np.asarray(
+                    [head_index.get(name, -1), int(bool(clause.suggested))],
+                    dtype=np.int32))
+                parts.append(_pack_floats([clause.probability]))
+        return np.concatenate(parts)
+    raise ValueError(f"no frame encoding for method {method!r}")
+
+
+def decode_result(method: str, payload: np.ndarray,
+                  head_names: Optional[Sequence[str]] = None):
+    """Inverse of :func:`encode_result` (raises ``ValueError`` on a
+    structurally impossible frame — the parent treats that as a fault)."""
+    if payload.size < 1:
+        raise ValueError("reply frame too short")
+    n = int(payload[0])
+    if n < 0:
+        raise ValueError("negative item count in reply frame")
+    if method == "predict_proba":
+        probs = _unpack_floats(payload[1:1 + 4 * n]).reshape(n, 2)
+        # one bulk astype, then split into rows — a per-row astype costs a
+        # numpy call per snippet and dominates warm-path decode
+        return list(probs.astype(get_dtype()))
+    if method == "advise_many":
+        flags = payload[1:1 + n]
+        probs = _unpack_floats(payload[1 + n:1 + 3 * n])
+        if flags.size != n or probs.size != n:
+            raise ValueError("advise reply frame truncated")
+        return [Advice(p, bool(f & 1), degraded=bool(f & 2))
+                for f, p in zip(flags.tolist(), probs.tolist())]
+    if method == "advise_full_many":
+        head_names = list(head_names or [])
+        out: List[FullAdvice] = []
+        pos = 1
+        for _ in range(n):
+            if pos + 4 > payload.size:
+                raise ValueError("full-advice reply frame truncated")
+            flags = int(payload[pos])
+            p_dir = float(_unpack_floats(payload[pos + 1:pos + 3])[0])
+            n_clauses = int(payload[pos + 3])
+            pos += 4
+            if n_clauses < 0 or pos + 4 * n_clauses > payload.size:
+                raise ValueError("full-advice clause block truncated")
+            clauses: Dict[str, ClauseAdvice] = {}
+            for _ in range(n_clauses):
+                head_id = int(payload[pos])
+                suggested = bool(payload[pos + 1] & 1)
+                p = float(_unpack_floats(payload[pos + 2:pos + 4])[0])
+                pos += 4
+                if not 0 <= head_id < len(head_names):
+                    raise ValueError(
+                        f"clause head id {head_id} outside the fleet's "
+                        f"{len(head_names)} heads")
+                clauses[head_names[head_id]] = ClauseAdvice(p, suggested)
+            out.append(FullAdvice(
+                Advice(p_dir, bool(flags & 1), degraded=bool(flags & 2)),
+                clauses, degraded=bool(flags & 4)))
+        return out
+    raise ValueError(f"no frame decoding for method {method!r}")

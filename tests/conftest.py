@@ -1,0 +1,42 @@
+"""Shared pytest fixtures.
+
+The one suite-wide invariant enforced here: **no leaked shared-memory
+segments**.  The sharded fleet's zero-copy data plane
+(``repro.serve.shm_ring``) backs every ring with a named segment under
+``/dev/shm``; the parent engine owns creation and unlinking, and
+``ShardedEngine.close()`` must reclaim every segment even when the
+workers died mid-request (chaos kills, supervisor terminations).  A test
+that exits leaving a ``repro-ring-*`` segment behind has found a real
+leak — fail loudly here rather than letting ``/dev/shm`` fill up over a
+long CI run.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.serve.shm_ring import RING_NAME_PREFIX
+
+_SHM_DIR = "/dev/shm"
+
+
+def _ring_segments():
+    if not os.path.isdir(_SHM_DIR):  # non-Linux: nothing to audit
+        return set()
+    return set(glob.glob(os.path.join(_SHM_DIR, f"{RING_NAME_PREFIX}-*")))
+
+
+@pytest.fixture(autouse=True)
+def no_ring_leaks():
+    """Fail any test that leaks a ring segment it created.
+
+    Segments that predate the test (another process, a prior aborted
+    run) are ignored — the fixture only audits what the test added."""
+    before = _ring_segments()
+    yield
+    leaked = _ring_segments() - before
+    assert not leaked, (
+        f"leaked shared-memory ring segments: {sorted(leaked)} — "
+        "ShardedEngine.close() (or the test itself) must unlink every "
+        "ring it creates")

@@ -74,6 +74,10 @@ class TestDoctoredRegressionsFail:
         ("fault_injection.p99_vs_deadline", 20.0),
         ("fault_injection.admission.unanswered", 3),
         ("fault_injection.admission.shed_429", 0),
+        ("ipc.parity_mismatches", 12),
+        ("ipc.shm_vs_queue_2shards", 0.2),
+        ("ipc.shm_2shard_scaling", 0.1),
+        ("ipc.crossover_shards", 4),
     ])
     def test_doctored_serving_metric_fails(self, committed, path, bad_value):
         doctored = copy.deepcopy(committed)

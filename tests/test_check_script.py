@@ -103,6 +103,17 @@ class TestModeInvocations:
         assert calls == ["python -m pytest -x -q tests/test_serve_faults.py"]
         assert "check.sh: stage 'chaos-smoke' passed" in result.stdout
 
+    def test_ipc_runs_ring_suite_only(self, shim):
+        env, log = shim
+        result = _run(env, "--ipc")
+        assert result.returncode == 0, result.stderr
+        calls = _calls(log)
+        assert len(calls) == 1
+        assert calls[0].startswith("python -m pytest -x -q "
+                                   "tests/test_serve_ipc.py")
+        assert "tests/test_serve_faults.py::TestRingFaults" in calls[0]
+        assert "check.sh: stage 'ipc-stress' passed" in result.stdout
+
     def test_unknown_mode_rejected(self, shim):
         env, _ = shim
         result = _run(env, "--bogus")
@@ -151,13 +162,13 @@ class TestCiWorkflowMirrorsCheckScript:
 
     def test_workflow_exists_and_names_all_jobs(self, workflow):
         for job in ("tier1:", "perf-smoke:", "docs:", "lint:",
-                    "chaos-smoke:", "bench-gate:"):
+                    "chaos-smoke:", "ipc-stress:", "bench-gate:"):
             assert job in workflow, f"ci.yml missing job {job}"
 
     def test_workflow_invokes_check_sh_modes(self, workflow):
         for mode in ("scripts/check.sh --fast", "scripts/check.sh --perf",
                      "scripts/check.sh --docs", "scripts/check.sh --lint",
-                     "scripts/check.sh --chaos"):
+                     "scripts/check.sh --chaos", "scripts/check.sh --ipc"):
             assert mode in workflow, f"ci.yml does not run {mode}"
 
     def test_workflow_runs_bench_gate(self, workflow):
@@ -173,7 +184,8 @@ class TestCiWorkflowMirrorsCheckScript:
     def test_check_sh_documents_every_mode(self):
         """check.sh's own usage header must list the modes CI invokes."""
         script = CHECK_SH.read_text()
-        for mode in ("--fast", "--docs", "--lint", "--perf", "--chaos"):
+        for mode in ("--fast", "--docs", "--lint", "--perf", "--chaos",
+                     "--ipc"):
             assert mode in script
         assert "ruff check" in script
         assert "lint_fallback.py" in script

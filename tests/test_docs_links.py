@@ -94,7 +94,7 @@ class TestCliCoverage:
         for flag in ("--watch", "--min-shards", "--max-shards",
                      "--gate-margin", "--shards", "--canary",
                      "--canary-fraction", "--request-timeout",
-                     "--max-body-bytes"):
+                     "--max-body-bytes", "--ipc"):
             assert flag in doc, f"docs/operations.md missing flag {flag}"
         for endpoint in ("/healthz", "/stats", "/reload", "/canary",
                          "/canary/promote", "/canary/rollback"):
@@ -114,7 +114,7 @@ class TestCliCoverage:
         source = Path(cli.__file__).read_text()
         for flag in ("--watch", "--min-shards", "--max-shards",
                      "--gate-margin", "--canary", "--canary-fraction",
-                     "--request-timeout", "--max-body-bytes"):
+                     "--request-timeout", "--max-body-bytes", "--ipc"):
             assert f'"{flag}"' in source, f"cli.py lost {flag}"
 
     def test_architecture_doc_maps_every_package(self):
@@ -182,10 +182,10 @@ class TestServeDocstrings:
             + ", ".join(sorted(missing)))
 
     def test_audit_actually_sees_the_surface(self):
-        """Guard the auditor itself: it must walk all six serve modules
+        """Guard the auditor itself: it must walk all seven serve modules
         and a healthy sample of known-public symbols."""
         names = {m.__name__ for m in self._serve_modules()}
         assert names == {"repro.serve", "repro.serve.chaos",
                          "repro.serve.engine", "repro.serve.http_api",
                          "repro.serve.metrics", "repro.serve.registry",
-                         "repro.serve.sharding"}
+                         "repro.serve.sharding", "repro.serve.shm_ring"}

@@ -142,7 +142,9 @@ class TestMultiProcess:
 
         def broken_factory():
             engine = InferenceEngine(model, vocab, max_len=TINY.max_len)
-            engine.predict_proba = None  # not callable -> worker-side error
+            # not callable -> worker-side error on either transport
+            engine.predict_proba = None
+            engine.predict_proba_encoded = None
             return engine
 
         with ShardedEngine(broken_factory, n_shards=2) as sharded:
@@ -171,6 +173,7 @@ class TestMultiProcess:
                 return real(codes)
 
             engine.advise_many = advise_many
+            engine.codec = None  # BOOM marker is text-only: pin to queues
             return engine
 
         expected = factory().advise_many(other)
