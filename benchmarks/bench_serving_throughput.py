@@ -55,7 +55,12 @@ still be answered (answered fraction 1.0, zero lost), the supervisor
 must respawn the slot, and the recovery time plus supervisor counters go
 into the report — then overloads the HTTP front-end past its in-flight
 cap to record the shed (429) count (more invariants
-``scripts/bench_gate.py`` gates CI on).  On a single-core host the
+``scripts/bench_gate.py`` gates CI on); and a **dirty trace** replays the
+committed dirty-snippet corpus (``tests/data/dirty``) plus seeded fuzz
+mutants and an oversize snippet through the engine — no exception may
+escape, every snippet must be answered, >= 90% of the trace must get a
+real (possibly recovered) model verdict, and the ``recovered``/
+``rejected_*`` counters land in the report for the bench gate.  On a single-core host the
 sweep and autoscale sections measure routing/IPC overhead rather than
 scaling — multi-shard numbers sitting below the in-process fallback is
 expected there, and the recorded values exist for cross-run comparison,
@@ -87,6 +92,7 @@ import pytest
 
 from conftest import timed, write_bench_report
 
+from repro.clang.fuzz import fuzz_corpus
 from repro.corpus import CorpusConfig, build_corpus
 from repro.data.encoding import encode_batch
 from repro.models import PragFormer
@@ -124,6 +130,9 @@ FAULT_ROUNDS = 10         # trace rounds through the chaos-faulted fleet
 FAULT_KILL_SLOT = 1       # which of the 4 shards the chaos schedule kills
 FAULT_KILL_CALL = 3       # the slot's serving-call index that dies
 OVERLOAD_CLIENTS = 6      # simultaneous requests against max_inflight=1
+DIRTY_CLEAN_REQUESTS = 128  # clean prefix of the dirty trace
+DIRTY_MUTANTS = 64          # seeded fuzz mutants appended to the trace
+DIRTY_FUZZ_SEED = 5
 
 
 def _workload():
@@ -757,6 +766,54 @@ def test_serving_throughput(benchmark):
         },
     }
 
+    # -- dirty trace: hostile input through the full engine path -----------
+    # the committed dirty corpus (tests/data/dirty) plus seeded fuzz
+    # mutants ride along with clean traffic and an oversize snippet.
+    # Contract: the engine never raises, answers every snippet, serves a
+    # real model verdict for >= 90% of the trace (recovered lexing counts
+    # as real), and only the snippets it *rejects* (byte cap) degrade —
+    # all of it visible in the recovered/rejected counters bench_gate
+    # holds CI to
+    dirty_dir = (Path(__file__).resolve().parent.parent
+                 / "tests" / "data" / "dirty")
+    dirty_fixtures = [p.read_bytes().decode("utf-8", errors="replace")
+                      for p in sorted(dirty_dir.glob("*.c"))]
+    assert len(dirty_fixtures) >= 50, "dirty corpus fixtures missing"
+    mutants = fuzz_corpus(trace[:32], n=DIRTY_MUTANTS, seed=DIRTY_FUZZ_SEED)
+    oversize_snippet = "int big = 1; // " + "x" * 300_000  # > 256 KiB cap
+    dirty_codes = (trace[:DIRTY_CLEAN_REQUESTS] + dirty_fixtures
+                   + mutants + [oversize_snippet])
+    dirty_engine = InferenceEngine(model, vocab, max_len=max_len,
+                                   config=EngineConfig(max_batch_size=128))
+    engine_exceptions = 0
+    try:
+        dirty_advices, dirty_elapsed = timed(dirty_engine.advise_many,
+                                             dirty_codes)
+    except Exception:  # noqa: BLE001 — an escape IS the regression
+        engine_exceptions += 1
+        dirty_advices, dirty_elapsed = [], float("nan")
+    dirty_degraded = sum(1 for a in dirty_advices if a.degraded)
+    dirty_stats = dirty_engine.stats.as_dict()
+    dirty_trace_section = {
+        "requests": len(dirty_codes),
+        "clean_requests": DIRTY_CLEAN_REQUESTS,
+        "corpus_fixtures": len(dirty_fixtures),
+        "fuzz_mutants": len(mutants),
+        "fuzz_seed": DIRTY_FUZZ_SEED,
+        "snippets_per_s": round(len(dirty_codes) / dirty_elapsed, 1),
+        "answered": len(dirty_advices),
+        "unanswered": len(dirty_codes) - len(dirty_advices),
+        "engine_exceptions": engine_exceptions,
+        "degraded_answers": dirty_degraded,
+        "advice_yield": round(
+            1.0 - dirty_degraded / len(dirty_codes), 4),
+        "recovered_snippets": dirty_stats["recovered"],
+        "rejected": dirty_stats["rejected"],
+        "rejected_oversize": dirty_stats["rejected_oversize"],
+        "rejected_budget": dirty_stats["rejected_budget"],
+        "rejected_error": dirty_stats["rejected_error"],
+    }
+
     speedup = trace_throughput / seq_throughput
     report = {
         "workload": {
@@ -793,6 +850,7 @@ def test_serving_throughput(benchmark):
         "canary_rollout": canary_rollout,
         "autoscale_burst": autoscale_burst,
         "fault_injection": fault_injection,
+        "dirty_trace": dirty_trace_section,
         "stats": engine.stats.as_dict(),
     }
     path = write_bench_report("serving", report)
@@ -818,6 +876,9 @@ def test_serving_throughput(benchmark):
           f"answered, {fault_injection['lost_requests']} lost, recovered in "
           f"{fault_injection['recovery_s']}s, "
           f"{fault_injection['admission']['shed_429']} shed under overload; "
+          f"dirty trace {dirty_trace_section['advice_yield']:.0%} yield "
+          f"({dirty_trace_section['recovered_snippets']} recovered, "
+          f"{dirty_trace_section['rejected']} rejected); "
           f"report: {path}")
 
     assert speedup >= 5.0, f"engine only {speedup:.2f}x sequential on the trace"
@@ -881,3 +942,10 @@ def test_serving_throughput(benchmark):
     assert admission["ok_200"] >= 1
     assert admission["shed_429"] >= 1, "overload must actually shed"
     assert admission["shed_counter"] >= admission["shed_429"]
+    # dirty trace: nothing escapes, everything answered, real verdicts for
+    # at least 90% of the trace, the recovery counters visibly engaged
+    assert dirty_trace_section["engine_exceptions"] == 0
+    assert dirty_trace_section["unanswered"] == 0
+    assert dirty_trace_section["advice_yield"] >= 0.9
+    assert dirty_trace_section["recovered_snippets"] >= 1
+    assert dirty_trace_section["rejected_oversize"] >= 1

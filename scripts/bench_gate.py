@@ -115,6 +115,16 @@ GATES: List[Gate] = [
     Gate("serving", "ipc.shm_vs_queue_2shards", ">=", 0.7),
     Gate("serving", "ipc.shm_2shard_scaling", ">=", 0.8),
     Gate("serving", "ipc.crossover_shards", "<=", 2),
+    # dirty trace: hostile input never crashes or stalls the serving
+    # path — zero exceptions escape the engine, every snippet answered,
+    # >= 90% of the mixed clean/dirty trace gets a real model verdict
+    # (error-recovered lexing counts as real; only byte-cap/budget
+    # rejections degrade), and the recovery machinery visibly engaged
+    Gate("serving", "dirty_trace.engine_exceptions", "==", 0),
+    Gate("serving", "dirty_trace.unanswered", "==", 0),
+    Gate("serving", "dirty_trace.advice_yield", ">=", 0.9),
+    Gate("serving", "dirty_trace.recovered_snippets", ">=", 1),
+    Gate("serving", "dirty_trace.rejected_oversize", ">=", 1),
     # training: the fused path's speedups are the PR 3 contract
     Gate("training", "pretrain.speedup_steps_per_s", ">=", 2.0),
     Gate("training", "optimizer_microbench.speedup", ">=", 1.2),
@@ -131,6 +141,7 @@ REPORT_ONLY: List[Tuple[str, str]] = [
     ("serving", "fault_injection.round_latency.p99_ms"),
     ("serving", "ipc.queue.2.snippets_per_s"),
     ("serving", "ipc.shm.2.snippets_per_s"),
+    ("serving", "dirty_trace.snippets_per_s"),
     ("training", "pretrain.fused.steps_per_s"),
     ("training", "finetune.small.fused.steps_per_s"),
 ]

@@ -11,6 +11,9 @@
 #                               # (worker kill/hang/drop, admission control)
 #   scripts/check.sh --ipc      # IPC stress only: shared-memory ring
 #                               # property/stress suite + ring-fault tests
+#   scripts/check.sh --fuzz     # fuzz smoke only: seeded dirty-input
+#                               # sweep through the recovering frontend
+#                               # (REPRO_FUZZ_N mutants/corpus, ~30 s)
 #
 # Tier-1 is the gate every change must keep green (`pytest -x -q` from the
 # repo root; bench_* files are never collected there).  The smoke subset
@@ -91,6 +94,15 @@ stage_ipc_stress() {
         "tests/test_serve_faults.py::TestRingFaults"
 }
 
+stage_fuzz_smoke() {
+    # seeded, deterministic dirty-input sweep: every mutant must come
+    # back with diagnostics inside the budget, never an exception.  The
+    # recovery suite is part of tier-1 at a small REPRO_FUZZ_N; this
+    # mode rescales the same property tests to a deeper sweep.
+    REPRO_FUZZ_N="${REPRO_FUZZ_N:-1200}" \
+        python -m pytest -x -q tests/test_clang_recovery.py
+}
+
 case "${1:-}" in
     --docs)
         run_stage "docs" stage_docs
@@ -110,13 +122,16 @@ case "${1:-}" in
     --ipc)
         run_stage "ipc-stress" stage_ipc_stress
         ;;
+    --fuzz)
+        run_stage "fuzz-smoke" stage_fuzz_smoke
+        ;;
     "")
         run_stage "lint" stage_lint
         run_stage "tier-1" stage_tier1
         run_stage "perf-smoke" stage_perf_smoke
         ;;
     *)
-        echo "check.sh: unknown mode '${1}' (use --fast, --docs, --lint, --perf, --chaos, --ipc, or no argument)" >&2
+        echo "check.sh: unknown mode '${1}' (use --fast, --docs, --lint, --perf, --chaos, --ipc, --fuzz, or no argument)" >&2
         exit 2
         ;;
 esac

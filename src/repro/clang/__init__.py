@@ -19,6 +19,7 @@ from repro.clang.nodes import (
     Continue,
     Decl,
     DoWhile,
+    ErrorStmt,
     ExprStmt,
     For,
     FuncDef,
@@ -32,7 +33,16 @@ from repro.clang.nodes import (
     While,
     walk,
 )
-from repro.clang.parser import ParseError, Parser, parse, parse_expression
+from repro.clang.parser import (
+    DEFAULT_MAX_DEPTH,
+    Diagnostic,
+    ParseBudgetExceeded,
+    ParseError,
+    Parser,
+    parse,
+    parse_expression,
+    parse_resilient,
+)
 from repro.clang.pragma import Clause, OmpDirective, PragmaError, parse_pragma
 from repro.clang.serialize import ast_to_dfs_text, unparse
 
@@ -62,13 +72,18 @@ __all__ = [
     "Return",
     "Break",
     "Continue",
+    "ErrorStmt",
     "ExprStmt",
     "FuncDef",
     "walk",
     "Parser",
     "ParseError",
+    "ParseBudgetExceeded",
+    "Diagnostic",
+    "DEFAULT_MAX_DEPTH",
     "parse",
     "parse_expression",
+    "parse_resilient",
     "OmpDirective",
     "Clause",
     "PragmaError",

@@ -1,0 +1,157 @@
+"""Deterministic fuzz harness for the error-recovering frontend.
+
+Four structure-aware mutators — ``truncate``, ``splice``, ``byte_flip``,
+``token_delete`` — turn clean corpus snippets into the kinds of dirty input
+a public advisor endpoint actually receives: cut-off pastes, two snippets
+glued together, encoding damage, and a missing brace/semicolon.  All
+randomness flows through an explicit ``random.Random`` seeded by the
+caller, so a fuzz run is reproducible bit-for-bit: same corpus + same seed
+=> same mutants, which is what lets CI fail on a *specific* regression
+instead of a flaky one.
+
+The property under test (see ``tests/test_clang_recovery.py`` and
+``scripts/check.sh --fuzz``) is the dirty-input contract of
+:func:`repro.clang.parser.parse_resilient`: it never raises, always
+terminates within its budget, and always returns an AST that serializes.
+:func:`check_snippet` packages that check for reuse by tests and benches.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.clang.lexer import TokenKind, tokenize
+from repro.clang.parser import DEFAULT_MAX_DEPTH, parse_resilient
+from repro.clang.serialize import ast_to_dfs_text
+
+__all__ = [
+    "truncate",
+    "splice",
+    "byte_flip",
+    "token_delete",
+    "MUTATORS",
+    "mutate",
+    "fuzz_corpus",
+    "check_snippet",
+]
+
+
+def truncate(code: str, rng: random.Random) -> str:
+    """Cut the snippet at a random point — a half-pasted loop."""
+    if len(code) < 2:
+        return code
+    return code[: rng.randrange(1, len(code))]
+
+
+def splice(code: str, rng: random.Random,
+           other: Optional[str] = None) -> str:
+    """Glue a random prefix of ``code`` to a random suffix of ``other``.
+
+    With no ``other`` the snippet is spliced against itself, which still
+    produces mismatched braces and duplicated headers.
+    """
+    donor = other if other is not None else code
+    if not code or not donor:
+        return code + donor
+    cut_a = rng.randrange(len(code) + 1)
+    cut_b = rng.randrange(len(donor) + 1)
+    return code[:cut_a] + donor[cut_b:]
+
+
+def byte_flip(code: str, rng: random.Random) -> str:
+    """Flip 1-4 bits in the UTF-8 encoding — wire/disk corruption.
+
+    The damaged bytes are replace-decoded back to ``str`` because that is
+    exactly what the HTTP layer does to undecodable request bodies.
+    """
+    data = bytearray(code.encode("utf-8", errors="replace"))
+    if not data:
+        return code
+    for _ in range(rng.randint(1, 4)):
+        idx = rng.randrange(len(data))
+        data[idx] ^= 1 << rng.randrange(8)
+    return data.decode("utf-8", errors="replace")
+
+
+def token_delete(code: str, rng: random.Random) -> str:
+    """Drop 1-3 random tokens — a lost brace, semicolon, or operand.
+
+    Lexes in recover mode so already-dirty input can be mutated further;
+    the result is re-joined with spaces (pragmas keep their ``#``).
+    """
+    toks = [t for t in tokenize(code, recover=True)
+            if t.kind is not TokenKind.EOF]
+    if len(toks) < 2:
+        return code
+    for _ in range(rng.randint(1, min(3, len(toks) - 1))):
+        toks.pop(rng.randrange(len(toks)))
+    parts = []
+    for t in toks:
+        if t.kind is TokenKind.PRAGMA:
+            parts.append(f"\n#{t.value}\n")
+        else:
+            parts.append(t.value)
+    return " ".join(parts)
+
+
+#: name -> mutator, in the order ``mutate`` draws from.
+MUTATORS: Dict[str, Callable] = {
+    "truncate": truncate,
+    "splice": splice,
+    "byte_flip": byte_flip,
+    "token_delete": token_delete,
+}
+
+
+def mutate(code: str, rng: random.Random,
+           corpus: Optional[Sequence[str]] = None) -> str:
+    """Apply one randomly chosen mutator; splice draws its donor from
+    ``corpus`` when given."""
+    name = rng.choice(sorted(MUTATORS))
+    if name == "splice":
+        donor = rng.choice(list(corpus)) if corpus else None
+        return splice(code, rng, donor)
+    return MUTATORS[name](code, rng)
+
+
+def fuzz_corpus(codes: Sequence[str], n: int, seed: int = 0,
+                rounds: int = 2) -> List[str]:
+    """Generate ``n`` deterministic mutants from seed snippets ``codes``.
+
+    Each mutant is a seed snippet pushed through 1..``rounds`` mutators, so
+    the output mixes mildly-dirty and badly-mangled input.  Same ``codes``
+    + ``seed`` always yields the same list.
+    """
+    if not codes:
+        raise ValueError("fuzz_corpus needs at least one seed snippet")
+    rng = random.Random(seed)
+    mutants: List[str] = []
+    for _ in range(n):
+        current = codes[rng.randrange(len(codes))]
+        for _ in range(rng.randint(1, rounds)):
+            current = mutate(current, rng, corpus=codes)
+        mutants.append(current)
+    return mutants
+
+
+def check_snippet(code: str, max_depth: int = DEFAULT_MAX_DEPTH,
+                  budget_s: float = 2.0) -> Dict[str, float]:
+    """Assert the dirty-input contract on one snippet; returns evidence.
+
+    Calls :func:`repro.clang.parser.parse_resilient` and serializes the
+    result.  Any exception escaping this function is a frontend bug by
+    definition — dirty input must surface as diagnostics, never raises.
+    The returned dict carries ``diagnostics``, ``dfs_tokens`` (the partial
+    AST still produced model input) and ``elapsed_s`` for budget checks.
+    """
+    start = time.monotonic()
+    ast, diags = parse_resilient(code, max_depth=max_depth,
+                                 budget_s=budget_s)
+    dfs = ast_to_dfs_text(ast)
+    return {
+        "diagnostics": len(diags),
+        "dfs_tokens": len(dfs.split()) if dfs else 0,
+        "elapsed_s": time.monotonic() - start,
+    }

@@ -10,6 +10,18 @@ treats headers.
 
 Tokens carry line/column information for error reporting and for the
 "snippet length in lines" statistics of Table 4.
+
+Two scanning modes share one code path.  In strict mode (the default)
+malformed input — an unterminated string/character literal or comment, a
+stray byte — raises :class:`LexError`, which is what the corpus pipeline
+wants: a snippet that does not lex is not corpus material.  In *recover*
+mode (``Lexer(source, recover=True)`` / ``tokenize(..., recover=True)``)
+the same malformations are emitted as :data:`TokenKind.ERROR` tokens
+carrying the offending text, and scanning continues at the next byte, so
+the serving path can still hand *something* to the model for dirty
+real-world input.  Recovery never loses progress: every ERROR token
+consumes at least one character, so a recover-mode scan always
+terminates in O(len(source)).
 """
 
 from __future__ import annotations
@@ -33,6 +45,9 @@ class TokenKind(enum.Enum):
     OP = "op"
     PRAGMA = "pragma"
     EOF = "eof"
+    #: recover-mode only: a malformed region (unterminated literal/comment,
+    #: stray byte); ``value`` is the offending source text
+    ERROR = "error"
 
 
 #: C99 keywords plus the common POSIX/benchmark typedefs the SPEC-like suite
@@ -84,13 +99,19 @@ class LexError(ValueError):
 
 
 class Lexer:
-    """Single-pass scanner over a source string."""
+    """Single-pass scanner over a source string.
 
-    def __init__(self, source: str) -> None:
+    ``recover=True`` switches malformed-input handling from raising
+    :class:`LexError` to emitting :data:`TokenKind.ERROR` tokens (see the
+    module docstring for the exact semantics).
+    """
+
+    def __init__(self, source: str, recover: bool = False) -> None:
         self.src = source
         self.pos = 0
         self.line = 1
         self.col = 1
+        self.recover = recover
 
     # -- low-level cursor helpers ------------------------------------------
 
@@ -114,7 +135,9 @@ class Lexer:
     def tokens(self) -> Iterator[Token]:
         """Yield tokens until EOF (an EOF token is always the last yield)."""
         while True:
-            self._skip_ws_and_comments()
+            err = self._skip_ws_and_comments()
+            if err is not None:  # recover mode: unterminated comment
+                yield err
             if self.pos >= len(self.src):
                 yield Token(TokenKind.EOF, "", self.line, self.col)
                 return
@@ -136,7 +159,7 @@ class Lexer:
             else:
                 yield self._lex_operator(start_line, start_col)
 
-    def _skip_ws_and_comments(self) -> None:
+    def _skip_ws_and_comments(self) -> Optional[Token]:
         while self.pos < len(self.src):
             ch = self._peek()
             if ch in " \t\r\n\f\v":
@@ -147,16 +170,21 @@ class Lexer:
                 while self.pos < len(self.src) and self._peek() != "\n":
                     self._advance()
             elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.col
                 self._advance(2)
                 while self.pos < len(self.src) and not (
                     self._peek() == "*" and self._peek(1) == "/"
                 ):
                     self._advance()
                 if self.pos >= len(self.src):
+                    if self.recover:
+                        return Token(TokenKind.ERROR, "/*",
+                                     start_line, start_col)
                     raise LexError("unterminated comment", self.line, self.col)
                 self._advance(2)
             else:
-                return
+                return None
+        return None
 
     def _lex_preprocessor(self, line: int, col: int) -> Optional[Token]:
         # Consume up to end of line, honouring backslash continuations.
@@ -221,12 +249,20 @@ class Lexer:
         start = self.pos
         self._advance()  # opening quote
         while self.pos < len(self.src) and self._peek() != '"':
+            if self.recover and self._peek() == "\n":
+                # unterminated at end of line: don't swallow the rest of
+                # the file — recover at the next line
+                return Token(TokenKind.ERROR, self.src[start:self.pos],
+                             line, col)
             if self._peek() == "\\":
                 self._advance()
             if self.pos >= len(self.src):
                 break
             self._advance()
         if self.pos >= len(self.src):
+            if self.recover:
+                return Token(TokenKind.ERROR, self.src[start:self.pos],
+                             line, col)
             raise LexError("unterminated string literal", line, col)
         self._advance()  # closing quote
         return Token(TokenKind.STRING, self.src[start : self.pos], line, col)
@@ -235,12 +271,18 @@ class Lexer:
         start = self.pos
         self._advance()  # opening quote
         while self.pos < len(self.src) and self._peek() != "'":
+            if self.recover and self._peek() == "\n":
+                return Token(TokenKind.ERROR, self.src[start:self.pos],
+                             line, col)
             if self._peek() == "\\":
                 self._advance()
             if self.pos >= len(self.src):
                 break
             self._advance()
         if self.pos >= len(self.src):
+            if self.recover:
+                return Token(TokenKind.ERROR, self.src[start:self.pos],
+                             line, col)
             raise LexError("unterminated character literal", line, col)
         self._advance()
         return Token(TokenKind.CHAR_CONST, self.src[start : self.pos], line, col)
@@ -250,16 +292,21 @@ class Lexer:
             if self.src.startswith(op, self.pos):
                 self._advance(len(op))
                 return Token(TokenKind.OP, op, line, col)
+        if self.recover:
+            return Token(TokenKind.ERROR, self._advance(), line, col)
         raise LexError(f"unexpected character {self._peek()!r}", line, col)
 
 
-def tokenize(source: str, keep_pragmas: bool = True) -> List[Token]:
+def tokenize(source: str, keep_pragmas: bool = True,
+             recover: bool = False) -> List[Token]:
     """Tokenize ``source`` into a list ending with an EOF token.
 
     ``keep_pragmas=False`` drops PRAGMA tokens, which is what the model-input
     pipeline wants (the directive is the *label*, never a feature).
+    ``recover=True`` emits :data:`TokenKind.ERROR` tokens for malformed
+    regions instead of raising :class:`LexError` (serving-path mode).
     """
-    toks = list(Lexer(source).tokens())
+    toks = list(Lexer(source, recover=recover).tokens())
     if not keep_pragmas:
         toks = [t for t in toks if t.kind is not TokenKind.PRAGMA]
     return toks

@@ -46,6 +46,7 @@ __all__ = [
     "Label",
     "ExprStmt",
     "EmptyStmt",
+    "ErrorStmt",
     "FuncDef",
     "Pragma",
     "walk",
@@ -418,6 +419,23 @@ class ExprStmt(Node):
 class EmptyStmt(Node):
     def label(self) -> str:
         return "EmptyStatement:"
+
+
+@dataclass
+class ErrorStmt(Node):
+    """A region the resilient parser could not parse (recovery mode only).
+
+    ``message`` is the first diagnostic that triggered recovery; ``skipped``
+    is the source text of the tokens consumed while resynchronising.  The
+    node is a leaf so partial ASTs still serialize and tokenize — the DFS
+    text shows a single ``ErrorStmt:`` label where the broken region was.
+    """
+
+    message: str = ""
+    skipped: str = ""
+
+    def label(self) -> str:
+        return "ErrorStmt:"
 
 
 @dataclass

@@ -18,11 +18,23 @@ Design notes
 * The parser is deliberately total over our corpus: robustness *limits* of
   the paper's S2S compilers are modelled separately in :mod:`repro.s2s`, not
   by crippling this parser.
+* Two failure regimes.  Strict mode (``parse``) raises :class:`ParseError`
+  on the first mismatch — corpus material must be clean.  Resilient mode
+  (``parse_resilient``) does classic panic-mode recovery: on a mismatch it
+  skips to a synchronisation token (``;`` consumed, ``}`` / loop keywords
+  stopped before), drops an :class:`~repro.clang.nodes.ErrorStmt` into the
+  AST, records a :class:`Diagnostic`, and keeps going.  Recovery always
+  consumes at least one token per error, so it terminates.  Both modes
+  enforce a hard nesting-depth limit (:data:`DEFAULT_MAX_DEPTH`) so
+  pathological input raises a deterministic :class:`ParseError` instead of
+  an interpreter-dependent ``RecursionError``.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.clang.lexer import Token, TokenKind, tokenize
 from repro.clang.nodes import (
@@ -41,6 +53,7 @@ from repro.clang.nodes import (
     Default,
     DoWhile,
     EmptyStmt,
+    ErrorStmt,
     ExprList,
     ExprStmt,
     For,
@@ -59,7 +72,30 @@ from repro.clang.nodes import (
     While,
 )
 
-__all__ = ["ParseError", "Parser", "parse", "parse_expression", "TYPE_NAMES"]
+__all__ = [
+    "ParseError",
+    "ParseBudgetExceeded",
+    "Diagnostic",
+    "Parser",
+    "parse",
+    "parse_expression",
+    "parse_resilient",
+    "TYPE_NAMES",
+    "DEFAULT_MAX_DEPTH",
+]
+
+#: Hard nesting-depth cap.  The counter increments at most twice per source
+#: nesting level and each increment costs at most ~8 Python frames (the
+#: precedence ladder), so 80 keeps the worst case around 650 frames —
+#: comfortably inside CPython's default 1000-frame recursion limit even
+#: under a test runner — while still admitting ~35 levels of parentheses,
+#: far beyond anything in real code.
+DEFAULT_MAX_DEPTH = 80
+
+#: Keywords that begin a statement recovery can safely resynchronise on.
+_SYNC_KEYWORDS = frozenset(
+    "for while do if switch return break continue".split()
+)
 
 #: Identifiers treated as type names even though they are not C keywords.
 TYPE_NAMES = frozenset(
@@ -83,22 +119,68 @@ _ASSIGN_OPS = frozenset(["=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<
 
 
 class ParseError(ValueError):
-    """Raised when the token stream does not match the grammar."""
+    """Raised when the token stream does not match the grammar.
 
-    def __init__(self, message: str, token: Token) -> None:
+    ``kind`` classifies the failure: ``"parse"`` (grammar mismatch),
+    ``"depth"`` (nesting-depth limit hit) or ``"budget"`` (wall-clock
+    budget exhausted, resilient mode only).
+    """
+
+    def __init__(self, message: str, token: Token, kind: str = "parse") -> None:
         super().__init__(f"{message} (got {token.kind.name} {token.value!r} at {token.line}:{token.col})")
         self.token = token
+        self.kind = kind
+
+
+class ParseBudgetExceeded(ParseError):
+    """Raised when a resilient parse runs past its wall-clock budget.
+
+    Unlike a plain :class:`ParseError` this is *not* recovered from — the
+    resilient entry points catch it, close the partial AST with an
+    :class:`~repro.clang.nodes.ErrorStmt`, and return.
+    """
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(message, token, kind="budget")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One recovered-from problem in a resilient lex/parse.
+
+    ``kind`` is ``"lex"``, ``"parse"``, ``"depth"`` or ``"budget"``;
+    ``line``/``col`` locate the token that triggered it.
+    """
+
+    message: str
+    line: int
+    col: int
+    kind: str = "parse"
 
 
 class Parser:
-    """One-token-lookahead recursive-descent parser."""
+    """One-token-lookahead recursive-descent parser.
 
-    def __init__(self, tokens: List[Token], extra_types: Optional[frozenset] = None) -> None:
+    ``max_depth`` bounds statement/expression nesting in *both* modes;
+    ``resilient=True`` switches statement-list parsing from raising on the
+    first :class:`ParseError` to panic-mode recovery (see module docstring).
+    ``deadline`` (a ``time.monotonic()`` instant) aborts a resilient parse
+    via :class:`ParseBudgetExceeded` once exceeded.
+    """
+
+    def __init__(self, tokens: List[Token], extra_types: Optional[frozenset] = None,
+                 max_depth: int = DEFAULT_MAX_DEPTH, resilient: bool = False,
+                 deadline: Optional[float] = None) -> None:
         self.toks = tokens
         self.i = 0
         self.type_names = set(TYPE_NAMES)
         if extra_types:
             self.type_names.update(extra_types)
+        self.max_depth = max_depth
+        self.resilient = resilient
+        self.deadline = deadline
+        self.diagnostics: List[Diagnostic] = []
+        self._depth = 0
 
     # -- token stream helpers ----------------------------------------------
 
@@ -135,6 +217,17 @@ class Parser:
         if t.kind is not TokenKind.IDENT:
             raise ParseError("expected identifier", t)
         return self._advance()
+
+    # -- nesting / budget guards ---------------------------------------------
+
+    def _check_limits(self) -> None:
+        """Raise when the depth cap or (resilient-mode) deadline is blown."""
+        if self._depth > self.max_depth:
+            raise ParseError(
+                f"nesting depth exceeds limit {self.max_depth}",
+                self._peek(), kind="depth")
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise ParseBudgetExceeded("parse budget exceeded", self._peek())
 
     # -- type recognition ----------------------------------------------------
 
@@ -198,6 +291,14 @@ class Parser:
                     ptr_depth=ptr_depth, array_dims=dims, init=init)
 
     def _parse_initializer(self) -> Node:
+        self._depth += 1
+        try:
+            self._check_limits()
+            return self._parse_initializer_inner()
+        finally:
+            self._depth -= 1
+
+    def _parse_initializer_inner(self) -> Node:
         if self._at_op("{"):
             self._advance()
             items: List[Node] = []
@@ -224,6 +325,14 @@ class Parser:
     # -- statements ----------------------------------------------------------
 
     def parse_statement(self) -> Node:
+        self._depth += 1
+        try:
+            self._check_limits()
+            return self._parse_statement_inner()
+        finally:
+            self._depth -= 1
+
+    def _parse_statement_inner(self) -> Node:
         t = self._peek()
         if t.kind is TokenKind.PRAGMA:
             self._advance()
@@ -282,10 +391,62 @@ class Parser:
         stmts: List[Node] = []
         while not self._at_op("}"):
             if self._peek().kind is TokenKind.EOF:
+                if self.resilient:
+                    self._note("unterminated block", self._peek())
+                    stmts.append(ErrorStmt(message="unterminated block"))
+                    return Compound(stmts)
                 raise ParseError("unterminated block", self._peek())
-            stmts.append(self.parse_statement())
+            if self.resilient:
+                stmts.append(self._parse_statement_resilient())
+            else:
+                stmts.append(self.parse_statement())
         self._expect_op("}")
         return Compound(stmts)
+
+    # -- panic-mode recovery -------------------------------------------------
+
+    def _note(self, message: str, token: Token, kind: str = "parse") -> None:
+        self.diagnostics.append(
+            Diagnostic(message, token.line, token.col, kind))
+
+    def _parse_statement_resilient(self) -> Node:
+        """One statement, or an :class:`ErrorStmt` after resynchronising.
+
+        Budget exhaustion (:class:`ParseBudgetExceeded`) is *not* recovered
+        from — it propagates so the entry point can close the partial AST.
+        """
+        mark = self.i
+        try:
+            return self.parse_statement()
+        except ParseBudgetExceeded:
+            raise
+        except ParseError as exc:
+            self._note(str(exc), exc.token, exc.kind)
+            return self._recover(mark, str(exc))
+
+    def _recover(self, mark: int, message: str) -> ErrorStmt:
+        """Skip to a sync token (``;`` consumed; ``}``/loop keywords kept).
+
+        Guarantees forward progress: if the failed parse consumed nothing
+        and recovery stopped immediately, one token is force-consumed, so a
+        resilient parse can never loop on the same position.
+        """
+        skipped: List[str] = []
+        while True:
+            t = self._peek()
+            if t.kind is TokenKind.EOF:
+                break
+            if t.kind is TokenKind.OP and t.value == ";":
+                skipped.append(self._advance().value)
+                break
+            if t.kind is TokenKind.OP and t.value == "}":
+                break
+            if t.kind is TokenKind.KEYWORD and t.value in _SYNC_KEYWORDS:
+                break
+            skipped.append(self._advance().value)
+        if self.i == mark and self._peek().kind is not TokenKind.EOF:
+            skipped.append(self._advance().value)
+        return ErrorStmt(message=message, skipped=" ".join(skipped))
 
     def _parse_for(self) -> For:
         self._expect_kw("for")
@@ -430,6 +591,14 @@ class Parser:
         return expr
 
     def _parse_assignment_expr(self) -> Node:
+        self._depth += 1
+        try:
+            self._check_limits()
+            return self._parse_assignment_expr_inner()
+        finally:
+            self._depth -= 1
+
+    def _parse_assignment_expr_inner(self) -> Node:
         left = self._parse_ternary()
         t = self._peek()
         if t.kind is TokenKind.OP and t.value in _ASSIGN_OPS:
@@ -474,6 +643,14 @@ class Parser:
         return left
 
     def _parse_unary(self) -> Node:
+        self._depth += 1
+        try:
+            self._check_limits()
+            return self._parse_unary_inner()
+        finally:
+            self._depth -= 1
+
+    def _parse_unary_inner(self) -> Node:
         t = self._peek()
         if t.kind is TokenKind.OP and t.value in ("+", "-", "!", "~", "&", "*"):
             op = self._advance().value
@@ -581,10 +758,65 @@ class Parser:
             items.append(self.parse_statement())
         return Compound(items)
 
+    def parse_snippet_resilient(self) -> Compound:
+        """Like :meth:`parse_snippet`, but never raises on bad input.
 
-def parse(source: str, extra_types: Optional[frozenset] = None) -> Compound:
-    """Parse a C snippet (fragment or full functions) into a Compound."""
-    return Parser(tokenize(source), extra_types=extra_types).parse_snippet()
+        Each unparseable region becomes an :class:`ErrorStmt`; a blown
+        wall-clock budget closes the AST with a final ``ErrorStmt`` instead
+        of propagating.
+        """
+        items: List[Node] = []
+        while self._peek().kind is not TokenKind.EOF:
+            func = self._try_parse_funcdef()
+            if func is not None:
+                items.append(func)
+                continue
+            try:
+                items.append(self._parse_statement_resilient())
+            except ParseBudgetExceeded as exc:
+                self._note(str(exc), exc.token, "budget")
+                items.append(ErrorStmt(message="parse budget exceeded"))
+                break
+        return Compound(items)
+
+
+def parse(source: str, extra_types: Optional[frozenset] = None,
+          max_depth: int = DEFAULT_MAX_DEPTH) -> Compound:
+    """Parse a C snippet (fragment or full functions) into a Compound.
+
+    ``max_depth`` bounds expression/statement nesting; exceeding it is a
+    deterministic :class:`ParseError` (``kind="depth"``), never a
+    ``RecursionError``."""
+    return Parser(tokenize(source), extra_types=extra_types,
+                  max_depth=max_depth).parse_snippet()
+
+
+def parse_resilient(
+    source: str,
+    extra_types: Optional[frozenset] = None,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+    budget_s: Optional[float] = None,
+) -> Tuple[Compound, List[Diagnostic]]:
+    """Parse dirty input into a partial AST plus diagnostics; never raises.
+
+    The source is lexed in recover mode (malformed regions become ERROR
+    tokens, each reported as a ``"lex"`` diagnostic) and parsed with
+    panic-mode recovery, so the returned :class:`~repro.clang.nodes.Compound`
+    always serializes and tokenizes.  ``budget_s`` bounds wall-clock time:
+    past it the partial AST is closed with an ``ErrorStmt`` and a
+    ``"budget"`` diagnostic.  An empty diagnostics list means the snippet
+    was clean.
+    """
+    toks = tokenize(source, recover=True)
+    deadline = None if budget_s is None else time.monotonic() + budget_s
+    parser = Parser(toks, extra_types=extra_types, max_depth=max_depth,
+                    resilient=True, deadline=deadline)
+    for t in toks:
+        if t.kind is TokenKind.ERROR:
+            parser.diagnostics.append(Diagnostic(
+                f"lexical error near {t.value[:20]!r}", t.line, t.col, "lex"))
+    ast = parser.parse_snippet_resilient()
+    return ast, parser.diagnostics
 
 
 def parse_expression(source: str) -> Node:

@@ -31,6 +31,7 @@ from repro.clang.nodes import (
     Default,
     DoWhile,
     EmptyStmt,
+    ErrorStmt,
     ExprList,
     ExprStmt,
     For,
@@ -224,6 +225,10 @@ def _stmt(node: Node, indent: int) -> str:
     if isinstance(node, ExprStmt):
         return f"{pad}{_expr(node.expr)};\n"
     if isinstance(node, EmptyStmt):
+        return f"{pad};\n"
+    if isinstance(node, ErrorStmt):
+        # the broken region is already lost; unparse to a harmless no-op so
+        # partial ASTs from parse_resilient still round-trip through _stmt
         return f"{pad};\n"
     if isinstance(node, FuncDef):
         params = ", ".join(_decl_text(p) for p in node.params)

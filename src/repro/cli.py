@@ -93,9 +93,14 @@ def _cmd_train(args: argparse.Namespace) -> int:
 def _engine_config(args: argparse.Namespace):
     from repro.serve import EngineConfig
 
+    kwargs = {}
+    max_snippet = getattr(args, "max_snippet_bytes", None)
+    if max_snippet is not None:
+        kwargs["max_snippet_bytes"] = int(max_snippet)
     return EngineConfig(max_batch_size=getattr(args, "batch_size", 128),
                         cache_capacity=getattr(args, "cache_size", 4096),
-                        gate_margin=getattr(args, "gate_margin", None))
+                        gate_margin=getattr(args, "gate_margin", None),
+                        **kwargs)
 
 
 def _autoscale_config(args: argparse.Namespace):
@@ -458,6 +463,11 @@ def main(argv=None) -> int:
                          metavar="N",
                          help="with --http: largest accepted request body; "
                               "bigger bodies get 413 (default 4 MiB)")
+    p_serve.add_argument("--max-snippet-bytes", type=int, default=None,
+                         metavar="N",
+                         help="largest snippet the engine will lex; bigger "
+                              "snippets get a neutral degraded verdict "
+                              "(default 256 KiB, 0 disables)")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_compar = sub.add_parser("compar", help="run the ComPar S2S combiner on a file")

@@ -59,8 +59,10 @@ class S2SCompiler:
 
     def compile(self, code: str) -> CompileResult:
         try:
+            # deep nesting raises ParseError via the parser's explicit depth
+            # limit — no interpreter-dependent RecursionError to guard here
             ast = parse(code)
-        except (ParseError, LexError, RecursionError) as exc:
+        except (ParseError, LexError) as exc:
             return CompileResult(False, None, failure=f"parse error: {exc}")
         reason = self.unsupported(code, ast)
         if reason is not None:

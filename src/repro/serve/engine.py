@@ -56,7 +56,8 @@ from repro.data.encoding import TokenCache, pad_encoded
 from repro.models.pragformer import PragFormer
 from repro.nn.dtype import get_dtype
 from repro.serve.metrics import EngineStats
-from repro.tokenize import Representation, Vocab, text_tokens
+from repro.tokenize import ERROR_TOKEN, Representation, Vocab, \
+    robust_text_tokens, text_tokens
 
 __all__ = ["EngineConfig", "EngineStats", "LRUCache", "Advice",
            "InferenceEngine", "ModelSlot", "source_digest"]
@@ -68,9 +69,13 @@ def source_digest(code: str, size: int = 16) -> bytes:
     One definition on purpose: the tokenize-once memo (here), the
     cross-head lex memo (:mod:`repro.serve.registry`), and shard routing
     (:mod:`repro.serve.sharding`) must all key on the same bytes, or a
-    future normalization tweak would silently split them apart.
+    future normalization tweak would silently split them apart.  Lone
+    surrogates (JSON ``"\\ud800"`` escapes survive :func:`json.loads`) are
+    replace-encoded rather than allowed to raise — dirty bytes must never
+    crash the keying layer.
     """
-    return hashlib.blake2b(code.encode("utf-8"), digest_size=size).digest()
+    return hashlib.blake2b(code.encode("utf-8", errors="replace"),
+                           digest_size=size).digest()
 
 
 @dataclass(frozen=True)
@@ -93,6 +98,12 @@ class EngineConfig:
     head sees every snippet).  A small positive margin keeps near-threshold
     snippets fanning out so borderline verdicts still carry clause
     probabilities; see ``docs/operations.md`` for the accuracy caveats.
+
+    The dirty-input caps: ``max_snippet_bytes`` bounds one snippet's UTF-8
+    size (0 disables the cap) and ``lex_budget_s`` bounds one snippet's
+    tokenize wall-time.  A snippet over either limit is *rejected* — it
+    gets a neutral degraded verdict and a ``rejected_*`` counter tick
+    instead of stalling a worker; see ``docs/serving.md`` ("Dirty input").
     """
 
     max_batch_size: int = 128
@@ -100,6 +111,8 @@ class EngineConfig:
     flush_interval: float = 0.005
     bucket_waste: float = 1.35
     gate_margin: Optional[float] = None
+    max_snippet_bytes: int = 262144
+    lex_budget_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -112,6 +125,10 @@ class EngineConfig:
             raise ValueError("bucket_waste must be >= 1.0")
         if self.gate_margin is not None and not 0.0 <= self.gate_margin <= 0.5:
             raise ValueError("gate_margin must be in [0, 0.5] (or None)")
+        if self.max_snippet_bytes < 0:
+            raise ValueError("max_snippet_bytes must be >= 0")
+        if self.lex_budget_s <= 0:
+            raise ValueError("lex_budget_s must be > 0")
 
 
 class LRUCache:
@@ -222,7 +239,10 @@ class InferenceEngine:
         self._slot = ModelSlot(model, vocab, max_len or model.config.max_len,
                                version)
         self.config = config or EngineConfig()
-        self.tokenizer = tokenizer or text_tokens
+        # error-recovering lexer by default: on clean input it tokenizes
+        # identically to the strict lexer (same cache keys, same verdicts),
+        # on dirty input it emits ERROR_TOKEN instead of raising
+        self.tokenizer = tokenizer or robust_text_tokens
         self.cache = LRUCache(self.config.cache_capacity)
         self._encode_memo = LRUCache(self.config.cache_capacity)
         self.stats = EngineStats()
@@ -287,20 +307,83 @@ class InferenceEngine:
 
         Tokenize-once: results are memoized by source digest (pure-Python
         lexing costs about as much as a small-model forward pass, so
-        repeated traffic must not re-lex)."""
-        return self._encode(self._slot, code)
+        repeated traffic must not re-lex).  Raises :class:`ValueError` for
+        a snippet the engine rejects (byte cap / lex budget); the batched
+        advise paths answer those with a neutral degraded verdict instead.
+        """
+        ids = self._encode(self._slot, code)
+        if ids is None:
+            raise ValueError(
+                "snippet rejected by dirty-input limits "
+                f"(max_snippet_bytes={self.config.max_snippet_bytes}, "
+                f"lex_budget_s={self.config.lex_budget_s})")
+        return ids
 
-    def _encode(self, slot: ModelSlot, code: str) -> np.ndarray:
-        """Encode ``code`` under ``slot``; memo keys carry slot.version so a
-        row encoded with an old vocabulary is never reused after a swap."""
+    def reject_reason(self, code: str) -> Optional[str]:
+        """Pre-tokenize admission check: why ``code`` must be rejected.
+
+        Returns ``"oversize"`` when the snippet exceeds
+        ``max_snippet_bytes``, else ``None``.  Cheap (one UTF-8 encode), so
+        routers and registries call it before spending lex time; the
+        budget/error causes only materialize during :meth:`encode` itself.
+        """
+        limit = self.config.max_snippet_bytes
+        if limit and len(code.encode("utf-8", errors="replace")) > limit:
+            return "oversize"
+        return None
+
+    def _count_rejected(self, reason: str) -> None:
+        """Bump the rejected counters under the cache lock."""
+        with self._cache_lock:
+            self.stats.rejected += 1
+            if reason == "oversize":
+                self.stats.rejected_oversize += 1
+            elif reason == "budget":
+                self.stats.rejected_budget += 1
+            else:
+                self.stats.rejected_error += 1
+
+    def _encode(self, slot: ModelSlot, code: str) -> Optional[np.ndarray]:
+        """Encode ``code`` under ``slot``, or ``None`` when rejected.
+
+        Memo keys carry slot.version so a row encoded with an old
+        vocabulary is never reused after a swap.  Rejections are memoized
+        too (as the reason string) so a repeated poison snippet pays its
+        lex budget once, not per request; every rejected answer still
+        ticks the ``rejected``/``rejected_*`` counters.
+        """
         key = slot.version_bytes + source_digest(code)
         with self._cache_lock:
             hit = self._encode_memo.get(key)
         if hit is not None:
+            if isinstance(hit, str):  # memoized rejection reason
+                self._count_rejected(hit)
+                return None
             return hit
-        ids = slot.vocab.encode(self.tokenizer(code), max_len=slot.max_len)
+        reason = self.reject_reason(code)
+        recovered = False
+        tokens: List[str] = []
+        if reason is None:
+            start = time.monotonic()
+            try:
+                tokens = self.tokenizer(code)
+            except Exception:  # a custom strict tokenizer may still raise
+                reason = "error"
+            else:
+                if time.monotonic() - start > self.config.lex_budget_s:
+                    reason = "budget"
+                else:
+                    recovered = ERROR_TOKEN in tokens
+        if reason is not None:
+            with self._cache_lock:
+                self._encode_memo.put(key, reason)
+            self._count_rejected(reason)
+            return None
+        ids = slot.vocab.encode(tokens, max_len=slot.max_len)
         with self._cache_lock:
             self.stats.tokenized += 1
+            if recovered:
+                self.stats.recovered += 1
             self.stats.encode_evictions += self._encode_memo.put(key, ids)
         return ids
 
@@ -313,19 +396,54 @@ class InferenceEngine:
     # -- sync bulk API -----------------------------------------------------
 
     def predict_proba(self, codes: Sequence[str]) -> np.ndarray:
-        """(N, 2) class probabilities for ``codes``, batched and cached."""
+        """(N, 2) class probabilities for ``codes``, batched and cached.
+
+        Rejected snippets (byte cap / lex budget) contribute a neutral
+        ``[0.5, 0.5]`` row instead of raising."""
         slot = self._slot
-        return self._predict_encoded(
+        probs, _ = self._predict_maybe_rejected(
             [self._encode(slot, code) for code in codes], slot)
+        return probs
+
+    def _predict_maybe_rejected(self, encoded: List[Optional[np.ndarray]],
+                                slot: ModelSlot):
+        """Run the rows that encoded; give the rest neutral 0.5 verdicts.
+
+        Returns ``(probs, rejected)`` where ``rejected[i]`` is True for a
+        row that was answered with the neutral placeholder.  One bad
+        snippet in a batch never fails or stalls its neighbours — they
+        still take the normal batched path.
+        """
+        rejected = [ids is None for ids in encoded]
+        ok_rows = [ids for ids in encoded if ids is not None]
+        ok_probs = self._predict_encoded(ok_rows, slot)
+        n_rejected = len(encoded) - len(ok_rows)
+        if not n_rejected:
+            return ok_probs, rejected
+        with self._cache_lock:
+            self.stats.requests += n_rejected
+        probs = np.full((len(encoded), 2), 0.5, dtype=get_dtype())
+        it = iter(ok_probs)
+        for i, bad in enumerate(rejected):
+            if not bad:
+                probs[i] = next(it)
+        return probs, rejected
 
     def advise(self, code: str) -> Advice:
         """One snippet -> :class:`Advice` (batched path, cache included)."""
         return self.advise_many([code])[0]
 
     def advise_many(self, codes: Sequence[str]) -> List[Advice]:
-        """Bulk :class:`Advice` for ``codes``; positive iff P(+) > 0.5."""
-        probs = self.predict_proba(codes)[:, 1]
-        return [Advice(float(p), bool(p > 0.5)) for p in probs]
+        """Bulk :class:`Advice` for ``codes``; positive iff P(+) > 0.5.
+
+        A rejected snippet yields ``Advice(0.5, False, degraded=True)`` —
+        the same neutral-verdict contract the fleet uses for a dead worker,
+        so callers need exactly one degraded-handling path."""
+        slot = self._slot
+        probs, rejected = self._predict_maybe_rejected(
+            [self._encode(slot, code) for code in codes], slot)
+        return [Advice(float(p), bool(p > 0.5), degraded=bad)
+                for p, bad in zip(probs[:, 1], rejected)]
 
     def codec(self) -> Optional[dict]:
         """Describe how to encode snippets for this engine, or ``None``.
@@ -336,15 +454,25 @@ class InferenceEngine:
         The codec ships everything that encoding depends on: the deployed
         ``version`` (the staleness tag carried in every request frame),
         the ``vocab``, the truncation ``max_len``, and the clause-head
-        name order (empty for a bare engine).  Engines built with a
-        custom ``tokenizer`` return ``None`` — the router cannot
-        replicate an arbitrary callable, so the fleet falls back to the
-        pickled queue transport."""
-        if self.tokenizer is not text_tokens:
+        name order (empty for a bare engine).  The ``tokenizer`` field
+        names which of the two known lexers to replicate (``"resilient"``
+        is the default recovering one, ``"strict"`` the raising one) and
+        ``max_snippet_bytes`` ships the byte cap so the router can reject
+        oversize snippets before encoding, exactly as this engine would.
+        Engines built with a custom tokenizer callable return ``None`` —
+        the router cannot replicate an arbitrary callable, so the fleet
+        falls back to the pickled queue transport."""
+        if self.tokenizer is robust_text_tokens:
+            tokenizer_name = "resilient"
+        elif self.tokenizer is text_tokens:
+            tokenizer_name = "strict"
+        else:
             return None
         slot = self._slot
         return {"version": slot.version, "max_len": slot.max_len,
-                "vocab": slot.vocab, "heads": []}
+                "vocab": slot.vocab, "heads": [],
+                "tokenizer": tokenizer_name,
+                "max_snippet_bytes": self.config.max_snippet_bytes}
 
     def predict_proba_encoded(self, rows: Sequence[np.ndarray]) -> np.ndarray:
         """(N, 2) probabilities for pre-encoded token-id rows.
@@ -465,13 +593,19 @@ class InferenceEngine:
 
         The request snapshots the current :class:`ModelSlot`, so a
         :meth:`swap_model` racing the queue cannot run an old-vocabulary
-        row through the new model."""
+        row through the new model.  A rejected snippet (byte cap / lex
+        budget) resolves immediately to the neutral ``[0.5, 0.5]``
+        placeholder rather than entering the batch queue."""
         if self._closed:
             raise RuntimeError("engine is closed")
         self._ensure_worker()
         future: Future = Future()
         slot = self._slot
-        self._queue.put((slot, self._encode(slot, code), future))
+        ids = self._encode(slot, code)
+        if ids is None:
+            future.set_result(np.full(2, 0.5, dtype=get_dtype()))
+            return future
+        self._queue.put((slot, ids, future))
         return future
 
     def _ensure_worker(self) -> None:

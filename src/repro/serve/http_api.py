@@ -13,6 +13,9 @@ Endpoints (all JSON; schemas and ``curl`` examples in ``docs/serving.md``):
 * ``POST /advise/batch`` — body ``{"codes": [...]}`` or
   ``{"requests": [{"id": ..., "code": "..."}]}``; replies
   ``{"results": [...]}`` in request order, echoing ids when given.
+  Invalid *items* (missing/empty/non-string code) get a per-item
+  ``{"id", "error"}`` entry in the 200 reply instead of failing the
+  whole batch; only body-structure problems answer 400.
 * ``GET /healthz`` — liveness probe: ``{"status": "ok", "heads": [...]}``;
   answers ``503 {"status": "unhealthy"}`` when the advisor cannot list its
   heads (for a sharded advisor this round-trips a worker process).
@@ -35,7 +38,12 @@ Endpoints (all JSON; schemas and ``curl`` examples in ``docs/serving.md``):
   both take no body and answer ``409`` with no canary active.
 
 Malformed requests get ``400`` with ``{"error": ...}``; unknown paths
-``404``; the serving loop never dies on a bad request.  **Admission
+``404``; the serving loop never dies on a bad request.  Bodies that are
+not valid UTF-8 are re-decoded with replacement characters when the bad
+bytes sit inside JSON string values (the robust lexer downstream treats
+U+FFFD like any other dirty byte) and answered with a structured ``400``
+when they corrupt the JSON framing — either way the ``invalid_body``
+counter in the ``/stats`` admission block ticks.  **Admission
 control** (:class:`AdmissionConfig`) protects the advisor behind the
 endpoints: oversized bodies are rejected with ``413`` before they are
 read, batches above the snippet cap with ``400``, traffic beyond the
@@ -130,6 +138,7 @@ class AdvisorHTTPServer(ThreadingHTTPServer):
                           else AdmissionConfig())
         self._counter_lock = threading.Lock()
         self._inflight = 0
+        self._invalid_body = 0
         self._breaker_failures = 0
         self._breaker_open_until = 0.0
         self.http_requests: Dict[str, int] = {
@@ -166,6 +175,12 @@ class AdvisorHTTPServer(ThreadingHTTPServer):
         with self._counter_lock:
             self._inflight -= 1
 
+    def record_invalid_body(self) -> None:
+        """Count one request body that failed strict UTF-8 decoding —
+        whether it was salvaged with replacement characters or rejected."""
+        with self._counter_lock:
+            self._invalid_body += 1
+
     def breaker_allows(self) -> bool:
         """Whether the circuit breaker admits serving traffic right now
         (closed, or half-open after the cooldown)."""
@@ -194,6 +209,7 @@ class AdvisorHTTPServer(ThreadingHTTPServer):
                 "inflight": self._inflight,
                 "max_batch_snippets": self.admission.max_batch_snippets,
                 "max_body_bytes": self.admission.max_body_bytes,
+                "invalid_body": self._invalid_body,
                 "breaker_failures": self._breaker_failures,
                 "breaker_open": time.monotonic() < self._breaker_open_until,
             }
@@ -257,7 +273,14 @@ class _AdvisorHandler(BaseHTTPRequestHandler):
 
     def _read_body(self) -> Optional[Dict]:
         """Parse the JSON request body; replies with the right 4xx and
-        returns ``None`` on any malformation."""
+        returns ``None`` on any malformation.
+
+        Undecodable bytes are tolerated when they are confined to JSON
+        string values: the body is re-decoded with ``errors="replace"``
+        and the snippet reaches the (error-recovering) lexer with U+FFFD
+        where the bad bytes were.  Bytes that corrupt the JSON framing
+        itself get a structured ``400``, never a stack trace.  Either way
+        the ``invalid_body`` admission counter ticks."""
         limit = self.server.admission.max_body_bytes
         try:
             length = int(self.headers.get("Content-Length", 0))
@@ -270,10 +293,21 @@ class _AdvisorHandler(BaseHTTPRequestHandler):
         if length > limit:
             self._error(413, f"body exceeds {limit} bytes")
             return None
+        raw = self.rfile.read(length)
         try:
-            payload = json.loads(self.rfile.read(length).decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            self._error(400, f"invalid JSON body: {exc}")
+            text = raw.decode("utf-8")
+            undecodable = False
+        except UnicodeDecodeError:
+            self.server.record_invalid_body()
+            text = raw.decode("utf-8", errors="replace")
+            undecodable = True
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            if undecodable:
+                self._error(400, "request body is not valid UTF-8")
+            else:
+                self._error(400, f"invalid JSON body: {exc}")
             return None
         if not isinstance(payload, dict):
             self._error(400, "JSON body must be an object")
@@ -471,57 +505,75 @@ class _AdvisorHandler(BaseHTTPRequestHandler):
             payload = self._read_body()
             if payload is None:
                 return
-            ids, codes = self._parse_batch(payload)
-            if codes is None:
+            items = self._parse_batch(payload)
+            if items is None:
                 return
             cap = self.server.admission.max_batch_snippets
-            if len(codes) > cap:
-                self._error(400, f"batch of {len(codes)} snippets exceeds "
+            if len(items) > cap:
+                self._error(400, f"batch of {len(items)} snippets exceeds "
                                  f"the {cap}-snippet cap; split the request")
                 return
             self.server.bump("advise_batch")
-            try:
-                advices = self.server.advisor.advise_full_many(codes)
-            except Exception as exc:  # noqa: BLE001 — report, don't die
-                self.server.record_outcome(False)
-                self._error(500, f"inference failed: {exc}")
-                return
-            self.server.record_outcome(True)
+            good = [(i, code) for i, (_, code, err) in enumerate(items)
+                    if err is None]
+            advices: List = []
+            if good:
+                try:
+                    advices = self.server.advisor.advise_full_many(
+                        [code for _, code in good])
+                except Exception as exc:  # noqa: BLE001 — report, don't die
+                    self.server.record_outcome(False)
+                    self._error(500, f"inference failed: {exc}")
+                    return
+                self.server.record_outcome(True)
+            advice_at = {i: adv for (i, _), adv in zip(good, advices)}
             results = []
-            for rid, advice in zip(ids, advices):
-                body = advice.as_dict()
-                body["id"] = rid
-                results.append(body)
+            for i, (rid, _, err) in enumerate(items):
+                if err is not None:
+                    results.append({"id": rid, "error": err})
+                else:
+                    body = advice_at[i].as_dict()
+                    body["id"] = rid
+                    results.append(body)
             self._send_json(200, {"results": results})
         finally:
             self.server.release()
 
     def _parse_batch(self, payload: Dict):
         """``{"codes": [...]}`` or ``{"requests": [{"id","code"}]}`` ->
-        (ids, codes); replies 400 and returns (None, None) when invalid."""
+        list of ``(id, code, error)`` triples, one per requested snippet,
+        with exactly one of ``code``/``error`` set.
+
+        Body-*structure* problems (missing list, wrong container types)
+        reply 400 and return ``None``; per-*item* problems (missing,
+        empty, or non-string code) become error triples, so one dirty
+        snippet costs itself an ``{"id", "error"}`` entry in the 200
+        reply instead of rejecting its whole batch."""
+        item_error = "needs a non-empty string 'code'"
         if "codes" in payload:
             codes = payload["codes"]
-            if (not isinstance(codes, list)
-                    or not all(isinstance(c, str) and c.strip()
-                               for c in codes)):
-                self._error(400, "'codes' must be a list of non-empty strings")
-                return None, None
-            return list(range(len(codes))), codes
+            if not isinstance(codes, list):
+                self._error(400, "'codes' must be a list of strings")
+                return None
+            return [(i, code, None)
+                    if isinstance(code, str) and code.strip()
+                    else (i, None, item_error)
+                    for i, code in enumerate(codes)]
         requests = payload.get("requests")
         if not isinstance(requests, list):
             self._error(400, "body needs a 'codes' or 'requests' list")
-            return None, None
-        ids: List = []
-        codes: List[str] = []
+            return None
+        items: List = []
         for i, req in enumerate(requests):
-            code = req.get("code") if isinstance(req, dict) else None
-            if not isinstance(code, str) or not code.strip():
-                self._error(
-                    400, f"requests[{i}] needs a non-empty string 'code' field")
-                return None, None
-            ids.append(req.get("id", i))
-            codes.append(req["code"])
-        return ids, codes
+            if not isinstance(req, dict):
+                self._error(400, f"requests[{i}] must be an object")
+                return None
+            code = req.get("code")
+            if isinstance(code, str) and code.strip():
+                items.append((req.get("id", i), code, None))
+            else:
+                items.append((req.get("id", i), None, item_error))
+        return items
 
 
 def make_server(advisor, host: str = "127.0.0.1", port: int = 0,

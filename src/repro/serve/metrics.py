@@ -118,6 +118,13 @@ class EngineStats:
     ``coalesced`` counts duplicate rows inside one bulk call that were
     folded into a single forward row; ``batch_size_hist`` counts executed
     model batches by :func:`batch_hist_bucket` label.
+
+    The dirty-input counters: ``recovered`` counts snippets whose lex
+    needed error recovery but that were still answered by the model;
+    ``rejected`` counts snippets answered with a neutral degraded verdict
+    instead of model output, broken down by cause — ``rejected_oversize``
+    (over the per-snippet byte cap), ``rejected_budget`` (lex/encode blew
+    the time budget) and ``rejected_error`` (tokenizer raised).
     """
 
     requests: int = 0
@@ -129,6 +136,11 @@ class EngineStats:
     tokenized: int = 0
     evictions: int = 0
     encode_evictions: int = 0
+    recovered: int = 0
+    rejected: int = 0
+    rejected_oversize: int = 0
+    rejected_budget: int = 0
+    rejected_error: int = 0
     batch_size_hist: Dict[str, int] = field(default_factory=dict)
 
     def record_batch(self, rows: int) -> None:

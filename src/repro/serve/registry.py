@@ -69,7 +69,7 @@ from repro.serve.engine import (
     source_digest,
 )
 from repro.serve.metrics import ArmStats, merge_engine_stats
-from repro.tokenize import Vocab, text_tokens
+from repro.tokenize import Vocab, robust_text_tokens, text_tokens
 
 __all__ = [
     "DEFAULT_CLAUSES",
@@ -469,7 +469,10 @@ class MultiModelEngine:
         self.registry = registry
         self.config = config or EngineConfig()
         self.model_version = "0"
-        self.lex_memo = _SharedLexMemo(tokenizer or text_tokens,
+        # recovering lexer by default, matching InferenceEngine: clean
+        # input tokenizes identically to the strict lexer, dirty input
+        # yields ERROR_TOKEN instead of an exception
+        self.lex_memo = _SharedLexMemo(tokenizer or robust_text_tokens,
                                        self.config.cache_capacity)
         self.engines: Dict[str, InferenceEngine] = {
             head.name: InferenceEngine(head.model, head.vocab,
@@ -520,14 +523,23 @@ class MultiModelEngine:
         rows; clause and canary heads whose vocabularies differ are fed
         through per-head remap tables worker-side.  ``heads`` carries the
         fleet's head-name order — the index space clause verdicts use on
-        the wire.  ``None`` when a custom tokenizer makes router-side
-        encoding impossible (the fleet then stays on the queue transport).
+        the wire.  ``tokenizer`` names which known lexer the router must
+        replicate and ``max_snippet_bytes`` ships the byte cap (see
+        :meth:`InferenceEngine.codec`).  ``None`` when a custom tokenizer
+        makes router-side encoding impossible (the fleet then stays on
+        the queue transport).
         """
-        if self.lex_memo._tokenize is not text_tokens:
+        if self.lex_memo._tokenize is robust_text_tokens:
+            tokenizer_name = "resilient"
+        elif self.lex_memo._tokenize is text_tokens:
+            tokenizer_name = "strict"
+        else:
             return None
         engine = self.directive_engine
         return {"version": self.model_version, "max_len": engine.max_len,
-                "vocab": engine.vocab, "heads": self.head_names()}
+                "vocab": engine.vocab, "heads": self.head_names(),
+                "tokenizer": tokenizer_name,
+                "max_snippet_bytes": self.config.max_snippet_bytes}
 
     def predict_proba_encoded(self, rows: Sequence[np.ndarray]) -> np.ndarray:
         """Directive-head probabilities for pre-encoded token-id rows."""
@@ -593,13 +605,15 @@ class MultiModelEngine:
 
     @classmethod
     def _assemble_full(cls, p_directive: float,
-                       clause_probs: Dict[str, float]) -> FullAdvice:
+                       clause_probs: Dict[str, float],
+                       degraded: bool = False) -> FullAdvice:
         """Positive-class probabilities -> :class:`FullAdvice`."""
         p = float(p_directive)
         return FullAdvice(
-            Advice(p, bool(p > 0.5)),
+            Advice(p, bool(p > 0.5), degraded=degraded),
             {name: cls._clause_advice(prob)
              for name, prob in clause_probs.items()},
+            degraded=degraded,
         )
 
     def _fans_out(self, probability: float) -> bool:
@@ -625,6 +639,12 @@ class MultiModelEngine:
         queues, honouring clause gating — the shared core of the primary
         and canary arms of :meth:`advise_full_async`."""
         directive_engine = engines[DIRECTIVE]
+        # dirty-input admission first: a snippet the directive engine
+        # rejects (byte cap / lex budget) gets the neutral degraded verdict
+        # immediately — clause heads would reject it identically, so
+        # enqueueing them would only burn queue slots
+        if directive_engine._encode(directive_engine._slot, code) is None:
+            return self._assemble_full(0.5, {}, degraded=True)
         if self.config.gate_margin is not None:
             p_dir = float(directive_engine.submit(code)
                           .result(timeout=timeout)[1])
@@ -712,9 +732,14 @@ class MultiModelEngine:
         :meth:`advise_full_many`."""
         if directive is None:
             directive = engines[DIRECTIVE].advise_many(codes)
+        # degraded (rejected) snippets never reach the clause heads: the
+        # heads share the same dirty-input limits and would reject them
+        # identically, so they stay out of both gating counters
+        n_degraded = sum(1 for adv in directive if adv.degraded)
         fan_idx = [i for i, adv in enumerate(directive)
-                   if self._fans_out(adv.probability)]
-        self._count_gated(len(codes) - len(fan_idx), len(fan_idx))
+                   if not adv.degraded and self._fans_out(adv.probability)]
+        self._count_gated(len(codes) - n_degraded - len(fan_idx),
+                          len(fan_idx))
         fan_codes = [codes[i] for i in fan_idx]
         fan_row = {orig: row for row, orig in enumerate(fan_idx)}
         clause_probs = {
@@ -728,7 +753,7 @@ class MultiModelEngine:
                 name: self._clause_advice(probs[row])
                 for name, probs in clause_probs.items()
             }
-            full.append(FullAdvice(adv, clauses))
+            full.append(FullAdvice(adv, clauses, degraded=adv.degraded))
         return full
 
     def _fan_out_encoded(self, engines: Dict[str, InferenceEngine],
@@ -755,7 +780,7 @@ class MultiModelEngine:
                 name: self._clause_advice(probs[row])
                 for name, probs in clause_probs.items()
             }
-            full.append(FullAdvice(adv, clauses))
+            full.append(FullAdvice(adv, clauses, degraded=adv.degraded))
         return full
 
     def advise_full_many_encoded(self, rows: Sequence[np.ndarray],

@@ -98,6 +98,7 @@ from repro.nn.dtype import get_dtype
 from repro.serve.chaos import ChaosConfig, inject_fault
 from repro.serve.engine import Advice, LRUCache, source_digest
 from repro.serve.metrics import RollingMean, merge_arm_stats, merge_stat_dicts
+from repro.tokenize import robust_text_tokens, text_tokens
 from repro.serve.shm_ring import (
     STATUS_ERROR,
     STATUS_FAULT,
@@ -771,6 +772,7 @@ class ShardedEngine:
         self._retries = 0             # sub-batches retried after a fault
         self._degraded_answers = 0    # snippets answered with the neutral verdict
         self._fallback_answers = 0    # snippets served by the in-process fallback
+        self._rejected_snippets = 0   # snippets the router refused (byte cap)
         self._slot_restarts: List[int] = []   # consecutive failed respawns
         self._slot_next_retry: List[float] = []
         self._slot_degraded: List[bool] = []
@@ -983,10 +985,17 @@ class ShardedEngine:
                 return None
             codec = dict(result)
             codec["tag"] = _codec_tag(str(codec["version"]))
-            if self._lex_memo is None:
+            # replicate the *worker's* tokenizer, named in the codec, so
+            # router-side encoding stays bit-identical with what a queue
+            # transport worker would produce (the parity invariant)
+            lexers = {"resilient": robust_text_tokens, "strict": text_tokens}
+            lex = lexers.get(str(codec.get("tokenizer", "strict")))
+            if lex is None:   # a lexer this router build cannot replicate
+                self._ring_disabled = True
+                return None
+            if self._lex_memo is None or self._lex_memo._tokenize is not lex:
                 from repro.serve.registry import _SharedLexMemo
-                from repro.tokenize import text_tokens
-                self._lex_memo = _SharedLexMemo(text_tokens, 4096)
+                self._lex_memo = _SharedLexMemo(lex, 4096)
             self._ring_heads = list(codec.get("heads") or [])
             self._codec = codec
             return codec
@@ -1216,6 +1225,31 @@ class ShardedEngine:
                 self.routed[0] += len(codes)
             return list(getattr(self._local, method)(list(codes)))
         self._observe_load()
+        codec_peek = self._serving_codec()
+        if codec_peek is not None:
+            # router-side dirty-input admission: the codec ships the
+            # workers' byte cap, so oversize snippets are refused *before*
+            # the router spends lex time on them — they get the same
+            # neutral degraded verdict a worker engine would produce
+            cap = int(codec_peek.get("max_snippet_bytes") or 0)
+            if cap:
+                reject = [i for i, code in enumerate(codes)
+                          if len(code.encode("utf-8", errors="replace")) > cap]
+                if reject:
+                    reject_set = set(reject)
+                    keep = [i for i in range(len(codes))
+                            if i not in reject_set]
+                    with self._meta_lock:
+                        self._rejected_snippets += len(reject)
+                    kept = (self._scatter_call(
+                        method, [codes[i] for i in keep]) if keep else [])
+                    neutral = self._neutral_result(method, len(reject))
+                    out: List = [None] * len(codes)
+                    for i, value in zip(keep, kept):
+                        out[i] = value
+                    for i, value in zip(reject, neutral):
+                        out[i] = value
+                    return out
         # hash + encode outside the lock (digests are shard-count
         # independent and tokenize/encode dominate routing cost); bucket +
         # send under it so a concurrent resize cannot strand a sub-batch
@@ -1380,6 +1414,16 @@ class ShardedEngine:
         accuracy instead of availability."""
         with self._meta_lock:
             self._degraded_answers += count
+        return self._neutral_result(method, count)
+
+    def _neutral_result(self, method: str, count: int) -> List:
+        """Shape-only neutral verdicts — no counter side effects.
+
+        Shared by :meth:`_degraded_result` (fault path, counted in
+        ``degraded_answers``) and the router-side dirty-input rejection
+        path (counted separately in ``router_rejected``, because
+        ``degraded_answers == 0`` is a fault-injection gate and an
+        oversize snippet is not a fault)."""
         if method == "predict_proba":
             return [np.full(2, 0.5, dtype=get_dtype()) for _ in range(count)]
         if method == "advise_many":
@@ -1389,7 +1433,7 @@ class ShardedEngine:
 
             return [FullAdvice(Advice(0.5, False, degraded=True), {},
                                degraded=True) for _ in range(count)]
-        raise RuntimeError(f"no degraded verdict for method {method!r}")
+        raise RuntimeError(f"no neutral verdict for method {method!r}")
 
     # -- supervision -------------------------------------------------------
 
@@ -1895,7 +1939,8 @@ class ShardedEngine:
         is on) when autoscaling is on, and always a ``"supervisor"``
         block with the fault-tolerance counters (``restarts``, ``faults``,
         ``deadline_exceeded``, ``retries``, ``degraded_answers``,
-        ``fallback_answers``, ``degraded_shards``).  A dead or wedged
+        ``fallback_answers``, ``router_rejected``, ``degraded_shards``).
+        A dead or wedged
         shard contributes an ``{"error": ...}`` placeholder instead of
         failing the whole snapshot — /stats is the tool for diagnosing a
         broken fleet and must keep working while the fleet is broken.
@@ -1960,6 +2005,7 @@ class ShardedEngine:
                 "retries": self._retries,
                 "degraded_answers": self._degraded_answers,
                 "fallback_answers": self._fallback_answers,
+                "router_rejected": self._rejected_snippets,
                 "degraded_shards": int(
                     sum(self._slot_degraded[:self.n_shards])),
             }

@@ -9,8 +9,10 @@ from repro.tokenize.replace import (
     replace_identifiers_in_code,
 )
 from repro.tokenize.representations import (
+    ERROR_TOKEN,
     Representation,
     represent,
+    robust_text_tokens,
     text_tokens,
     tokenize_representation,
 )
@@ -25,6 +27,8 @@ __all__ = [
     "Representation",
     "represent",
     "text_tokens",
+    "robust_text_tokens",
+    "ERROR_TOKEN",
     "tokenize_representation",
     "Vocab",
     "PAD",

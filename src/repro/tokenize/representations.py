@@ -17,11 +17,25 @@ from __future__ import annotations
 import enum
 from typing import List, Optional
 
-from repro.clang import Compound, parse, tokenize
+from repro.clang import Compound, TokenKind, parse, tokenize
 from repro.clang.serialize import ast_to_dfs_text, unparse
 from repro.tokenize.replace import build_replacement_map, rename_ast
 
-__all__ = ["Representation", "represent", "tokenize_representation", "text_tokens"]
+__all__ = [
+    "Representation",
+    "represent",
+    "tokenize_representation",
+    "text_tokens",
+    "robust_text_tokens",
+    "ERROR_TOKEN",
+]
+
+#: Sentinel emitted by :func:`robust_text_tokens` in place of a malformed
+#: region's raw text.  It is not in any trained vocabulary, so it encodes
+#: to UNK — the model sees "something unrecognisable was here" rather than
+#: garbage bytes, and the serving engine can count recovered snippets by
+#: membership.
+ERROR_TOKEN = "<error>"
 
 
 class Representation(enum.Enum):
@@ -48,6 +62,20 @@ def represent(code: str, kind: Representation, ast: Optional[Compound] = None) -
 def text_tokens(source: str) -> List[str]:
     """Lex C source into token strings (pragmas and EOF dropped)."""
     return [t.value for t in tokenize(source, keep_pragmas=False)[:-1]]
+
+
+def robust_text_tokens(source: str) -> List[str]:
+    """Like :func:`text_tokens`, but never raises on dirty input.
+
+    Lexes in recover mode; each malformed region becomes one
+    :data:`ERROR_TOKEN` in the output.  On clean input the result is
+    identical to :func:`text_tokens`, which is what lets the serving path
+    use this as its default tokenizer without perturbing cached encodings.
+    """
+    return [
+        ERROR_TOKEN if t.kind is TokenKind.ERROR else t.value
+        for t in tokenize(source, keep_pragmas=False, recover=True)[:-1]
+    ]
 
 
 def tokenize_representation(code: str, kind: Representation,

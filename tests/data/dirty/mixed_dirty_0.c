@@ -1,0 +1,4 @@
+int a = "unterminated;
+for (i = 0; i < n; i++) a[i] = i;
+x = @@;
+while (k < n) { k++; }

@@ -1,0 +1,2 @@
+#pragma omp parallel for reduction(
+for (i = 0; i < n; i++) s += a[i];

@@ -1,0 +1,2 @@
+#pragma omp
+for (i = 0; i < n; i++) a[i] = i;

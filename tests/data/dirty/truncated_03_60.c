@@ -1,0 +1,2 @@
+for (i = 0; i < rows; i++)
+  for (j = 0; j < 

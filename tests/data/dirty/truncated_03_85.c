@@ -1,0 +1,3 @@
+for (i = 0; i < rows; i++)
+  for (j = 0; j < cols; j++)
+    m[i]

@@ -1,0 +1,2 @@
+int sum = 0;
+for (p 

@@ -1,0 +1,2 @@
+char c = 'x;
+int y = 2;

@@ -1,0 +1,2 @@
+int x = 1; /* comment never ends
+for (i = 0; i < n; i++) a[i] = i;

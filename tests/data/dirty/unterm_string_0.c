@@ -1,0 +1,2 @@
+char *s = "no closing quote;
+int x = 1;

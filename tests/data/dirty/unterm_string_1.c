@@ -1,0 +1,2 @@
+printf("%d, a[i]);
+for (i = 0; i < n; i++) a[i] = 0;

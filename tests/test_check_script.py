@@ -114,6 +114,15 @@ class TestModeInvocations:
         assert "tests/test_serve_faults.py::TestRingFaults" in calls[0]
         assert "check.sh: stage 'ipc-stress' passed" in result.stdout
 
+    def test_fuzz_runs_recovery_suite_scaled_up(self, shim):
+        env, log = shim
+        result = _run(env, "--fuzz")
+        assert result.returncode == 0, result.stderr
+        calls = _calls(log)
+        assert calls == [
+            "python -m pytest -x -q tests/test_clang_recovery.py"]
+        assert "check.sh: stage 'fuzz-smoke' passed" in result.stdout
+
     def test_unknown_mode_rejected(self, shim):
         env, _ = shim
         result = _run(env, "--bogus")
@@ -162,13 +171,15 @@ class TestCiWorkflowMirrorsCheckScript:
 
     def test_workflow_exists_and_names_all_jobs(self, workflow):
         for job in ("tier1:", "perf-smoke:", "docs:", "lint:",
-                    "chaos-smoke:", "ipc-stress:", "bench-gate:"):
+                    "chaos-smoke:", "ipc-stress:", "fuzz-smoke:",
+                    "bench-gate:"):
             assert job in workflow, f"ci.yml missing job {job}"
 
     def test_workflow_invokes_check_sh_modes(self, workflow):
         for mode in ("scripts/check.sh --fast", "scripts/check.sh --perf",
                      "scripts/check.sh --docs", "scripts/check.sh --lint",
-                     "scripts/check.sh --chaos", "scripts/check.sh --ipc"):
+                     "scripts/check.sh --chaos", "scripts/check.sh --ipc",
+                     "scripts/check.sh --fuzz"):
             assert mode in workflow, f"ci.yml does not run {mode}"
 
     def test_workflow_runs_bench_gate(self, workflow):
@@ -185,7 +196,7 @@ class TestCiWorkflowMirrorsCheckScript:
         """check.sh's own usage header must list the modes CI invokes."""
         script = CHECK_SH.read_text()
         for mode in ("--fast", "--docs", "--lint", "--perf", "--chaos",
-                     "--ipc"):
+                     "--ipc", "--fuzz"):
             assert mode in script
         assert "ruff check" in script
         assert "lint_fallback.py" in script

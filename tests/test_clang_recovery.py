@@ -1,0 +1,221 @@
+"""Error recovery in the C frontend: recover-mode lexing, resilient
+parsing, the nesting-depth and time-budget limits, the committed dirty
+corpus, and the seeded fuzz property tests (never raises, always
+terminates in budget) — including the serving-engine path.
+
+Scale the fuzz sweep with ``REPRO_FUZZ_N`` (mutants per seed corpus;
+the CI ``--fuzz`` stage raises it, the default keeps tier-1 fast).
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.clang import (
+    DEFAULT_MAX_DEPTH,
+    ErrorStmt,
+    ParseError,
+    parse,
+    parse_resilient,
+)
+from repro.clang.fuzz import MUTATORS, check_snippet, fuzz_corpus, mutate
+from repro.clang.lexer import TokenKind, tokenize
+from repro.clang.serialize import ast_to_dfs_text
+from repro.models import PragFormer
+from repro.models.pragformer import PragFormerConfig
+from repro.serve import EngineConfig, InferenceEngine
+from repro.tokenize import ERROR_TOKEN, Vocab, robust_text_tokens, text_tokens
+
+DIRTY_DIR = Path(__file__).parent / "data" / "dirty"
+FUZZ_N = int(os.environ.get("REPRO_FUZZ_N", "150"))
+
+CLEAN = [
+    "for (i = 0; i < n; i++) a[i] = b[i] + c[i];",
+    "for (i = 0; i < n; i++) { s += a[i]; }",
+    "while (k < n) { total += buf[k]; k++; }",
+    'for (i = 0; i < n; i++) printf("%d", a[i]);',
+    "if (x > 0) { y = x * 2; } else { y = -x; }",
+    "do { n--; } while (n > 0);",
+]
+
+
+def _dirty_files():
+    files = sorted(DIRTY_DIR.glob("*.c"))
+    assert len(files) >= 50, "dirty corpus must hold ~50 fixtures"
+    return files
+
+
+class TestRecoverLexer:
+    def test_clean_input_identical_to_strict(self):
+        for code in CLEAN:
+            strict = tokenize(code)
+            recovered = tokenize(code, recover=True)
+            assert [(t.kind, t.value) for t in strict] == \
+                   [(t.kind, t.value) for t in recovered]
+
+    @pytest.mark.parametrize("dirty", [
+        'char *s = "never closed;\nint x = 1;',
+        "char c = 'y;\nint x = 1;",
+        "int x = 1; /* never closed",
+        "x = 1 @ 2;",
+        "a \x00 b",
+    ])
+    def test_dirty_input_yields_error_tokens_not_exceptions(self, dirty):
+        toks = tokenize(dirty, recover=True)
+        assert any(t.kind is TokenKind.ERROR for t in toks)
+        assert toks[-1].kind is TokenKind.EOF
+
+    def test_unterminated_string_stops_at_newline(self):
+        """One bad literal must not swallow the rest of the file."""
+        toks = tokenize('x = "oops;\nint y = 1;', recover=True)
+        values = [t.value for t in toks]
+        assert "y" in values  # the next line still lexes
+
+
+class TestResilientParser:
+    def test_clean_input_no_diagnostics(self):
+        for code in CLEAN:
+            ast, diags = parse_resilient(code)
+            assert diags == []
+            assert ast_to_dfs_text(ast) == ast_to_dfs_text(parse(code))
+
+    def test_partial_ast_preserves_good_statements(self):
+        code = ('int a = "unterminated;\n'
+                "for (i = 0; i < n; i++) a[i] = i;\n"
+                "x = @@;")
+        ast, diags = parse_resilient(code)
+        assert diags
+        labels = ast_to_dfs_text(ast)
+        assert "For:" in labels          # the clean loop survived
+        assert "ErrorStmt:" in labels    # the damage is explicit
+
+    def test_error_stmt_nodes_serialize(self):
+        from repro.clang.serialize import unparse
+
+        ast, _ = parse_resilient("x = @@; y = 1;")
+        assert any(isinstance(s, ErrorStmt) for s in ast.stmts)
+        assert isinstance(unparse(ast), str)
+
+    def test_diagnostics_carry_position_and_kind(self):
+        _, diags = parse_resilient('x = "bad;\n@@')
+        kinds = {d.kind for d in diags}
+        assert "lex" in kinds
+        assert all(d.line >= 1 and d.col >= 1 for d in diags)
+
+
+class TestDepthLimit:
+    def test_strict_mode_deterministic_parse_error(self):
+        code = "x = " + "(" * 5000 + "1" + ")" * 5000 + ";"
+        with pytest.raises(ParseError, match="nesting depth"):
+            parse(code)
+
+    def test_resilient_mode_notes_depth_diagnostic(self):
+        code = "{" * 1000 + "x = 1;" + "}" * 1000
+        ast, diags = parse_resilient(code)
+        assert any(d.kind == "depth" for d in diags)
+        assert ast_to_dfs_text(ast)  # partial AST still walks
+
+    def test_custom_depth_limit_respected(self):
+        code = "x = " + "(" * 30 + "1" + ")" * 30 + ";"
+        parse(code)  # fits the default limit of DEFAULT_MAX_DEPTH
+        assert DEFAULT_MAX_DEPTH > 20
+        with pytest.raises(ParseError, match="nesting depth"):
+            parse(code, max_depth=20)
+
+    def test_never_recursion_error(self):
+        code = "(" * 4000 + "{" * 400
+        try:
+            parse(code)
+        except ParseError:
+            pass
+        parse_resilient(code)  # must not raise at all
+
+
+class TestBudget:
+    def test_tiny_budget_terminates_with_diagnostic(self):
+        code = "x = 1;\n" * 5000
+        _, diags = parse_resilient(code, budget_s=1e-9)
+        assert any(d.kind == "budget" for d in diags)
+
+    def test_generous_budget_is_invisible(self):
+        ast, diags = parse_resilient(CLEAN[0], budget_s=60.0)
+        assert diags == []
+
+
+class TestRobustTokens:
+    def test_identical_to_strict_on_clean_input(self):
+        for code in CLEAN:
+            assert robust_text_tokens(code) == text_tokens(code)
+
+    def test_error_sentinel_on_dirty_input(self):
+        toks = robust_text_tokens('x = "bad;')
+        assert ERROR_TOKEN in toks
+
+
+class TestDirtyCorpus:
+    """Every committed fixture parses resiliently: no exception, a
+    diagnostic trail, a walkable AST, all inside the budget."""
+
+    @pytest.mark.parametrize(
+        "path", _dirty_files(), ids=lambda p: p.stem)
+    def test_fixture_recovers(self, path):
+        code = path.read_bytes().decode("utf-8", errors="replace")
+        report = check_snippet(code, budget_s=5.0)
+        assert report["elapsed_s"] < 5.0
+        assert report["dfs_tokens"] >= 0
+
+    def test_corpus_produces_diagnostics_somewhere(self):
+        total = 0
+        for path in _dirty_files():
+            code = path.read_bytes().decode("utf-8", errors="replace")
+            _, diags = parse_resilient(code, budget_s=5.0)
+            total += len(diags)
+        assert total > 0
+
+
+class TestFuzzProperties:
+    """Seeded fuzz sweep: mutants of clean code never raise and always
+    terminate within the budget, in the parser and through the engine."""
+
+    def test_mutators_are_deterministic(self):
+        import random
+
+        for name in MUTATORS:
+            a = MUTATORS[name](CLEAN[0], random.Random(7))
+            b = MUTATORS[name](CLEAN[0], random.Random(7))
+            assert a == b, name
+
+    def test_mutate_only_uses_registered_mutators(self):
+        import random
+
+        rng = random.Random(3)
+        for _ in range(20):
+            assert isinstance(mutate(CLEAN[1], rng, corpus=CLEAN), str)
+
+    def test_fuzz_sweep_never_raises(self):
+        mutants = fuzz_corpus(CLEAN, n=FUZZ_N, seed=42)
+        assert len(mutants) == FUZZ_N
+        start = time.monotonic()
+        for code in mutants:
+            report = check_snippet(code, budget_s=2.0)
+            assert report["diagnostics"] >= 0
+        # the whole sweep stays interactive, not just each snippet
+        assert time.monotonic() - start < 60.0
+
+    def test_fuzzed_engine_path_always_answers(self):
+        vocab = Vocab.build([text_tokens(c) for c in CLEAN], min_freq=1)
+        tiny = PragFormerConfig(d_model=16, n_heads=2, n_layers=1, d_ff=32,
+                                d_head_hidden=16, max_len=24, batch_size=8,
+                                seed=0)
+        engine = InferenceEngine(
+            PragFormer(len(vocab), tiny), vocab, max_len=tiny.max_len,
+            config=EngineConfig(max_snippet_bytes=1 << 16))
+        mutants = fuzz_corpus(CLEAN, n=min(FUZZ_N, 100), seed=7)
+        advices = engine.advise_many(mutants)
+        assert len(advices) == len(mutants)
+        for adv in advices:
+            assert 0.0 <= adv.probability <= 1.0
+        stats = engine.stats.as_dict()
+        assert stats["requests"] >= len(mutants)

@@ -300,23 +300,62 @@ class TestErrorHandling:
         assert code == 400
         assert "code" in body["error"]
 
-    def test_bad_batch_payload_400(self, server_url):
-        code, body = self._post_error(server_url + "/advise/batch",
-                                      json.dumps({"codes": [1, 2]}).encode())
+    def test_bad_batch_structure_400(self, server_url):
+        """Body-structure problems still reject the whole batch."""
+        code, _ = self._post_error(server_url + "/advise/batch",
+                                   json.dumps({"codes": "x"}).encode())
+        assert code == 400
+        code, _ = self._post_error(server_url + "/advise/batch",
+                                   json.dumps({"requests": ["x"]}).encode())
         assert code == 400
 
-    def test_empty_code_rejected_on_both_endpoints(self, server_url):
-        """Empty snippets fail identically on /advise and /advise/batch."""
+    def test_empty_code_rejected_on_advise(self, server_url):
         code, _ = self._post_error(server_url + "/advise",
                                    json.dumps({"code": "  "}).encode())
         assert code == 400
-        code, _ = self._post_error(server_url + "/advise/batch",
-                                   json.dumps({"codes": [""]}).encode())
+
+    def test_batch_reports_bad_items_per_item(self, server_url):
+        """One dirty snippet gets an {"id","error"} entry; the rest of
+        the batch is still answered — a 200, not a batch-wide 400."""
+        status, body = _post(server_url + "/advise/batch", {"requests": [
+            {"id": "ok", "code": "for (i = 0; i < n; i++) a[i] = i;"},
+            {"id": "empty", "code": " "},
+            {"id": "notstr", "code": 7},
+        ]})
+        assert status == 200
+        results = body["results"]
+        assert [r["id"] for r in results] == ["ok", "empty", "notstr"]
+        assert "p_directive" in results[0] and "error" not in results[0]
+        assert "error" in results[1] and "error" in results[2]
+        # codes form: non-strings and empties also answer per item
+        status, body = _post(server_url + "/advise/batch",
+                             {"codes": [1, "int x = 1;"]})
+        assert status == 200
+        assert "error" in body["results"][0]
+        assert "p_directive" in body["results"][1]
+
+    def test_non_utf8_body_handled(self, server_url):
+        """Bad bytes inside a JSON string are replaced and served; bad
+        bytes that corrupt the framing answer a structured 400.  Both
+        tick the invalid_body admission counter."""
+        import urllib.request
+
+        # \xff inside the string value: replace-decode keeps valid JSON
+        dirty = b'{"code": "int x = 1; // \xff\xfe"}'
+        req = urllib.request.Request(
+            server_url + "/advise", data=dirty,
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            assert resp.status == 200
+        # \xff replacing the opening brace: not salvageable
+        code, body = self._post_error(server_url + "/advise",
+                                      b'\xff"code": "int x = 1;"}')
         assert code == 400
-        code, _ = self._post_error(
-            server_url + "/advise/batch",
-            json.dumps({"requests": [{"id": 1, "code": " "}]}).encode())
-        assert code == 400
+        assert "UTF-8" in body["error"]
+        with urllib.request.urlopen(server_url + "/stats",
+                                    timeout=10) as resp:
+            stats = json.loads(resp.read().decode("utf-8"))
+        assert stats["admission"]["invalid_body"] >= 2
 
     def test_oversized_body_413_closes_connection(self, server_url):
         """The 413 path answers from the Content-Length header alone and
