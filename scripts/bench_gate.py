@@ -129,6 +129,16 @@ GATES: List[Gate] = [
     Gate("training", "pretrain.speedup_steps_per_s", ">=", 2.0),
     Gate("training", "optimizer_microbench.speedup", ">=", 1.2),
     Gate("training", "finetune.small.speedup_steps_per_s", ">=", 0.9),
+    # data-parallel training (PR 9): N-worker runs must be bit-identical
+    # to single-process (zero parity mismatches across losses, arena
+    # bytes, optimizer moments), the all-reduce must stay a single
+    # vectorized sum per step, and the per-rank work split must halve at
+    # 2 workers.  Wall-clock steps/s never gate — the bench host is one
+    # core, so scaling is asserted on the algorithmic counters (total
+    # examples / max per-rank examples), which are machine-independent.
+    Gate("training", "ddp.parity_mismatches", "==", 0),
+    Gate("training", "ddp.reduce_ops_per_step", "==", 1),
+    Gate("training", "ddp.workers_2.counter_speedup", ">=", 1.5),
 ]
 
 #: Report-only wall-time/throughput metrics, printed for trend reading.
@@ -144,6 +154,9 @@ REPORT_ONLY: List[Tuple[str, str]] = [
     ("serving", "dirty_trace.snippets_per_s"),
     ("training", "pretrain.fused.steps_per_s"),
     ("training", "finetune.small.fused.steps_per_s"),
+    ("training", "ddp.workers_1.steps_per_s"),
+    ("training", "ddp.workers_2.steps_per_s"),
+    ("training", "ddp.workers_4.steps_per_s"),
 ]
 
 

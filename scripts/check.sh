@@ -14,6 +14,10 @@
 #   scripts/check.sh --fuzz     # fuzz smoke only: seeded dirty-input
 #                               # sweep through the recovering frontend
 #                               # (REPRO_FUZZ_N mutants/corpus, ~30 s)
+#   scripts/check.sh --ddp      # DDP determinism only: the data-parallel
+#                               # trainer's bit-identity/parity suite
+#                               # (1-vs-N losses + arena bytes, worker
+#                               # death, resume, /dev/shm hygiene)
 #
 # Tier-1 is the gate every change must keep green (`pytest -x -q` from the
 # repo root; bench_* files are never collected there).  The smoke subset
@@ -103,6 +107,15 @@ stage_fuzz_smoke() {
         python -m pytest -x -q tests/test_clang_recovery.py
 }
 
+stage_ddp() {
+    # the data-parallel determinism layer: N-worker training must be
+    # bit-identical to single-process (loss trajectory, arena bytes,
+    # optimizer moments), with clean worker-death semantics and no
+    # leaked shared-memory segments.  Part of tier-1 too; this mode
+    # isolates it so training changes get a fast, targeted signal.
+    python -m pytest -x -q tests/test_train_ddp.py
+}
+
 case "${1:-}" in
     --docs)
         run_stage "docs" stage_docs
@@ -125,13 +138,16 @@ case "${1:-}" in
     --fuzz)
         run_stage "fuzz-smoke" stage_fuzz_smoke
         ;;
+    --ddp)
+        run_stage "ddp-determinism" stage_ddp
+        ;;
     "")
         run_stage "lint" stage_lint
         run_stage "tier-1" stage_tier1
         run_stage "perf-smoke" stage_perf_smoke
         ;;
     *)
-        echo "check.sh: unknown mode '${1}' (use --fast, --docs, --lint, --perf, --chaos, --ipc, --fuzz, or no argument)" >&2
+        echo "check.sh: unknown mode '${1}' (use --fast, --docs, --lint, --perf, --chaos, --ipc, --fuzz, --ddp, or no argument)" >&2
         exit 2
         ;;
 esac

@@ -77,6 +77,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
     from repro.eval import binary_metrics
 
     ctx = get_context()
+    if getattr(args, "workers", 0):
+        # shared-memory data-parallel fits (repro.train.ddp); training is
+        # bit-identical at any worker count, so this is purely a perf knob
+        ctx.train_workers = args.workers
     model = ctx.pragformer
     enc = ctx.encoded()
     metrics = binary_metrics(model.predict(enc.test), enc.test.labels)
@@ -395,6 +399,10 @@ def main(argv=None) -> int:
 
     p_train = sub.add_parser("train", help="train PragFormer on the directive task")
     p_train.add_argument("--save", type=str, default="")
+    p_train.add_argument("--workers", type=int, default=0,
+                         help="data-parallel training workers (0 = legacy "
+                              "single-process loop; N-worker runs are "
+                              "bit-identical to 1-worker)")
     p_train.set_defaults(fn=_cmd_train)
 
     p_advise = sub.add_parser("advise", help="advise OpenMP use for C snippet file(s)")

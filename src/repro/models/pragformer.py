@@ -24,6 +24,7 @@ from repro.nn import (
     softmax,
 )
 from repro.nn.dtype import get_dtype
+from repro.train.ddp import DataParallelTrainer, DDPConfig, reseed_stochastic
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 __all__ = ["PragFormerConfig", "TrainHistory", "PragFormer", "trim_batch"]
@@ -127,6 +128,8 @@ class PragFormer:
             n_classes=2, dropout=self.config.dropout, rng=r_head,
         )
         self._optimizer: Optional[AdamW] = None
+        #: step losses + reduce counters from the last DDP fit (bench input)
+        self.ddp_stats: Optional[dict] = None
 
     # -- transfer learning -----------------------------------------------------
 
@@ -156,6 +159,7 @@ class PragFormer:
         epochs: int = 5,
         verbose: bool = False,
         restore_best: bool = True,
+        n_workers: Optional[int] = None,
     ) -> TrainHistory:
         """Fine-tune on a labelled split; returns the epoch history.
 
@@ -164,7 +168,15 @@ class PragFormer:
         paper's model-selection rule (§5.1: 'since the validation loss curve
         converges after 7–9 epochs, we choose to use the models trained up
         to those points').
+
+        ``n_workers`` switches to the shared-memory data-parallel trainer
+        (:mod:`repro.train.ddp`; requires ``fused_optimizer``): the loss
+        trajectory and final weights are bit-identical at every worker
+        count.  ``None`` keeps the legacy single-process loop.
         """
+        if n_workers is not None:
+            return self._fit_ddp(train, validation, epochs, verbose,
+                                 restore_best, int(n_workers))
         cfg = self.config
         if self._optimizer is None:
             opt_cls = FusedAdamW if cfg.fused_optimizer else AdamW
@@ -219,6 +231,88 @@ class PragFormer:
                 if verbose:  # pragma: no cover - logging only
                     print(f"epoch {epoch + 1}: train {history.train_loss[-1]:.4f} "
                           f"valid {val_loss:.4f} acc {val_acc:.4f}")
+        if best_state is not None:
+            self.encoder.load_state_dict(best_state[0])
+            self.head.load_state_dict(best_state[1])
+        return history
+
+    def _fit_ddp(self, train: EncodedSplit, validation: Optional[EncodedSplit],
+                 epochs: int, verbose: bool, restore_best: bool,
+                 n_workers: int) -> TrainHistory:
+        """Fine-tune through the shared-memory data-parallel trainer.
+
+        Every micro-shard re-seeds its dropout streams from the
+        ``(seed, step, shard)`` key and reports *sum*-reduced gradients
+        with its example count as weight, so the trained objective is the
+        exact batch-mean CE of the legacy loop.  Validation (and the
+        restore-best snapshot) runs in the parent between epochs while the
+        workers sit blocked on their doorbells; ``load_state_dict`` writes
+        parameters in place, so a restored snapshot lands in the shared
+        segment the workers read.
+        """
+        cfg = self.config
+        if not cfg.fused_optimizer:
+            raise ValueError(
+                "n_workers requires fused_optimizer=True: the DDP trainer "
+                "reduces into and steps the flat parameter arena")
+        if self._optimizer is None:
+            self._optimizer = FusedAdamW(_JointModel(self), lr=cfg.lr,
+                                         weight_decay=cfg.weight_decay)
+        opt = self._optimizer
+        schedule = None
+        if cfg.warmup_frac > 0:
+            from repro.nn import WarmupSchedule
+
+            total_steps = epochs * max(
+                1, (len(train) + cfg.batch_size - 1) // cfg.batch_size)
+            schedule = WarmupSchedule(
+                opt, peak_lr=cfg.lr,
+                warmup_steps=max(1, int(cfg.warmup_frac * total_steps)))
+        seed = int(self._shuffle_rng.integers(2**62))
+        ftype = get_dtype().type
+        ids_all, mask_all, labels_all = train.ids, train.mask, train.labels
+
+        def shard_backward(sel, key):
+            self.encoder.train()
+            self.head.train()
+            reseed_stochastic((self.encoder, self.head), key)
+            ids, mask = trim_batch(ids_all[sel], mask_all[sel])
+            logits = self._forward_logits(ids, mask)
+            loss, dlogits = cross_entropy(logits, labels_all[sel])
+            # sum reduction: undo cross_entropy's 1/n mean scaling so
+            # shards add without knowing each other's sizes
+            self._backward(dlogits * ftype(len(sel)))
+            return float(loss) * len(sel), float(len(sel))
+
+        history = TrainHistory()
+        lengths = train.mask.sum(axis=1)
+        best_state = None
+        best_loss = np.inf
+        ddp_cfg = DDPConfig(n_workers=n_workers, seed=seed)
+        with DataParallelTrainer(opt, shard_backward, n_examples=len(train),
+                                 config=ddp_cfg, grad_clip=cfg.grad_clip,
+                                 lr_schedule=schedule) as trainer:
+            for epoch in range(epochs):
+                batches = _length_bucketed_batches(
+                    lengths, cfg.batch_size, self._shuffle_rng)
+                history.train_loss.append(
+                    trainer.run_epoch(batches, epoch=epoch))
+                if validation is not None:
+                    val_loss, val_acc = self.evaluate(validation)
+                    history.valid_loss.append(val_loss)
+                    history.valid_accuracy.append(val_acc)
+                    if restore_best and val_loss < best_loss:
+                        best_loss = val_loss
+                        best_state = (self.encoder.state_dict(),
+                                      self.head.state_dict())
+                    if verbose:  # pragma: no cover - logging only
+                        print(f"epoch {epoch + 1} (ddp x{n_workers}): "
+                              f"train {history.train_loss[-1]:.4f} "
+                              f"valid {val_loss:.4f} acc {val_acc:.4f}")
+            self.ddp_stats = {
+                "step_losses": list(trainer.step_losses),
+                "counters": dict(trainer.counters),
+            }
         if best_state is not None:
             self.encoder.load_state_dict(best_state[0])
             self.head.load_state_dict(best_state[1])

@@ -25,6 +25,12 @@ from repro.nn import (
 from repro.nn.dtype import get_dtype
 from repro.models.pragformer import trim_batch
 from repro.tokenize.vocab import Vocab
+from repro.train.ddp import (
+    DataParallelTrainer,
+    DDPConfig,
+    reseed_stochastic,
+    shard_rng,
+)
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 __all__ = ["MLMConfig", "MLMPretrainer", "mask_tokens"]
@@ -83,9 +89,12 @@ class MLMPretrainer:
         self.encoder = TransformerEncoder(encoder_cfg, rng=r_enc)
         self.mlm_head = MLMHead(encoder_cfg.d_model, encoder_cfg.vocab_size, rng=r_head)
         self._pool = BufferPool()
+        self._optimizer: Optional[FusedAdamW] = None
+        #: step losses + reduce counters from the last DDP fit (bench input)
+        self.ddp_stats: Optional[Dict] = None
 
     def fit(self, ids: np.ndarray, mask: np.ndarray, epochs: int = 3,
-            verbose: bool = False) -> List[float]:
+            verbose: bool = False, n_workers: Optional[int] = None) -> List[float]:
         """Pretrain on (N, L) id/mask arrays; returns per-epoch MLM losses.
 
         Only ~15 % of positions carry MLM loss (``mask_prob``), so the
@@ -94,7 +103,16 @@ class MLMPretrainer:
         the full (B, L) grid: same losses and gradients as the dense
         ``masked_cross_entropy`` formulation at ~1/7 of the head compute,
         and the (B, L, V) logits/gradient tensors are never materialized.
+
+        ``n_workers`` switches to the shared-memory data-parallel trainer
+        (:mod:`repro.train.ddp`): bit-deterministic in the worker count, so
+        ``n_workers=1`` and ``n_workers=4`` give identical losses and
+        weights.  ``None`` keeps the legacy single-process loop (a
+        different — also deterministic — arithmetic: it shards nothing and
+        draws masks from the epoch rng stream).
         """
+        if n_workers is not None:
+            return self._fit_ddp(ids, mask, epochs, verbose, int(n_workers))
         joint = _Joint(self.encoder, self.mlm_head)
         # flat-arena optimizer: whole-model step + clip in a handful of
         # vectorized calls (legacy AdamW remains available in repro.nn)
@@ -135,6 +153,68 @@ class MLMPretrainer:
             losses.append(total / max(1, batches))
             if verbose:  # pragma: no cover
                 print(f"MLM epoch {epoch + 1}: loss {losses[-1]:.4f}")
+        return losses
+
+    def _fit_ddp(self, ids: np.ndarray, mask: np.ndarray, epochs: int,
+                 verbose: bool, n_workers: int) -> List[float]:
+        """Data-parallel pretraining over the shared-memory arena.
+
+        Each micro-shard re-derives its masking noise and dropout streams
+        from the ``(seed, step, shard)`` key, computes *sum*-reduced MLM
+        gradients, and reports (loss total, masked-position count); the
+        trainer normalizes by the batch's total masked positions, so the
+        objective is the same per-position mean CE as the legacy loop.
+        """
+        if self._optimizer is None:
+            self._optimizer = FusedAdamW(
+                _Joint(self.encoder, self.mlm_head),
+                lr=self.cfg.lr, weight_decay=self.cfg.weight_decay)
+        opt = self._optimizer
+        seed = int(self._rng.integers(2**62))
+        ftype = get_dtype().type
+
+        def shard_backward(sel, key):
+            self.encoder.train()
+            reseed_stochastic((self.encoder, self.mlm_head), key)
+            b_ids, b_mask = trim_batch(ids[sel], mask[sel])
+            corrupted, targets, loss_mask = mask_tokens(
+                b_ids, b_mask, self.vocab, shard_rng(key, salt=2), self.cfg)
+            hidden = self.encoder.forward(corrupted, b_mask)
+            d_model = hidden.shape[-1]
+            selected = np.flatnonzero(loss_mask.reshape(-1))
+            dhidden = np.zeros_like(hidden)
+            loss_sum = 0.0
+            if selected.size:
+                logits = self.mlm_head.forward(
+                    hidden.reshape(-1, d_model)[selected])
+                loss, dlogits = cross_entropy(
+                    logits, targets.reshape(-1)[selected])
+                # sum reduction: undo cross_entropy's 1/n mean scaling so
+                # shards add without knowing each other's sizes
+                dsel = self.mlm_head.backward(dlogits * ftype(selected.size))
+                dhidden.reshape(-1, d_model)[selected] = dsel
+                loss_sum = float(loss) * selected.size
+            self.encoder.backward(dhidden)
+            return loss_sum, float(selected.size)
+
+        n = ids.shape[0]
+        bs = self.cfg.batch_size
+        losses: List[float] = []
+        ddp_cfg = DDPConfig(n_workers=n_workers, seed=seed)
+        with DataParallelTrainer(opt, shard_backward, n_examples=n,
+                                 config=ddp_cfg,
+                                 grad_clip=self.cfg.grad_clip) as trainer:
+            for epoch in range(epochs):
+                order = self._rng.permutation(n)
+                batches = [order[start:start + bs] for start in range(0, n, bs)]
+                losses.append(trainer.run_epoch(batches, epoch=epoch))
+                if verbose:  # pragma: no cover
+                    print(f"MLM epoch {epoch + 1} (ddp x{n_workers}): "
+                          f"loss {losses[-1]:.4f}")
+            self.ddp_stats = {
+                "step_losses": list(trainer.step_losses),
+                "counters": dict(trainer.counters),
+            }
         return losses
 
     def encoder_state(self) -> Dict[str, np.ndarray]:

@@ -186,6 +186,7 @@ class ParameterArena:
         self.grad = np.zeros(total, dtype=dtype)
         self.decay_mask = np.empty(total, dtype=dtype)
         self.slices: List[Tuple[str, slice, Tuple[int, ...]]] = []
+        self._params: List[Parameter] = [p for _, p in pairs]
         offset = 0
         for name, p in pairs:
             if p.data.dtype != dtype:
@@ -205,6 +206,33 @@ class ParameterArena:
     @property
     def size(self) -> int:
         return int(self.data.size)
+
+    def rebind(self, data: np.ndarray = None, grad: np.ndarray = None) -> None:
+        """Move the arena onto new backing buffers, preserving contents.
+
+        ``data``/``grad`` must be flat arrays of the arena's size and
+        dtype — e.g. views over a ``multiprocessing.shared_memory``
+        segment (to share parameters across forked workers) or fresh
+        private arrays (to detach before the segment is unlinked).  The
+        current bytes are copied into the target, then every
+        :class:`Parameter`'s views are re-pointed, so layer-local
+        in-place updates keep hitting the new storage.
+        """
+        for attr, target in (("data", data), ("grad", grad)):
+            if target is None:
+                continue
+            current = getattr(self, attr)
+            if target.shape != current.shape or target.dtype != current.dtype:
+                raise ValueError(
+                    f"rebind {attr}: need shape {current.shape} dtype "
+                    f"{current.dtype}, got {target.shape} {target.dtype}")
+            target[...] = current
+            setattr(self, attr, target)
+        for p, (_name, region, shape) in zip(self._params, self.slices):
+            if data is not None:
+                p.data = self.data[region].reshape(shape)
+            if grad is not None:
+                p.grad = self.grad[region].reshape(shape)
 
     def zero_grad(self) -> None:
         """One flat fill instead of one per parameter."""

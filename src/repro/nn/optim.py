@@ -147,6 +147,42 @@ class FusedAdamW:
         """Whole-arena clip: one dot product and (at most) one scale."""
         return self.arena.clip_grad_norm(max_norm)
 
+    def state_dict(self) -> dict:
+        """Snapshot the *full* optimization state: parameters AND moments.
+
+        Checkpointing the arena bytes alone is not enough to resume a run
+        bit-identically — the step count drives bias correction and the
+        moment buffers carry momentum, so a resume without them diverges
+        from an uninterrupted run on the first step.  This snapshot (plus
+        the data-order rng) makes resume exact; see the DDP resume
+        regression in ``tests/test_train_ddp.py``.
+        """
+        return {
+            "t": np.asarray(self.t, dtype=np.int64),
+            "m": self._m.copy(),
+            "v": self._v.copy(),
+            "data": self.arena.data.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place.
+
+        Writes into the existing buffers (``[...] =``) rather than
+        rebinding, so parameter views — and any shared-memory segment the
+        arena currently lives in — stay valid."""
+        missing = {"t", "m", "v", "data"} - set(state)
+        if missing:
+            raise KeyError(f"optimizer state missing keys: {sorted(missing)}")
+        for key in ("m", "v", "data"):
+            if state[key].shape != self.arena.data.shape:
+                raise ValueError(
+                    f"optimizer state {key!r} has shape {state[key].shape}, "
+                    f"arena is {self.arena.data.shape}")
+        self.t = int(state["t"])
+        self._m[...] = state["m"]
+        self._v[...] = state["v"]
+        self.arena.data[...] = state["data"]
+
 
 class WarmupSchedule:
     """Linear warmup to ``peak_lr`` over ``warmup_steps``, then constant or

@@ -48,6 +48,10 @@ class ExperimentContext:
         self._clause_bows: Dict[str, BowLogistic] = {}
         self._pretrained_state: Optional[dict] = None
         self._shared_vocab = None
+        #: when set (e.g. ``repro train --workers N``), model fits run
+        #: through the shared-memory DDP trainer; bit-identical to the
+        #: trainer's single-process path at any worker count
+        self.train_workers: Optional[int] = None
         self.compar = ComPar()
 
     # -- data ------------------------------------------------------------------
@@ -125,7 +129,9 @@ class ExperimentContext:
             pretrainer = MLMPretrainer(encoder_cfg, enc.vocab,
                                        MLMConfig(batch_size=cfg.batch_size),
                                        rng=self.scale.seed + 17)
-            pretrainer.fit(enc.train.ids, enc.train.mask, epochs=self.scale.mlm_epochs)
+            pretrainer.fit(enc.train.ids, enc.train.mask,
+                           epochs=self.scale.mlm_epochs,
+                           n_workers=self.train_workers)
             self._pretrained_state = pretrainer.encoder_state()
         return self._pretrained_state
 
@@ -140,7 +146,8 @@ class ExperimentContext:
             # the same text-MLM checkpoint initializes every representation,
             # as the paper fine-tunes the same DeepSCC model for each
             model.load_pretrained_encoder(self.pretrained_state)
-        history = model.fit(enc.train, enc.validation, epochs=self.scale.epochs)
+        history = model.fit(enc.train, enc.validation, epochs=self.scale.epochs,
+                            n_workers=self.train_workers)
         self._rep_models[rep] = (model, history)
         return model, history
 

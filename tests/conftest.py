@@ -1,14 +1,15 @@
 """Shared pytest fixtures.
 
 The one suite-wide invariant enforced here: **no leaked shared-memory
-segments**.  The sharded fleet's zero-copy data plane
-(``repro.serve.shm_ring``) backs every ring with a named segment under
-``/dev/shm``; the parent engine owns creation and unlinking, and
-``ShardedEngine.close()`` must reclaim every segment even when the
-workers died mid-request (chaos kills, supervisor terminations).  A test
-that exits leaving a ``repro-ring-*`` segment behind has found a real
-leak — fail loudly here rather than letting ``/dev/shm`` fill up over a
-long CI run.
+segments**.  Two subsystems back themselves with named segments under
+``/dev/shm``: the sharded fleet's zero-copy data plane
+(``repro.serve.shm_ring``, ``repro-ring-*``) and the data-parallel
+trainer (``repro.train.ddp``, ``repro-ddp-*``).  In both, the parent
+process owns creation and unlinking, and ``close()`` must reclaim every
+segment even when workers died mid-operation (chaos kills, supervisor
+terminations, a rank dying mid-step).  A test that exits leaving a
+segment behind has found a real leak — fail loudly here rather than
+letting ``/dev/shm`` fill up over a long CI run.
 """
 
 import glob
@@ -17,26 +18,31 @@ import os
 import pytest
 
 from repro.serve.shm_ring import RING_NAME_PREFIX
+from repro.train.ddp import DDP_NAME_PREFIX
 
 _SHM_DIR = "/dev/shm"
+_AUDITED_PREFIXES = (RING_NAME_PREFIX, DDP_NAME_PREFIX)
 
 
-def _ring_segments():
+def _shm_segments():
     if not os.path.isdir(_SHM_DIR):  # non-Linux: nothing to audit
         return set()
-    return set(glob.glob(os.path.join(_SHM_DIR, f"{RING_NAME_PREFIX}-*")))
+    found = set()
+    for prefix in _AUDITED_PREFIXES:
+        found.update(glob.glob(os.path.join(_SHM_DIR, f"{prefix}-*")))
+    return found
 
 
 @pytest.fixture(autouse=True)
 def no_ring_leaks():
-    """Fail any test that leaks a ring segment it created.
+    """Fail any test that leaks a shared-memory segment it created.
 
     Segments that predate the test (another process, a prior aborted
     run) are ignored — the fixture only audits what the test added."""
-    before = _ring_segments()
+    before = _shm_segments()
     yield
-    leaked = _ring_segments() - before
+    leaked = _shm_segments() - before
     assert not leaked, (
-        f"leaked shared-memory ring segments: {sorted(leaked)} — "
-        "ShardedEngine.close() (or the test itself) must unlink every "
-        "ring it creates")
+        f"leaked shared-memory segments: {sorted(leaked)} — "
+        "ShardedEngine.close() / DataParallelTrainer.close() (or the test "
+        "itself) must unlink every segment it creates")

@@ -90,6 +90,22 @@ class TestDoctoredRegressionsFail:
         assert any(path in failure for failure in failures), (
             f"doctoring {path}={bad_value} must fail the gate")
 
+    @pytest.mark.parametrize("path, bad_value", [
+        ("ddp.parity_mismatches", 1),       # bit-identity broken
+        ("ddp.reduce_ops_per_step", 8),     # per-shard reduces crept back
+        ("ddp.workers_2.counter_speedup", 1.0),  # work split collapsed
+    ])
+    def test_doctored_ddp_metric_fails(self, committed, path, bad_value):
+        doctored = copy.deepcopy(committed)
+        node = doctored["training"]
+        *parents, leaf = path.split(".")
+        for part in parents:
+            node = node[part]
+        node[leaf] = bad_value
+        failures = bench_gate.check_gates(doctored)
+        assert any(path in failure for failure in failures), (
+            f"doctoring {path}={bad_value} must fail the gate")
+
     def test_doctored_training_speedup_fails(self, committed):
         doctored = copy.deepcopy(committed)
         doctored["training"]["pretrain"]["speedup_steps_per_s"] = 1.1

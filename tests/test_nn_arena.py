@@ -11,6 +11,9 @@ The tentpole claims of the training hot-path overhaul are verified here:
 * one training step leaves no float64 anywhere in the hot state.
 """
 
+import os
+from multiprocessing import shared_memory
+
 import numpy as np
 import pytest
 
@@ -196,6 +199,156 @@ class TestTrainStepDtypePurity:
                              np.zeros(3, dtype=np.int32), None)
         with pytest.raises(TypeError, match="float64"):
             assert_compute_dtype(np.zeros(3, dtype=np.float64))
+
+
+class TestArenaSharedMemoryRoundTrip:
+    """The DDP substrate: an arena must survive a trip through a
+    ``shared_memory`` segment — map, mutate via view, remap — with every
+    parameter byte preserved and every grad view still aliasing."""
+
+    def _segment(self, nbytes, tag):
+        from repro.train.ddp import DDP_NAME_PREFIX
+
+        return shared_memory.SharedMemory(
+            name=f"{DDP_NAME_PREFIX}-{os.getpid()}-arenatest-{tag}",
+            create=True, size=max(1, nbytes))
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_round_trip_preserves_every_byte(self, seed):
+        model = TwoLayer(rng=seed)
+        arena = ParameterArena(model)
+        baseline = {k: v.copy() for k, v in model.state_dict().items()}
+        seg = self._segment(arena.data.nbytes, f"data{seed}")
+        try:
+            view = np.ndarray((arena.size,), arena.data.dtype, seg.buf)
+            arena.rebind(data=view)
+            # map: values carried over, parameter views alias the segment
+            for key, expected in baseline.items():
+                np.testing.assert_array_equal(model.state_dict()[key],
+                                              expected, err_msg=key)
+            assert np.shares_memory(model.a.W.data, view)
+            # mutate via a *second* view over the same segment: the model
+            # must see it (shared mapping, not a copy)
+            other = np.ndarray((arena.size,), arena.data.dtype, seg.buf)
+            other += 1.0
+            np.testing.assert_array_equal(
+                model.a.W.data.reshape(-1),
+                baseline["a.W"].reshape(-1) + 1.0)
+            # remap back to private memory: bytes preserved again
+            arena.rebind(data=np.empty_like(view))
+            view = other = None
+        finally:
+            seg.close()
+            seg.unlink()
+        for key, expected in baseline.items():
+            np.testing.assert_array_equal(model.state_dict()[key],
+                                          expected + 1.0, err_msg=key)
+        assert not np.shares_memory(model.a.W.data, arena.grad)
+
+    def test_grad_rebind_preserves_view_aliasing(self):
+        model = TwoLayer()
+        arena = ParameterArena(model)
+        model.a.W.grad += 2.5
+        seg = self._segment(arena.grad.nbytes, "grad")
+        try:
+            view = np.ndarray((arena.size,), arena.grad.dtype, seg.buf)
+            arena.rebind(grad=view)
+            assert np.shares_memory(model.a.W.grad, view)
+            assert float(model.a.W.grad[0, 0]) == 2.5  # carried over
+            # layer-local accumulation lands in the shared buffer ...
+            model.b.W.grad += 1.0
+            region = dict((n, r) for n, r, _ in arena.slices)["b.W"]
+            assert (view[region] == 1.0).all()
+            # ... and whole-arena ops see the shared buffer
+            arena.zero_grad()
+            assert (model.a.W.grad == 0).all() and (view == 0).all()
+            arena.rebind(grad=np.zeros_like(view))
+            view = None
+        finally:
+            seg.close()
+            seg.unlink()
+        model.a.W.grad += 1.0  # still aliased after the return trip
+        assert arena.grad_norm() > 0
+
+    def test_rebind_rejects_wrong_shape_or_dtype(self):
+        arena = ParameterArena(TwoLayer())
+        with pytest.raises(ValueError, match="rebind"):
+            arena.rebind(data=np.zeros(arena.size + 1, dtype=get_dtype()))
+        with pytest.raises(ValueError, match="rebind"):
+            arena.rebind(grad=np.zeros(arena.size, dtype=np.float64))
+
+
+class TestFusedAdamWSerialization:
+    """Regression (PR 9 fix): the optimizer's step count and moment
+    buffers must serialize with the arena — restoring parameters alone
+    makes a resumed run diverge from an uninterrupted one."""
+
+    def _grads_for(self, step):
+        return np.random.default_rng([42, step])
+
+    def _drive(self, opt, steps, start=0):
+        for step in range(start, start + steps):
+            opt.zero_grad()
+            opt.arena.grad += self._grads_for(step).normal(
+                size=opt.arena.size).astype(get_dtype())
+            opt.step()
+
+    def test_resume_is_bit_identical(self):
+        uninterrupted = FusedAdamW(TwoLayer(rng=1), lr=3e-3)
+        self._drive(uninterrupted, 10)
+
+        first = FusedAdamW(TwoLayer(rng=1), lr=3e-3)
+        self._drive(first, 5)
+        state = first.state_dict()
+        # snapshot is decoupled from live buffers
+        first.arena.data += 1.0
+        assert not np.array_equal(state["data"], first.arena.data)
+
+        resumed = FusedAdamW(TwoLayer(rng=2), lr=3e-3)  # cold weights
+        resumed.load_state_dict(state)
+        assert resumed.t == 5
+        self._drive(resumed, 5, start=5)
+        np.testing.assert_array_equal(uninterrupted.arena.data,
+                                      resumed.arena.data)
+        np.testing.assert_array_equal(uninterrupted._m, resumed._m)
+        np.testing.assert_array_equal(uninterrupted._v, resumed._v)
+
+    def test_resume_without_moments_diverges(self):
+        """The failure mode the fix closes: params-only restore resets
+        bias correction + momentum and the trajectories split."""
+        uninterrupted = FusedAdamW(TwoLayer(rng=1), lr=3e-3)
+        self._drive(uninterrupted, 10)
+
+        first = FusedAdamW(TwoLayer(rng=1), lr=3e-3)
+        self._drive(first, 5)
+        state = first.state_dict()
+
+        crippled = FusedAdamW(TwoLayer(rng=2), lr=3e-3)
+        crippled.arena.data[...] = state["data"]  # params only
+        self._drive(crippled, 5, start=5)
+        assert not np.array_equal(uninterrupted.arena.data,
+                                  crippled.arena.data)
+
+    def test_load_validates_keys_and_shapes(self):
+        opt = FusedAdamW(TwoLayer())
+        state = opt.state_dict()
+        with pytest.raises(KeyError, match="missing"):
+            opt.load_state_dict({k: state[k] for k in ("t", "m")})
+        bad = dict(state)
+        bad["v"] = np.zeros(3, dtype=get_dtype())
+        with pytest.raises(ValueError, match="shape"):
+            opt.load_state_dict(bad)
+
+    def test_load_writes_in_place(self):
+        """In-place restore: parameter views (and any shared segment the
+        arena lives in) must stay valid across a load."""
+        model = TwoLayer()
+        opt = FusedAdamW(model)
+        state = opt.state_dict()
+        data_buf, m_buf = opt.arena.data, opt._m
+        opt.load_state_dict(state)
+        assert opt.arena.data is data_buf and opt._m is m_buf
+        assert np.shares_memory(model.a.W.data, opt.arena.data)
 
 
 class TestBufferPool:
