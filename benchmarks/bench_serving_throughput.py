@@ -853,7 +853,9 @@ def test_serving_throughput(benchmark):
         "dirty_trace": dirty_trace_section,
         "stats": engine.stats.as_dict(),
     }
-    path = write_bench_report("serving", report)
+    # merge: bench_weight_sharing.py owns the report's weight_sharing
+    # section; rerunning this file must refresh only its own sections
+    path = write_bench_report("serving", report, merge=True)
     sweep_txt = ", ".join(f"{n}sh {shard_sweep[str(n)]['snippets_per_s']:.0f}/s"
                           for n in SHARD_COUNTS)
     print(f"\nengine on trace: {trace_throughput:.0f} snippets/s "

@@ -105,18 +105,31 @@ def timed(fn, *args, **kwargs):
     return result, timer.elapsed
 
 
-def write_bench_report(name: str, payload: dict) -> Path:
+def write_bench_report(name: str, payload: dict, merge: bool = False) -> Path:
     """Write ``BENCH_<name>.json`` next to the benches and return its path.
 
     The payload is wrapped with enough machine context (python version,
-    scale) for cross-run comparisons of the perf trajectory."""
+    scale) for cross-run comparisons of the perf trajectory.  With
+    ``merge=True`` the payload is layered over the existing report's
+    top-level sections instead of replacing the file — for reports that
+    several bench files contribute to (e.g. ``BENCH_serving.json``: the
+    throughput bench owns most sections, the weight-sharing bench owns
+    ``weight_sharing``), so a run of one file cannot silently drop the
+    other's sections and trip the gate's missing-metric check."""
     report = {
         "bench": name,
         "scale": get_scale().name,
         "python": platform.python_version(),
         "machine": platform.machine(),
-        **payload,
     }
     path = REPORT_DIR / f"BENCH_{name}.json"
+    if merge and path.is_file():
+        try:
+            previous = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            previous = {}
+        report.update({key: value for key, value in previous.items()
+                       if key not in report})
+    report.update(payload)
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return path

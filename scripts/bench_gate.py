@@ -125,6 +125,20 @@ GATES: List[Gate] = [
     Gate("serving", "dirty_trace.advice_yield", ">=", 0.9),
     Gate("serving", "dirty_trace.recovered_snippets", ">=", 1),
     Gate("serving", "dirty_trace.rejected_oversize", ">=", 1),
+    # one-copy weights: page accounting, not wall-clock, so it gates.
+    # Fleet-wide Pss of the weight segment at 8 shards must stay well
+    # under 8x the 1-shard cost (a private-copy fleet sits at 1.0), each
+    # resident page must actually be shared by several processes, and the
+    # swap invariants hold — shared and private fleets agree verdict-for-
+    # verdict after a reload, nothing stale survives a reload or a canary
+    # promote, and faulted workers leak no /dev/shm segments past close()
+    Gate("serving", "weight_sharing.sublinearity_ratio_8", "<=", 0.5),
+    Gate("serving", "weight_sharing.sharing_factor_8", ">=", 4.0),
+    Gate("serving", "weight_sharing.reload_parity_mismatches", "==", 0),
+    Gate("serving", "weight_sharing.stale_hits_after_swap", "==", 0),
+    Gate("serving", "weight_sharing.canary_flip.stale_after_promote",
+         "==", 0),
+    Gate("serving", "weight_sharing.leaked_segments_after_faults", "==", 0),
     # training: the fused path's speedups are the PR 3 contract
     Gate("training", "pretrain.speedup_steps_per_s", ">=", 2.0),
     Gate("training", "optimizer_microbench.speedup", ">=", 1.2),
@@ -152,6 +166,10 @@ REPORT_ONLY: List[Tuple[str, str]] = [
     ("serving", "ipc.queue.2.snippets_per_s"),
     ("serving", "ipc.shm.2.snippets_per_s"),
     ("serving", "dirty_trace.snippets_per_s"),
+    ("serving", "weight_sharing.reload_s"),
+    ("serving", "weight_sharing.fleet.1.cold_start_s"),
+    ("serving", "weight_sharing.fleet.8.cold_start_s"),
+    ("serving", "weight_sharing.canary_flip.promote_s"),
     ("training", "pretrain.fused.steps_per_s"),
     ("training", "finetune.small.fused.steps_per_s"),
     ("training", "ddp.workers_1.steps_per_s"),

@@ -18,6 +18,9 @@
 #                               # trainer's bit-identity/parity suite
 #                               # (1-vs-N losses + arena bytes, worker
 #                               # death, resume, /dev/shm hygiene)
+#   scripts/check.sh --shm-weights  # one-copy weights only: blob
+#                               # round-trip/validation + fleet segment
+#                               # swap, drain, and /dev/shm cleanup
 #
 # Tier-1 is the gate every change must keep green (`pytest -x -q` from the
 # repo root; bench_* files are never collected there).  The smoke subset
@@ -116,6 +119,16 @@ stage_ddp() {
     python -m pytest -x -q tests/test_train_ddp.py
 }
 
+stage_shm_weights() {
+    # the one-copy weight plane: blob round-trip + digest validation,
+    # legacy-checkpoint fallback, fleet segment swap on reload/canary,
+    # replay-at-spawn, and close() unlinking segments dead workers held.
+    # Part of tier-1 too; this mode isolates it so persistence/serving
+    # changes get a fast, targeted signal.
+    python -m pytest -x -q tests/test_persistence_blob.py \
+        tests/test_weight_sharing.py
+}
+
 case "${1:-}" in
     --docs)
         run_stage "docs" stage_docs
@@ -141,13 +154,16 @@ case "${1:-}" in
     --ddp)
         run_stage "ddp-determinism" stage_ddp
         ;;
+    --shm-weights)
+        run_stage "shm-weights" stage_shm_weights
+        ;;
     "")
         run_stage "lint" stage_lint
         run_stage "tier-1" stage_tier1
         run_stage "perf-smoke" stage_perf_smoke
         ;;
     *)
-        echo "check.sh: unknown mode '${1}' (use --fast, --docs, --lint, --perf, --chaos, --ipc, --fuzz, --ddp, or no argument)" >&2
+        echo "check.sh: unknown mode '${1}' (use --fast, --docs, --lint, --perf, --chaos, --ipc, --fuzz, --ddp, --shm-weights, or no argument)" >&2
         exit 2
         ;;
 esac

@@ -24,9 +24,12 @@ counters to stderr at EOF.  ``--http PORT`` instead loads the directive
 *and* ``private``/``reduction`` clause models behind one
 :class:`repro.serve.MultiModelEngine` and serves ``POST /advise``,
 ``POST /advise/batch``, ``POST /reload``, ``GET /healthz``, and
-``GET /stats`` (schemas in ``docs/serving.md``).  In either mode
+``GET /stats`` — each also mounted under ``/v1/`` with the v1 result
+schema (schemas in ``docs/serving.md``).  In either mode
 ``--shards N`` partitions traffic across N worker processes with
-digest-hash routing (:class:`repro.serve.ShardedEngine`), and
+digest-hash routing (:class:`repro.serve.ShardedEngine`; a sharded
+advisor loaded from ``--watch`` maps one shared read-only weight copy
+fleet-wide unless ``--no-shared-weights``), and
 ``--min-shards``/``--max-shards`` turn on queue-depth autoscaling between
 those bounds.  ``--http`` additionally supports ``--watch DIR`` (start
 from — and hot-reload on changes to — an advisor checkpoint directory
@@ -183,30 +186,57 @@ def _make_full_advisor(args: argparse.Namespace):
     ``--watch DIR`` pointing at an existing advisor checkpoint, the
     registry is loaded from it instead of training via the experiment
     context — the deployment path: train elsewhere, ``ModelRegistry.save``,
-    serve from the checkpoint and hot-reload on updates."""
+    serve from the checkpoint and hot-reload on updates.
+
+    A sharded advisor loaded from a checkpoint maps the weights **once**
+    into a shared segment (``--no-shared-weights`` opts out): the parent
+    binds the registry onto it before the workers spawn, so the whole
+    fleet serves from one physical copy, and later ``/reload`` /
+    ``/canary`` rollouts publish their checkpoints the same way."""
     import functools
 
     from repro.serve import ModelRegistry, ShardedEngine
 
     config = _engine_config(args)
     watch = getattr(args, "watch", None)
+    autoscale = _autoscale_config(args)
+    shards = getattr(args, "shards", 1)
+    sharded = shards > 1 or autoscale is not None
+    share = bool(getattr(args, "share_weights", True))
     registry = None
+    shared = None
     if watch:
         try:
-            registry = ModelRegistry.from_checkpoint(watch)
+            if share and sharded:
+                registry, shared = ModelRegistry.from_checkpoint(
+                    watch, share=True)
+            else:
+                registry = ModelRegistry.from_checkpoint(watch)
         except FileNotFoundError:
             registry = None  # no checkpoint yet: train, serve, watch for one
     if registry is None:
         from repro.pipeline import get_context
 
         registry = ModelRegistry.from_context(get_context())
-    autoscale = _autoscale_config(args)
-    shards = getattr(args, "shards", 1)
     factory = functools.partial(_build_multi_engine, registry, config)
-    if shards > 1 or autoscale is not None:
-        return ShardedEngine(factory, n_shards=shards, autoscale=autoscale,
-                             supervisor=_supervisor_config(args),
-                             ipc=getattr(args, "ipc", "shm"))
+    if sharded:
+        try:
+            return ShardedEngine(factory, n_shards=shards,
+                                 autoscale=autoscale,
+                                 supervisor=_supervisor_config(args),
+                                 ipc=getattr(args, "ipc", "shm"),
+                                 share_weights=share,
+                                 shared_weights=shared)
+        except BaseException:
+            # a fleet that failed to come up must not leak its segment
+            if shared is not None:
+                import contextlib
+
+                with contextlib.suppress(Exception):
+                    shared.close()
+                with contextlib.suppress(Exception):
+                    shared.unlink()
+            raise
     return factory()
 
 
@@ -476,6 +506,13 @@ def main(argv=None) -> int:
                          help="largest snippet the engine will lex; bigger "
                               "snippets get a neutral degraded verdict "
                               "(default 256 KiB, 0 disables)")
+    p_serve.add_argument("--no-shared-weights", dest="share_weights",
+                         action="store_false", default=True,
+                         help="sharded serving: load a private weight copy "
+                              "per worker instead of mapping one shared "
+                              "read-only segment fleet-wide (the default "
+                              "one-copy mode; see docs/operations.md for "
+                              "/dev/shm sizing)")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_compar = sub.add_parser("compar", help="run the ComPar S2S combiner on a file")

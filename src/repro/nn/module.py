@@ -207,14 +207,19 @@ class ParameterArena:
     def size(self) -> int:
         return int(self.data.size)
 
-    def rebind(self, data: np.ndarray = None, grad: np.ndarray = None) -> None:
-        """Move the arena onto new backing buffers, preserving contents.
+    def rebind(self, data: np.ndarray = None, grad: np.ndarray = None,
+               copy: bool = True) -> None:
+        """Move the arena onto new backing buffers.
 
         ``data``/``grad`` must be flat arrays of the arena's size and
         dtype — e.g. views over a ``multiprocessing.shared_memory``
         segment (to share parameters across forked workers) or fresh
-        private arrays (to detach before the segment is unlinked).  The
-        current bytes are copied into the target, then every
+        private arrays (to detach before the segment is unlinked).  With
+        ``copy=True`` (the default) the current bytes are copied into the
+        target first; with ``copy=False`` the target's existing contents
+        are *adopted* — the mode serving workers use to map a checkpoint
+        blob that is already resident in a shared segment without ever
+        materialising a private copy.  Either way every
         :class:`Parameter`'s views are re-pointed, so layer-local
         in-place updates keep hitting the new storage.
         """
@@ -226,7 +231,8 @@ class ParameterArena:
                 raise ValueError(
                     f"rebind {attr}: need shape {current.shape} dtype "
                     f"{current.dtype}, got {target.shape} {target.dtype}")
-            target[...] = current
+            if copy:
+                target[...] = current
             setattr(self, attr, target)
         for p, (_name, region, shape) in zip(self._params, self.slices):
             if data is not None:

@@ -1,7 +1,13 @@
 """Serving layer: the advisor as a multi-model, sharded, observable service.
 
-Six modules build on each other:
+Seven modules build on each other:
 
+* :mod:`repro.serve.api` — the v1 advice surface:
+  :class:`AdviceRequest` / :class:`AdviceResult`, the one
+  request/response dataclass pair every serving layer speaks
+  (``advise_v1`` on :class:`MultiModelEngine` and
+  :class:`ShardedEngine`, ``/v1/*`` over HTTP); ``SCHEMA_VERSION``
+  names the wire schema.
 * :mod:`repro.serve.engine` — :class:`InferenceEngine`: length-bucketed
   micro-batching, token-digest prediction LRU, tokenize-once memo, sync
   bulk + async queue APIs for one model.
@@ -31,9 +37,10 @@ Six modules build on each other:
   worker-fault injection (kill / hang / drop / malformed / slow) that
   the fault-tolerance tests and benches drive.
 * :mod:`repro.serve.http_api` — stdlib HTTP front-end (``/advise``,
-  ``/advise/batch``, ``/reload``, ``/healthz``, ``/stats``) with
-  admission control (:class:`AdmissionConfig`): body/batch caps,
-  queue-depth load shedding, and a circuit breaker.
+  ``/advise/batch``, ``/reload``, ``/healthz``, ``/stats``, all also
+  mounted under ``/v1/``) with admission control
+  (:class:`AdmissionConfig`): body/batch caps, queue-depth load
+  shedding, and a circuit breaker.
 
 Counters live in :mod:`repro.serve.metrics`.  CLI front-ends: ``repro
 serve`` (JSON-lines on stdin, or ``--http PORT``), ``repro advise``.
@@ -41,6 +48,7 @@ The full walk-through is in ``docs/serving.md``; the operator's guide
 (deploy, probe, reload, autoscale) is ``docs/operations.md``.
 """
 
+from repro.serve.api import SCHEMA_VERSION, AdviceRequest, AdviceResult
 from repro.serve.chaos import ChaosConfig, inject_fault
 from repro.serve.engine import (
     Advice,
@@ -85,8 +93,11 @@ from repro.serve.sharding import (
 from repro.serve.shm_ring import FrameTooBig, ShmRing
 
 __all__ = [
+    "SCHEMA_VERSION",
     "AdmissionConfig",
     "Advice",
+    "AdviceRequest",
+    "AdviceResult",
     "AdvisorHTTPServer",
     "ArmStats",
     "AutoscaleConfig",

@@ -180,11 +180,18 @@ class Advice:
     worker died or missed its deadline and every fallback failed too):
     the serving layer answers a neutral ``p = 0.5`` placeholder instead
     of raising, and this flag is how callers tell it apart from a real
-    model prediction."""
+    model prediction.
+
+    ``recovered`` marks a verdict computed from error-recovered lexing:
+    the snippet did not tokenize cleanly, the resilient lexer patched
+    over the damage (``ERROR_TOKEN`` in the stream), and the model still
+    answered.  Advisory only — the probability is real, but callers that
+    care about input hygiene can tell these answers apart."""
 
     probability: float
     needs_directive: bool
     degraded: bool = False
+    recovered: bool = False
 
 
 @dataclass(frozen=True)
@@ -245,6 +252,10 @@ class InferenceEngine:
         self.tokenizer = tokenizer or robust_text_tokens
         self.cache = LRUCache(self.config.cache_capacity)
         self._encode_memo = LRUCache(self.config.cache_capacity)
+        # version-prefixed digests of snippets whose lexing needed error
+        # recovery — how advise_many stamps Advice.recovered even when
+        # the encoding itself is a memo hit
+        self._recovered_memo = LRUCache(self.config.cache_capacity)
         self.stats = EngineStats()
         self._swap_count = 0
         self._cache_lock = threading.Lock()
@@ -343,16 +354,20 @@ class InferenceEngine:
             else:
                 self.stats.rejected_error += 1
 
-    def _encode(self, slot: ModelSlot, code: str) -> Optional[np.ndarray]:
+    def _encode(self, slot: ModelSlot, code: str,
+                key: Optional[bytes] = None) -> Optional[np.ndarray]:
         """Encode ``code`` under ``slot``, or ``None`` when rejected.
 
         Memo keys carry slot.version so a row encoded with an old
         vocabulary is never reused after a swap.  Rejections are memoized
         too (as the reason string) so a repeated poison snippet pays its
         lex budget once, not per request; every rejected answer still
-        ticks the ``rejected``/``rejected_*`` counters.
+        ticks the ``rejected``/``rejected_*`` counters.  Callers that
+        already computed the version-prefixed digest pass it as ``key``
+        to skip the second hash.
         """
-        key = slot.version_bytes + source_digest(code)
+        if key is None:
+            key = slot.version_bytes + source_digest(code)
         with self._cache_lock:
             hit = self._encode_memo.get(key)
         if hit is not None:
@@ -384,6 +399,7 @@ class InferenceEngine:
             self.stats.tokenized += 1
             if recovered:
                 self.stats.recovered += 1
+                self._recovered_memo.put(key, True)
             self.stats.encode_evictions += self._encode_memo.put(key, ids)
         return ids
 
@@ -438,12 +454,20 @@ class InferenceEngine:
 
         A rejected snippet yields ``Advice(0.5, False, degraded=True)`` —
         the same neutral-verdict contract the fleet uses for a dead worker,
-        so callers need exactly one degraded-handling path."""
+        so callers need exactly one degraded-handling path.  Verdicts
+        computed from error-recovered lexing carry ``recovered=True``
+        (stamped from the recovered-digest memo, so memo-hit encodings
+        keep the flag too)."""
         slot = self._slot
-        probs, rejected = self._predict_maybe_rejected(
-            [self._encode(slot, code) for code in codes], slot)
-        return [Advice(float(p), bool(p > 0.5), degraded=bad)
-                for p, bad in zip(probs[:, 1], rejected)]
+        keys = [slot.version_bytes + source_digest(code) for code in codes]
+        encoded = [self._encode(slot, code, key=key)
+                   for code, key in zip(codes, keys)]
+        with self._cache_lock:
+            recovered = [self._recovered_memo.get(key) is not None
+                         for key in keys]
+        probs, rejected = self._predict_maybe_rejected(encoded, slot)
+        return [Advice(float(p), bool(p > 0.5), degraded=bad, recovered=rec)
+                for p, bad, rec in zip(probs[:, 1], rejected, recovered)]
 
     def codec(self) -> Optional[dict]:
         """Describe how to encode snippets for this engine, or ``None``.

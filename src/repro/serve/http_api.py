@@ -37,6 +37,17 @@ Endpoints (all JSON; schemas and ``curl`` examples in ``docs/serving.md``):
   with the promoted ``model_version``) or ``POST /canary/rollback`` —
   both take no body and answer ``409`` with no canary active.
 
+Every endpoint is also mounted under the ``/v1/`` prefix (``/v1/advise``,
+``/v1/advise/batch``, ``/v1/reload``, ``/v1/canary*``, ``/v1/healthz``,
+``/v1/stats``); the bare paths above are the legacy aliases.  ``POST
+/v1/advise`` and ``/advise/batch`` (both spellings) answer the v1 result
+schema — :meth:`repro.serve.api.AdviceResult.as_dict`, a strict superset
+of the legacy shape that adds ``degraded`` / ``recovered`` /
+``model_version`` / ``arm`` — while legacy ``POST /advise`` keeps the
+legacy shape.  ``GET /stats`` reports ``schema_version`` (see
+:data:`repro.serve.api.SCHEMA_VERSION`) so clients can detect the
+surface.
+
 Malformed requests get ``400`` with ``{"error": ...}``; unknown paths
 ``404``; the serving loop never dies on a bad request.  Bodies that are
 not valid UTF-8 are re-decoded with replacement characters when the bad
@@ -317,8 +328,10 @@ class _AdvisorHandler(BaseHTTPRequestHandler):
     # -- GET ---------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — http.server API
-        """Route ``/healthz`` and ``/stats``."""
-        if self.path == "/healthz":
+        """Route ``/healthz`` and ``/stats`` (bare or ``/v1/``-prefixed —
+        the GET surface is identical on both)."""
+        path = _strip_v1(self.path)
+        if path == "/healthz":
             self.server.bump("healthz")
             heads = []
             names = getattr(self.server.advisor, "head_names", None)
@@ -332,14 +345,16 @@ class _AdvisorHandler(BaseHTTPRequestHandler):
                                           "error": str(exc)})
                     return
             self._send_json(200, {"status": "ok", "heads": heads})
-        elif self.path == "/stats":
+        elif path == "/stats":
             self.server.bump("stats")
             try:
                 stats = self.server.advisor.stats()
             except Exception as exc:  # noqa: BLE001 — report, don't die
                 self._error(500, f"stats failed: {exc}")
                 return
-            self._send_json(200, {"http": self.server.counters(),
+            from repro.serve.api import SCHEMA_VERSION
+            self._send_json(200, {"schema_version": SCHEMA_VERSION,
+                                  "http": self.server.counters(),
                                   "admission": self.server.admission_stats(),
                                   "engine": stats})
         else:
@@ -349,23 +364,29 @@ class _AdvisorHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
         """Route ``/advise``, ``/advise/batch``, ``/reload``, and the
-        ``/canary`` lifecycle."""
-        if self.path == "/advise":
-            self._handle_advise()
-        elif self.path == "/advise/batch":
+        ``/canary`` lifecycle — bare (legacy) or ``/v1/``-prefixed.  Only
+        single-snippet advice differs between the two: ``/v1/advise``
+        answers the v1 result schema, the legacy alias keeps the legacy
+        shape (batch answers the v1 schema on both spellings — it is a
+        strict superset, so legacy clients keep parsing)."""
+        v1 = self.path != _strip_v1(self.path)
+        path = _strip_v1(self.path)
+        if path == "/advise":
+            self._handle_advise(v1=v1)
+        elif path == "/advise/batch":
             self._handle_advise_batch()
-        elif self.path == "/reload":
+        elif path == "/reload":
             self._handle_reload()
-        elif self.path == "/canary":
+        elif path == "/canary":
             self._handle_canary_start()
-        elif self.path == "/canary/promote":
+        elif path == "/canary/promote":
             self._handle_canary_finish("promote", "canary_promote")
-        elif self.path == "/canary/rollback":
+        elif path == "/canary/rollback":
             self._handle_canary_finish("rollback", "canary_rollback")
         else:
             self._error(404, f"unknown path {self.path!r}")
 
-    def _handle_advise(self) -> None:
+    def _handle_advise(self, v1: bool = False) -> None:
         if not self._admit():
             return
         try:
@@ -379,18 +400,24 @@ class _AdvisorHandler(BaseHTTPRequestHandler):
                 return
             self.server.bump("advise")
             try:
-                # prefer the async micro-batching path: concurrent handler
-                # threads enqueue on the per-head submit() queues and their
-                # snippets coalesce into shared forward passes, instead of
-                # each request running its own batch-of-1 (advisors without
-                # the async surface, e.g. ShardedEngine, fall back to the
-                # bulk call)
-                advise_async = getattr(self.server.advisor,
-                                       "advise_full_async", None)
-                if advise_async is not None:
-                    advice = advise_async(code)
+                if v1:
+                    advice = _advise_v1(self.server.advisor, [code],
+                                        [payload.get("id")])[0]
                 else:
-                    advice = self.server.advisor.advise_full_many([code])[0]
+                    # the legacy path prefers async micro-batching:
+                    # concurrent handler threads enqueue on the per-head
+                    # submit() queues and their snippets coalesce into
+                    # shared forward passes, instead of each request
+                    # running its own batch-of-1 (advisors without the
+                    # async surface, e.g. ShardedEngine, fall back to the
+                    # bulk call)
+                    advise_async = getattr(self.server.advisor,
+                                           "advise_full_async", None)
+                    if advise_async is not None:
+                        advice = advise_async(code)
+                    else:
+                        advice = self.server.advisor.advise_full_many(
+                            [code])[0]
             except Exception as exc:  # noqa: BLE001 — report, don't die
                 self.server.record_outcome(False)
                 self._error(500, f"inference failed: {exc}")
@@ -519,8 +546,13 @@ class _AdvisorHandler(BaseHTTPRequestHandler):
             advices: List = []
             if good:
                 try:
-                    advices = self.server.advisor.advise_full_many(
-                        [code for _, code in good])
+                    # batch answers the v1 result schema on both the
+                    # legacy and the /v1/ spelling: it is a strict
+                    # superset of the legacy shape
+                    advices = _advise_v1(
+                        self.server.advisor,
+                        [code for _, code in good],
+                        [items[i][0] for i, _ in good])
                 except Exception as exc:  # noqa: BLE001 — report, don't die
                     self.server.record_outcome(False)
                     self._error(500, f"inference failed: {exc}")
@@ -574,6 +606,38 @@ class _AdvisorHandler(BaseHTTPRequestHandler):
             else:
                 items.append((req.get("id", i), None, item_error))
         return items
+
+
+def _strip_v1(path: str) -> str:
+    """Normalize a ``/v1/``-prefixed path to its legacy spelling (the
+    router matches on legacy paths; the prefix only selects the v1
+    response schema where the two differ)."""
+    if path == "/v1" or path.startswith("/v1/"):
+        return path[len("/v1"):] or "/"
+    return path
+
+
+def _advise_v1(advisor, codes: List[str], ids: List) -> List:
+    """v1 results from any advisor: its own ``advise_v1`` when it has one
+    (:class:`~repro.serve.registry.MultiModelEngine` and
+    :class:`~repro.serve.sharding.ShardedEngine` both do), else legacy
+    ``advise_full_many`` wrapped into :class:`~repro.serve.api.AdviceResult`
+    with default operational context — the HTTP surface answers the v1
+    schema even for bare-bones advisors."""
+    from repro.serve.api import AdviceRequest, AdviceResult
+
+    advise_v1 = getattr(advisor, "advise_v1", None)
+    if advise_v1 is not None:
+        return advise_v1([AdviceRequest(code=code, id=rid)
+                          for code, rid in zip(codes, ids)])
+    fulls = advisor.advise_full_many(codes)
+    version = str(getattr(advisor, "model_version", "0"))
+    # duck-typed advisors (embedder stubs) may return bare objects with
+    # just as_dict(); pass those through in their legacy shape rather
+    # than 500 on the missing operational context
+    return [AdviceResult.from_full(full, model_version=version, id=rid)
+            if hasattr(full, "directive") else full
+            for full, rid in zip(fulls, ids)]
 
 
 def make_server(advisor, host: str = "127.0.0.1", port: int = 0,
@@ -630,7 +694,8 @@ def serve_forever(advisor, host: str, port: int, banner: bool = True,
         print(f"advisor listening on http://{bound_host}:{bound_port} "
               f"(POST /advise, POST /advise/batch, POST /reload, "
               f"POST /canary[/promote|/rollback], "
-              f"GET /healthz, GET /stats{watching})")
+              f"GET /healthz, GET /stats — all also under /v1/"
+              f"{watching})")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover — interactive exit

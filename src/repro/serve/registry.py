@@ -61,6 +61,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.models.pragformer import PragFormer
+from repro.serve.api import AdviceRequest, AdviceResult
 from repro.serve.engine import (
     Advice,
     EngineConfig,
@@ -239,12 +240,26 @@ class ModelRegistry:
         return registry
 
     @classmethod
-    def from_checkpoint(cls, path) -> "ModelRegistry":
+    def from_checkpoint(cls, path, share: bool = False):
         """Reload a registry saved by :meth:`save` / ``save_advisor``,
-        including each head's serving ``max_len``."""
+        including each head's serving ``max_len``.
+
+        With ``share=True`` the heads are additionally published into a
+        fresh shared weights segment (``load_advisor(share=True)``) and
+        the return value becomes ``(registry, handle)`` where ``handle``
+        is the owning :class:`~repro.models.persistence.SharedWeights`
+        (``None`` for a legacy checkpoint without a blob).  Under a
+        ``fork``-started shard fleet this is what makes the *initial*
+        weights one-copy too, not just reloads.
+        """
         from repro.models.persistence import load_advisor
 
         registry = cls()
+        if share:
+            heads, handle = load_advisor(path, share=True)
+            for name, (model, vocab, max_len) in heads.items():
+                registry.register(name, model, vocab, max_len=max_len)
+            return registry, handle
         for name, (model, vocab, max_len) in load_advisor(path).items():
             registry.register(name, model, vocab, max_len=max_len)
         return registry
@@ -492,6 +507,11 @@ class MultiModelEngine:
         # (id(src_vocab), id(dst_vocab)) -> int32 id translation table
         self._remap_lock = threading.Lock()
         self._remap_tables: Dict[Tuple[int, int], np.ndarray] = {}
+        # shared-weights attachments this engine's models are bound onto
+        # (``reload(segment=)`` / ``start_canary(segment=)``); mappings are
+        # closed at engine close, unlink stays with the segment's creator
+        self._weights_handles: List[object] = []
+        self._weights_mode = "private"
 
     # -- directive-only paths (InferenceEngine-compatible surface) ---------
 
@@ -505,11 +525,19 @@ class MultiModelEngine:
         return self.directive_engine.predict_proba(codes)
 
     def advise(self, code: str) -> Advice:
-        """Directive-only advice for one snippet."""
+        """Directive-only advice for one snippet.
+
+        .. deprecated:: use :meth:`advise_v1` — same verdict, plus the
+           clause advice and operational fields the legacy shape lacks.
+        """
         return self.directive_engine.advise(code)
 
     def advise_many(self, codes: Sequence[str]) -> List[Advice]:
-        """Directive-only advice for many snippets."""
+        """Directive-only advice for many snippets.
+
+        .. deprecated:: use :meth:`advise_v1` — same verdicts (this is
+           the directive core it delegates to), richer results.
+        """
         return self.directive_engine.advise_many(codes)
 
     # -- pre-encoded (shared-memory transport) paths ------------------------
@@ -546,7 +574,12 @@ class MultiModelEngine:
         return self.directive_engine.predict_proba_encoded(rows)
 
     def advise_many_encoded(self, rows: Sequence[np.ndarray]) -> List[Advice]:
-        """Directive-only advice for pre-encoded token-id rows."""
+        """Directive-only advice for pre-encoded token-id rows.
+
+        .. deprecated:: external callers should use :meth:`advise_v1`
+           with ``ids=``/``digest=`` requests; this remains as the
+           transport-internal directive core.
+        """
         return self.directive_engine.advise_many_encoded(rows)
 
     def _remap_table(self, src: Vocab, dst: Vocab) -> np.ndarray:
@@ -594,7 +627,11 @@ class MultiModelEngine:
     # -- combined fan-out path ---------------------------------------------
 
     def advise_full(self, code: str) -> FullAdvice:
-        """One snippet through all heads -> one :class:`FullAdvice`."""
+        """One snippet through all heads -> one :class:`FullAdvice`.
+
+        .. deprecated:: use :meth:`advise_v1` — identical verdicts (the
+           parity test pins them field by field), richer result shape.
+        """
         return self.advise_full_many([code])[0]
 
     @staticmethod
@@ -795,6 +832,9 @@ class MultiModelEngine:
         (:func:`canary_routes_digest`, the identical slice the text path
         computes) and shadow/agreement accounting works exactly as in
         :meth:`advise_full_many`.
+
+        .. deprecated:: external callers should use :meth:`advise_v1`;
+           this remains as the shared-memory transport's fan-out core.
         """
         if len(digests) != len(rows):
             raise ValueError("digests must match rows 1:1")
@@ -871,6 +911,10 @@ class MultiModelEngine:
         the canary slice is served by the canary engines (shadow primary
         directive verdicts feed the agreement counters), the rest by the
         primary, and results come back in request order either way.
+
+        .. deprecated:: external callers should use :meth:`advise_v1`,
+           which wraps this path and adds the operational fields; this
+           remains as the fan-out core every surface shares.
         """
         if directive is not None and len(directive) != len(codes):
             raise ValueError("directive advice must match codes 1:1")
@@ -929,9 +973,59 @@ class MultiModelEngine:
                 out[i] = full
         return out
 
+    # -- the v1 advice surface ----------------------------------------------
+
+    def advise_v1(self, requests: Sequence) -> List[AdviceResult]:
+        """Bulk advice through the unified v1 surface.
+
+        ``requests`` is a sequence of :class:`~repro.serve.api
+        .AdviceRequest` (bare strings are accepted and wrapped as
+        ``code``); every request in one call must use the same input
+        form — all source text, or all pre-encoded ``ids``/``digest``
+        rows.  Returns one :class:`~repro.serve.api.AdviceResult` per
+        request, in order: the same verdict/probability/clause values the
+        legacy ``advise_full_many`` path computes (it *is* that path
+        underneath — gating, canary split, and caches are shared), plus
+        the operational context as first-class fields: ``model_version``,
+        ``arm`` (which canary arm was routed to), ``degraded``, and
+        ``recovered``.  The arm/version labels are advisory snapshots —
+        a promote racing the call can relabel, never change a verdict.
+        """
+        reqs = [AdviceRequest.of(r) for r in requests]
+        if not reqs:
+            return []
+        n_encoded = sum(1 for r in reqs if r.code is None)
+        if n_encoded not in (0, len(reqs)):
+            raise ValueError("advise_v1: one call must not mix code= and "
+                             "ids= requests")
+        state = self._canary
+        if n_encoded == 0:
+            codes = [r.code for r in reqs]
+            fulls = self.advise_full_many(codes)
+            routed = [state is not None
+                      and canary_routes(code, state.fraction)
+                      for code in codes]
+        else:
+            rows = [r.ids for r in reqs]
+            digests = [r.digest for r in reqs]
+            fulls = self.advise_full_many_encoded(rows, digests)
+            routed = [state is not None
+                      and canary_routes_digest(digest, state.fraction)
+                      for digest in digests]
+        return [
+            AdviceResult.from_full(
+                full,
+                model_version=(state.version if canary
+                               else self.model_version),
+                arm="canary" if canary else "primary",
+                id=req.id)
+            for req, full, canary in zip(reqs, fulls, routed)
+        ]
+
     # -- hot reload ----------------------------------------------------------
 
-    def reload(self, advisor_dir, version: Optional[str] = None) -> str:
+    def reload(self, advisor_dir, version: Optional[str] = None,
+               segment: Optional[str] = None) -> str:
         """Swap every head to the checkpoint in ``advisor_dir``, live.
 
         Loads the checkpoint (slow I/O, outside any lock), then swaps each
@@ -956,13 +1050,22 @@ class MultiModelEngine:
         Raises ``RuntimeError`` while a canary is active — finish the
         rollout (:meth:`promote` / :meth:`rollback`) first, so the canary's
         agreement counters always compare against one fixed primary.
+
+        ``segment`` names an already-published shared weights segment
+        (see :func:`repro.models.share_weights`): the new heads then map
+        the fleet's one read-only weight copy instead of deserializing
+        the checkpoint here, and the swap is just a slot-pointer flip.
+        An unreachable segment silently falls back to the eager load.
         """
-        heads = self._load_checkpoint_heads(advisor_dir)
+        heads, shared = self._load_checkpoint_heads(advisor_dir,
+                                                    segment=segment)
         with self._reload_lock:
             # checked under the lock: a start_canary racing this reload
             # either installed its state first (we refuse) or will see the
             # reloaded primary as its comparison baseline
             if self._canary is not None:
+                if shared is not None:
+                    shared.close()
                 raise RuntimeError(
                     "a canary rollout is active; promote() or rollback() "
                     "it before reloading the primary")
@@ -977,27 +1080,48 @@ class MultiModelEngine:
                                               version=version)
             self.registry = registry
             self.model_version = version
+            if shared is not None:
+                self._weights_handles.append(shared)
+            self._weights_mode = "shared" if shared is not None else "private"
         return version
 
-    def _load_checkpoint_heads(self, advisor_dir):
+    def _load_checkpoint_heads(self, advisor_dir, segment=None):
         """Load an advisor checkpoint and require it to cover every served
         head (shared by :meth:`reload` and :meth:`start_canary`; raises
-        without touching any engine on a missing/incomplete checkpoint)."""
+        without touching any engine on a missing/incomplete checkpoint).
+
+        With ``segment`` set, binds the heads onto that already-published
+        shared weights segment (zero weight bytes deserialized here); an
+        unreachable or invalid segment falls back to the eager per-process
+        load — availability beats sharing.  Returns ``(heads, handle)``
+        where ``handle`` is the :class:`~repro.models.persistence
+        .SharedWeights` attachment or ``None``.
+        """
         from repro.models.persistence import load_advisor
 
-        heads = load_advisor(advisor_dir)
+        shared = None
+        if segment is not None:
+            try:
+                heads, shared = load_advisor(advisor_dir, segment=segment)
+            except (ValueError, FileNotFoundError, OSError):
+                heads = load_advisor(advisor_dir)
+        else:
+            heads = load_advisor(advisor_dir)
         missing = [name for name in self.engines if name not in heads]
         if missing:
+            if shared is not None:
+                shared.close()
             raise ValueError(
                 f"checkpoint {advisor_dir} lacks served heads {missing}; "
                 f"it provides {sorted(heads)}")
-        return heads
+        return heads, shared
 
     # -- canary rollout ------------------------------------------------------
 
     def start_canary(self, advisor_dir, fraction: float,
                      policy: Optional[CanaryPolicy] = None,
-                     version: Optional[str] = None) -> str:
+                     version: Optional[str] = None,
+                     segment: Optional[str] = None) -> str:
         """Serve the checkpoint in ``advisor_dir`` to a canary slice of
         traffic next to the current primary.
 
@@ -1017,6 +1141,10 @@ class MultiModelEngine:
         passes one tag fleet-wide).  Raises ``RuntimeError`` if a canary
         is already active; a missing/incomplete checkpoint raises without
         disturbing the primary.  Returns the canary's version tag.
+
+        ``segment`` names an already-published shared weights segment,
+        exactly as in :meth:`reload` — the canary arm then maps the same
+        one-copy blob the rest of the fleet's canary arms map.
         """
         if not 0.0 < fraction <= 1.0:
             raise ValueError("fraction must be in (0, 1]")
@@ -1024,9 +1152,12 @@ class MultiModelEngine:
             raise ValueError(
                 f"fraction {fraction} quantizes to zero canary traffic "
                 "(canary_routes works in whole percent; use >= 0.005)")
-        heads = self._load_checkpoint_heads(advisor_dir)
+        heads, shared = self._load_checkpoint_heads(advisor_dir,
+                                                    segment=segment)
         with self._reload_lock:
             if self._canary is not None:
+                if shared is not None:
+                    shared.close()
                 raise RuntimeError(
                     f"canary {self._canary.version} already active; "
                     "promote() or rollback() it first")
@@ -1043,6 +1174,8 @@ class MultiModelEngine:
                     tokenizer=self.lex_memo, version=version)
             self._canary = _CanaryState(version, fraction, registry, engines,
                                         policy, time.time())
+            if shared is not None:
+                self._weights_handles.append(shared)
         return version
 
     def promote(self, reason: Optional[str] = None) -> str:
@@ -1138,7 +1271,9 @@ class MultiModelEngine:
         completed hot reloads, "clause_gating": gate config + skip
         counters, "canary": live rollout (version, fraction, per-arm
         counters) or ``None``, "last_canary": how the previous rollout
-        ended, or ``None``}`` — JSON-ready for the ``/stats`` endpoint.
+        ended, or ``None``, "weights": whether the served weights map a
+        shared segment and how many attachments are held}`` — JSON-ready
+        for the ``/stats`` endpoint.
         """
         per_head = {name: eng.stats.as_dict() for name, eng in self.engines.items()}
         with self._gate_lock:
@@ -1170,18 +1305,28 @@ class MultiModelEngine:
             "clause_gating": gating,
             "canary": canary,
             "last_canary": self._last_canary,
+            "weights": {"mode": self._weights_mode,
+                        "attached_segments": len(self._weights_handles)},
         }
 
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        """Close every per-head engine, canary set included (idempotent)."""
+        """Close every per-head engine, canary set included (idempotent).
+
+        Shared-weights attachments are closed best-effort afterwards —
+        model parameter views may keep a mapping exported until the
+        models are collected, which is fine: unlinking (the creator's
+        job) does not wait on it, and the pages free with the process.
+        """
         state = self._canary
         if state is not None:
             for engine in state.engines.values():
                 engine.close()
         for engine in self.engines.values():
             engine.close()
+        for handle in self._weights_handles:
+            handle.close()
 
     def __enter__(self) -> "MultiModelEngine":
         return self

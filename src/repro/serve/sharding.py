@@ -96,9 +96,10 @@ import numpy as np
 
 from repro.nn.dtype import get_dtype
 from repro.serve.chaos import ChaosConfig, inject_fault
+from repro.serve.api import AdviceRequest, AdviceResult
 from repro.serve.engine import Advice, LRUCache, source_digest
 from repro.serve.metrics import RollingMean, merge_arm_stats, merge_stat_dicts
-from repro.tokenize import robust_text_tokens, text_tokens
+from repro.tokenize import ERROR_TOKEN, robust_text_tokens, text_tokens
 from repro.serve.shm_ring import (
     STATUS_ERROR,
     STATUS_FAULT,
@@ -341,10 +342,23 @@ def _dispatch(engine, method: str, payload):
         describe = getattr(engine, "codec", None)
         return describe() if callable(describe) else None
     if method == "reload":
-        path, version = payload
+        path, version, segment = (payload if len(payload) == 3
+                                  else (*payload, None))
+        if segment is not None:
+            try:  # engines without a segment= kwarg load eagerly instead
+                return engine.reload(path, version=version, segment=segment)
+            except TypeError:
+                pass
         return engine.reload(path, version=version)
     if method == "start_canary":
-        path, fraction, version = payload
+        path, fraction, version, segment = (payload if len(payload) == 4
+                                            else (*payload, None))
+        if segment is not None:
+            try:
+                return engine.start_canary(path, fraction, version=version,
+                                           segment=segment)
+            except TypeError:
+                pass
         return engine.start_canary(path, fraction, version=version)
     if method == "canary_promote":
         return engine.promote()
@@ -358,18 +372,22 @@ def _worker_main(factory, requests, responses, reload_spec=None,
                  data_rings=None) -> None:
     """Worker loop: build the engine once, then serve method calls.
 
-    ``reload_spec`` — a ``(checkpoint_path, version_tag)`` pair — replays
-    the parent's last *successful* hot reload on a worker spawned after
-    it (the autoscaler growing the fleet): the factory closes over the
-    registry the parent started with, so without the replay a grown
-    worker would serve pre-reload weights.  The parent-issued tag keeps
-    every worker's ``model_version`` identical.  ``canary_spec`` — a
-    ``(path, fraction, version_tag)`` triple — likewise replays a canary
-    rollout that was live when the grow was scheduled, so a grown worker
-    splits traffic exactly like its siblings.  A failed replay (the
-    checkpoint vanished since) falls back to the weights already loaded
-    and keeps serving — a live worker with a divergent ``model_version``
-    in ``/stats`` beats a dead slot.
+    ``reload_spec`` — a ``(checkpoint_path, version_tag, segment)``
+    triple — replays the parent's last *successful* hot reload on a
+    worker spawned after it (the autoscaler growing the fleet): the
+    factory closes over the registry the parent started with, so without
+    the replay a grown worker would serve pre-reload weights.  The
+    parent-issued tag keeps every worker's ``model_version`` identical;
+    ``segment``, when set, names the parent-owned shared weights segment
+    the rollout published, so the replayed reload maps the fleet's one
+    weight copy instead of re-deserializing the checkpoint.
+    ``canary_spec`` — ``(path, fraction, version_tag, segment)`` —
+    likewise replays a canary rollout that was live when the grow was
+    scheduled, so a grown worker splits traffic exactly like its
+    siblings.  A failed replay (the checkpoint vanished since) falls
+    back to the weights already loaded and keeps serving — a live worker
+    with a divergent ``model_version`` in ``/stats`` beats a dead slot.
+    Both specs also arrive as their legacy segment-less tuples.
 
     Control messages are ``(rid, method, payload)`` tuples on the
     ``requests`` queue; replies are ``(rid, "ok", result)`` or
@@ -404,15 +422,13 @@ def _worker_main(factory, requests, responses, reload_spec=None,
     """
     engine = factory()
     if reload_spec is not None:
-        path, version = reload_spec
         try:
-            engine.reload(path, version=version)
+            _dispatch(engine, "reload", reload_spec)
         except Exception:  # noqa: BLE001 — factory weights keep serving
             pass
     if canary_spec is not None:
-        path, fraction, version = canary_spec
         try:
-            engine.start_canary(path, fraction, version=version)
+            _dispatch(engine, "start_canary", canary_spec)
         except Exception:  # noqa: BLE001 — primary-only worker keeps serving
             pass
     serving_calls = 0
@@ -704,6 +720,8 @@ class ShardedEngine:
         ipc: str = "shm",
         ring_slots: int = 8,
         ring_slot_words: int = 1 << 17,
+        share_weights: bool = True,
+        shared_weights: Optional[object] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -725,9 +743,28 @@ class ShardedEngine:
         self._route_lock = threading.RLock()  # active shard count + resizes
         self._rids = itertools.count()
         self._factory = factory
-        self._reload_spec: Optional[Tuple[str, str]] = None
-        self._canary_spec: Optional[Tuple[str, float, str]] = None
+        self._reload_spec: Optional[Tuple[str, str, Optional[str]]] = None
+        self._canary_spec: Optional[
+            Tuple[str, float, str, Optional[str]]] = None
         self._reload_count = 0
+        # one-copy weights: rollouts publish the checkpoint blob into a
+        # parent-owned shared segment and broadcast its name instead of
+        # having every worker re-deserialize the checkpoint.  The parent
+        # keeps every handle it ever created (mirroring _all_rings) so
+        # close() unlinks them all even when workers died mid-mapping;
+        # the *current* primary/canary segments stay linked while live —
+        # respawned workers attach them by name at replay.
+        self._share_weights = bool(share_weights)
+        self._all_weights: List[object] = []
+        self._weights_primary = shared_weights
+        self._weights_canary = None
+        if shared_weights is not None:
+            self._all_weights.append(shared_weights)
+        self._model_version = "0"
+        # source digests whose lexing needed error recovery, tracked
+        # router-side: on the shm transport workers see pre-encoded rows
+        # and cannot know, so advise_v1 stamps Advice.recovered from here
+        self._recovered_digests = LRUCache(4096)
         self._local = None
         self._workers: List[mp.Process] = []
         self._requests: List[mp.queues.Queue] = []
@@ -1038,11 +1075,21 @@ class ShardedEngine:
         if missing:
             vocab, max_len = codec["vocab"], codec["max_len"]
             lex = self._lex_memo
+            recovered: List[bytes] = []
             for i in missing:
-                rows[i] = vocab.encode(lex(codes[i]), max_len=max_len)
+                tokens = lex(codes[i])
+                rows[i] = vocab.encode(tokens, max_len=max_len)
+                if ERROR_TOKEN in tokens:
+                    # workers see pre-encoded rows on this transport and
+                    # cannot tell recovery happened; remember it here so
+                    # advise_v1 can stamp the flag (keyed by bare source
+                    # digest — lexing is version-independent)
+                    recovered.append(digests[i])
             with self._codec_lock:
                 for i in missing:
                     self._encode_memo.put(keys[i], rows[i])
+                for digest in recovered:
+                    self._recovered_digests.put(digest, True)
         return list(zip(digests, rows))
 
     def _reply_words(self, method: str, n_items: int) -> int:
@@ -1713,6 +1760,107 @@ class ShardedEngine:
         """Single-snippet combined advice."""
         return self.advise_full_many([code])[0]
 
+    def advise_v1(self, requests: Sequence) -> List["AdviceResult"]:
+        """The v1 advice surface over the fleet: a batch of
+        :class:`~repro.serve.api.AdviceRequest` (or bare snippet strings)
+        in, :class:`~repro.serve.api.AdviceResult` out, with the
+        operational context only the router knows stitched on — which
+        arm a live canary routed each snippet to, the fleet-wide
+        ``model_version``, and the ``recovered`` flag (on the
+        shared-memory transport workers see pre-encoded rows, so lexing
+        recovery is observed router-side and stamped here)."""
+        reqs = [AdviceRequest.of(r) for r in requests]
+        if not reqs:
+            return []
+        if self._local is not None:
+            advise_v1 = getattr(self._local, "advise_v1", None)
+            if advise_v1 is not None:
+                return advise_v1(reqs)
+        if any(r.code is None for r in reqs):
+            raise ValueError(
+                "the sharded router owns encoding; submit AdviceRequest "
+                "with code=, not pre-encoded ids=")
+        codes = [r.code for r in reqs]
+        fulls = self.advise_full_many(codes)
+        digests = [source_digest(code) for code in codes]
+        with self._codec_lock:
+            router_recovered = [
+                self._recovered_digests.get(digest) is not None
+                for digest in digests]
+        with self._route_lock:
+            spec = self._canary_spec
+            primary_version = self._model_version
+        if spec is not None:
+            from repro.serve.registry import canary_routes_digest
+        results: List[AdviceResult] = []
+        for req, full, digest, rec in zip(reqs, fulls, digests,
+                                          router_recovered):
+            canary = (spec is not None
+                      and canary_routes_digest(digest, spec[1]))
+            result = AdviceResult.from_full(
+                full,
+                model_version=spec[2] if canary else primary_version,
+                arm="canary" if canary else "primary",
+                id=req.id)
+            if rec and not result.recovered:
+                from dataclasses import replace
+                result = replace(result, recovered=True)
+            results.append(result)
+        return results
+
+    # -- one-copy weight segments ------------------------------------------
+
+    def _publish_weights(self, path: str):
+        """Map ``path``'s weight blob into a fresh parent-owned shared
+        segment for a rollout; ``None`` when sharing is off, the
+        checkpoint predates blob manifests, or mapping fails — workers
+        then fall back to eager per-process deserialization, trading
+        memory for availability."""
+        if not self._share_weights or self._local is not None:
+            return None
+        try:
+            from repro.models.persistence import share_weights
+            shared = share_weights(path)
+        except (ValueError, OSError):
+            return None
+        if shared is not None:
+            with self._route_lock:
+                self._all_weights.append(shared)
+        return shared
+
+    def _retire_segment(self, shared) -> None:
+        """Unlink a segment that is no longer current.  POSIX drain
+        semantics do the rest: workers still holding a mapping keep
+        their pages until they close or die, but nothing can attach the
+        retired name again — exactly what a superseded model version
+        needs."""
+        if shared is None:
+            return
+        try:
+            shared.close()
+        except Exception:  # noqa: BLE001 — exported views pin the buffer
+            pass
+        try:
+            shared.unlink()
+        except Exception:  # noqa: BLE001 — already unlinked
+            pass
+
+    def _unlink_weights(self) -> None:
+        """Close-and-unlink every weight segment this engine ever
+        created, current or retired — the parent owns them all
+        (mirroring ``_all_rings``) precisely so /dev/shm ends clean even
+        when workers died holding a mapping."""
+        for shared in self._all_weights:
+            try:
+                shared.close()
+            except Exception:  # noqa: BLE001 — best-effort teardown
+                pass
+        for shared in self._all_weights:
+            try:
+                shared.unlink()
+            except Exception:  # noqa: BLE001 — already unlinked
+                pass
+
     # -- hot reload --------------------------------------------------------
 
     def reload(self, path) -> Optional[str]:
@@ -1743,17 +1891,22 @@ class ShardedEngine:
                 raise RuntimeError(
                     "local engine does not support reload(path)")
             version = reload_fn(path)
-            self._reload_spec = (path, version)
+            self._reload_spec = (path, version, None)
             return version
+        # publish the checkpoint blob into one shared segment *before*
+        # broadcasting, so every worker maps the same copy instead of
+        # re-deserializing the checkpoint N times
+        shared = self._publish_weights(path)
+        segment = None if shared is None else shared.name
         with self._route_lock:
             self._reload_count += 1
             version = f"v{self._reload_count}:{Path(path).name}"
-            tokens = [self._send(shard, "reload", (path, version))
+            tokens = [self._send(shard, "reload", (path, version, segment))
                       for shard in range(self.n_shards)]
             # remembered under the lock: a grow racing this reload either
             # sees the spec (and replays it) or got a broadcast token
             previous_spec = self._reload_spec
-            self._reload_spec = (path, version)
+            self._reload_spec = (path, version, segment)
         # the version tag changed: ring frames must stop carrying the old
         # codec tag.  In-flight stale frames fault-and-retry harmlessly.
         self._invalidate_codec()
@@ -1769,9 +1922,19 @@ class ShardedEngine:
         if failures:
             with self._route_lock:
                 # don't poison future grown workers with a bad checkpoint
-                if self._reload_spec == (path, version):
+                if self._reload_spec == (path, version, segment):
                     self._reload_spec = previous_spec
+            # shards that did reload keep their mapping (POSIX drain);
+            # nobody new should attach a known-bad rollout's segment
+            self._retire_segment(shared)
             raise RuntimeError("; ".join(failures))
+        with self._route_lock:
+            old, self._weights_primary = self._weights_primary, shared
+            self._model_version = version
+        if old is not shared:
+            # the retired primary: unlinked now, freed when the last
+            # worker snapshot holding it drains
+            self._retire_segment(old)
         return version
 
     # -- canary rollout ----------------------------------------------------
@@ -1817,20 +1980,29 @@ class ShardedEngine:
         if self._local is not None:
             version = self._local.start_canary(path, fraction,
                                                version=version)
-            self._canary_spec = (path, fraction, version)
+            self._canary_spec = (path, fraction, version, None)
             return version
-        with self._route_lock:
-            if self._canary_spec is not None:
-                raise RuntimeError(
-                    f"canary {self._canary_spec[2]} already active; "
-                    "promote() or rollback() it first")
-            self._reload_count += 1
-            if version is None:
-                version = f"v{self._reload_count}:{Path(path).name}"
-            spec = (path, float(fraction), version)
-            tokens = [self._send(shard, "start_canary", spec)
-                      for shard in range(self.n_shards)]
-            self._canary_spec = spec
+        shared = self._publish_weights(path)
+        segment = None if shared is None else shared.name
+        try:
+            with self._route_lock:
+                if self._canary_spec is not None:
+                    raise RuntimeError(
+                        f"canary {self._canary_spec[2]} already active; "
+                        "promote() or rollback() it first")
+                self._reload_count += 1
+                if version is None:
+                    version = f"v{self._reload_count}:{Path(path).name}"
+                spec = (path, float(fraction), version, segment)
+                tokens = [self._send(shard, "start_canary", spec)
+                          for shard in range(self.n_shards)]
+                self._canary_spec = spec
+                self._weights_canary = shared
+        except BaseException:
+            # refused (canary already active) or the broadcast itself
+            # blew up before the spec was remembered: drop the segment
+            self._retire_segment(shared)
+            raise
         failures: List[str] = []
         for shard, token in enumerate(tokens):
             try:
@@ -1864,11 +2036,11 @@ class ShardedEngine:
         with self._route_lock:
             if self._canary_spec is None:
                 raise RuntimeError("no canary active")
-            path, _, version = self._canary_spec
+            path, _, version, segment = self._canary_spec
         if self._local is not None:
             result = self._local.promote()
             with self._route_lock:
-                self._reload_spec = (path, version)
+                self._reload_spec = (path, version, segment)
                 self._canary_spec = None
             return result
         failures = [f for f in self._broadcast("canary_promote", None)
@@ -1877,8 +2049,16 @@ class ShardedEngine:
         if failures:
             raise RuntimeError("; ".join(failures))
         with self._route_lock:
-            self._reload_spec = (path, version)
+            self._reload_spec = (path, version, segment)
             self._canary_spec = None
+            # the canary segment *is* the new primary: promotion is just
+            # a pointer flip, no new mapping anywhere in the fleet
+            old = self._weights_primary
+            self._weights_primary = self._weights_canary
+            self._weights_canary = None
+            self._model_version = version
+        if old is not self._weights_primary:
+            self._retire_segment(old)
         return version
 
     def rollback(self) -> None:
@@ -1904,6 +2084,8 @@ class ShardedEngine:
             raise RuntimeError("; ".join(failures))
         with self._route_lock:
             self._canary_spec = None
+            old, self._weights_canary = self._weights_canary, None
+        self._retire_segment(old)
 
     # -- observability -----------------------------------------------------
 
@@ -2022,6 +2204,17 @@ class ShardedEngine:
             if self.ipc == "shm":
                 out["ipc"]["ring_slots"] = self._ring_slots
                 out["ipc"]["ring_slot_words"] = self._ring_slot_words
+        with self._route_lock:
+            out["weights"] = {
+                "sharing": self._share_weights and self._local is None,
+                "mode": ("shared" if self._weights_primary is not None
+                         else "private"),
+                "primary_segment": (None if self._weights_primary is None
+                                    else self._weights_primary.name),
+                "canary_segment": (None if self._weights_canary is None
+                                   else self._weights_canary.name),
+                "segments_created": len(self._all_weights),
+            }
         return out
 
     def _scatter_stats(self) -> List[Dict[str, object]]:
@@ -2076,6 +2269,7 @@ class ShardedEngine:
             close = getattr(self._local, "close", None)
             if close is not None:
                 close()
+            self._unlink_weights()
             return
         with self._route_lock:
             workers = list(self._workers)
@@ -2116,6 +2310,9 @@ class ShardedEngine:
                 ring.unlink()
             except Exception:  # noqa: BLE001 — already unlinked
                 pass
+        # same contract for the one-copy weight segments: workers that
+        # died holding a mapping cannot leak /dev/shm bytes past close()
+        self._unlink_weights()
 
     def __enter__(self) -> "ShardedEngine":
         return self

@@ -78,6 +78,12 @@ class TestDoctoredRegressionsFail:
         ("ipc.shm_vs_queue_2shards", 0.2),
         ("ipc.shm_2shard_scaling", 0.1),
         ("ipc.crossover_shards", 4),
+        ("weight_sharing.sublinearity_ratio_8", 1.0),   # one copy per shard
+        ("weight_sharing.sharing_factor_8", 1.0),       # pages not shared
+        ("weight_sharing.reload_parity_mismatches", 5),
+        ("weight_sharing.stale_hits_after_swap", 2),
+        ("weight_sharing.canary_flip.stale_after_promote", 3),
+        ("weight_sharing.leaked_segments_after_faults", 1),
     ])
     def test_doctored_serving_metric_fails(self, committed, path, bad_value):
         doctored = copy.deepcopy(committed)

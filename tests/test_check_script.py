@@ -131,6 +131,16 @@ class TestModeInvocations:
         assert calls == ["python -m pytest -x -q tests/test_train_ddp.py"]
         assert "check.sh: stage 'ddp-determinism' passed" in result.stdout
 
+    def test_shm_weights_runs_one_copy_suite_only(self, shim):
+        env, log = shim
+        result = _run(env, "--shm-weights")
+        assert result.returncode == 0, result.stderr
+        calls = _calls(log)
+        assert calls == ["python -m pytest -x -q "
+                         "tests/test_persistence_blob.py "
+                         "tests/test_weight_sharing.py"]
+        assert "check.sh: stage 'shm-weights' passed" in result.stdout
+
     def test_unknown_mode_rejected(self, shim):
         env, _ = shim
         result = _run(env, "--bogus")
@@ -180,14 +190,15 @@ class TestCiWorkflowMirrorsCheckScript:
     def test_workflow_exists_and_names_all_jobs(self, workflow):
         for job in ("tier1:", "perf-smoke:", "docs:", "lint:",
                     "chaos-smoke:", "ipc-stress:", "fuzz-smoke:",
-                    "ddp-smoke:", "bench-gate:"):
+                    "ddp-smoke:", "shm-weights:", "bench-gate:"):
             assert job in workflow, f"ci.yml missing job {job}"
 
     def test_workflow_invokes_check_sh_modes(self, workflow):
         for mode in ("scripts/check.sh --fast", "scripts/check.sh --perf",
                      "scripts/check.sh --docs", "scripts/check.sh --lint",
                      "scripts/check.sh --chaos", "scripts/check.sh --ipc",
-                     "scripts/check.sh --fuzz", "scripts/check.sh --ddp"):
+                     "scripts/check.sh --fuzz", "scripts/check.sh --ddp",
+                     "scripts/check.sh --shm-weights"):
             assert mode in workflow, f"ci.yml does not run {mode}"
 
     def test_workflow_runs_bench_gate(self, workflow):
@@ -204,7 +215,7 @@ class TestCiWorkflowMirrorsCheckScript:
         """check.sh's own usage header must list the modes CI invokes."""
         script = CHECK_SH.read_text()
         for mode in ("--fast", "--docs", "--lint", "--perf", "--chaos",
-                     "--ipc", "--fuzz", "--ddp"):
+                     "--ipc", "--fuzz", "--ddp", "--shm-weights"):
             assert mode in script
         assert "ruff check" in script
         assert "lint_fallback.py" in script

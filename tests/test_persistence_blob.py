@@ -1,0 +1,185 @@
+"""The one-copy weight blob: save_advisor's contiguous arena + manifest.
+
+``save_advisor`` writes, next to the per-head ``.npz`` checkpoints, one
+``weights.bin`` blob holding every head's parameter arena back-to-back
+plus a manifest entry (dtype, per-head offsets, blake2b digest).  The
+contract under test:
+
+* round trip — ``load_advisor(share=True)`` maps the blob into a named
+  shared segment and the bound heads are bit-identical to eager loading;
+* validation — a corrupt or truncated blob is a clean ``ValueError``,
+  never silently-wrong weights;
+* legacy fallback — checkpoints written before the blob era still load
+  (eagerly), and ``share_weights`` reports ``None`` instead of raising.
+"""
+
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.models import PragFormer
+from repro.models.persistence import (
+    WEIGHTS_NAME_PREFIX,
+    _named_head_params,
+    load_advisor,
+    save_advisor,
+    share_weights,
+)
+from repro.models.pragformer import PragFormerConfig
+from repro.tokenize import Vocab, text_tokens
+
+TINY = PragFormerConfig(d_model=16, n_heads=2, n_layers=1, d_ff=32,
+                        d_head_hidden=16, max_len=24, batch_size=8, seed=0)
+
+SNIPPETS = [
+    "for (i = 0; i < n; i++) a[i] = b[i] + c[i];",
+    "for (i = 0; i < n; i++) s += a[i];",
+]
+
+HEAD_NAMES = ("directive", "private", "reduction")
+
+
+@pytest.fixture(scope="module")
+def vocab():
+    return Vocab.build([text_tokens(code) for code in SNIPPETS], min_freq=1)
+
+
+def _heads(vocab, seed0=0):
+    return {name: (PragFormer(len(vocab), replace(TINY, seed=seed0 + k),
+                              rng=seed0 + k), vocab, TINY.max_len)
+            for k, name in enumerate(HEAD_NAMES)}
+
+
+@pytest.fixture()
+def checkpoint(vocab, tmp_path):
+    path = tmp_path / "ckpt"
+    save_advisor(_heads(vocab), path)
+    return path
+
+
+def _flat_params(model):
+    return np.concatenate([np.asarray(p.data).ravel()
+                           for _name, p in _named_head_params(model)])
+
+
+class TestBlobRoundTrip:
+    def test_manifest_carries_weights_section(self, checkpoint):
+        manifest = json.loads((checkpoint / "advisor.json").read_text())
+        weights = manifest["weights"]
+        assert weights["file"] == "weights.bin"
+        assert set(weights["heads"]) == set(HEAD_NAMES)
+        blob = checkpoint / "weights.bin"
+        assert blob.exists()
+        total = sum(h["words"] for h in weights["heads"].values())
+        assert total == weights["total_words"]
+        assert blob.stat().st_size == total * np.dtype(weights["dtype"]).itemsize
+
+    def test_share_true_is_bit_identical_to_eager(self, checkpoint):
+        eager = load_advisor(checkpoint)
+        loaded, shared = load_advisor(checkpoint, share=True)
+        assert shared is not None
+        try:
+            assert set(loaded) == set(eager)
+            for name in eager:
+                a = _flat_params(eager[name][0])
+                b = _flat_params(loaded[name][0])
+                assert np.array_equal(a, b), name
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_shared_params_are_views_on_one_segment(self, checkpoint):
+        loaded, shared = load_advisor(checkpoint, share=True)
+        try:
+            base = shared.head_view(HEAD_NAMES[0])
+            model = loaded[HEAD_NAMES[0]][0]
+            first = next(_named_head_params(model))[1]
+            # binding re-points .data at the segment: mutating the view
+            # must show through the parameter (proof there is no copy)
+            probe = np.asarray(first.data).ravel()[0]
+            base[0] = probe + 1.0
+            assert np.asarray(first.data).ravel()[0] == probe + 1.0
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_segment_attach_by_name(self, checkpoint):
+        _, shared = load_advisor(checkpoint, share=True)
+        try:
+            assert shared.name.startswith(WEIGHTS_NAME_PREFIX)
+            attached, handle = load_advisor(checkpoint, segment=shared.name)
+            try:
+                eager = load_advisor(checkpoint)
+                for name in eager:
+                    assert np.array_equal(_flat_params(eager[name][0]),
+                                          _flat_params(attached[name][0]))
+            finally:
+                handle.close()
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_share_weights_maps_without_models(self, checkpoint):
+        shared = share_weights(checkpoint)
+        assert shared is not None
+        try:
+            shared.validate()
+            assert shared.nbytes > 0
+        finally:
+            shared.close()
+            shared.unlink()
+
+
+class TestBlobValidation:
+    def test_corrupt_blob_raises(self, checkpoint):
+        blob = checkpoint / "weights.bin"
+        raw = bytearray(blob.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        blob.write_bytes(bytes(raw))
+        with pytest.raises(ValueError, match="digest"):
+            load_advisor(checkpoint, share=True)
+
+    def test_truncated_blob_raises(self, checkpoint):
+        blob = checkpoint / "weights.bin"
+        raw = blob.read_bytes()
+        blob.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ValueError):
+            load_advisor(checkpoint, share=True)
+
+    def test_missing_blob_raises(self, checkpoint):
+        (checkpoint / "weights.bin").unlink()
+        with pytest.raises(ValueError):
+            load_advisor(checkpoint, share=True)
+
+    def test_eager_load_ignores_blob_damage(self, checkpoint):
+        """The default (non-shared) path reads the per-head .npz files
+        only — blob damage must not break plain deserialization."""
+        (checkpoint / "weights.bin").write_bytes(b"garbage")
+        heads = load_advisor(checkpoint)
+        assert set(heads) == set(HEAD_NAMES)
+
+
+class TestLegacyFallback:
+    @pytest.fixture()
+    def legacy_checkpoint(self, checkpoint):
+        """A pre-blob checkpoint: no weights.bin, no manifest section."""
+        (checkpoint / "weights.bin").unlink()
+        manifest_path = checkpoint / "advisor.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest.pop("weights")
+        manifest_path.write_text(json.dumps(manifest))
+        return checkpoint
+
+    def test_share_true_falls_back_to_eager(self, legacy_checkpoint):
+        heads, shared = load_advisor(legacy_checkpoint, share=True)
+        assert shared is None
+        assert set(heads) == set(HEAD_NAMES)
+
+    def test_share_weights_returns_none(self, legacy_checkpoint):
+        assert share_weights(legacy_checkpoint) is None
+
+    def test_segment_mode_needs_blob_manifest(self, legacy_checkpoint):
+        with pytest.raises(ValueError):
+            load_advisor(legacy_checkpoint, segment="repro-weights-nope")
